@@ -1,0 +1,223 @@
+// Ablation studies for the design choices DESIGN.md calls out — not paper
+// tables, but the evidence behind the methodology's moving parts:
+//
+//   A. Seeding:       proposed (pfCLR-seeded fcCLR) vs the same two-stage
+//                     budget *without* seeding (pfCLR discarded, cold fcCLR
+//                     with doubled generations). Isolates the value of the
+//                     directed search, the paper's Fig. 4b arrow.
+//   B. Pruning:       pfCLR vs fcCLR at equal GA budget — the value of the
+//                     task-level Pareto filtering alone.
+//   C. Communication: fronts with the interconnect model off vs on
+//                     (the paper's future-work extension) — mapping
+//                     decisions shift toward co-location, makespans rise.
+//   D. Stochastic tDSE: brute-force vs GA-based task-level DSE — front
+//                     quality retained vs configurations evaluated.
+//   E. Checkpointing: optimal checkpoint count vs fault rate — the classic
+//                     placement trade-off answered by the same chains.
+#include <cstdio>
+#include <iostream>
+
+#include "app/characterizer.hpp"
+#include "core/dse.hpp"
+#include "core/experiment.hpp"
+#include "moea/hypervolume.hpp"
+#include "platform/architecture.hpp"
+#include "reliability/clr_chain_builder.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace clrearly;
+
+constexpr std::uint64_t kAppSeedBase = 1000;
+
+double hv_of(const std::vector<moea::Objectives>& front,
+             const moea::Objectives& ref) {
+  return front.empty() ? 0.0 : moea::hypervolume(front, ref);
+}
+
+void ablation_seeding_and_pruning() {
+  std::printf("=== Ablation A+B: seeding and pruning value ===\n");
+  util::TextTable table;
+  table.header({"#Tasks", "fcCLR hv", "fcCLR-2x hv", "pfCLR hv",
+                "proposed hv", "seeding gain %", "pruning gain %"});
+
+  for (std::size_t tasks : {20u, 50u}) {
+    const app::Application syn =
+        app::make_synthetic_application(tasks, 10, kAppSeedBase + tasks);
+    const core::DseMethodology dse(syn,
+                                   platform::Architecture::paper_default(),
+                                   core::bench_system_analyzer());
+    const core::DseOptions options = core::bench_options(11);
+
+    // Cold fcCLR with the proposed flow's full evaluation budget (2x gens).
+    core::DseOptions doubled = options;
+    doubled.ga.generations = options.ga.generations * 2;
+
+    const auto tdse = dse.run_tdse(options);
+    const auto fc = dse.run_fcclr(options);
+    const auto fc2 = dse.run_fcclr(doubled);
+    const auto pf = dse.run_pfclr(options, tdse);
+    const auto prop = dse.run_proposed(options, tdse);
+
+    const auto ref = moea::common_reference(
+        {fc.front, fc2.front, pf.front, prop.front});
+    const double h_fc = hv_of(fc.front, ref);
+    const double h_fc2 = hv_of(fc2.front, ref);
+    const double h_pf = hv_of(pf.front, ref);
+    const double h_prop = hv_of(prop.front, ref);
+
+    // Seeding gain: proposed vs equal-budget unseeded fcCLR.
+    const double seeding =
+        h_fc2 > 0.0 ? 100.0 * (h_prop - h_fc2) / h_fc2 : 0.0;
+    // Pruning gain: pfCLR vs equal-budget fcCLR.
+    const double pruning = h_fc > 0.0 ? 100.0 * (h_pf - h_fc) / h_fc : 0.0;
+
+    table.row(tasks, h_fc, h_fc2, h_pf, h_prop, seeding, pruning);
+  }
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+void ablation_communication() {
+  std::printf("=== Ablation C: communication-aware extension ===\n");
+  util::TextTable table;
+  table.header({"interconnect", "front", "fastest (us)", "min err",
+                "cross-PE edges of fastest"});
+
+  const app::Application syn =
+      app::make_synthetic_application(20, 10, kAppSeedBase + 20);
+  const core::DseOptions options = core::bench_options(11);
+
+  const struct {
+    const char* name;
+    double bandwidth_kb_per_us;
+    double latency_us;
+  } variants[] = {
+      {"off (paper base)", 0.0, 0.0},
+      {"fast (8 GB/s)", 8.0, 0.5},
+      {"slow (0.5 GB/s)", 0.5, 3.0},
+  };
+
+  for (const auto& v : variants) {
+    platform::Architecture arch = platform::Architecture::paper_default();
+    platform::Interconnect icn;
+    icn.bandwidth_kb_per_us = v.bandwidth_kb_per_us;
+    icn.latency_us = v.latency_us;
+    arch.set_interconnect(icn);
+
+    const core::DseMethodology dse(arch.interconnect().models_communication()
+                                       ? syn
+                                       : syn,
+                                   arch, core::bench_system_analyzer());
+    const auto outcome = dse.run_proposed(options);
+    if (outcome.front.empty()) {
+      table.row(v.name, "0", "-", "-", "-");
+      continue;
+    }
+    std::size_t fastest = 0;
+    double fast = outcome.front[0][0], minerr = outcome.front[0][1];
+    for (std::size_t i = 0; i < outcome.front.size(); ++i) {
+      if (outcome.front[i][0] < fast) {
+        fast = outcome.front[i][0];
+        fastest = i;
+      }
+      minerr = std::min(minerr, outcome.front[i][1]);
+    }
+
+    // Count dependency edges crossing PEs in the fastest design.
+    const core::ClrMappingProblem problem(
+        syn, arch, core::bench_system_analyzer(), options.objectives,
+        options.spec);
+    const auto decisions = problem.decode(outcome.front_genomes[fastest]);
+    std::size_t cross = 0;
+    for (const app::Edge& e : syn.graph.edges()) {
+      if (decisions[e.src].pe != decisions[e.dst].pe) ++cross;
+    }
+    table.row(v.name, outcome.front.size(), fast, minerr,
+              std::to_string(cross) + "/" +
+                  std::to_string(syn.graph.num_edges()));
+  }
+  table.print(std::cout);
+  std::printf("(slower interconnects raise makespans and push the optimizer "
+              "toward co-location)\n\n");
+}
+
+void ablation_stochastic_tdse() {
+  std::printf("=== Ablation D: brute-force vs GA-based tDSE ===\n");
+  const core::Tdse tdse(core::bench_system_analyzer());
+  const platform::Architecture arch = platform::Architecture::paper_default();
+  util::Rng rng(kAppSeedBase);
+  const auto impls =
+      app::characterize_types(4, app::CharacterizerOptions{}, rng);
+  const core::TdseObjectives obj = core::TdseObjectives::tdse_run(1);
+
+  util::TextTable table;
+  table.header({"task type", "exact evals", "GA evals", "exact front",
+                "GA front", "hv retained %"});
+  for (std::size_t type = 0; type < 4; ++type) {
+    const auto exact = tdse.run(impls[type], arch, obj);
+    moea::Nsga2Params ga;
+    ga.population_size = 40;
+    ga.generations = 25;
+    const auto approx =
+        tdse.run_stochastic(impls[type], arch, obj, ga, 5 + type);
+
+    auto vectors = [&](const std::vector<core::TaskDesignPoint>& pts) {
+      std::vector<moea::Objectives> out;
+      for (const auto& p : pts) out.push_back(obj.extract(p.metrics));
+      return out;
+    };
+    const auto exact_front = vectors(exact.pareto);
+    const auto approx_front = vectors(approx.pareto);
+    const auto ref = moea::common_reference({exact_front, approx_front});
+    const double retained = 100.0 * hv_of(approx_front, ref) /
+                            hv_of(exact_front, ref);
+    table.row("type" + std::to_string(type), exact.enumerated.size(),
+              approx.enumerated.size(), exact.pareto.size(),
+              approx.pareto.size(), retained);
+  }
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+void ablation_checkpoint_sweep() {
+  std::printf("=== Ablation E: optimal checkpoint count vs fault rate ===\n");
+  reliability::ClrChainParams params;
+  params.exec_time_us = 1000.0;
+  params.detection_coverage = 0.95;
+  params.tolerance_success = 0.98;
+  params.detection_time_us = 5.0;
+  params.tolerance_time_us = 10.0;
+  params.checkpoint_time_us = 20.0;
+
+  util::TextTable table;
+  table.header({"lambda (/us)", "best intervals", "avg time (us)",
+                "vs 1 interval"});
+  for (double lambda : {1e-5, 1e-4, 5e-4, 1e-3, 3e-3, 1e-2}) {
+    params.lambda_per_us = lambda;
+    const auto sweep =
+        reliability::optimize_checkpoint_intervals(params, 10);
+    const double single = sweep.avg_time_per_intervals.front();
+    table.row(lambda, sweep.best_intervals, sweep.best_avg_time_us,
+              util::format_compact(100.0 * (sweep.best_avg_time_us - single) /
+                                   single) +
+                  "%");
+  }
+  table.print(std::cout);
+  std::printf("(higher fault rates justify more checkpoints — the classic "
+              "trade-off, from the Fig. 3 chains)\n\n");
+}
+
+}  // namespace
+
+int main() {
+  util::set_log_level(util::LogLevel::Warn);
+  ablation_seeding_and_pruning();
+  ablation_communication();
+  ablation_stochastic_tdse();
+  ablation_checkpoint_sweep();
+  return 0;
+}

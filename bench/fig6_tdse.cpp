@@ -1,0 +1,125 @@
+// Reproduces Fig. 6 — task-level DSE (tDSE) for a single task.
+//
+//   Fig. 6a: Pareto fronts (average execution time vs error probability in %)
+//            for the three DVFS operating points. Each DVFS mode alone is a
+//            single design point; sweeping the CLR methods per mode produces
+//            a front per mode. Lower-voltage modes shift the front right
+//            (slower) and up (higher SEU susceptibility).
+//   Fig. 6b: Pareto fronts under increasing implicit SSW masking
+//            (ImplMask = 0 / 5 / 10 / 20 %); more masking pushes the front
+//            down.
+//
+// Output: the (time, error%) series per curve on stdout and
+// results/fig6a_dvfs_fronts.csv, results/fig6b_implicit_masking.csv.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "core/tdse.hpp"
+#include "platform/architecture.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace clrearly;
+
+/// The single task under analysis: the Sobel smoothing kernel's processor
+/// implementation (the figure's absolute range depends only on this scale).
+reliability::BaseImpl subject_task() {
+  reliability::BaseImpl impl;
+  impl.name = "gsmth-c";
+  impl.target = platform::PeClass::kEmbeddedProcessor;
+  impl.base_exec_time_us = 760.0;
+  impl.base_power_w = 0.38;
+  return impl;
+}
+
+/// Pareto front over (AvgExT, ErrProb) of all CLR configurations whose DVFS
+/// mode equals `dvfs_index`, evaluated with `analyzer` on `pe`; sorted by
+/// time.
+std::vector<std::pair<double, double>> front_for_dvfs(
+    const reliability::TaskAnalyzer& analyzer, const platform::PeType& pe,
+    std::size_t dvfs_index) {
+  std::vector<reliability::TaskMetrics> metrics;
+  const auto configs = analyzer.space().enumerate(
+      pe.dvfs.size(), reliability::ClrAxes{true, true, true, false});
+  for (reliability::ClrConfig config : configs) {
+    config.dvfs = dvfs_index;
+    metrics.push_back(analyzer.evaluate(subject_task(), pe, config));
+  }
+
+  std::vector<moea::Objectives> points;
+  points.reserve(metrics.size());
+  for (const auto& m : metrics) {
+    points.push_back({m.avg_exec_time_us, m.error_prob});
+  }
+  std::vector<std::pair<double, double>> front;
+  for (std::size_t i : moea::pareto_front_indices(points)) {
+    front.emplace_back(points[i][0], points[i][1]);
+  }
+  std::sort(front.begin(), front.end());
+  return front;
+}
+
+}  // namespace
+
+int main() {
+  util::set_log_level(util::LogLevel::Warn);
+  const platform::Architecture arch = platform::Architecture::paper_default();
+  const platform::PeType& pe = arch.type(0);
+
+  // ---------------- Fig. 6a: DVFS-mode fronts ----------------
+  std::printf("=== Fig. 6a: task-level Pareto fronts per DVFS mode ===\n");
+  std::vector<std::pair<std::string, std::vector<moea::Objectives>>> series_a;
+  {
+    const reliability::TaskAnalyzer analyzer =
+        reliability::TaskAnalyzer::paper_default();
+    for (std::size_t d = 0; d < pe.dvfs.size(); ++d) {
+      const auto front = front_for_dvfs(analyzer, pe, d);
+      std::printf("-- %s (%zu Pareto points)\n", pe.dvfs.mode(d).name.c_str(),
+                  front.size());
+      util::TextTable table;
+      table.header({"AvgExT (us)", "ErrProb (%)"});
+      std::vector<moea::Objectives> csv_points;
+      for (const auto& [time, err] : front) {
+        table.row(time, 100.0 * err);
+        csv_points.push_back({time, 100.0 * err});
+      }
+      table.print(std::cout);
+      series_a.emplace_back(pe.dvfs.mode(d).name, std::move(csv_points));
+    }
+  }
+  const std::string path_a = core::write_fronts_csv(
+      "fig6a_dvfs_fronts.csv", series_a, {"avg_exec_time_us", "err_prob_pct"});
+  std::printf("[wrote %s]\n\n", path_a.c_str());
+
+  // ---------------- Fig. 6b: implicit-masking sweep ----------------
+  std::printf("=== Fig. 6b: Pareto fronts vs implicit SSW masking ===\n");
+  std::vector<std::pair<std::string, std::vector<moea::Objectives>>> series_b;
+  for (double mask : {0.0, 0.05, 0.10, 0.20}) {
+    reliability::TaskAnalyzer analyzer =
+        reliability::TaskAnalyzer::paper_default();
+    analyzer.set_implicit_masking_override(mask);
+    // The figure's time range corresponds to the mid (600 MHz) mode.
+    const auto front = front_for_dvfs(analyzer, pe, 1);
+    std::printf("-- ImplMask = %.0f%% (%zu Pareto points)\n", 100.0 * mask,
+                front.size());
+    util::TextTable table;
+    table.header({"AvgExT (us)", "ErrProb (%)"});
+    std::vector<moea::Objectives> csv_points;
+    for (const auto& [time, err] : front) {
+      table.row(time, 100.0 * err);
+      csv_points.push_back({time, 100.0 * err});
+    }
+    table.print(std::cout);
+    series_b.emplace_back("ImplMask=" + std::to_string(int(100 * mask)) + "%",
+                          std::move(csv_points));
+  }
+  const std::string path_b =
+      core::write_fronts_csv("fig6b_implicit_masking.csv", series_b,
+                             {"avg_exec_time_us", "err_prob_pct"});
+  std::printf("[wrote %s]\n", path_b.c_str());
+  return 0;
+}

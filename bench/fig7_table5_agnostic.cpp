@@ -1,0 +1,112 @@
+// Reproduces Fig. 7 and TABLE V — cross-layer optimization vs the
+// "other-layer-agnostic" combination of single-layer optimizations.
+//
+//   Fig. 7:   for a 20-task synthetic application, the Pareto fronts of the
+//             CLR flow, the four single-layer runs (DVFS / HWRel / SSWRel /
+//             ASWRel only) and their dominant union ("Agnostic").
+//   TABLE V:  % increase in Pareto-front hypervolume of CLR over Agnostic
+//             for applications of 10..100 tasks.
+//
+// Setup follows Section VI-A: synthetic TGFF-style graphs with 10 task
+// types on the 6-PE platform, GA with pc=0.8 / pm=0.05 / tournament 5,
+// makespan + application-error-probability objectives, and the QoS spec of
+// Eq. 5 (a 99% functional-reliability floor under the high-fault operating
+// environment the paper motivates). Where a single-layer flow cannot meet
+// the spec at all its front is empty — the same effect behind the paper's
+// 24664% outlier at 10 tasks.
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+
+#include "app/characterizer.hpp"
+#include "core/baselines.hpp"
+#include "core/experiment.hpp"
+#include "moea/hypervolume.hpp"
+#include "platform/architecture.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace clrearly;
+
+constexpr std::uint64_t kAppSeedBase = 1000;
+constexpr std::uint64_t kGaSeed = 11;
+
+}  // namespace
+
+int main() {
+  util::set_log_level(util::LogLevel::Warn);
+  const platform::Architecture arch = platform::Architecture::paper_default();
+  const core::DseOptions options = core::bench_options(kGaSeed);
+
+  // ---------------- Fig. 7: fronts for the 20-task application ----------------
+  std::printf("=== Fig. 7: CLR vs single-layer fronts (20 tasks) ===\n");
+  {
+    const app::Application syn =
+        app::make_synthetic_application(20, 10, kAppSeedBase + 20);
+    const core::DseMethodology dse(syn, arch, core::bench_system_analyzer());
+
+    const core::DseOutcome clr = dse.run_proposed(options);
+    const core::AgnosticOutcome agnostic = core::run_agnostic(dse, options);
+
+    std::vector<std::pair<std::string, std::vector<moea::Objectives>>> series;
+    series.emplace_back("CLR", clr.front);
+    series.emplace_back("Agnostic", agnostic.combined_front);
+    for (std::size_t i = 0; i < agnostic.layers.size(); ++i) {
+      series.emplace_back(core::to_string(agnostic.layers[i]),
+                          agnostic.per_layer[i].front);
+    }
+    for (const auto& [name, front] : series) {
+      std::printf("-- %s (%zu points)\n", name.c_str(), front.size());
+      util::TextTable table;
+      table.header({"Avg makespan (us)", "App error probability"});
+      for (const auto& p : front) table.row(p[0], p[1]);
+      table.print(std::cout);
+    }
+    const std::string path = core::write_fronts_csv(
+        "fig7_clr_vs_agnostic.csv", series,
+        {"avg_makespan_us", "app_error_prob"});
+    std::printf("[wrote %s]\n\n", path.c_str());
+  }
+
+  // ---------------- TABLE V: hypervolume gains over sizes ----------------
+  std::printf(
+      "=== TABLE V: %% increase in hypervolume, CLR over Agnostic ===\n");
+  util::TextTable table;
+  table.header({"#Tasks", "% increase in hypervolume", "CLR pts",
+                "Agnostic pts"});
+  std::filesystem::create_directories("results");
+  util::CsvWriter csv("results/table5_clr_vs_agnostic.csv");
+  csv.row({"tasks", "hv_gain_pct", "clr_points", "agnostic_points"});
+
+  for (std::size_t tasks : core::bench_task_counts()) {
+    const app::Application syn =
+        app::make_synthetic_application(tasks, 10, kAppSeedBase + tasks);
+    const core::DseMethodology dse(syn, arch, core::bench_system_analyzer());
+
+    const core::DseOutcome clr = dse.run_proposed(options);
+    const core::AgnosticOutcome agnostic = core::run_agnostic(dse, options);
+
+    std::string gain_text = "inf (agnostic infeasible)";
+    double gain = std::numeric_limits<double>::infinity();
+    if (!agnostic.combined_front.empty() && !clr.front.empty()) {
+      const auto ref =
+          moea::common_reference({clr.front, agnostic.combined_front});
+      gain = moea::hypervolume_gain_percent(clr.front,
+                                            agnostic.combined_front, ref);
+      gain_text = util::format_compact(gain);
+    }
+    table.row(tasks, gain_text, clr.front.size(),
+              agnostic.combined_front.size());
+    csv.field(tasks)
+        .field(gain)
+        .field(clr.front.size())
+        .field(agnostic.combined_front.size());
+    csv.end_row();
+  }
+  table.print(std::cout);
+  std::printf("[wrote results/table5_clr_vs_agnostic.csv]\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Reproduces Fig. 9, Fig. 10 and TABLE VII — the effect of the task-level
+// DSE objective set on system-level result quality.
+//
+//   Fig. 9:    number of task-level Pareto implementations per task type for
+//              three tDSE executions with growing objective sets
+//              (tDSE_1: time+errprob, tDSE_2: +MTTF+energy,
+//               tDSE_3: +power+peak-temp) — more objectives keep more points.
+//   Fig. 10:   Pareto fronts of proposed_k and pfCLR_k (k = 1..3) for a
+//              30-task application; quality degrades as the implementation
+//              count grows, the proposed flow degrades least.
+//   TABLE VII: % increase in hypervolume over pfCLR_3 for both flows and
+//              all three tDSE runs across 10..100 tasks.
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+
+#include "app/characterizer.hpp"
+#include "core/dse.hpp"
+#include "core/experiment.hpp"
+#include "moea/hypervolume.hpp"
+#include "platform/architecture.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace clrearly;
+
+constexpr std::uint64_t kAppSeedBase = 1000;
+constexpr std::uint64_t kGaSeed = 11;
+
+core::DseOptions options_for_run(int tdse_run) {
+  core::DseOptions options = core::bench_options(kGaSeed);
+  options.tdse_objectives = core::TdseObjectives::tdse_run(tdse_run);
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  util::set_log_level(util::LogLevel::Warn);
+  const platform::Architecture arch = platform::Architecture::paper_default();
+
+  // ---------------- Fig. 9: Pareto-implementation counts ----------------
+  std::printf(
+      "=== Fig. 9: task-level Pareto implementations per task type ===\n");
+  {
+    // The ten synthetic task types (SYN_0..SYN_9), characterized once.
+    util::Rng rng(kAppSeedBase);
+    const auto impls =
+        app::characterize_types(10, app::CharacterizerOptions{}, rng);
+    const core::Tdse tdse(core::bench_system_analyzer());
+
+    util::TextTable table;
+    table.header({"Task type", "tDSE_1", "tDSE_2", "tDSE_3"});
+    std::filesystem::create_directories("results");
+    util::CsvWriter csv("results/fig9_pareto_impl_counts.csv");
+    csv.row({"task_type", "tdse_1", "tdse_2", "tdse_3"});
+
+    for (std::size_t type = 0; type < 10; ++type) {
+      std::vector<std::size_t> counts;
+      for (int run = 1; run <= 3; ++run) {
+        const auto result = tdse.run(impls[type], arch,
+                                     core::TdseObjectives::tdse_run(run));
+        counts.push_back(result.pareto.size());
+      }
+      const std::string name = "SYN_" + std::to_string(type);
+      table.row(name, counts[0], counts[1], counts[2]);
+      csv.field(name).field(counts[0]).field(counts[1]).field(counts[2]);
+      csv.end_row();
+    }
+    table.print(std::cout);
+    std::printf("[wrote results/fig9_pareto_impl_counts.csv]\n\n");
+  }
+
+  // ---------------- Fig. 10: fronts for the 30-task application ----------------
+  std::printf(
+      "=== Fig. 10: proposed_k vs pfCLR_k fronts (30 tasks, k = 1..3) ===\n");
+  {
+    const app::Application syn =
+        app::make_synthetic_application(30, 10, kAppSeedBase + 30);
+    const core::DseMethodology dse(syn, arch, core::bench_system_analyzer());
+
+    std::vector<std::pair<std::string, std::vector<moea::Objectives>>> series;
+    for (int run = 1; run <= 3; ++run) {
+      const core::DseOptions options = options_for_run(run);
+      const auto tdse = dse.run_tdse(options);
+      series.emplace_back("pfCLR_" + std::to_string(run),
+                          dse.run_pfclr(options, tdse).front);
+      series.emplace_back("proposed_" + std::to_string(run),
+                          dse.run_proposed(options, tdse).front);
+    }
+    for (const auto& [name, front] : series) {
+      std::printf("-- %s (%zu points)\n", name.c_str(), front.size());
+      util::TextTable table;
+      table.header({"Avg makespan (us)", "App error probability"});
+      for (const auto& p : front) table.row(p[0], p[1]);
+      table.print(std::cout);
+    }
+    const std::string path = core::write_fronts_csv(
+        "fig10_tdse_run_fronts.csv", series,
+        {"avg_makespan_us", "app_error_prob"});
+    std::printf("[wrote %s]\n\n", path.c_str());
+  }
+
+  // ---------------- TABLE VII: gains over pfCLR_3 across sizes ----------------
+  std::printf(
+      "=== TABLE VII: %% increase in hypervolume over pfCLR_3 ===\n");
+  util::TextTable table;
+  table.header({"#Tasks", "proposed_1", "pfCLR_1", "proposed_2", "pfCLR_2",
+                "proposed_3", "pfCLR_3"});
+  util::CsvWriter csv("results/table7_gain_over_pfclr3.csv");
+  csv.row({"tasks", "proposed_1", "pfclr_1", "proposed_2", "pfclr_2",
+           "proposed_3", "pfclr_3"});
+
+  for (std::size_t tasks : core::bench_task_counts()) {
+    const app::Application syn =
+        app::make_synthetic_application(tasks, 10, kAppSeedBase + tasks);
+    const core::DseMethodology dse(syn, arch, core::bench_system_analyzer());
+
+    // Column order mirrors the paper: proposed_k, pfCLR_k for k = 1..3.
+    std::vector<std::vector<moea::Objectives>> fronts;  // 6 fronts
+    for (int run = 1; run <= 3; ++run) {
+      const core::DseOptions options = options_for_run(run);
+      const auto tdse = dse.run_tdse(options);
+      fronts.push_back(dse.run_proposed(options, tdse).front);
+      fronts.push_back(dse.run_pfclr(options, tdse).front);
+    }
+    const std::vector<moea::Objectives>& baseline = fronts[5];  // pfCLR_3
+
+    std::vector<std::string> cells{std::to_string(tasks)};
+    csv.field(tasks);
+    if (baseline.empty()) {
+      for (int i = 0; i < 6; ++i) {
+        cells.push_back("n/a");
+        csv.field("n/a");
+      }
+    } else {
+      const auto ref = moea::common_reference(
+          {fronts[0], fronts[1], fronts[2], fronts[3], fronts[4], fronts[5]});
+      for (const auto& front : fronts) {
+        if (front.empty()) {
+          cells.push_back("inf");
+          csv.field("inf");
+          continue;
+        }
+        const double gain =
+            moea::hypervolume_gain_percent(front, baseline, ref);
+        cells.push_back(util::format_compact(gain));
+        csv.field(gain);
+      }
+    }
+    table.add_row(cells);
+    csv.end_row();
+  }
+  table.print(std::cout);
+  std::printf("[wrote results/table7_gain_over_pfclr3.csv]\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Micro-benchmarks (google-benchmark) for the analytical kernels behind the
+// "early-stage exploration" claim: one CLR Markov-chain evaluation, one full
+// task-metric evaluation, list scheduling, QoS estimation, a whole NSGA-II
+// generation, hypervolume computation and task-graph generation.
+//
+// These document that a single fitness evaluation costs microseconds —
+// which is what makes the multi-stage GA flows tractable on a laptop.
+#include <benchmark/benchmark.h>
+
+#include "app/characterizer.hpp"
+#include "app/sobel.hpp"
+#include "app/tgff.hpp"
+#include "core/dse.hpp"
+#include "core/experiment.hpp"
+#include "moea/hypervolume.hpp"
+#include "platform/architecture.hpp"
+#include "reliability/clr_chain_builder.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace clrearly;
+
+void BM_MarkovClrChainAnalyze(benchmark::State& state) {
+  reliability::ClrChainParams params;
+  params.exec_time_us = 1000.0;
+  params.lambda_per_us = 3e-4;
+  params.hw_masking = 0.7;
+  params.detection_coverage = 0.92;
+  params.tolerance_success = 0.98;
+  params.asw_masking = 0.6;
+  params.intervals = static_cast<std::size_t>(state.range(0));
+  params.detection_time_us = 10.0;
+  params.tolerance_time_us = 20.0;
+  params.checkpoint_time_us = 30.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reliability::analyze_clr_chain(params));
+  }
+}
+BENCHMARK(BM_MarkovClrChainAnalyze)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_TaskAnalyzerEvaluate(benchmark::State& state) {
+  const reliability::TaskAnalyzer analyzer =
+      reliability::TaskAnalyzer::paper_default();
+  const platform::Architecture arch = platform::Architecture::paper_default();
+  const app::Application sobel = app::make_sobel_application();
+  const reliability::ClrConfig config{2, 2, 1, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analyzer.evaluate(sobel.impls[0][0], arch.type(0), config));
+  }
+}
+BENCHMARK(BM_TaskAnalyzerEvaluate);
+
+void BM_ListSchedule(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const app::Application syn = app::make_synthetic_application(n, 10, 7);
+  util::Rng rng(1);
+  std::vector<sched::TaskAssignment> assignments(n);
+  for (auto& a : assignments) {
+    a.pe = rng.index(6);
+    a.exec_time_us = rng.uniform(100.0, 1000.0);
+    a.power_w = 0.4;
+  }
+  const auto order = moea::random_permutation(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::list_schedule(syn.graph, assignments, order, 6));
+  }
+}
+BENCHMARK(BM_ListSchedule)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_FitnessEvaluation(benchmark::State& state) {
+  // One full fcCLR fitness evaluation: decode + schedule + TABLE III.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const app::Application syn = app::make_synthetic_application(n, 10, 7);
+  const core::ClrMappingProblem problem(
+      syn, platform::Architecture::paper_default(),
+      core::bench_system_analyzer(), core::SystemObjectives{},
+      sched::QosSpec{});
+  util::Rng rng(2);
+  const core::MappingGenome genome = problem.layout().random(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem.evaluate(genome));
+  }
+}
+BENCHMARK(BM_FitnessEvaluation)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_Nsga2Generation(benchmark::State& state) {
+  // Cost of one generation = one run with generations=1 minus init; we
+  // simply time a 1-generation run (init included, amortized note applies).
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const app::Application syn = app::make_synthetic_application(n, 10, 7);
+  const core::DseMethodology dse(syn, platform::Architecture::paper_default(),
+                                 core::bench_system_analyzer());
+  core::DseOptions options = core::bench_options(3);
+  options.ga.population_size = 100;
+  options.ga.generations = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dse.run_fcclr(options));
+  }
+}
+BENCHMARK(BM_Nsga2Generation)->Arg(20)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_Hypervolume(benchmark::State& state) {
+  const std::size_t points = static_cast<std::size_t>(state.range(0));
+  const std::size_t dims = static_cast<std::size_t>(state.range(1));
+  util::Rng rng(4);
+  std::vector<moea::Objectives> front;
+  for (std::size_t i = 0; i < points; ++i) {
+    moea::Objectives p(dims);
+    for (double& x : p) x = rng.uniform();
+    front.push_back(p);
+  }
+  const moea::Objectives ref(dims, 1.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(moea::hypervolume(front, ref));
+  }
+}
+BENCHMARK(BM_Hypervolume)->Args({50, 2})->Args({50, 3})->Args({30, 5});
+
+void BM_TgffGenerate(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  app::TgffOptions options;
+  options.num_tasks = n;
+  for (auto _ : state) {
+    util::Rng rng(5);
+    benchmark::DoNotOptimize(app::generate_tgff_graph(options, rng));
+  }
+}
+BENCHMARK(BM_TgffGenerate)->Arg(20)->Arg(100);
+
+void BM_TdseEnumerate(benchmark::State& state) {
+  const core::Tdse tdse(reliability::TaskAnalyzer::paper_default());
+  const platform::Architecture arch = platform::Architecture::paper_default();
+  const app::Application sobel = app::make_sobel_application();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tdse.enumerate(sobel.impls[0], arch));
+  }
+}
+BENCHMARK(BM_TdseEnumerate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  clrearly::util::set_log_level(clrearly::util::LogLevel::Warn);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Extensibility example: plugging custom reliability methods into the
+// framework — the paper's GenM / GenD / GenT generic methods with tunable
+// parameters, plus a fully hand-rolled catalog.
+//
+// The example
+//   1. builds a CLR space from generic methods swept over their tuning
+//      parameters,
+//   2. runs task-level DSE to see which tunings survive Pareto filtering,
+//   3. compares two application-software methods head-to-head through the
+//      Markov models (checksum vs code tripling as the fault rate grows).
+#include <cstdio>
+
+#include "core/tdse.hpp"
+#include "platform/architecture.hpp"
+#include "reliability/clr_chain_builder.hpp"
+#include "reliability/methods.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace clrearly;
+
+/// A CLR space built entirely from the paper's generic tunable methods:
+/// GenM masking sweeps, GenD detection-only and GenT tolerance variants.
+reliability::ClrSpace generic_space() {
+  std::vector<reliability::HwMethod> hw;
+  hw.push_back({.name = "HW:none"});
+  // GenM: masking from cheap-and-weak to strong-and-expensive.
+  hw.push_back(reliability::gen_masking(0.30, 0.02, 0.20));
+  hw.push_back(reliability::gen_masking(0.60, 0.05, 0.60));
+  hw.push_back(reliability::gen_masking(0.85, 0.10, 1.20));
+
+  std::vector<reliability::SswMethod> ssw;
+  ssw.push_back({.name = "SSW:none"});
+  // GenD: detection only (flags errors, cannot repair).
+  ssw.push_back(reliability::gen_detection(0.95, 0.04));
+  // GenT: detection + rollback with 1..3 checkpoint intervals.
+  ssw.push_back(reliability::gen_tolerance(0.90, 0.97, 1, 0.04, 0.03, 0.0));
+  ssw.push_back(reliability::gen_tolerance(0.90, 0.97, 2, 0.04, 0.03, 0.05));
+  ssw.push_back(reliability::gen_tolerance(0.90, 0.97, 3, 0.04, 0.03, 0.05));
+
+  std::vector<reliability::AswMethod> asw;
+  asw.push_back({.name = "ASW:none"});
+  asw.push_back({.name = "ASW:gen-light",
+                 .masking = 0.50,
+                 .time_factor = 1.08,
+                 .power_factor = 1.03});
+  asw.push_back({.name = "ASW:gen-heavy",
+                 .masking = 0.92,
+                 .time_factor = 2.60,
+                 .power_factor = 1.10});
+
+  return reliability::ClrSpace(std::move(hw), std::move(ssw), std::move(asw));
+}
+
+}  // namespace
+
+int main() {
+  util::set_log_level(util::LogLevel::Warn);
+
+  // ---- 1+2: task-level DSE over the generic-method space --------------
+  reliability::FaultEnvironment env;
+  env.dvfs_sensitivity = 1.2;
+  env.environment_factor = 10.0;
+  const reliability::TaskAnalyzer analyzer(generic_space(), env,
+                                           reliability::ThermalModel{},
+                                           reliability::ArrheniusAging{});
+  const platform::Architecture arch = platform::Architecture::paper_default();
+
+  reliability::BaseImpl kernel;
+  kernel.name = "fir-filter";
+  kernel.target = platform::PeClass::kEmbeddedProcessor;
+  kernel.base_exec_time_us = 800.0;
+  kernel.base_power_w = 0.42;
+
+  const core::Tdse tdse(analyzer);
+  const core::TdseResult result =
+      tdse.run({kernel}, arch, core::TdseObjectives::tdse_run(1));
+
+  std::printf("generic-method space: %zu configurations evaluated, %zu on "
+              "the Pareto front\n\n",
+              result.enumerated.size(), result.pareto.size());
+  std::printf("%-48s %10s %10s\n", "surviving configuration",
+              "AvgExT(us)", "ErrProb");
+  for (const auto& point : result.pareto) {
+    std::printf("%-48s %10.1f %10.6f\n",
+                (analyzer.space().describe(point.config) + " @pe" +
+                 std::to_string(point.pe_type))
+                    .c_str(),
+                point.metrics.avg_exec_time_us, point.metrics.error_prob);
+  }
+
+  // ---- 3: method duel through the raw Markov models ----------------------
+  std::printf("\nchecksum vs code tripling as the fault rate grows:\n");
+  std::printf("%-12s %14s %14s %14s %14s\n", "lambda(/us)", "chksum ExT",
+              "chksum Err", "triple ExT", "triple Err");
+  for (double lambda : {1e-5, 1e-4, 5e-4, 2e-3}) {
+    reliability::ClrChainParams checksum;
+    checksum.exec_time_us = 800.0 * 1.12;  // checksum time factor
+    checksum.lambda_per_us = lambda;
+    checksum.asw_masking = 0.60;
+    const auto a = reliability::analyze_clr_chain(checksum);
+
+    reliability::ClrChainParams tripling;
+    tripling.exec_time_us = 800.0 * 3.15;  // tripling time factor
+    tripling.lambda_per_us = lambda;
+    tripling.asw_masking = 0.94;
+    const auto b = reliability::analyze_clr_chain(tripling);
+
+    std::printf("%-12.0e %14.1f %14.6f %14.1f %14.6f\n", lambda,
+                a.avg_exec_time_us, a.error_prob, b.avg_exec_time_us,
+                b.error_prob);
+  }
+  std::printf(
+      "\n(code tripling holds its error advantage but pays ~3x time at every "
+      "fault rate —\n exactly the trade-off the system-level DSE arbitrates "
+      "per task)\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// MJPEG encoder under a frame deadline: criticality-driven protection and
+// timing reliability.
+//
+// The encoder mixes error-tolerant pixel stages with error-critical entropy
+// stages. This example runs the proposed DSE under a functional-reliability
+// floor, then analyses the fastest design:
+//   * which stages received cross-layer protection (it should concentrate
+//     on the entropy end of the pipeline),
+//   * the makespan *distribution* (mean + critical-path spread) and the
+//     probability of missing the 30 fps frame deadline,
+//   * the platform's mission reliability over a one-year deployment.
+#include <cstdio>
+
+#include "app/mjpeg.hpp"
+#include "core/dse.hpp"
+#include "core/experiment.hpp"
+#include "platform/architecture.hpp"
+#include "util/log.hpp"
+
+int main() {
+  using namespace clrearly;
+  util::set_log_level(util::LogLevel::Warn);
+
+  const app::Application mjpeg = app::make_mjpeg_application();
+  const platform::Architecture arch = platform::Architecture::paper_default();
+  const reliability::TaskAnalyzer analyzer = core::bench_system_analyzer();
+
+  core::DseOptions options;
+  options.ga.population_size = 80;
+  options.ga.generations = 50;
+  options.seed = 23;
+  options.spec.min_functional_rel = 0.995;
+
+  const core::DseMethodology dse(mjpeg, arch, analyzer);
+  const core::DseOutcome outcome = dse.run_proposed(options);
+  if (outcome.front.empty()) {
+    std::printf("no feasible design under the reliability floor\n");
+    return 1;
+  }
+
+  std::size_t fastest = 0;
+  for (std::size_t i = 1; i < outcome.front.size(); ++i) {
+    if (outcome.front[i][0] < outcome.front[fastest][0]) fastest = i;
+  }
+
+  const core::ClrMappingProblem problem(mjpeg, arch, analyzer,
+                                        options.objectives, options.spec);
+  const core::MappingGenome& genome = outcome.front_genomes[fastest];
+
+  std::printf("fastest feasible encoder design (front of %zu):\n\n",
+              outcome.front.size());
+  std::printf("%-11s %-10s %-22s %-38s %9s\n", "task", "PE", "impl",
+              "CLR configuration", "ErrProb");
+  for (const auto& c : problem.report(genome)) {
+    std::printf("%-11s PE%-8zu %-22s %-38s %9.5f\n", c.task_name.c_str(),
+                c.pe, c.impl_name.c_str(), c.config_text.c_str(),
+                c.metrics.error_prob);
+  }
+
+  const sched::QosMetrics qos = problem.qos(genome);
+  const double frame_deadline_us = mjpeg.period_us;  // 30 fps budget
+  std::printf("\nper-frame timing: mean %.1f us, spread (sigma) %.1f us\n",
+              qos.makespan_us, qos.makespan_stddev_us);
+  for (double deadline : {0.8 * frame_deadline_us, frame_deadline_us}) {
+    std::printf("  P[frame > %.0f us] = %.3e\n", deadline,
+                sched::deadline_miss_probability(qos, deadline));
+  }
+
+  const auto decisions = problem.decode(genome);
+  std::printf("\nlifetime: Lapp (min PE MTTF) = %.0f hours\n", qos.mttf_hours);
+  for (double years : {0.5, 1.0, 2.0}) {
+    const double hours = years * 24.0 * 365.0;
+    std::printf("  mission reliability over %.1f years: %.4f\n", years,
+                sched::mission_reliability(mjpeg, arch, decisions, hours));
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "app/characterizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "app/tgff.hpp"
+
+namespace clrearly::app {
+
+void CharacterizerOptions::validate() const {
+  if (exec_time_median_us <= 0.0 || exec_time_sigma < 0.0) {
+    throw std::invalid_argument("CharacterizerOptions: bad exec-time model");
+  }
+  if (proc_power_min_w <= 0.0 || proc_power_max_w < proc_power_min_w) {
+    throw std::invalid_argument("CharacterizerOptions: bad power range");
+  }
+  if (fabric_speedup_min < 1.0 || fabric_speedup_max < fabric_speedup_min) {
+    throw std::invalid_argument("CharacterizerOptions: bad speedup range");
+  }
+  if (fabric_power_factor_min <= 0.0 ||
+      fabric_power_factor_max < fabric_power_factor_min) {
+    throw std::invalid_argument("CharacterizerOptions: bad power factor range");
+  }
+  if (fabric_availability < 0.0 || fabric_availability > 1.0) {
+    throw std::invalid_argument(
+        "CharacterizerOptions: fabric_availability outside [0,1]");
+  }
+  if (software_variants == 0) {
+    throw std::invalid_argument(
+        "CharacterizerOptions: need at least one software variant");
+  }
+}
+
+std::vector<std::vector<reliability::BaseImpl>> characterize_types(
+    std::size_t num_types, const CharacterizerOptions& options,
+    util::Rng& rng) {
+  options.validate();
+  std::vector<std::vector<reliability::BaseImpl>> impls(num_types);
+
+  for (std::size_t type = 0; type < num_types; ++type) {
+    const double base_time = rng.lognormal(
+        std::log(options.exec_time_median_us), options.exec_time_sigma);
+    const double base_power =
+        rng.uniform(options.proc_power_min_w, options.proc_power_max_w);
+    // Kernel-specific reliability character (live-state fraction and
+    // checkpoint/result-check cost) — shared by all variants of the type.
+    const double vulnerability = rng.uniform(0.8, 1.25);
+    const double ssw_cost = rng.uniform(0.7, 1.4);
+    const double footprint = rng.uniform(16.0, 160.0);  // code + buffers, KB
+
+    for (std::size_t v = 0; v < options.software_variants; ++v) {
+      // Later variants trade time for power (e.g. unrolled/vectorized code):
+      // ~15% faster per step, ~12% more power.
+      const double speed = std::pow(0.85, static_cast<double>(v));
+      const double power = std::pow(1.12, static_cast<double>(v));
+      reliability::BaseImpl sw;
+      sw.name = "type" + std::to_string(type) + "-sw" + std::to_string(v);
+      sw.target = platform::PeClass::kEmbeddedProcessor;
+      sw.base_exec_time_us = base_time * speed;
+      sw.base_power_w = base_power * power;
+      sw.vulnerability = vulnerability;
+      sw.ssw_overhead_factor = ssw_cost;
+      sw.footprint_kb = footprint;
+      impls[type].push_back(sw);
+    }
+
+    if (rng.bernoulli(options.fabric_availability)) {
+      const double speedup =
+          rng.uniform(options.fabric_speedup_min, options.fabric_speedup_max);
+      const double pf = rng.uniform(options.fabric_power_factor_min,
+                                    options.fabric_power_factor_max);
+      reliability::BaseImpl hw;
+      hw.name = "type" + std::to_string(type) + "-hls";
+      hw.target = platform::PeClass::kReconfigurableRegion;
+      hw.base_exec_time_us = base_time / speedup;
+      hw.base_power_w = base_power * pf;
+      // SRAM configuration memory raises exposure; accelerator state
+      // checkpoints need a readback.
+      hw.vulnerability = vulnerability * 1.2;
+      hw.ssw_overhead_factor = ssw_cost * 1.15;
+      hw.footprint_kb = footprint * 0.6;  // streaming accelerators buffer less
+      impls[type].push_back(hw);
+    }
+  }
+  return impls;
+}
+
+Application make_synthetic_application(std::size_t num_tasks,
+                                       std::size_t num_types,
+                                       std::uint64_t seed) {
+  util::Rng rng(seed);
+
+  TgffOptions graph_options;
+  graph_options.num_tasks = num_tasks;
+  graph_options.num_types = std::min(num_types, num_tasks);
+
+  Application syn;
+  syn.name = "synthetic-" + std::to_string(num_tasks) + "t";
+  syn.graph = generate_tgff_graph(graph_options, rng);
+
+  CharacterizerOptions impl_options;
+  syn.impls =
+      characterize_types(syn.graph.num_types(), impl_options, rng);
+
+  double total_median = 0.0;
+  for (const auto& task : syn.graph.tasks()) {
+    total_median += syn.impls[task.type].front().base_exec_time_us;
+  }
+  syn.period_us = std::max(1.0e3, 2.0 * total_median);
+
+  syn.validate();
+  return syn;
+}
+
+}  // namespace clrearly::app

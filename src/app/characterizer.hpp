@@ -1,0 +1,53 @@
+// Synthetic implementation characterization — the stand-in for the paper's
+// Gem5 (execution cycles) + McPAT (power) runs.
+//
+// For every task type it emits a set of BaseImpl records: software
+// implementations for the embedded cores and, with configurable probability,
+// accelerator implementations for the reconfigurable fabric (faster, hotter).
+// Deterministic for a given Rng state, so synthetic experiments are
+// reproducible end-to-end from one seed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "app/task_graph.hpp"
+#include "util/rng.hpp"
+
+namespace clrearly::app {
+
+struct CharacterizerOptions {
+  /// Log-normal execution-time distribution across task types (us).
+  double exec_time_median_us = 500.0;
+  double exec_time_sigma = 0.45;
+  /// Dynamic-power range for processor implementations (W).
+  double proc_power_min_w = 0.30;
+  double proc_power_max_w = 0.45;
+  /// Accelerator speedup factor range (fabric vs processor).
+  double fabric_speedup_min = 2.2;
+  double fabric_speedup_max = 3.6;
+  /// Accelerator power multiplier range (fabric vs processor).
+  double fabric_power_factor_min = 1.4;
+  double fabric_power_factor_max = 1.9;
+  /// Probability a task type has a fabric implementation at all.
+  double fabric_availability = 1.0;
+  /// Number of alternative software implementations per task type
+  /// (algorithmic variants with a time/power trade-off).
+  std::size_t software_variants = 1;
+
+  void validate() const;
+};
+
+/// Generate impls[type] tables for `num_types` task types.
+std::vector<std::vector<reliability::BaseImpl>> characterize_types(
+    std::size_t num_types, const CharacterizerOptions& options,
+    util::Rng& rng);
+
+/// Convenience: build a full synthetic application — TGFF-style graph plus
+/// characterized implementations plus a period sized to the workload
+/// (2x the summed median execution time, floored at 1 ms).
+Application make_synthetic_application(std::size_t num_tasks,
+                                       std::size_t num_types,
+                                       std::uint64_t seed);
+
+}  // namespace clrearly::app

@@ -1,0 +1,87 @@
+#include "app/mjpeg.hpp"
+
+namespace clrearly::app {
+
+namespace {
+
+reliability::BaseImpl impl_for(const char* name, platform::PeClass target,
+                               double time_us, double power_w,
+                               double vulnerability, double ssw_cost,
+                               double footprint_kb) {
+  reliability::BaseImpl impl;
+  impl.name = name;
+  impl.target = target;
+  impl.base_exec_time_us = time_us;
+  impl.base_power_w = power_w;
+  impl.vulnerability = vulnerability;
+  impl.ssw_overhead_factor = ssw_cost;
+  impl.footprint_kb = footprint_kb;
+  return impl;
+}
+
+}  // namespace
+
+Application make_mjpeg_application() {
+  using platform::PeClass;
+  Application mjpeg;
+  mjpeg.name = "mjpeg-encoder";
+
+  // Pixel-domain stages tolerate errors (one bad block); entropy-coding
+  // stages do not (bitstream desynchronization) — criticality encodes that.
+  const std::size_t t0 = mjpeg.graph.add_task(kColorConvert, "RGB2YCbCr", 0.5);
+  const std::size_t t1 = mjpeg.graph.add_task(kDct, "DCT-Y", 0.7);
+  const std::size_t t2 = mjpeg.graph.add_task(kDct, "DCT-Cb", 0.6);
+  const std::size_t t3 = mjpeg.graph.add_task(kDct, "DCT-Cr", 0.6);
+  const std::size_t t4 = mjpeg.graph.add_task(kQuantize, "Quant-Y", 0.9);
+  const std::size_t t5 = mjpeg.graph.add_task(kQuantize, "Quant-Cb", 0.8);
+  const std::size_t t6 = mjpeg.graph.add_task(kQuantize, "Quant-Cr", 0.8);
+  const std::size_t t7 = mjpeg.graph.add_task(kZigZagRle, "ZigZagRLE", 1.4);
+  const std::size_t t8 = mjpeg.graph.add_task(kHuffman, "Huffman", 2.0);
+
+  // Luma carries a full-resolution plane; chroma is 4:2:0 subsampled.
+  constexpr double kLumaKb = 64.0;
+  constexpr double kChromaKb = 16.0;
+  mjpeg.graph.add_edge(t0, t1, kLumaKb);
+  mjpeg.graph.add_edge(t0, t2, kChromaKb);
+  mjpeg.graph.add_edge(t0, t3, kChromaKb);
+  mjpeg.graph.add_edge(t1, t4, kLumaKb);
+  mjpeg.graph.add_edge(t2, t5, kChromaKb);
+  mjpeg.graph.add_edge(t3, t6, kChromaKb);
+  mjpeg.graph.add_edge(t4, t7, kLumaKb);
+  mjpeg.graph.add_edge(t5, t7, kChromaKb);
+  mjpeg.graph.add_edge(t6, t7, kChromaKb);
+  mjpeg.graph.add_edge(t7, t8, 48.0);  // RLE symbols
+
+  // Synthetic Gem5/McPAT stand-in. DCT has an efficient fabric datapath;
+  // Huffman's data-dependent control flow stays on the cores. The entropy
+  // stages carry higher vulnerability (every live bit matters) and large
+  // table state (costly checkpoints).
+  mjpeg.impls.resize(5);
+  mjpeg.impls[kColorConvert] = {
+      impl_for("csc-c", PeClass::kEmbeddedProcessor, 310.0, 0.34, 0.85, 0.75,
+               70.0),
+      impl_for("csc-hls", PeClass::kReconfigurableRegion, 110.0, 0.55, 1.00,
+               0.85, 45.0)};
+  mjpeg.impls[kDct] = {
+      impl_for("dct-c", PeClass::kEmbeddedProcessor, 620.0, 0.42, 0.95, 1.00,
+               110.0),
+      impl_for("dct-hls", PeClass::kReconfigurableRegion, 175.0, 0.66, 1.10,
+               1.10, 70.0)};
+  mjpeg.impls[kQuantize] = {
+      impl_for("quant-c", PeClass::kEmbeddedProcessor, 240.0, 0.31, 1.05,
+               0.80, 60.0)};
+  mjpeg.impls[kZigZagRle] = {
+      impl_for("rle-c", PeClass::kEmbeddedProcessor, 280.0, 0.33, 1.20, 0.90,
+               85.0)};
+  mjpeg.impls[kHuffman] = {
+      impl_for("huff-c", PeClass::kEmbeddedProcessor, 540.0, 0.39, 1.30, 1.25,
+               150.0)};
+
+  // 30 fps encode budget per stripe batch.
+  mjpeg.period_us = 3.3e4;
+
+  mjpeg.validate();
+  return mjpeg;
+}
+
+}  // namespace clrearly::app

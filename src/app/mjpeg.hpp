@@ -1,0 +1,35 @@
+// A second real-life application: an MJPEG encoder pipeline.
+//
+// The CLR literature the paper builds on (Lee et al. MM'08, Rehman et al.)
+// repeatedly targets multimedia encoders — they mix error-tolerant stages
+// (pixel-domain transforms, where a flipped bit is one bad block) with
+// error-critical ones (entropy coding, where a flipped bit corrupts the
+// bitstream from that point on). That asymmetry is exactly what per-task CLR
+// configuration exploits, making this a sharper testbed than Sobel for
+// criticality-weighted functional reliability.
+//
+//   T0 RGB2YCbCr -> {T1 DCT-Y, T2 DCT-Cb, T3 DCT-Cr}
+//                -> {T4 Quant-Y, T5 Quant-Cb, T6 Quant-Cr}
+//                -> T7 ZigZag/RLE -> T8 Huffman
+//
+// Nine tasks of five types; criticalities rise toward the bitstream end.
+#pragma once
+
+#include "app/task_graph.hpp"
+
+namespace clrearly::app {
+
+/// Task-type indices of the MJPEG application.
+enum MjpegType : std::size_t {
+  kColorConvert = 0,
+  kDct = 1,
+  kQuantize = 2,
+  kZigZagRle = 3,
+  kHuffman = 4,
+};
+
+/// Build the complete MJPEG encoder application (graph + implementation
+/// table + period).
+Application make_mjpeg_application();
+
+}  // namespace clrearly::app

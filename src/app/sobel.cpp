@@ -1,0 +1,86 @@
+#include "app/sobel.hpp"
+
+namespace clrearly::app {
+
+namespace {
+
+reliability::BaseImpl proc_impl(const char* name, double time_us,
+                                double power_w, double vulnerability,
+                                double ssw_cost, double footprint_kb) {
+  reliability::BaseImpl impl;
+  impl.name = name;
+  impl.target = platform::PeClass::kEmbeddedProcessor;
+  impl.base_exec_time_us = time_us;
+  impl.base_power_w = power_w;
+  impl.vulnerability = vulnerability;
+  impl.ssw_overhead_factor = ssw_cost;
+  impl.footprint_kb = footprint_kb;
+  return impl;
+}
+
+reliability::BaseImpl fabric_impl(const char* name, double time_us,
+                                  double power_w, double vulnerability,
+                                  double ssw_cost, double footprint_kb) {
+  reliability::BaseImpl impl;
+  impl.name = name;
+  impl.target = platform::PeClass::kReconfigurableRegion;
+  impl.base_exec_time_us = time_us;
+  impl.base_power_w = power_w;
+  // SRAM-based configuration memory raises the fabric's exposure, and
+  // checkpointing accelerator state costs a readback.
+  impl.vulnerability = vulnerability * 1.2;
+  impl.ssw_overhead_factor = ssw_cost * 1.15;
+  impl.footprint_kb = footprint_kb * 0.6;
+  return impl;
+}
+
+}  // namespace
+
+Application make_sobel_application() {
+  Application sobel;
+  sobel.name = "sobel-edge-detection";
+
+  const std::size_t t0 = sobel.graph.add_task(kGScale, "GScale", 0.8);
+  const std::size_t t1 = sobel.graph.add_task(kGSmth, "GSmth", 0.9);
+  const std::size_t t2 = sobel.graph.add_task(kSobGrad, "SobGradX", 1.0);
+  const std::size_t t3 = sobel.graph.add_task(kSobGrad, "SobGradY", 1.0);
+  const std::size_t t4 = sobel.graph.add_task(kCombThr, "CombThr", 1.3);
+
+  // Edge payloads: one QVGA grayscale frame (320x240 = 75 KB) flows through
+  // the pipeline; each gradient image feeds the combiner separately.
+  constexpr double kFrameKb = 75.0;
+  sobel.graph.add_edge(t0, t1, kFrameKb);
+  sobel.graph.add_edge(t1, t2, kFrameKb);
+  sobel.graph.add_edge(t1, t3, kFrameKb);
+  sobel.graph.add_edge(t2, t4, kFrameKb);
+  sobel.graph.add_edge(t3, t4, kFrameKb);
+
+  // Synthetic stand-in for the Gem5/McPAT characterization: execution time
+  // (us), dynamic power (W), program-level vulnerability and relative SSW
+  // overhead per task type at the nominal operating point. Fabric
+  // implementations trade a ~3x kernel speedup for higher power. The
+  // vulnerability/overhead spread reflects the kernels' state sizes:
+  // streaming scale/threshold stages checkpoint cheaply, the smoothing
+  // window buffer does not.
+  sobel.impls.resize(4);
+  sobel.impls[kGScale] = {
+      proc_impl("gscale-c", 420.0, 0.35, 0.90, 0.80, 90.0),
+      fabric_impl("gscale-hls", 155.0, 0.58, 0.90, 0.80, 90.0)};
+  sobel.impls[kGSmth] = {
+      proc_impl("gsmth-c", 760.0, 0.38, 1.15, 1.30, 160.0),
+      fabric_impl("gsmth-hls", 240.0, 0.62, 1.15, 1.30, 160.0)};
+  sobel.impls[kSobGrad] = {
+      proc_impl("sobgrad-c", 545.0, 0.41, 1.00, 1.00, 120.0),
+      fabric_impl("sobgrad-hls", 195.0, 0.60, 1.00, 1.00, 120.0)};
+  sobel.impls[kCombThr] = {
+      proc_impl("combthr-c", 350.0, 0.33, 0.82, 0.70, 80.0),
+      fabric_impl("combthr-hls", 140.0, 0.52, 0.82, 0.70, 80.0)};
+
+  // One frame per 10 ms (100 fps headroom for a QVGA pipeline).
+  sobel.period_us = 1.0e4;
+
+  sobel.validate();
+  return sobel;
+}
+
+}  // namespace clrearly::app

@@ -1,0 +1,29 @@
+// The paper's real-life application: Sobel edge detection (Fig. 2b) —
+// five tasks of four types:
+//
+//   T0 GScale -> T1 GSmth -> { T2 SobGradX, T3 SobGradY } -> T4 CombThr
+//
+// (5 edges; SobGradX and SobGradY share the SobGrad task type).
+// The implementation table stands in for the paper's Gem5/McPAT
+// characterization: one embedded-processor implementation and one
+// reconfigurable-fabric implementation per task type, with accelerator
+// speedups and power ratios typical of image-processing kernels.
+#pragma once
+
+#include "app/task_graph.hpp"
+
+namespace clrearly::app {
+
+/// Task-type indices of the Sobel application.
+enum SobelType : std::size_t {
+  kGScale = 0,
+  kGSmth = 1,
+  kSobGrad = 2,
+  kCombThr = 3,
+};
+
+/// Build the complete Sobel application (graph + implementation sets +
+/// period).
+Application make_sobel_application();
+
+}  // namespace clrearly::app

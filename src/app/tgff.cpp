@@ -1,0 +1,126 @@
+#include "app/tgff.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace clrearly::app {
+
+void TgffOptions::validate() const {
+  if (num_tasks == 0) {
+    throw std::invalid_argument("TgffOptions: num_tasks must be positive");
+  }
+  if (num_types == 0) {
+    throw std::invalid_argument("TgffOptions: num_types must be positive");
+  }
+  if (max_out_degree == 0 || max_in_degree == 0) {
+    throw std::invalid_argument("TgffOptions: degrees must be positive");
+  }
+  if (fan_out_mean < 1.0) {
+    throw std::invalid_argument("TgffOptions: fan_out_mean must be >= 1");
+  }
+  if (cross_edge_prob < 0.0 || cross_edge_prob > 1.0) {
+    throw std::invalid_argument("TgffOptions: cross_edge_prob outside [0,1]");
+  }
+  if (criticality_min <= 0.0 || criticality_max < criticality_min) {
+    throw std::invalid_argument("TgffOptions: bad criticality range");
+  }
+  if (edge_data_min_kb < 0.0 || edge_data_max_kb < edge_data_min_kb) {
+    throw std::invalid_argument("TgffOptions: bad edge data range");
+  }
+}
+
+TaskGraph generate_tgff_graph(const TgffOptions& options, util::Rng& rng) {
+  options.validate();
+  TaskGraph graph;
+
+  // Type assignment: a shuffled round-robin pool guarantees full type
+  // coverage once num_tasks >= num_types, mirroring TGFF's type reuse.
+  std::vector<std::size_t> type_pool;
+  type_pool.reserve(options.num_tasks);
+  for (std::size_t i = 0; i < options.num_tasks; ++i) {
+    type_pool.push_back(i % options.num_types);
+  }
+  rng.shuffle(type_pool);
+
+  auto new_task = [&](std::size_t id) {
+    const double crit =
+        rng.uniform(options.criticality_min, options.criticality_max);
+    return graph.add_task(type_pool[id], "syn_t" + std::to_string(id), crit);
+  };
+
+  std::vector<std::size_t> out_degree(options.num_tasks, 0);
+  std::vector<std::size_t> in_degree(options.num_tasks, 0);
+
+  // Layer-by-layer growth from a single root: each frontier task spawns
+  // 1..max_out_degree children (geometric-ish around fan_out_mean), children
+  // may also join onto earlier tasks as cross edges.
+  std::vector<std::size_t> frontier;
+  frontier.push_back(new_task(0));
+  std::size_t created = 1;
+  std::vector<std::size_t> all_tasks = frontier;
+
+  while (created < options.num_tasks) {
+    std::vector<std::size_t> next_frontier;
+    for (std::size_t parent : frontier) {
+      if (created >= options.num_tasks) break;
+      // Draw the child count; the mean of 1 + draws approximates
+      // fan_out_mean, clamped by the parent's remaining out-degree budget
+      // (cross edges may already have consumed part of it).
+      if (out_degree[parent] >= options.max_out_degree) continue;
+      const std::size_t budget = options.max_out_degree - out_degree[parent];
+      std::size_t want = 1;
+      while (want < budget &&
+             rng.bernoulli(1.0 - 1.0 / options.fan_out_mean)) {
+        ++want;
+      }
+      for (std::size_t c = 0; c < want && created < options.num_tasks; ++c) {
+        const std::size_t child = new_task(created);
+        ++created;
+        graph.add_edge(parent, child,
+                       rng.uniform(options.edge_data_min_kb,
+                                   options.edge_data_max_kb));
+        ++out_degree[parent];
+        ++in_degree[child];
+        // Optional extra predecessors from anywhere earlier (fan-in joins).
+        while (in_degree[child] < options.max_in_degree &&
+               rng.bernoulli(options.cross_edge_prob)) {
+          const std::size_t extra = all_tasks[rng.index(all_tasks.size())];
+          if (extra == child || out_degree[extra] >= options.max_out_degree) {
+            break;
+          }
+          const std::size_t before = graph.num_edges();
+          graph.add_edge(extra, child,
+                         rng.uniform(options.edge_data_min_kb,
+                                     options.edge_data_max_kb));
+          if (graph.num_edges() > before) {
+            ++out_degree[extra];
+            ++in_degree[child];
+          }
+        }
+        next_frontier.push_back(child);
+        all_tasks.push_back(child);
+      }
+    }
+    if (next_frontier.empty()) {
+      // Every frontier task hit its degree cap before the budget ran out;
+      // restart growth from a random existing task with spare out-degree.
+      std::vector<std::size_t> candidates;
+      for (std::size_t id : all_tasks) {
+        if (out_degree[id] < options.max_out_degree) candidates.push_back(id);
+      }
+      if (candidates.empty()) {
+        // Extremely unlikely (requires tiny degree caps); widen by allowing
+        // one more child on the last task.
+        candidates.push_back(all_tasks.back());
+      }
+      next_frontier.push_back(candidates[rng.index(candidates.size())]);
+    }
+    frontier = std::move(next_frontier);
+  }
+
+  graph.validate();
+  return graph;
+}
+
+}  // namespace clrearly::app

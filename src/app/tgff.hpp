@@ -1,0 +1,44 @@
+// TGFF-style synthetic task-graph generation.
+//
+// The paper generates its synthetic applications (10..100 tasks, 10 task
+// types) with the Task Graphs For Free tool. We reimplement the essential
+// generative model: a layered series/parallel DAG grown fan-out-first with
+// bounded in/out degree, yielding graphs whose depth/width statistics match
+// TGFF's defaults. Deterministic for a given seed.
+#pragma once
+
+#include <cstddef>
+
+#include "app/task_graph.hpp"
+#include "util/rng.hpp"
+
+namespace clrearly::app {
+
+struct TgffOptions {
+  std::size_t num_tasks = 20;
+  std::size_t num_types = 10;   ///< task-type pool (Fig. 9 uses 10)
+  std::size_t max_out_degree = 3;
+  std::size_t max_in_degree = 3;
+  /// Average branching when expanding a layer; larger -> wider graphs.
+  double fan_out_mean = 2.0;
+  /// Probability that a new task also picks extra predecessors from earlier
+  /// layers (cross edges), creating fan-in joins.
+  double cross_edge_prob = 0.3;
+  /// Criticality weights are drawn uniformly from this range.
+  double criticality_min = 0.5;
+  double criticality_max = 1.5;
+
+  /// Edge data volumes (KB) are drawn uniformly from this range
+  /// (TGFF's arc attributes); both 0 disables payload generation.
+  double edge_data_min_kb = 8.0;
+  double edge_data_max_kb = 128.0;
+
+  void validate() const;
+};
+
+/// Generate a connected DAG with exactly `options.num_tasks` tasks. Types are
+/// assigned so that every type in [0, num_types) appears when
+/// num_tasks >= num_types (TGFF reuses types across tasks the same way).
+TaskGraph generate_tgff_graph(const TgffOptions& options, util::Rng& rng);
+
+}  // namespace clrearly::app

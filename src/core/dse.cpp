@@ -1,0 +1,121 @@
+#include "core/dse.hpp"
+
+#include <utility>
+
+#include "core/heuristics.hpp"
+#include "util/log.hpp"
+
+namespace clrearly::core {
+
+DseMethodology::DseMethodology(app::Application application,
+                               platform::Architecture architecture,
+                               reliability::TaskAnalyzer analyzer)
+    : app_(std::move(application)),
+      arch_(std::move(architecture)),
+      analyzer_(std::move(analyzer)) {
+  app_.validate();
+}
+
+std::vector<TdseResult> DseMethodology::run_tdse(
+    const DseOptions& options) const {
+  const Tdse tdse(analyzer_);
+  return tdse.run_application(app_, arch_, options.tdse_objectives);
+}
+
+DseOutcome DseMethodology::collect(const ClrMappingProblem& problem,
+                                   moea::Nsga2Result<MappingGenome> result) {
+  DseOutcome outcome;
+  outcome.evaluations = result.evaluations;
+  // The final population typically holds many copies of each front point;
+  // report each distinct objective vector once, and only feasible ones —
+  // a design violating the QoS spec is not a solution of Eq. 5, even when
+  // the run found nothing better.
+  for (std::size_t i : result.front) {
+    if (result.population[i].eval.violation > 0.0) continue;
+    const moea::Objectives& obj = result.population[i].eval.objectives;
+    bool duplicate = false;
+    for (const moea::Objectives& seen : outcome.front) {
+      if (seen == obj) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    outcome.front.push_back(obj);
+    outcome.front_genomes.push_back(std::move(result.population[i].genome));
+  }
+  (void)problem;
+  return outcome;
+}
+
+DseOutcome DseMethodology::run_fcclr(const DseOptions& options) const {
+  const ClrMappingProblem problem(app_, arch_, analyzer_, options.objectives,
+                                  options.spec);
+  util::Rng rng(options.seed);
+  util::log_info() << "fcCLR: " << app_.graph.num_tasks() << " tasks, "
+                   << problem.layout().gene_count() << " genes";
+  std::vector<MappingGenome> seeds;
+  if (options.heuristic_seed) {
+    seeds.push_back(heft_clr_mapping(problem).genome);
+  }
+  auto result = moea::run_nsga2(
+      options.ga, problem.ops(options.ga.mutation_indpb), rng,
+      std::move(seeds));
+  return collect(problem, std::move(result));
+}
+
+DseOutcome DseMethodology::run_pfclr(const DseOptions& options) const {
+  return run_pfclr(options, run_tdse(options));
+}
+
+DseOutcome DseMethodology::run_pfclr(
+    const DseOptions& options, const std::vector<TdseResult>& tdse) const {
+  std::vector<std::vector<TaskDesignPoint>> points;
+  points.reserve(tdse.size());
+  for (const TdseResult& r : tdse) points.push_back(r.pareto);
+
+  const ClrMappingProblem problem(app_, arch_, analyzer_, options.objectives,
+                                  options.spec, std::move(points));
+  util::Rng rng(options.seed);
+  util::log_info() << "pfCLR: " << app_.graph.num_tasks() << " tasks, "
+                   << problem.layout().gene_count() << " genes";
+  auto result = moea::run_nsga2(options.ga, problem.ops(options.ga.mutation_indpb), rng);
+  return collect(problem, std::move(result));
+}
+
+DseOutcome DseMethodology::run_proposed(const DseOptions& options) const {
+  return run_proposed(options, run_tdse(options));
+}
+
+DseOutcome DseMethodology::run_proposed(
+    const DseOptions& options, const std::vector<TdseResult>& tdse) const {
+  // Stage 1: pruned search.
+  std::vector<std::vector<TaskDesignPoint>> points;
+  points.reserve(tdse.size());
+  for (const TdseResult& r : tdse) points.push_back(r.pareto);
+  const ClrMappingProblem pf(app_, arch_, analyzer_, options.objectives,
+                             options.spec, std::move(points));
+  util::Rng rng(options.seed);
+  auto pf_result = moea::run_nsga2(options.ga, pf.ops(options.ga.mutation_indpb), rng);
+
+  // Stage 2: full-configuration search seeded with stage 1's front.
+  const ClrMappingProblem fc(app_, arch_, analyzer_, options.objectives,
+                             options.spec);
+  std::vector<MappingGenome> seeds;
+  seeds.reserve(pf_result.front.size() + 1);
+  if (options.heuristic_seed) {
+    seeds.push_back(heft_clr_mapping(fc).genome);
+  }
+  for (std::size_t i : pf_result.front) {
+    seeds.push_back(pf.translate_to(fc, pf_result.population[i].genome));
+  }
+  util::log_info() << "proposed: seeding fcCLR with " << seeds.size()
+                   << " pfCLR front genomes";
+  auto fc_result = moea::run_nsga2(options.ga, fc.ops(options.ga.mutation_indpb), rng, std::move(seeds));
+
+  DseOutcome outcome = collect(fc, std::move(fc_result));
+  outcome.evaluations += pf_result.evaluations;
+  return outcome;
+}
+
+}  // namespace clrearly::core

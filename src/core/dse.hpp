@@ -1,0 +1,82 @@
+// The multi-stage system-level DSE methodology (Section V-B, Fig. 4).
+//
+//   fcCLR    — problem-agnostic GA over the full configuration space
+//              (the Das et al. DATE'14 extension the paper compares against).
+//   pfCLR    — GA over tDSE's task-level Pareto-filtered implementations
+//              only (design-space pruning).
+//   proposed — pfCLR first; its final Pareto front is translated into
+//              full-configuration genomes and seeds a second, guided fcCLR
+//              run ("seeded search" of Fig. 4b).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "core/tdse.hpp"
+
+namespace clrearly::core {
+
+struct DseOptions {
+  moea::Nsga2Params ga;               ///< population/generations/operator rates
+  SystemObjectives objectives;        ///< system-level metrics to minimize
+  sched::QosSpec spec;                ///< QoS constraints (Eq. 5)
+  TdseObjectives tdse_objectives = TdseObjectives::tdse_run(1);
+  std::uint64_t seed = 1;             ///< master RNG seed
+
+  /// Seed every fcCLR-encoded GA population with the HEFT + greedy-hardening
+  /// heuristic's design (core/heuristics). Deterministic, costs milliseconds,
+  /// and guarantees the population starts with a good (often feasible)
+  /// individual.
+  bool heuristic_seed = false;
+};
+
+/// Result of one DSE flow: the final Pareto front (objective vectors and the
+/// genomes behind them) and the number of fitness evaluations spent.
+struct DseOutcome {
+  std::vector<moea::Objectives> front;
+  std::vector<MappingGenome> front_genomes;
+  std::size_t evaluations = 0;
+};
+
+class DseMethodology {
+ public:
+  DseMethodology(app::Application application,
+                 platform::Architecture architecture,
+                 reliability::TaskAnalyzer analyzer);
+
+  const app::Application& application() const noexcept { return app_; }
+  const platform::Architecture& architecture() const noexcept { return arch_; }
+  const reliability::TaskAnalyzer& analyzer() const noexcept {
+    return analyzer_;
+  }
+
+  /// tDSE over every task type with the options' task-level objectives.
+  std::vector<TdseResult> run_tdse(const DseOptions& options) const;
+
+  /// Full-configuration GA (baseline).
+  DseOutcome run_fcclr(const DseOptions& options) const;
+
+  /// Pareto-filtered GA; runs tDSE internally.
+  DseOutcome run_pfclr(const DseOptions& options) const;
+
+  /// Pareto-filtered GA over precomputed tDSE results (lets callers share
+  /// one tDSE across flows, as the paper's Fig. 10 experiment does).
+  DseOutcome run_pfclr(const DseOptions& options,
+                       const std::vector<TdseResult>& tdse) const;
+
+  /// The proposed two-stage flow (pfCLR-seeded fcCLR).
+  DseOutcome run_proposed(const DseOptions& options) const;
+  DseOutcome run_proposed(const DseOptions& options,
+                          const std::vector<TdseResult>& tdse) const;
+
+ private:
+  static DseOutcome collect(const ClrMappingProblem& problem,
+                            moea::Nsga2Result<MappingGenome> result);
+
+  app::Application app_;
+  platform::Architecture arch_;
+  reliability::TaskAnalyzer analyzer_;
+};
+
+}  // namespace clrearly::core

@@ -1,0 +1,84 @@
+#include "core/experiment.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "util/csv.hpp"
+
+namespace clrearly::core {
+
+bool fast_mode() {
+  const char* value = std::getenv("CLREARLY_FAST");
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+moea::Nsga2Params bench_ga_params() {
+  moea::Nsga2Params params;
+  params.crossover_prob = 0.8;
+  params.mutation_prob = 1.0;    // the operator is per-task probabilistic
+  params.mutation_indpb = 0.05;  // paper Section VI-A
+  params.tournament_k = 5;
+  if (fast_mode()) {
+    params.population_size = 24;
+    params.generations = 12;
+  } else {
+    params.population_size = 100;
+    params.generations = 60;
+  }
+  return params;
+}
+
+DseOptions bench_options(std::uint64_t seed) {
+  DseOptions options;
+  options.ga = bench_ga_params();
+  options.objectives = SystemObjectives{};  // makespan + error probability
+  // The application-specific QoS requirement of Eq. 5: at the bench's
+  // high-fault operating point, a 99% functional-reliability floor is what
+  // forces every flow to actually buy protection — single-layer approaches
+  // either fail it outright or pay heavily, the paper's core premise.
+  options.spec.min_functional_rel = 0.99;
+  options.seed = seed;
+  return options;
+}
+
+std::vector<std::size_t> bench_task_counts() {
+  if (fast_mode()) return {10, 20, 30};
+  return {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+}
+
+reliability::TaskAnalyzer bench_system_analyzer() {
+  reliability::FaultEnvironment env;
+  env.dvfs_sensitivity = 1.2;
+  env.environment_factor = 20.0;
+  return reliability::TaskAnalyzer(reliability::ClrSpace::paper_default(), env,
+                                   reliability::ThermalModel{},
+                                   reliability::ArrheniusAging{});
+}
+
+std::string write_fronts_csv(
+    const std::string& filename,
+    const std::vector<std::pair<std::string, std::vector<moea::Objectives>>>&
+        series,
+    const std::vector<std::string>& objective_names) {
+  std::filesystem::create_directories("results");
+  const std::string path = "results/" + filename;
+  util::CsvWriter csv(path);
+
+  std::vector<std::string> header{"series"};
+  header.insert(header.end(), objective_names.begin(), objective_names.end());
+  csv.row(header);
+
+  for (const auto& [name, front] : series) {
+    for (const moea::Objectives& point : front) {
+      csv.field(name);
+      for (double v : point) csv.field(v);
+      csv.end_row();
+    }
+  }
+  csv.flush();
+  return path;
+}
+
+}  // namespace clrearly::core

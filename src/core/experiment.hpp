@@ -1,0 +1,49 @@
+// Shared scaffolding for the reproduction benches: default GA parameters
+// matching the paper's setup, environment-controlled scaling for smoke runs,
+// and CSV emission of Pareto-front series so every figure can be re-plotted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/dse.hpp"
+
+namespace clrearly::core {
+
+/// True when the CLREARLY_FAST environment variable is set (non-empty,
+/// not "0") — benches then shrink populations/generations and sweep fewer
+/// application sizes so CI smoke runs finish in seconds.
+bool fast_mode();
+
+/// GA parameters for the benches: the paper's operator probabilities
+/// (pc = 0.8, pm = 0.05, tournament 5) with population/generations sized for
+/// minutes-scale full runs, reduced under fast_mode().
+moea::Nsga2Params bench_ga_params();
+
+/// Complete DseOptions with bench_ga_params(), the paper's headline
+/// objectives (makespan + application error probability) and no QoS limits.
+DseOptions bench_options(std::uint64_t seed);
+
+/// Application sizes of TABLEs V-VII: 10..100 tasks (10..30 in fast mode).
+std::vector<std::size_t> bench_task_counts();
+
+/// Task analyzer for the system-level experiments (Fig. 7-10, TABLEs V-VII):
+/// the paper-default models under an elevated environmental fault rate —
+/// the high-fault operating conditions (e.g. high altitude) the paper's
+/// introduction motivates. The harsher flux makes cross-layer protection
+/// genuinely load-bearing and yields application error probabilities in the
+/// range the paper's figures report.
+reliability::TaskAnalyzer bench_system_analyzer();
+
+/// Write several named fronts into one CSV (columns: series, then one column
+/// per objective) under results/ next to the current working directory.
+/// Returns the path written.
+std::string write_fronts_csv(
+    const std::string& filename,
+    const std::vector<std::pair<std::string, std::vector<moea::Objectives>>>&
+        series,
+    const std::vector<std::string>& objective_names);
+
+}  // namespace clrearly::core

@@ -1,0 +1,102 @@
+#include "core/feasibility.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/baselines.hpp"
+#include "core/tdse.hpp"
+
+namespace clrearly::core {
+
+namespace {
+
+struct TaskBounds {
+  double min_error = 1.0;
+  double min_avg_time = std::numeric_limits<double>::infinity();
+};
+
+LayerFeasibility assess_layer(const std::string& layer,
+                              const app::Application& application,
+                              const platform::Architecture& architecture,
+                              const reliability::TaskAnalyzer& analyzer,
+                              const sched::QosSpec& spec,
+                              const reliability::ClrAxes& axes) {
+  const Tdse tdse(analyzer, axes);
+  const app::TaskGraph& graph = application.graph;
+
+  // Per-type bounds over the layer-restricted configuration space.
+  std::vector<TaskBounds> type_bounds(graph.num_types());
+  for (std::size_t type = 0; type < graph.num_types(); ++type) {
+    for (const TaskDesignPoint& point :
+         tdse.enumerate(application.impls[type], architecture)) {
+      type_bounds[type].min_error =
+          std::min(type_bounds[type].min_error, point.metrics.error_prob);
+      type_bounds[type].min_avg_time = std::min(
+          type_bounds[type].min_avg_time, point.metrics.avg_exec_time_us);
+    }
+  }
+
+  LayerFeasibility result;
+  result.layer = layer;
+
+  // Functional-reliability upper bound (mapping-independent).
+  const std::vector<double> zeta = graph.normalized_criticality();
+  double weighted_min_error = 0.0;
+  for (const app::Task& task : graph.tasks()) {
+    weighted_min_error += zeta[task.id] * type_bounds[task.type].min_error;
+  }
+  result.max_functional_rel = 1.0 - weighted_min_error;
+
+  // Makespan lower bound: critical path under fastest configurations...
+  std::vector<double> longest(graph.num_tasks(), 0.0);
+  double critical_path = 0.0;
+  double total_work = 0.0;
+  for (std::size_t t : graph.topological_order()) {
+    const double exec = type_bounds[graph.task(t).type].min_avg_time;
+    total_work += exec;
+    double ready = 0.0;
+    for (std::size_t p : graph.predecessors(t)) {
+      ready = std::max(ready, longest[p]);
+    }
+    longest[t] = ready + exec;
+    critical_path = std::max(critical_path, longest[t]);
+  }
+  // ...and the bin-packing bound (total fastest work over all PEs).
+  const double packing =
+      total_work / static_cast<double>(architecture.num_pes());
+  result.min_makespan_us = std::max(critical_path, packing);
+
+  result.reliability_possible =
+      !spec.min_functional_rel ||
+      result.max_functional_rel >= *spec.min_functional_rel - 1e-12;
+  result.deadline_possible =
+      !spec.max_makespan_us ||
+      result.min_makespan_us <= *spec.max_makespan_us + 1e-9;
+  return result;
+}
+
+}  // namespace
+
+FeasibilityReport assess_feasibility(
+    const app::Application& application,
+    const platform::Architecture& architecture,
+    const reliability::TaskAnalyzer& analyzer, const sched::QosSpec& spec) {
+  application.validate();
+
+  FeasibilityReport report;
+  report.layers.push_back(assess_layer("CLR", application, architecture,
+                                       analyzer, spec,
+                                       reliability::ClrAxes::all()));
+  for (const SingleLayer layer :
+       {SingleLayer::kDvfs, SingleLayer::kHwRel, SingleLayer::kSswRel,
+        SingleLayer::kAswRel}) {
+    report.layers.push_back(assess_layer(to_string(layer), application,
+                                         architecture, analyzer, spec,
+                                         axes_for(layer)));
+  }
+  report.possibly_feasible = report.clr().reliability_possible &&
+                             report.clr().deadline_possible;
+  return report;
+}
+
+}  // namespace clrearly::core

@@ -1,0 +1,59 @@
+// Early-stage feasibility assessment — the "is this platform / QoS spec
+// combination even worth exploring?" question the paper's introduction poses
+// ("an early-stage exploration is necessary for determining the feasibility
+// of different methods and hardware platforms").
+//
+// Before any GA runs, mapping-independent bounds answer it in milliseconds:
+//
+//   * Functional reliability upper bound — each task's best achievable error
+//     probability over its whole (impl, PE type, CLR config) space gives
+//     max Fapp = 1 - sum_t zeta_t * min_err_t. If the spec's floor exceeds
+//     it, the problem is infeasible, full stop.
+//   * Makespan lower bound — the larger of the critical path under each
+//     task's fastest configuration and total-fastest-work / P. If the spec's
+//     deadline is below it, infeasible.
+//
+// Both are *necessary* conditions: passing them does not guarantee a
+// feasible mapping exists (resource contention may still bite), but failing
+// them is a certificate of infeasibility. The per-layer variants reproduce
+// the Fig. 7 story analytically: which single layers cannot possibly meet
+// the spec.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "app/task_graph.hpp"
+#include "platform/architecture.hpp"
+#include "reliability/task_metrics.hpp"
+#include "sched/qos.hpp"
+
+namespace clrearly::core {
+
+struct LayerFeasibility {
+  std::string layer;                 ///< "CLR", "DVFS", "HWRel", ...
+  double max_functional_rel = 0.0;   ///< best achievable Fapp bound
+  double min_makespan_us = 0.0;      ///< makespan lower bound
+  bool reliability_possible = true;  ///< passes the spec's Fapp floor
+  bool deadline_possible = true;     ///< passes the spec's makespan limit
+};
+
+struct FeasibilityReport {
+  /// Full cross-layer space first, then one entry per single-layer
+  /// restriction (DVFS / HWRel / SSWRel / ASWRel).
+  std::vector<LayerFeasibility> layers;
+
+  /// The full-CLR entry's verdict: false = certified infeasible.
+  bool possibly_feasible = false;
+
+  const LayerFeasibility& clr() const { return layers.front(); }
+};
+
+/// Assess `application` on `architecture` against `spec`. Cost: one tDSE
+/// enumeration per task type per layer restriction (milliseconds; no GA).
+FeasibilityReport assess_feasibility(
+    const app::Application& application,
+    const platform::Architecture& architecture,
+    const reliability::TaskAnalyzer& analyzer, const sched::QosSpec& spec);
+
+}  // namespace clrearly::core

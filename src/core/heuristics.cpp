@@ -1,0 +1,224 @@
+#include "core/heuristics.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+namespace clrearly::core {
+
+namespace {
+
+/// Baseline (unprotected, nominal-DVFS) metrics of implementation `impl` of
+/// task type `type` on PE type `pe_type`.
+struct Candidate {
+  std::size_t impl = 0;
+  std::size_t pe_type = 0;
+  reliability::TaskMetrics metrics;
+};
+
+}  // namespace
+
+HeuristicResult heft_clr_mapping(const ClrMappingProblem& problem) {
+  if (problem.mode() != ClrMappingProblem::Mode::kFullConfig) {
+    throw std::invalid_argument(
+        "heft_clr_mapping: requires a full-configuration (fcCLR) problem");
+  }
+  const app::Application& application = problem.application();
+  const platform::Architecture& arch = problem.architecture();
+  const reliability::TaskAnalyzer& analyzer = problem.analyzer();
+  const GenomeLayout& layout = problem.layout();
+  const std::size_t n = application.graph.num_tasks();
+
+  // --- Baseline candidates per task type -------------------------------------
+  const std::size_t num_types = application.graph.num_types();
+  std::vector<std::vector<Candidate>> candidates(num_types);
+  for (std::size_t type = 0; type < num_types; ++type) {
+    for (std::size_t impl = 0; impl < application.impls[type].size(); ++impl) {
+      for (std::size_t pt = 0; pt < arch.num_types(); ++pt) {
+        const platform::PeType& pe = arch.type(pt);
+        if (!application.impls[type][impl].runs_on(pe)) continue;
+        if (arch.pes_of_type(pt).empty()) continue;
+        Candidate c;
+        c.impl = impl;
+        c.pe_type = pt;
+        c.metrics = analyzer.evaluate(application.impls[type][impl], pe,
+                                      reliability::ClrConfig{});
+        candidates[type].push_back(c);
+      }
+    }
+    if (candidates[type].empty()) {
+      throw std::invalid_argument(
+          "heft_clr_mapping: task type " + std::to_string(type) +
+          " has no hostable implementation");
+    }
+  }
+
+  // --- Upward ranks over mean baseline execution times ------------------------
+  std::vector<double> mean_exec(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    const std::size_t type = application.graph.task(t).type;
+    double acc = 0.0;
+    for (const Candidate& c : candidates[type]) {
+      acc += c.metrics.avg_exec_time_us;
+    }
+    mean_exec[t] = acc / static_cast<double>(candidates[type].size());
+  }
+  std::vector<double> rank(n, 0.0);
+  const auto topo = application.graph.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const std::size_t t = *it;
+    double downstream = 0.0;
+    for (std::size_t succ : application.graph.successors(t)) {
+      downstream = std::max(downstream, rank[succ]);
+    }
+    rank[t] = mean_exec[t] + downstream;
+  }
+  // Decreasing upward rank is a valid topological order (ranks are strictly
+  // larger than every successor's since execution times are positive).
+  std::vector<std::size_t> order(n);
+  for (std::size_t t = 0; t < n; ++t) order[t] = t;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (rank[a] != rank[b]) return rank[a] > rank[b];
+    return a < b;
+  });
+
+  // --- Earliest-finish-time assignment ----------------------------------------
+  std::vector<double> pe_free(arch.num_pes(), 0.0);
+  std::vector<double> ready(n, 0.0);
+  std::vector<std::size_t> chosen_impl(n, 0);
+  std::vector<std::size_t> chosen_pe(n, 0);
+  for (std::size_t t : order) {
+    const std::size_t type = application.graph.task(t).type;
+    double best_finish = std::numeric_limits<double>::infinity();
+    std::size_t best_impl = 0, best_pe = 0;
+    double best_exec = 0.0;
+    for (const Candidate& c : candidates[type]) {
+      for (std::size_t pe : arch.pes_of_type(c.pe_type)) {
+        const double start = std::max(pe_free[pe], ready[t]);
+        const double finish = start + c.metrics.avg_exec_time_us;
+        if (finish < best_finish) {
+          best_finish = finish;
+          best_impl = c.impl;
+          best_pe = pe;
+          best_exec = c.metrics.avg_exec_time_us;
+        }
+      }
+    }
+    (void)best_exec;
+    chosen_impl[t] = best_impl;
+    chosen_pe[t] = best_pe;
+    pe_free[best_pe] = best_finish;
+    for (std::size_t succ : application.graph.successors(t)) {
+      ready[succ] = std::max(ready[succ], best_finish);
+    }
+  }
+
+  // --- Genome assembly ----------------------------------------------------------
+  MappingGenome genome;
+  genome.order = order;
+  genome.genes.assign(layout.gene_count(), 0);
+  for (std::size_t t = 0; t < n; ++t) {
+    const std::size_t type = application.graph.task(t).type;
+    const platform::PeClass cls =
+        application.impls[type][chosen_impl[t]].target;
+    // Position of the chosen PE within the class-compatible list (the
+    // decode's selector semantics).
+    std::size_t selector = 0, seen = 0;
+    for (const platform::Pe& pe : arch.pes()) {
+      if (arch.type_of(pe.id).pe_class != cls) continue;
+      if (pe.id == chosen_pe[t]) {
+        selector = seen;
+        break;
+      }
+      ++seen;
+    }
+    layout.set_gene(genome, t, ClrMappingProblem::kFieldImpl, chosen_impl[t]);
+    layout.set_gene(genome, t, ClrMappingProblem::kFieldPeSel, selector);
+    // hw/ssw/asw/dvfs start at the unprotected baseline (0).
+  }
+
+  // --- Greedy hardening against the functional-reliability floor ------------------
+  HeuristicResult result;
+  result.genome = genome;
+  result.qos = problem.qos(result.genome);
+
+  // Per-(type, impl, pe_type) configuration menus, evaluated lazily.
+  std::map<std::tuple<std::size_t, std::size_t, std::size_t>,
+           std::vector<std::pair<reliability::ClrConfig,
+                                 reliability::TaskMetrics>>>
+      menus;
+  auto menu_for = [&](std::size_t type, std::size_t impl,
+                      std::size_t pe_type) -> const auto& {
+    const auto key = std::make_tuple(type, impl, pe_type);
+    auto it = menus.find(key);
+    if (it == menus.end()) {
+      const platform::PeType& pe = arch.type(pe_type);
+      std::vector<std::pair<reliability::ClrConfig, reliability::TaskMetrics>>
+          menu;
+      for (const reliability::ClrConfig& cfg :
+           analyzer.space().enumerate(pe.dvfs.size(), problem.axes())) {
+        menu.emplace_back(
+            cfg, analyzer.evaluate(application.impls[type][impl], pe, cfg));
+      }
+      it = menus.emplace(key, std::move(menu)).first;
+    }
+    return it->second;
+  };
+
+  const std::vector<double> zeta =
+      application.graph.normalized_criticality();
+  std::vector<bool> exhausted(n, false);
+  while (problem.spec().min_functional_rel &&
+         result.qos.functional_rel < *problem.spec().min_functional_rel) {
+    // Largest criticality-weighted error contributor that still has upgrades.
+    const auto decisions = problem.decode(result.genome);
+    std::size_t worst = n;
+    double worst_contribution = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (exhausted[t]) continue;
+      const double contribution = zeta[t] * decisions[t].metrics.error_prob;
+      if (worst == n || contribution > worst_contribution) {
+        worst = t;
+        worst_contribution = contribution;
+      }
+    }
+    if (worst == n) break;  // nothing upgradeable remains
+
+    const std::size_t type = application.graph.task(worst).type;
+    const std::size_t pe_type = arch.pe(decisions[worst].pe).type_index;
+    const double current_err = decisions[worst].metrics.error_prob;
+
+    // Cheapest configuration (by average time) that strictly improves error.
+    const auto& menu = menu_for(type, chosen_impl[worst], pe_type);
+    const std::pair<reliability::ClrConfig, reliability::TaskMetrics>* pick =
+        nullptr;
+    for (const auto& entry : menu) {
+      if (entry.second.error_prob >= current_err * 0.999) continue;
+      if (pick == nullptr ||
+          entry.second.avg_exec_time_us < pick->second.avg_exec_time_us) {
+        pick = &entry;
+      }
+    }
+    if (pick == nullptr) {
+      exhausted[worst] = true;
+      continue;
+    }
+    layout.set_gene(result.genome, worst, ClrMappingProblem::kFieldHw,
+                    pick->first.hw);
+    layout.set_gene(result.genome, worst, ClrMappingProblem::kFieldSsw,
+                    pick->first.ssw);
+    layout.set_gene(result.genome, worst, ClrMappingProblem::kFieldAsw,
+                    pick->first.asw);
+    layout.set_gene(result.genome, worst, ClrMappingProblem::kFieldDvfs,
+                    pick->first.dvfs);
+    ++result.upgrades;
+    result.qos = problem.qos(result.genome);
+  }
+
+  result.feasible = problem.spec().feasible(result.qos);
+  return result;
+}
+
+}  // namespace clrearly::core

@@ -1,0 +1,109 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace clrearly::core {
+
+ScenarioSet::ScenarioSet(std::vector<Scenario> scenarios)
+    : scenarios_(std::move(scenarios)) {
+  if (scenarios_.empty()) {
+    throw std::invalid_argument("ScenarioSet: need at least one scenario");
+  }
+  double total = 0.0;
+  for (const Scenario& s : scenarios_) {
+    if (s.environment_factor <= 0.0) {
+      throw std::invalid_argument(
+          "ScenarioSet: environment factor must be positive");
+    }
+    if (s.weight <= 0.0) {
+      throw std::invalid_argument("ScenarioSet: weights must be positive");
+    }
+    total += s.weight;
+  }
+  for (Scenario& s : scenarios_) s.weight /= total;
+}
+
+ScenarioSet ScenarioSet::ground_and_altitude() {
+  return ScenarioSet({{"ground", 1.0, 0.85}, {"altitude", 50.0, 0.15}});
+}
+
+const Scenario& ScenarioSet::scenario(std::size_t i) const {
+  if (i >= scenarios_.size()) {
+    throw std::out_of_range("ScenarioSet::scenario");
+  }
+  return scenarios_[i];
+}
+
+ScenarioProblem::ScenarioProblem(app::Application application,
+                                 platform::Architecture architecture,
+                                 reliability::TaskAnalyzer base_analyzer,
+                                 ScenarioSet scenarios,
+                                 SystemObjectives objectives,
+                                 sched::QosSpec spec,
+                                 ScenarioAggregation aggregation)
+    : scenarios_(std::move(scenarios)),
+      objectives_(objectives),
+      aggregation_(aggregation) {
+  problems_.reserve(scenarios_.size());
+  for (const Scenario& scenario : scenarios_.scenarios()) {
+    problems_.emplace_back(
+        application, architecture,
+        base_analyzer.with_environment_factor(scenario.environment_factor),
+        objectives, spec);
+  }
+}
+
+const ClrMappingProblem& ScenarioProblem::problem(std::size_t i) const {
+  if (i >= problems_.size()) {
+    throw std::out_of_range("ScenarioProblem::problem");
+  }
+  return problems_[i];
+}
+
+std::vector<sched::QosMetrics> ScenarioProblem::per_scenario_qos(
+    const MappingGenome& genome) const {
+  std::vector<sched::QosMetrics> out;
+  out.reserve(problems_.size());
+  for (const ClrMappingProblem& problem : problems_) {
+    out.push_back(problem.qos(genome));
+  }
+  return out;
+}
+
+moea::Evaluation ScenarioProblem::evaluate(const MappingGenome& genome) const {
+  moea::Evaluation aggregate;
+  for (std::size_t i = 0; i < problems_.size(); ++i) {
+    const moea::Evaluation eval = problems_[i].evaluate(genome);
+    if (i == 0) {
+      aggregate.objectives.assign(eval.objectives.size(), 0.0);
+      if (aggregation_ == ScenarioAggregation::kWorstCase) {
+        aggregate.objectives = eval.objectives;
+      }
+    }
+    if (aggregation_ == ScenarioAggregation::kWeighted) {
+      const double w = scenarios_.scenario(i).weight;
+      for (std::size_t k = 0; k < eval.objectives.size(); ++k) {
+        aggregate.objectives[k] += w * eval.objectives[k];
+      }
+    } else {
+      for (std::size_t k = 0; k < eval.objectives.size(); ++k) {
+        aggregate.objectives[k] =
+            std::max(aggregate.objectives[k], eval.objectives[k]);
+      }
+    }
+    // The QoS spec must hold in every operating condition.
+    aggregate.violation = std::max(aggregate.violation, eval.violation);
+  }
+  return aggregate;
+}
+
+moea::Nsga2Ops<MappingGenome> ScenarioProblem::ops(
+    double mutation_indpb) const {
+  moea::Nsga2Ops<MappingGenome> ops = problems_.front().ops(mutation_indpb);
+  ops.evaluate = [this](const MappingGenome& g) { return evaluate(g); };
+  return ops;
+}
+
+}  // namespace clrearly::core

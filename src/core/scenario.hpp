@@ -1,0 +1,93 @@
+// Multi-scenario (operating-condition-aware) DSE.
+//
+// The paper's introduction motivates CLR with *varying operating
+// conditions*: "while operating at higher altitudes with very high
+// fault-rates, using only hardware-based fault-mitigation can lead to
+// inadequate functional correctness". A design that is Pareto-optimal at
+// ground level may be infeasible at altitude. This extension evaluates every
+// design point under a set of fault-environment scenarios and aggregates —
+// either expectation over the mission profile (weighted) or worst-case —
+// so the DSE produces condition-robust mappings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace clrearly::core {
+
+/// One operating condition: a fault-environment multiplier with a mission
+/// weight (fraction of operating time spent in this condition).
+struct Scenario {
+  std::string name;
+  double environment_factor = 1.0;
+  double weight = 1.0;
+};
+
+class ScenarioSet {
+ public:
+  /// Weights must be positive; they are normalized to sum to 1.
+  explicit ScenarioSet(std::vector<Scenario> scenarios);
+
+  /// A two-condition avionics profile: 85% ground level (1x), 15% high
+  /// altitude (50x flux).
+  static ScenarioSet ground_and_altitude();
+
+  std::size_t size() const noexcept { return scenarios_.size(); }
+  const Scenario& scenario(std::size_t i) const;
+  const std::vector<Scenario>& scenarios() const noexcept {
+    return scenarios_;
+  }
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+enum class ScenarioAggregation {
+  kWeighted,   ///< mission-profile expectation of each objective
+  kWorstCase,  ///< componentwise worst objective across scenarios
+};
+
+/// Scenario-robust CLR mapping problem: one fcCLR sub-problem per scenario
+/// (same application, architecture and genome layout; analyzers differ only
+/// in environment factor), objectives aggregated per `aggregation`.
+/// Constraint violations always aggregate as the maximum — the QoS spec
+/// must hold in *every* condition.
+class ScenarioProblem {
+ public:
+  ScenarioProblem(app::Application application,
+                  platform::Architecture architecture,
+                  reliability::TaskAnalyzer base_analyzer,
+                  ScenarioSet scenarios, SystemObjectives objectives,
+                  sched::QosSpec spec,
+                  ScenarioAggregation aggregation =
+                      ScenarioAggregation::kWeighted);
+
+  const GenomeLayout& layout() const noexcept {
+    return problems_.front().layout();
+  }
+  const ScenarioSet& scenarios() const noexcept { return scenarios_; }
+  ScenarioAggregation aggregation() const noexcept { return aggregation_; }
+
+  /// The sub-problem for scenario `i` (e.g. for per-condition reporting).
+  const ClrMappingProblem& problem(std::size_t i) const;
+
+  /// QoS of `genome` under every scenario, in scenario order.
+  std::vector<sched::QosMetrics> per_scenario_qos(
+      const MappingGenome& genome) const;
+
+  /// Aggregated fitness.
+  moea::Evaluation evaluate(const MappingGenome& genome) const;
+
+  /// NSGA-II callbacks bound to this problem (must outlive the ops).
+  moea::Nsga2Ops<MappingGenome> ops(double mutation_indpb = 0.05) const;
+
+ private:
+  ScenarioSet scenarios_;
+  SystemObjectives objectives_;
+  ScenarioAggregation aggregation_;
+  std::vector<ClrMappingProblem> problems_;  // parallel to scenarios_
+};
+
+}  // namespace clrearly::core

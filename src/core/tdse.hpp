@@ -1,0 +1,120 @@
+// Task-level DSE (tDSE, Sections IV & VI-B).
+//
+// For a task type, tDSE enumerates every (implementation, PE type, CLR
+// configuration) triple, evaluates the TABLE II metrics through the Markov-
+// chain models, and Pareto-filters the points under a configurable objective
+// set — the ladder of TABLE IV (I: AvgExT; II: +ErrProb; III: +MTTF;
+// IV: +Energy; V: +Power; VI: +PeakTemp). Filtering is performed *per PE
+// type* so the system-level DSE retains mapping freedom: pruning must never
+// remove a PE type's only implementations (cf. TABLE IV row I showing one
+// surviving point per PE type).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "app/task_graph.hpp"
+#include "moea/nsga2.hpp"
+#include "platform/architecture.hpp"
+#include "reliability/clr_config.hpp"
+#include "reliability/task_metrics.hpp"
+
+namespace clrearly::core {
+
+/// Which task-level metrics participate in the Pareto filtering. Members
+/// mirror TABLE IV's ladder; all selected metrics are minimized (MTTF is
+/// negated internally).
+struct TdseObjectives {
+  bool avg_exec_time = true;
+  bool error_prob = false;
+  bool mttf = false;
+  bool energy = false;
+  bool power = false;
+  bool peak_temp = false;
+
+  /// Rows I..VI of TABLE IV (row = 1..6). Row 1 = time only, each subsequent
+  /// row adds the next metric.
+  static TdseObjectives table4_row(int row);
+
+  /// tDSE_1/2/3 of Fig. 9: increasingly many task-level objectives
+  /// (1: time+errprob; 2: +energy; 3: all six metrics).
+  static TdseObjectives tdse_run(int run);
+
+  /// Number of active objectives.
+  std::size_t count() const;
+
+  /// Minimization vector of the active metrics, in declaration order.
+  std::vector<double> extract(const reliability::TaskMetrics& m) const;
+};
+
+/// One task-level design point: a fully configured implementation on a PE
+/// type, with its evaluated metrics.
+struct TaskDesignPoint {
+  std::size_t impl_index = 0;  ///< into the task type's implementation list
+  std::size_t pe_type = 0;     ///< architecture PE *type* index
+  reliability::ClrConfig config;
+  reliability::TaskMetrics metrics;
+};
+
+/// tDSE output for one task type.
+struct TdseResult {
+  std::vector<TaskDesignPoint> enumerated;  ///< every evaluated point
+  std::vector<TaskDesignPoint> pareto;      ///< per-PE-type Pareto survivors
+};
+
+/// Task-level design-space explorer. The explorer owns a TaskAnalyzer (model
+/// parameters) and the axes restriction (single-layer baselines pin the
+/// non-explored layers to their no-op entries).
+class Tdse {
+ public:
+  explicit Tdse(reliability::TaskAnalyzer analyzer,
+                reliability::ClrAxes axes = reliability::ClrAxes::all());
+
+  const reliability::TaskAnalyzer& analyzer() const noexcept {
+    return analyzer_;
+  }
+
+  /// Enumerate and evaluate every (impl, PE type, config) triple for a task
+  /// type with implementation set `impls` on `architecture`. Implementations
+  /// are paired only with PE types of their target class. Brute force, as in
+  /// the paper's Section VI-B.
+  std::vector<TaskDesignPoint> enumerate(
+      const std::vector<reliability::BaseImpl>& impls,
+      const platform::Architecture& architecture) const;
+
+  /// Pareto-filter `points` per PE-type group under `objectives`; survivors
+  /// keep their enumeration order.
+  static std::vector<TaskDesignPoint> pareto_filter(
+      const std::vector<TaskDesignPoint>& points,
+      const TdseObjectives& objectives);
+
+  /// enumerate + pareto_filter.
+  TdseResult run(const std::vector<reliability::BaseImpl>& impls,
+                 const platform::Architecture& architecture,
+                 const TdseObjectives& objectives) const;
+
+  /// Stochastic task-level DSE: the paper notes the brute-force tDSE can be
+  /// replaced by "other stochastic search methods" when the per-task
+  /// configuration space outgrows enumeration. Runs NSGA-II over the
+  /// (implementation, PE type, CLR configuration) genome and returns the
+  /// per-PE-type-filtered front of every point it evaluated. `enumerated`
+  /// holds the distinct points visited (a sample of the space, not all of
+  /// it).
+  TdseResult run_stochastic(const std::vector<reliability::BaseImpl>& impls,
+                            const platform::Architecture& architecture,
+                            const TdseObjectives& objectives,
+                            const moea::Nsga2Params& ga,
+                            std::uint64_t seed) const;
+
+  /// tDSE for every task type of an application; result indexed by type.
+  std::vector<TdseResult> run_application(
+      const app::Application& application,
+      const platform::Architecture& architecture,
+      const TdseObjectives& objectives) const;
+
+ private:
+  reliability::TaskAnalyzer analyzer_;
+  reliability::ClrAxes axes_;
+};
+
+}  // namespace clrearly::core

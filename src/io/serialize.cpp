@@ -1,0 +1,203 @@
+#include "io/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace clrearly::io {
+
+namespace {
+
+using util::JsonArray;
+using util::JsonObject;
+using util::JsonValue;
+
+const char* class_tag(platform::PeClass c) {
+  return c == platform::PeClass::kEmbeddedProcessor ? "processor" : "fabric";
+}
+
+platform::PeClass class_from_tag(const std::string& tag) {
+  if (tag == "processor") return platform::PeClass::kEmbeddedProcessor;
+  if (tag == "fabric") return platform::PeClass::kReconfigurableRegion;
+  throw std::runtime_error("serialize: unknown PE class '" + tag + "'");
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("serialize: cannot open " + path);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("serialize: cannot write " + path);
+  out << content;
+  if (!out) throw std::runtime_error("serialize: write failed for " + path);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ architecture
+
+JsonValue to_json(const platform::Architecture& architecture) {
+  JsonArray types;
+  for (const platform::PeType& type : architecture.types()) {
+    JsonArray dvfs;
+    for (const platform::DvfsMode& mode : type.dvfs.modes()) {
+      dvfs.push_back(JsonObject{{"name", mode.name},
+                                {"voltage_v", mode.voltage_v},
+                                {"freq_mhz", mode.freq_mhz}});
+    }
+    types.push_back(JsonObject{
+        {"name", type.name},
+        {"class", class_tag(type.pe_class)},
+        {"masking_factor", type.masking_factor},
+        {"weibull_beta", type.weibull_beta},
+        {"weibull_eta_base_hours", type.weibull_eta_base_hours},
+        {"idle_power_w", type.idle_power_w},
+        {"memory_kb", type.memory_kb},
+        {"dvfs", std::move(dvfs)}});
+  }
+  JsonArray pes;
+  for (const platform::Pe& pe : architecture.pes()) {
+    pes.push_back(JsonValue(pe.type_index));
+  }
+  JsonObject root{{"types", std::move(types)}, {"pes", std::move(pes)}};
+  if (architecture.interconnect().models_communication()) {
+    root.emplace(
+        "interconnect",
+        JsonObject{
+            {"bandwidth_kb_per_us",
+             architecture.interconnect().bandwidth_kb_per_us},
+            {"latency_us", architecture.interconnect().latency_us}});
+  }
+  return JsonValue(std::move(root));
+}
+
+platform::Architecture architecture_from_json(const JsonValue& json) {
+  platform::Architecture arch;
+  for (const JsonValue& entry : json.at("types").as_array()) {
+    platform::PeType type;
+    type.name = entry.at("name").as_string();
+    type.pe_class = class_from_tag(entry.at("class").as_string());
+    type.masking_factor = entry.at("masking_factor").as_number();
+    type.weibull_beta = entry.at("weibull_beta").as_number();
+    type.weibull_eta_base_hours =
+        entry.at("weibull_eta_base_hours").as_number();
+    type.idle_power_w = entry.at("idle_power_w").as_number();
+    type.memory_kb = entry.number_or("memory_kb", 0.0);
+    std::vector<platform::DvfsMode> modes;
+    for (const JsonValue& m : entry.at("dvfs").as_array()) {
+      modes.push_back(platform::DvfsMode{m.at("name").as_string(),
+                                         m.at("voltage_v").as_number(),
+                                         m.at("freq_mhz").as_number()});
+    }
+    type.dvfs = platform::DvfsTable(std::move(modes));
+    arch.add_type(std::move(type));
+  }
+  for (const JsonValue& pe : json.at("pes").as_array()) {
+    arch.add_pe(static_cast<std::size_t>(pe.as_number()));
+  }
+  if (const JsonValue* icn = json.find("interconnect")) {
+    platform::Interconnect interconnect;
+    interconnect.bandwidth_kb_per_us =
+        icn->at("bandwidth_kb_per_us").as_number();
+    interconnect.latency_us = icn->at("latency_us").as_number();
+    arch.set_interconnect(interconnect);
+  }
+  return arch;
+}
+
+// ------------------------------------------------------------ application
+
+JsonValue to_json(const app::Application& application) {
+  JsonArray tasks;
+  for (const app::Task& task : application.graph.tasks()) {
+    tasks.push_back(JsonObject{{"name", task.name},
+                               {"type", task.type},
+                               {"criticality", task.criticality}});
+  }
+  JsonArray edges;
+  for (const app::Edge& edge : application.graph.edges()) {
+    edges.push_back(JsonObject{
+        {"src", edge.src}, {"dst", edge.dst}, {"data_kb", edge.data_kb}});
+  }
+  JsonArray impls;
+  for (const auto& type_impls : application.impls) {
+    JsonArray list;
+    for (const reliability::BaseImpl& impl : type_impls) {
+      list.push_back(
+          JsonObject{{"name", impl.name},
+                     {"target", class_tag(impl.target)},
+                     {"base_exec_time_us", impl.base_exec_time_us},
+                     {"base_power_w", impl.base_power_w},
+                     {"vulnerability", impl.vulnerability},
+                     {"ssw_overhead_factor", impl.ssw_overhead_factor},
+                     {"footprint_kb", impl.footprint_kb}});
+    }
+    impls.push_back(std::move(list));
+  }
+  return JsonValue(JsonObject{{"name", application.name},
+                              {"period_us", application.period_us},
+                              {"tasks", std::move(tasks)},
+                              {"edges", std::move(edges)},
+                              {"impls", std::move(impls)}});
+}
+
+app::Application application_from_json(const JsonValue& json) {
+  app::Application application;
+  application.name = json.at("name").as_string();
+  application.period_us = json.at("period_us").as_number();
+  for (const JsonValue& t : json.at("tasks").as_array()) {
+    application.graph.add_task(
+        static_cast<std::size_t>(t.at("type").as_number()),
+        t.at("name").as_string(), t.number_or("criticality", 1.0));
+  }
+  for (const JsonValue& e : json.at("edges").as_array()) {
+    application.graph.add_edge(
+        static_cast<std::size_t>(e.at("src").as_number()),
+        static_cast<std::size_t>(e.at("dst").as_number()),
+        e.number_or("data_kb", 0.0));
+  }
+  for (const JsonValue& type_impls : json.at("impls").as_array()) {
+    std::vector<reliability::BaseImpl> list;
+    for (const JsonValue& i : type_impls.as_array()) {
+      reliability::BaseImpl impl;
+      impl.name = i.at("name").as_string();
+      impl.target = class_from_tag(i.at("target").as_string());
+      impl.base_exec_time_us = i.at("base_exec_time_us").as_number();
+      impl.base_power_w = i.at("base_power_w").as_number();
+      impl.vulnerability = i.number_or("vulnerability", 1.0);
+      impl.ssw_overhead_factor = i.number_or("ssw_overhead_factor", 1.0);
+      impl.footprint_kb = i.number_or("footprint_kb", 0.0);
+      list.push_back(std::move(impl));
+    }
+    application.impls.push_back(std::move(list));
+  }
+  application.validate();
+  return application;
+}
+
+// ------------------------------------------------------------ file helpers
+
+void save_architecture(const std::string& path,
+                       const platform::Architecture& architecture) {
+  write_file(path, util::json_serialize(to_json(architecture)));
+}
+
+platform::Architecture load_architecture(const std::string& path) {
+  return architecture_from_json(util::json_parse(read_file(path)));
+}
+
+void save_application(const std::string& path,
+                      const app::Application& application) {
+  write_file(path, util::json_serialize(to_json(application)));
+}
+
+app::Application load_application(const std::string& path) {
+  return application_from_json(util::json_parse(read_file(path)));
+}
+
+}  // namespace clrearly::io

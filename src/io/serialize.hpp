@@ -1,0 +1,45 @@
+// JSON model exchange: save and load Application and Architecture
+// descriptions. Lets users author system models in files (or dump generated
+// synthetic ones) instead of constructing them in code — the interface a
+// released research tool needs.
+//
+// Format sketch (all numbers plain JSON):
+//   architecture: { "types": [ {name, class, masking_factor, weibull_beta,
+//                    weibull_eta_base_hours, idle_power_w,
+//                    dvfs: [{name, voltage_v, freq_mhz}, ...]}, ... ],
+//                   "pes": [type_index, ...],
+//                   "interconnect": {bandwidth_kb_per_us, latency_us} }
+//   application:  { name, period_us,
+//                   "tasks": [{name, type, criticality}, ...],
+//                   "edges": [{src, dst, data_kb}, ...],
+//                   "impls": [ [ {name, target, base_exec_time_us,
+//                                 base_power_w, vulnerability,
+//                                 ssw_overhead_factor}, ... ], ... ] }
+#pragma once
+
+#include <string>
+
+#include "app/task_graph.hpp"
+#include "platform/architecture.hpp"
+#include "util/json.hpp"
+
+namespace clrearly::io {
+
+/// Architecture <-> JSON.
+util::JsonValue to_json(const platform::Architecture& architecture);
+platform::Architecture architecture_from_json(const util::JsonValue& json);
+
+/// Application <-> JSON.
+util::JsonValue to_json(const app::Application& application);
+app::Application application_from_json(const util::JsonValue& json);
+
+/// File convenience wrappers (throw std::runtime_error on I/O failure and
+/// std::runtime_error / std::invalid_argument on malformed content).
+void save_architecture(const std::string& path,
+                       const platform::Architecture& architecture);
+platform::Architecture load_architecture(const std::string& path);
+void save_application(const std::string& path,
+                      const app::Application& application);
+app::Application load_application(const std::string& path);
+
+}  // namespace clrearly::io

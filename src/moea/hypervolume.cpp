@@ -1,0 +1,163 @@
+#include "moea/hypervolume.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace clrearly::moea {
+
+namespace {
+
+// The WFG recursion operates in "gain space": g = ref - x (componentwise),
+// keeping only points with all-positive gains. A point's inclusive
+// hypervolume is the box [0, g]; limiting a set to p clips each gain to p's.
+
+double inclusive(const Objectives& g) {
+  double v = 1.0;
+  for (double gi : g) v *= gi;
+  return v;
+}
+
+std::vector<Objectives> limit_set(const std::vector<Objectives>& set,
+                                  const Objectives& p) {
+  std::vector<Objectives> limited;
+  limited.reserve(set.size());
+  for (const Objectives& q : set) {
+    Objectives clipped(q.size());
+    for (std::size_t j = 0; j < q.size(); ++j) {
+      clipped[j] = std::min(q[j], p[j]);
+    }
+    limited.push_back(std::move(clipped));
+  }
+  // Remove dominated members (in gain space, a dominates b when a >= b
+  // everywhere with one strict) — mandatory for the recursion's efficiency.
+  std::vector<Objectives> front;
+  for (std::size_t i = 0; i < limited.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < limited.size() && !dominated; ++j) {
+      if (i == j) continue;
+      bool weakly = true;
+      bool strict = false;
+      for (std::size_t k = 0; k < limited[i].size(); ++k) {
+        if (limited[j][k] < limited[i][k]) { weakly = false; break; }
+        if (limited[j][k] > limited[i][k]) strict = true;
+      }
+      // Ties: keep the first occurrence only.
+      if (weakly && (strict || j < i)) dominated = true;
+    }
+    if (!dominated) front.push_back(limited[i]);
+  }
+  return front;
+}
+
+/// 2-D gain-space hypervolume by plane sweep.
+double hv2d(std::vector<Objectives> gains) {
+  std::sort(gains.begin(), gains.end(),
+            [](const Objectives& a, const Objectives& b) {
+              return a[0] > b[0];  // descending gain in dim 0
+            });
+  double volume = 0.0;
+  double covered_g1 = 0.0;
+  for (const Objectives& g : gains) {
+    if (g[1] > covered_g1) {
+      volume += g[0] * (g[1] - covered_g1);
+      covered_g1 = g[1];
+    }
+  }
+  return volume;
+}
+
+double wfg(std::vector<Objectives> gains);
+
+double exclusive(const Objectives& p, const std::vector<Objectives>& rest) {
+  if (rest.empty()) return inclusive(p);
+  return inclusive(p) - wfg(limit_set(rest, p));
+}
+
+double wfg(std::vector<Objectives> gains) {
+  if (gains.empty()) return 0.0;
+  if (gains[0].size() == 1) {
+    double best = 0.0;
+    for (const Objectives& g : gains) best = std::max(best, g[0]);
+    return best;
+  }
+  if (gains[0].size() == 2) return hv2d(std::move(gains));
+  // Sort worst-first in the last dimension so limit sets shrink quickly.
+  std::sort(gains.begin(), gains.end(),
+            [](const Objectives& a, const Objectives& b) {
+              return a.back() < b.back();
+            });
+  double volume = 0.0;
+  for (std::size_t i = 0; i < gains.size(); ++i) {
+    const std::vector<Objectives> rest(gains.begin() + i + 1, gains.end());
+    volume += exclusive(gains[i], rest);
+  }
+  return volume;
+}
+
+}  // namespace
+
+double hypervolume(const std::vector<Objectives>& points,
+                   const Objectives& reference) {
+  if (reference.empty()) {
+    throw std::invalid_argument("hypervolume: empty reference point");
+  }
+  std::vector<Objectives> gains;
+  gains.reserve(points.size());
+  for (const Objectives& x : points) {
+    if (x.size() != reference.size()) {
+      throw std::invalid_argument("hypervolume: dimension mismatch");
+    }
+    Objectives g(x.size());
+    bool inside = true;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      g[j] = reference[j] - x[j];
+      if (g[j] <= 0.0) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) gains.push_back(std::move(g));
+  }
+  if (gains.empty()) return 0.0;
+  return wfg(std::move(gains));
+}
+
+Objectives common_reference(
+    const std::vector<std::vector<Objectives>>& fronts, double margin) {
+  Objectives ref;
+  for (const auto& front : fronts) {
+    for (const Objectives& x : front) {
+      if (ref.empty()) {
+        ref = x;
+      } else {
+        if (x.size() != ref.size()) {
+          throw std::invalid_argument("common_reference: dimension mismatch");
+        }
+        for (std::size_t j = 0; j < x.size(); ++j) {
+          ref[j] = std::max(ref[j], x[j]);
+        }
+      }
+    }
+  }
+  if (ref.empty()) {
+    throw std::invalid_argument("common_reference: no points given");
+  }
+  for (double& r : ref) {
+    // Inflate away from the best direction; handle zero/negative coordinates.
+    r += margin * std::max(std::abs(r), 1e-12);
+  }
+  return ref;
+}
+
+double hypervolume_gain_percent(const std::vector<Objectives>& front,
+                                const std::vector<Objectives>& baseline,
+                                const Objectives& reference) {
+  const double hv_front = hypervolume(front, reference);
+  const double hv_base = hypervolume(baseline, reference);
+  return util::percent_change(hv_base, hv_front);
+}
+
+}  // namespace clrearly::moea

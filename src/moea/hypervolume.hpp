@@ -1,0 +1,36 @@
+// Hypervolume indicator for minimization fronts.
+//
+// The paper reports all system-level comparisons (TABLEs V-VII) as percentage
+// increases of Pareto-front hypervolume, so this is the central quality
+// metric of the reproduction. Exact O(n log n) sweep for two objectives;
+// the WFG exclusive-hypervolume recursion for three or more.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "moea/pareto.hpp"
+
+namespace clrearly::moea {
+
+/// Hypervolume of the region dominated by `points` and bounded by
+/// `reference` (minimization: every counted point must weakly dominate the
+/// reference; points at or beyond the reference contribute nothing).
+/// Dominated and duplicate points are handled internally. Throws
+/// std::invalid_argument on dimension mismatches or empty input dimensions.
+double hypervolume(const std::vector<Objectives>& points,
+                   const Objectives& reference);
+
+/// A reference point for comparing several fronts: the component-wise
+/// maximum over all fronts, inflated by `margin` (relative). Guarantees every
+/// point of every front contributes positive volume when margin > 0.
+Objectives common_reference(
+    const std::vector<std::vector<Objectives>>& fronts, double margin = 0.05);
+
+/// Percentage increase in hypervolume of `front` over `baseline` under a
+/// shared reference point: 100 * (hv(front) - hv(base)) / hv(base).
+double hypervolume_gain_percent(const std::vector<Objectives>& front,
+                                const std::vector<Objectives>& baseline,
+                                const Objectives& reference);
+
+}  // namespace clrearly::moea

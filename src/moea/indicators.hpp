@@ -1,0 +1,48 @@
+// Multi-objective quality indicators beyond hypervolume — the standard
+// toolbox for comparing DSE fronts (all for minimization):
+//
+//   * generational distance (GD)           — how close A is to a reference R
+//   * inverted generational distance (IGD) — how well A covers R
+//   * additive epsilon indicator           — smallest shift making A cover R
+//   * two-set coverage C(A, B)             — fraction of B dominated by A
+//   * spread (Deb's Delta, 2-D)            — distribution uniformity
+#pragma once
+
+#include "moea/pareto.hpp"
+
+namespace clrearly::moea {
+
+/// Euclidean distance between objective vectors (same length required).
+double objective_distance(const Objectives& a, const Objectives& b);
+
+/// Generational distance: mean distance from each point of `front` to its
+/// nearest neighbour in `reference`. 0 when the front lies on the reference.
+/// Throws on empty inputs.
+double generational_distance(const std::vector<Objectives>& front,
+                             const std::vector<Objectives>& reference);
+
+/// Inverted generational distance: mean distance from each reference point
+/// to its nearest neighbour in `front` — penalizes gaps in coverage.
+double inverted_generational_distance(
+    const std::vector<Objectives>& front,
+    const std::vector<Objectives>& reference);
+
+/// Additive epsilon indicator: the smallest eps such that every reference
+/// point is weakly dominated by some front point shifted by eps
+/// (front[i] - eps <= ref[j] componentwise). <= 0 means the front already
+/// covers the reference.
+double epsilon_indicator(const std::vector<Objectives>& front,
+                         const std::vector<Objectives>& reference);
+
+/// Two-set coverage C(a, b): fraction of points in `b` weakly dominated by
+/// at least one point of `a`. C(a, b) = 1 means a completely covers b.
+/// Asymmetric: compare both directions. Throws when `b` is empty.
+double coverage(const std::vector<Objectives>& a,
+                const std::vector<Objectives>& b);
+
+/// Deb's spread metric Delta for bi-objective fronts: 0 for a perfectly
+/// uniform distribution, larger for clustered fronts. Requires >= 2 points
+/// and exactly 2 objectives.
+double spread_delta(std::vector<Objectives> front);
+
+}  // namespace clrearly::moea

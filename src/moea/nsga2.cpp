@@ -1,0 +1,53 @@
+#include "moea/nsga2.hpp"
+
+#include <algorithm>
+
+namespace clrearly::moea {
+
+RankCrowding rank_and_crowding(const std::vector<Objectives>& points,
+                               const std::vector<double>& violations) {
+  RankCrowding rc;
+  rc.rank.assign(points.size(), 0);
+  rc.crowding.assign(points.size(), 0.0);
+  const auto fronts = non_dominated_sort(points, violations);
+  for (std::size_t f = 0; f < fronts.size(); ++f) {
+    const std::vector<double> crowd = crowding_distance(points, fronts[f]);
+    for (std::size_t i = 0; i < fronts[f].size(); ++i) {
+      rc.rank[fronts[f][i]] = f;
+      rc.crowding[fronts[f][i]] = crowd[i];
+    }
+  }
+  return rc;
+}
+
+std::vector<std::size_t> survivor_selection(
+    const std::vector<Objectives>& points,
+    const std::vector<double>& violations, std::size_t target) {
+  if (target > points.size()) {
+    throw std::invalid_argument("survivor_selection: target exceeds pool");
+  }
+  std::vector<std::size_t> keep;
+  keep.reserve(target);
+  const auto fronts = non_dominated_sort(points, violations);
+  for (const auto& front : fronts) {
+    if (keep.size() + front.size() <= target) {
+      keep.insert(keep.end(), front.begin(), front.end());
+      if (keep.size() == target) break;
+      continue;
+    }
+    // Partial front: keep the most crowded-out (largest distance) members.
+    const std::vector<double> crowd = crowding_distance(points, front);
+    std::vector<std::size_t> order(front.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return crowd[a] > crowd[b];
+    });
+    for (std::size_t i = 0; keep.size() < target; ++i) {
+      keep.push_back(front[order[i]]);
+    }
+    break;
+  }
+  return keep;
+}
+
+}  // namespace clrearly::moea

@@ -1,0 +1,266 @@
+// NSGA-II engine, genome-agnostic.
+//
+// The paper implements its GA-based DSE with DEAP/PYGMO (tournament size 5,
+// crossover probability 0.8, mutation probability 0.05). This is the same
+// algorithm family: fast non-dominated sorting, crowding-distance diversity,
+// elitist (mu + lambda) survivor selection and Deb's constrained dominance
+// for the QoS limits of Eq. 5. Problem specifics (the Fig. 5 encoding) enter
+// exclusively through the Nsga2Ops callbacks, and directed seeding — the
+// backbone of the proposed pfCLR -> fcCLR flow — through the `seeds`
+// argument of run_nsga2.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "moea/operators.hpp"
+#include "moea/pareto.hpp"
+#include "util/rng.hpp"
+
+namespace clrearly::moea {
+
+/// Result of evaluating one genome: objective vector (minimized) and total
+/// constraint violation (0 = feasible).
+struct Evaluation {
+  Objectives objectives;
+  double violation = 0.0;
+};
+
+struct Nsga2Params {
+  std::size_t population_size = 100;
+  std::size_t generations = 60;
+  double crossover_prob = 0.8;  ///< paper Section VI-A
+  /// Probability that an offspring undergoes the mutation operator at all.
+  /// Defaults to 1: the CLR encoding's operator is itself probabilistic
+  /// per task (see mutation_indpb), matching DEAP's mutpb/indpb split.
+  double mutation_prob = 1.0;
+  /// Per-task mutation probability handed to the problem's mutation
+  /// operator (the paper's 0.05, DEAP indpb convention).
+  double mutation_indpb = 0.05;
+  std::size_t tournament_k = 5;  ///< paper Section V-C
+
+  /// Capacity of the external non-dominated archive (0 disables it). When
+  /// enabled, every feasible non-dominated point encountered across the
+  /// whole run is retained (crowding-truncated to this capacity), so the
+  /// reported front cannot lose solutions the search once had.
+  std::size_t archive_size = 0;
+
+  void validate() const {
+    if (population_size < 2) {
+      throw std::invalid_argument("Nsga2Params: population too small");
+    }
+    if (tournament_k == 0) {
+      throw std::invalid_argument("Nsga2Params: tournament size must be >= 1");
+    }
+    if (crossover_prob < 0.0 || crossover_prob > 1.0 || mutation_prob < 0.0 ||
+        mutation_prob > 1.0 || mutation_indpb < 0.0 || mutation_indpb > 1.0) {
+      throw std::invalid_argument("Nsga2Params: probabilities outside [0,1]");
+    }
+  }
+};
+
+/// Problem plug-in: genome construction, variation and evaluation.
+template <typename Genome>
+struct Nsga2Ops {
+  std::function<Genome(util::Rng&)> create;
+  std::function<std::pair<Genome, Genome>(const Genome&, const Genome&,
+                                          util::Rng&)>
+      crossover;
+  std::function<void(Genome&, util::Rng&)> mutate;
+  std::function<Evaluation(const Genome&)> evaluate;
+};
+
+template <typename Genome>
+struct EvaluatedGenome {
+  Genome genome;
+  Evaluation eval;
+};
+
+template <typename Genome>
+struct Nsga2Result {
+  std::vector<EvaluatedGenome<Genome>> population;  ///< final population
+  std::vector<std::size_t> front;  ///< indices of the first (feasible) front
+  std::size_t evaluations = 0;     ///< total fitness evaluations performed
+
+  /// External archive (empty unless Nsga2Params::archive_size > 0): the
+  /// non-dominated feasible points accumulated over the entire run.
+  std::vector<EvaluatedGenome<Genome>> archive;
+
+  /// Objective vectors of the final front.
+  std::vector<Objectives> front_objectives() const {
+    std::vector<Objectives> out;
+    out.reserve(front.size());
+    for (std::size_t i : front) out.push_back(population[i].eval.objectives);
+    return out;
+  }
+
+  /// Objective vectors of the archive.
+  std::vector<Objectives> archive_objectives() const {
+    std::vector<Objectives> out;
+    out.reserve(archive.size());
+    for (const auto& member : archive) out.push_back(member.eval.objectives);
+    return out;
+  }
+};
+
+/// Parent-selection ranking: NSGA-II rank (front index) and crowding
+/// distance for every population member.
+struct RankCrowding {
+  std::vector<std::size_t> rank;
+  std::vector<double> crowding;
+};
+RankCrowding rank_and_crowding(const std::vector<Objectives>& points,
+                               const std::vector<double>& violations);
+
+/// Elitist survivor selection: choose `target` of the given points by front
+/// rank, breaking the last front by descending crowding distance.
+std::vector<std::size_t> survivor_selection(
+    const std::vector<Objectives>& points,
+    const std::vector<double>& violations, std::size_t target);
+
+namespace detail {
+
+/// Merge feasible `candidates` into the non-dominated `archive`, then
+/// crowding-truncate to `capacity`. Duplicate objective vectors are kept
+/// once.
+template <typename Genome>
+void update_archive(std::vector<EvaluatedGenome<Genome>>& archive,
+                    const std::vector<EvaluatedGenome<Genome>>& candidates,
+                    std::size_t capacity) {
+  for (const auto& candidate : candidates) {
+    if (candidate.eval.violation > 0.0) continue;
+    bool rejected = false;
+    for (const auto& member : archive) {
+      if (member.eval.objectives == candidate.eval.objectives ||
+          dominates(member.eval.objectives, candidate.eval.objectives)) {
+        rejected = true;
+        break;
+      }
+    }
+    if (rejected) continue;
+    std::erase_if(archive, [&](const EvaluatedGenome<Genome>& member) {
+      return dominates(candidate.eval.objectives, member.eval.objectives);
+    });
+    archive.push_back(candidate);
+  }
+  if (archive.size() <= capacity) return;
+
+  std::vector<Objectives> points;
+  points.reserve(archive.size());
+  for (const auto& member : archive) points.push_back(member.eval.objectives);
+  std::vector<std::size_t> all(points.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const std::vector<double> crowd = crowding_distance(points, all);
+
+  std::vector<std::size_t> order = all;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return crowd[a] > crowd[b]; });
+  std::vector<EvaluatedGenome<Genome>> kept;
+  kept.reserve(capacity);
+  for (std::size_t i = 0; i < capacity; ++i) {
+    kept.push_back(std::move(archive[order[i]]));
+  }
+  archive = std::move(kept);
+}
+
+}  // namespace detail
+
+/// Run NSGA-II. `seeds` pre-loads the initial population (truncated to the
+/// population size; the remainder is filled by ops.create) — this implements
+/// the paper's directed seeding of fcCLR with pfCLR's front.
+template <typename Genome>
+Nsga2Result<Genome> run_nsga2(const Nsga2Params& params,
+                              const Nsga2Ops<Genome>& ops, util::Rng& rng,
+                              std::vector<Genome> seeds = {}) {
+  params.validate();
+  if (!ops.create || !ops.crossover || !ops.mutate || !ops.evaluate) {
+    throw std::invalid_argument("run_nsga2: all ops callbacks are required");
+  }
+
+  Nsga2Result<Genome> result;
+  auto& population = result.population;
+  population.reserve(params.population_size * 2);
+
+  for (std::size_t i = 0; i < params.population_size; ++i) {
+    Genome g = (i < seeds.size()) ? std::move(seeds[i]) : ops.create(rng);
+    Evaluation e = ops.evaluate(g);
+    ++result.evaluations;
+    population.push_back({std::move(g), std::move(e)});
+  }
+  if (params.archive_size > 0) {
+    detail::update_archive(result.archive, population, params.archive_size);
+  }
+
+  std::vector<Objectives> points(params.population_size);
+  std::vector<double> violations(params.population_size);
+  auto refresh_arrays = [&]() {
+    points.resize(population.size());
+    violations.resize(population.size());
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      points[i] = population[i].eval.objectives;
+      violations[i] = population[i].eval.violation;
+    }
+  };
+
+  for (std::size_t gen = 0; gen < params.generations; ++gen) {
+    refresh_arrays();
+    const RankCrowding rc = rank_and_crowding(points, violations);
+    auto better = [&](std::size_t a, std::size_t b) {
+      if (rc.rank[a] != rc.rank[b]) return rc.rank[a] < rc.rank[b];
+      return rc.crowding[a] > rc.crowding[b];
+    };
+
+    // Offspring generation (lambda = mu).
+    std::vector<EvaluatedGenome<Genome>> offspring;
+    offspring.reserve(params.population_size);
+    while (offspring.size() < params.population_size) {
+      const std::size_t pa = tournament_select(params.population_size,
+                                               params.tournament_k, rng, better);
+      const std::size_t pb = tournament_select(params.population_size,
+                                               params.tournament_k, rng, better);
+      Genome ca = population[pa].genome;
+      Genome cb = population[pb].genome;
+      if (rng.bernoulli(params.crossover_prob)) {
+        auto [xa, xb] = ops.crossover(ca, cb, rng);
+        ca = std::move(xa);
+        cb = std::move(xb);
+      }
+      if (rng.bernoulli(params.mutation_prob)) ops.mutate(ca, rng);
+      if (rng.bernoulli(params.mutation_prob)) ops.mutate(cb, rng);
+
+      Evaluation ea = ops.evaluate(ca);
+      ++result.evaluations;
+      offspring.push_back({std::move(ca), std::move(ea)});
+      if (offspring.size() < params.population_size) {
+        Evaluation eb = ops.evaluate(cb);
+        ++result.evaluations;
+        offspring.push_back({std::move(cb), std::move(eb)});
+      }
+    }
+
+    // (mu + lambda) elitist survival.
+    for (auto& child : offspring) population.push_back(std::move(child));
+    refresh_arrays();
+    const std::vector<std::size_t> keep =
+        survivor_selection(points, violations, params.population_size);
+    std::vector<EvaluatedGenome<Genome>> next;
+    next.reserve(params.population_size);
+    for (std::size_t i : keep) next.push_back(std::move(population[i]));
+    population = std::move(next);
+
+    if (params.archive_size > 0) {
+      detail::update_archive(result.archive, population, params.archive_size);
+    }
+  }
+
+  refresh_arrays();
+  const auto fronts = non_dominated_sort(points, violations);
+  result.front = fronts.empty() ? std::vector<std::size_t>{} : fronts.front();
+  return result;
+}
+
+}  // namespace clrearly::moea

@@ -1,0 +1,81 @@
+#include "moea/operators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace clrearly::moea {
+
+bool is_permutation(const Permutation& p) {
+  std::vector<bool> seen(p.size(), false);
+  for (std::size_t v : p) {
+    if (v >= p.size() || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+Permutation random_permutation(std::size_t n, util::Rng& rng) {
+  Permutation p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = i;
+  rng.shuffle(p);
+  return p;
+}
+
+std::pair<Permutation, Permutation> order_crossover(const Permutation& a,
+                                                    const Permutation& b,
+                                                    util::Rng& rng) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("order_crossover: size mismatch");
+  }
+  const std::size_t n = a.size();
+  if (n < 2) return {a, b};
+
+  const std::size_t cut = 1 + rng.index(n - 1);  // at least one element each side
+
+  auto make_child = [n, cut](const Permutation& head, const Permutation& tail) {
+    Permutation child(head.begin(), head.begin() + static_cast<std::ptrdiff_t>(cut));
+    std::vector<bool> used(n, false);
+    for (std::size_t v : child) used[v] = true;
+    for (std::size_t v : tail) {
+      if (!used[v]) child.push_back(v);
+    }
+    return child;
+  };
+  return {make_child(a, b), make_child(b, a)};
+}
+
+void swap_mutation(Permutation& p, util::Rng& rng) {
+  if (p.size() < 2) return;
+  const std::size_t i = rng.index(p.size());
+  std::size_t j = rng.index(p.size() - 1);
+  if (j >= i) ++j;  // distinct positions
+  std::swap(p[i], p[j]);
+}
+
+void two_point_crossover(GeneVector& a, GeneVector& b, util::Rng& rng) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("two_point_crossover: size mismatch");
+  }
+  const std::size_t n = a.size();
+  if (n == 0) return;
+  std::size_t cut1 = rng.index(n + 1);
+  std::size_t cut2 = rng.index(n + 1);
+  if (cut1 > cut2) std::swap(cut1, cut2);
+  for (std::size_t i = cut1; i < cut2; ++i) std::swap(a[i], b[i]);
+}
+
+void random_reset_mutation(GeneVector& genes,
+                           const std::vector<std::size_t>& cardinalities,
+                           util::Rng& rng) {
+  if (genes.size() != cardinalities.size()) {
+    throw std::invalid_argument("random_reset_mutation: size mismatch");
+  }
+  if (genes.empty()) return;
+  const std::size_t pos = rng.index(genes.size());
+  if (cardinalities[pos] == 0) {
+    throw std::invalid_argument("random_reset_mutation: zero cardinality");
+  }
+  genes[pos] = rng.index(cardinalities[pos]);
+}
+
+}  // namespace clrearly::moea

@@ -1,0 +1,135 @@
+#include "moea/pareto.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace clrearly::moea {
+
+bool dominates(const Objectives& a, const Objectives& b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("dominates: mismatched objective vectors");
+  }
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+bool constrained_dominates(const Objectives& a, double violation_a,
+                           const Objectives& b, double violation_b) {
+  const bool a_feasible = violation_a <= 0.0;
+  const bool b_feasible = violation_b <= 0.0;
+  if (a_feasible != b_feasible) return a_feasible;
+  if (!a_feasible) return violation_a < violation_b;
+  return dominates(a, b);
+}
+
+std::vector<std::size_t> pareto_front_indices(
+    const std::vector<Objectives>& points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool is_dominated = false;
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (i != j && dominates(points[j], points[i])) {
+        is_dominated = true;
+        break;
+      }
+    }
+    if (!is_dominated) front.push_back(i);
+  }
+  return front;
+}
+
+std::vector<Objectives> pareto_filter(const std::vector<Objectives>& points) {
+  std::vector<Objectives> out;
+  for (std::size_t i : pareto_front_indices(points)) out.push_back(points[i]);
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> non_dominated_sort(
+    const std::vector<Objectives>& points,
+    const std::vector<double>& violations) {
+  const std::size_t n = points.size();
+  const bool constrained = !violations.empty();
+  if (constrained && violations.size() != n) {
+    throw std::invalid_argument("non_dominated_sort: violations size mismatch");
+  }
+  auto dom = [&](std::size_t i, std::size_t j) {
+    return constrained
+               ? constrained_dominates(points[i], violations[i], points[j],
+                                       violations[j])
+               : dominates(points[i], points[j]);
+  };
+
+  std::vector<std::vector<std::size_t>> dominated_by(n);
+  std::vector<std::size_t> domination_count(n, 0);
+  std::vector<std::vector<std::size_t>> fronts;
+
+  std::vector<std::size_t> current;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (dom(i, j)) {
+        dominated_by[i].push_back(j);
+      } else if (dom(j, i)) {
+        ++domination_count[i];
+      }
+    }
+    if (domination_count[i] == 0) current.push_back(i);
+  }
+
+  while (!current.empty()) {
+    fronts.push_back(current);
+    std::vector<std::size_t> next;
+    for (std::size_t i : current) {
+      for (std::size_t j : dominated_by[i]) {
+        if (--domination_count[j] == 0) next.push_back(j);
+      }
+    }
+    current = std::move(next);
+  }
+  return fronts;
+}
+
+std::vector<double> crowding_distance(const std::vector<Objectives>& points,
+                                      const std::vector<std::size_t>& front) {
+  const std::size_t k = front.size();
+  std::vector<double> distance(k, 0.0);
+  if (k == 0) return distance;
+  if (k <= 2) {
+    // Every point is a boundary point.
+    std::fill(distance.begin(), distance.end(),
+              std::numeric_limits<double>::infinity());
+    return distance;
+  }
+  const std::size_t m = points[front[0]].size();
+
+  std::vector<std::size_t> order(k);
+  for (std::size_t i = 0; i < k; ++i) order[i] = i;
+
+  for (std::size_t obj = 0; obj < m; ++obj) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return points[front[a]][obj] < points[front[b]][obj];
+    });
+    const double lo = points[front[order.front()]][obj];
+    const double hi = points[front[order.back()]][obj];
+    const double span = hi - lo;
+    // A degenerate objective separates nothing: skip it entirely (otherwise
+    // the arbitrary sort order of equal keys would pick random "boundary"
+    // points to promote to infinity).
+    if (span <= 0.0) continue;
+    distance[order.front()] = std::numeric_limits<double>::infinity();
+    distance[order.back()] = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 1; i + 1 < k; ++i) {
+      const double below = points[front[order[i - 1]]][obj];
+      const double above = points[front[order[i + 1]]][obj];
+      distance[order[i]] += (above - below) / span;
+    }
+  }
+  return distance;
+}
+
+}  // namespace clrearly::moea

@@ -1,0 +1,44 @@
+// Pareto-dominance utilities for minimization problems.
+//
+// Used in three places: task-level Pareto filtering (tDSE), NSGA-II's
+// non-dominated sorting / crowding, and the benches' front post-processing.
+// All objective vectors are *minimized*; callers negate maximization metrics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace clrearly::moea {
+
+using Objectives = std::vector<double>;
+
+/// True when `a` weakly dominates `b` and is strictly better in at least one
+/// objective. Vectors must be the same length.
+bool dominates(const Objectives& a, const Objectives& b);
+
+/// Deb's constrained dominance: feasible beats infeasible; among infeasible,
+/// lower total violation wins; among feasible, Pareto dominance decides.
+bool constrained_dominates(const Objectives& a, double violation_a,
+                           const Objectives& b, double violation_b);
+
+/// Indices of the non-dominated points (first Pareto front). Duplicate
+/// points are all retained. O(n^2 m).
+std::vector<std::size_t> pareto_front_indices(
+    const std::vector<Objectives>& points);
+
+/// The non-dominated subset itself, in input order.
+std::vector<Objectives> pareto_filter(const std::vector<Objectives>& points);
+
+/// Fast non-dominated sorting (NSGA-II): returns fronts of indices, best
+/// first. `violations` is optional (empty = unconstrained); when provided it
+/// must parallel `points` and constrained dominance is used.
+std::vector<std::vector<std::size_t>> non_dominated_sort(
+    const std::vector<Objectives>& points,
+    const std::vector<double>& violations = {});
+
+/// Crowding distance of each member of `front` (indices into `points`);
+/// boundary points get +infinity. Returned vector parallels `front`.
+std::vector<double> crowding_distance(const std::vector<Objectives>& points,
+                                      const std::vector<std::size_t>& front);
+
+}  // namespace clrearly::moea

@@ -1,0 +1,95 @@
+#include "platform/architecture.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace clrearly::platform {
+
+std::size_t Architecture::add_type(PeType type) {
+  type.validate();
+  types_.push_back(std::move(type));
+  return types_.size() - 1;
+}
+
+std::size_t Architecture::add_pe(std::size_t type_index) {
+  if (type_index >= types_.size()) {
+    throw std::out_of_range("Architecture::add_pe: unknown type index");
+  }
+  pes_.push_back(Pe{pes_.size(), type_index});
+  return pes_.size() - 1;
+}
+
+const PeType& Architecture::type(std::size_t type_index) const {
+  if (type_index >= types_.size()) {
+    throw std::out_of_range("Architecture::type");
+  }
+  return types_[type_index];
+}
+
+const Pe& Architecture::pe(std::size_t pe_id) const {
+  if (pe_id >= pes_.size()) {
+    throw std::out_of_range("Architecture::pe");
+  }
+  return pes_[pe_id];
+}
+
+const PeType& Architecture::type_of(std::size_t pe_id) const {
+  return type(pe(pe_id).type_index);
+}
+
+void Architecture::set_interconnect(Interconnect interconnect) {
+  interconnect.validate();
+  interconnect_ = interconnect;
+}
+
+std::vector<std::size_t> Architecture::pes_of_type(
+    std::size_t type_index) const {
+  std::vector<std::size_t> out;
+  for (const Pe& p : pes_) {
+    if (p.type_index == type_index) out.push_back(p.id);
+  }
+  return out;
+}
+
+Architecture Architecture::paper_default() {
+  Architecture arch;
+  const DvfsTable dvfs = DvfsTable::paper_default();
+
+  PeType proc_low_mask;
+  proc_low_mask.name = "EmbProc/AVF-hi";
+  proc_low_mask.pe_class = PeClass::kEmbeddedProcessor;
+  proc_low_mask.masking_factor = 0.20;  // high AVF => little implicit masking
+  proc_low_mask.weibull_beta = 2.0;
+  proc_low_mask.weibull_eta_base_hours = 8.0e4;
+  proc_low_mask.idle_power_w = 0.06;
+  proc_low_mask.dvfs = dvfs;
+
+  PeType proc_high_mask = proc_low_mask;
+  proc_high_mask.name = "EmbProc/AVF-lo";
+  proc_high_mask.masking_factor = 0.45;  // low AVF => strong implicit masking
+  proc_high_mask.weibull_eta_base_hours = 7.5e4;
+
+  PeType fabric;
+  fabric.name = "ReconfRegion";
+  fabric.pe_class = PeClass::kReconfigurableRegion;
+  fabric.masking_factor = 0.10;  // SRAM-based fabric: high susceptibility
+  fabric.weibull_beta = 1.8;
+  fabric.weibull_eta_base_hours = 1.0e5;
+  fabric.idle_power_w = 0.10;
+  // Reconfigurable regions run at a fixed clock: a single operating point.
+  fabric.dvfs = DvfsTable({{"0.95V,250MHz", 0.95, 250.0}});
+
+  const std::size_t t0 = arch.add_type(std::move(proc_low_mask));
+  const std::size_t t1 = arch.add_type(std::move(proc_high_mask));
+  const std::size_t t2 = arch.add_type(std::move(fabric));
+
+  arch.add_pe(t0);
+  arch.add_pe(t0);
+  arch.add_pe(t1);
+  arch.add_pe(t1);
+  arch.add_pe(t2);
+  arch.add_pe(t2);
+  return arch;
+}
+
+}  // namespace clrearly::platform

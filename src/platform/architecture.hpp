@@ -1,0 +1,54 @@
+// HMPSoC architecture model (Fig. 2a): a set of typed PEs behind a shared
+// interconnect with centralized control of task-remapping and CLR
+// implementation. The early-stage abstraction deliberately omits interconnect
+// contention (listed as future work in the paper's conclusion).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "platform/interconnect.hpp"
+#include "platform/pe.hpp"
+
+namespace clrearly::platform {
+
+class Architecture {
+ public:
+  /// Register a PE type; returns its type index. Validates the type.
+  std::size_t add_type(PeType type);
+
+  /// Instantiate a PE of a registered type; returns its PE id.
+  std::size_t add_pe(std::size_t type_index);
+
+  std::size_t num_types() const noexcept { return types_.size(); }
+  std::size_t num_pes() const noexcept { return pes_.size(); }
+
+  const PeType& type(std::size_t type_index) const;
+  const Pe& pe(std::size_t pe_id) const;
+  const PeType& type_of(std::size_t pe_id) const;
+
+  const std::vector<PeType>& types() const noexcept { return types_; }
+  const std::vector<Pe>& pes() const noexcept { return pes_; }
+
+  /// All PE ids whose type is `type_index`.
+  std::vector<std::size_t> pes_of_type(std::size_t type_index) const;
+
+  /// Communication model of the shared interconnect. Disabled by default —
+  /// the paper's base abstraction ignores communication; the extension
+  /// benches enable it via set_interconnect().
+  const Interconnect& interconnect() const noexcept { return interconnect_; }
+  void set_interconnect(Interconnect interconnect);
+
+  /// The evaluation platform from Section VI-A: six PEs of three types —
+  /// four embedded processors split across two masking factors and two
+  /// partially reconfigurable regions.
+  static Architecture paper_default();
+
+ private:
+  std::vector<PeType> types_;
+  std::vector<Pe> pes_;
+  Interconnect interconnect_;
+};
+
+}  // namespace clrearly::platform

@@ -1,0 +1,60 @@
+#include "platform/dvfs.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace clrearly::platform {
+
+DvfsTable::DvfsTable(std::vector<DvfsMode> modes) : modes_(std::move(modes)) {
+  for (std::size_t i = 0; i < modes_.size(); ++i) {
+    if (modes_[i].voltage_v <= 0.0 || modes_[i].freq_mhz <= 0.0) {
+      throw std::invalid_argument("DvfsTable: non-positive voltage/frequency");
+    }
+    if (i > 0 && modes_[i].freq_mhz > modes_[i - 1].freq_mhz) {
+      throw std::invalid_argument(
+          "DvfsTable: modes must be ordered fastest-first");
+    }
+  }
+}
+
+DvfsTable DvfsTable::paper_default() {
+  return DvfsTable({
+      {"1.2V,900MHz", 1.20, 900.0},
+      {"1.1V,600MHz", 1.10, 600.0},
+      {"1.06V,300MHz", 1.06, 300.0},
+  });
+}
+
+const DvfsMode& DvfsTable::mode(std::size_t i) const {
+  if (i >= modes_.size()) throw std::out_of_range("DvfsTable::mode");
+  return modes_[i];
+}
+
+const DvfsMode& DvfsTable::nominal() const {
+  if (modes_.empty()) throw std::out_of_range("DvfsTable::nominal: empty table");
+  return modes_.front();
+}
+
+double DvfsTable::time_scale(std::size_t i) const {
+  return nominal().freq_mhz / mode(i).freq_mhz;
+}
+
+double DvfsTable::power_scale(std::size_t i) const {
+  const DvfsMode& m0 = nominal();
+  const DvfsMode& mi = mode(i);
+  const double v_ratio = mi.voltage_v / m0.voltage_v;
+  return v_ratio * v_ratio * (mi.freq_mhz / m0.freq_mhz);
+}
+
+double DvfsTable::seu_scale(std::size_t i, double d) const {
+  const double fn = mode(i).freq_mhz / nominal().freq_mhz;
+  double fn_min = 1.0;
+  for (const DvfsMode& m : modes_) {
+    fn_min = std::min(fn_min, m.freq_mhz / nominal().freq_mhz);
+  }
+  if (fn_min >= 1.0) return 1.0;  // single-mode table: no scaling possible
+  return std::pow(10.0, d * (1.0 - fn) / (1.0 - fn_min));
+}
+
+}  // namespace clrearly::platform

@@ -1,0 +1,58 @@
+// DVFS operating-point model.
+//
+// The paper's task-level DSE (Fig. 6a) sweeps three voltage/frequency pairs:
+// 1.2V @ 900MHz, 1.1V @ 600MHz and 1.06V @ 300MHz. A DVFS mode affects
+//   * execution time   — inversely proportional to frequency,
+//   * dynamic power    — proportional to V^2 f,
+//   * soft-error rate  — lower voltage raises SEU susceptibility; we adopt
+//     the exponential model of Das et al. (DATE'14):
+//     lambda(f) = lambda0 * 10^{ d (1 - fn) / (1 - fn_min) }, fn = f/f_max.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace clrearly::platform {
+
+struct DvfsMode {
+  std::string name;     ///< e.g. "1.2V,900MHz"
+  double voltage_v = 0; ///< supply voltage
+  double freq_mhz = 0;  ///< clock frequency
+
+  bool operator==(const DvfsMode&) const = default;
+};
+
+/// Ordered list of supported operating points (index 0 = fastest).
+class DvfsTable {
+ public:
+  DvfsTable() = default;
+  explicit DvfsTable(std::vector<DvfsMode> modes);
+
+  /// The three operating points used throughout the paper's evaluation.
+  static DvfsTable paper_default();
+
+  std::size_t size() const noexcept { return modes_.size(); }
+  bool empty() const noexcept { return modes_.empty(); }
+  const DvfsMode& mode(std::size_t i) const;
+  const std::vector<DvfsMode>& modes() const noexcept { return modes_; }
+
+  /// Fastest (index 0) mode; throws if empty.
+  const DvfsMode& nominal() const;
+
+  /// Execution-time multiplier of mode i relative to the nominal mode
+  /// (>= 1 for slower modes).
+  double time_scale(std::size_t i) const;
+
+  /// Dynamic-power multiplier of mode i relative to nominal: (V/V0)^2 (f/f0).
+  double power_scale(std::size_t i) const;
+
+  /// SEU-rate multiplier of mode i relative to nominal, with sensitivity
+  /// exponent d (default 2, per Das et al.). Equals 1 at nominal and
+  /// 10^d at the slowest normalized frequency of the table.
+  double seu_scale(std::size_t i, double d = 2.0) const;
+
+ private:
+  std::vector<DvfsMode> modes_;
+};
+
+}  // namespace clrearly::platform

@@ -1,0 +1,24 @@
+#include "platform/interconnect.hpp"
+
+#include <stdexcept>
+
+namespace clrearly::platform {
+
+double Interconnect::transfer_time_us(double data_kb) const {
+  if (data_kb < 0.0) {
+    throw std::invalid_argument("Interconnect: negative transfer size");
+  }
+  if (!models_communication() || data_kb == 0.0) return 0.0;
+  return latency_us + data_kb / bandwidth_kb_per_us;
+}
+
+void Interconnect::validate() const {
+  if (bandwidth_kb_per_us < 0.0) {
+    throw std::invalid_argument("Interconnect: negative bandwidth");
+  }
+  if (latency_us < 0.0) {
+    throw std::invalid_argument("Interconnect: negative latency");
+  }
+}
+
+}  // namespace clrearly::platform

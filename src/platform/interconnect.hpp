@@ -1,0 +1,34 @@
+// Shared-interconnect communication model — the paper's stated future work
+// ("integrating the effect of the communication and storage constraints of
+// the hardware platform"), implemented here as an optional extension.
+//
+// The model is deliberately early-stage: a transfer between two different
+// PEs over the shared interconnect costs latency + size/bandwidth; transfers
+// between tasks on the same PE hit local memory and are free. Link
+// contention is not modeled (DMA-mediated transfers on the Fig. 2a fabric).
+#pragma once
+
+namespace clrearly::platform {
+
+struct Interconnect {
+  /// Sustained bandwidth in KB per microsecond (= GB/s). 0 disables the
+  /// communication model entirely (the paper's base abstraction).
+  double bandwidth_kb_per_us = 0.0;
+
+  /// Per-transfer setup latency (arbitration + DMA programming), us.
+  double latency_us = 0.0;
+
+  /// True when inter-PE communication costs time.
+  bool models_communication() const noexcept {
+    return bandwidth_kb_per_us > 0.0;
+  }
+
+  /// Time to move `data_kb` between two *different* PEs. Returns 0 when the
+  /// model is disabled or nothing is transferred. Throws
+  /// std::invalid_argument for negative sizes.
+  double transfer_time_us(double data_kb) const;
+
+  void validate() const;
+};
+
+}  // namespace clrearly::platform

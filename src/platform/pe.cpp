@@ -1,0 +1,39 @@
+#include "platform/pe.hpp"
+
+#include <stdexcept>
+
+namespace clrearly::platform {
+
+std::string to_string(PeClass c) {
+  switch (c) {
+    case PeClass::kEmbeddedProcessor: return "EmbeddedProcessor";
+    case PeClass::kReconfigurableRegion: return "ReconfigurableRegion";
+  }
+  return "Unknown";
+}
+
+void PeType::validate() const {
+  if (name.empty()) {
+    throw std::invalid_argument("PeType: name must be non-empty");
+  }
+  if (masking_factor < 0.0 || masking_factor >= 1.0) {
+    throw std::invalid_argument("PeType: masking factor must be in [0,1)");
+  }
+  if (weibull_beta <= 0.0) {
+    throw std::invalid_argument("PeType: Weibull beta must be positive");
+  }
+  if (weibull_eta_base_hours <= 0.0) {
+    throw std::invalid_argument("PeType: Weibull eta must be positive");
+  }
+  if (idle_power_w < 0.0) {
+    throw std::invalid_argument("PeType: idle power must be non-negative");
+  }
+  if (memory_kb < 0.0) {
+    throw std::invalid_argument("PeType: memory capacity must be non-negative");
+  }
+  if (dvfs.empty()) {
+    throw std::invalid_argument("PeType: at least one DVFS mode required");
+  }
+}
+
+}  // namespace clrearly::platform

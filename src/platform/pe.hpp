@@ -1,0 +1,61 @@
+// Processing-element model (Section III-A).
+//
+// A PE type captures the heterogeneity dimensions the paper enumerates:
+// (1) the class of processor (general-purpose embedded core vs accelerator
+// slot on reconfigurable logic), (2) its aging profile (Weibull shape beta),
+// and (3) its soft-error masking factor derived from the Architectural
+// Vulnerability Factor (AVF).
+#pragma once
+
+#include <string>
+
+#include "platform/dvfs.hpp"
+
+namespace clrearly::platform {
+
+enum class PeClass {
+  kEmbeddedProcessor,     ///< general-purpose embedded core
+  kReconfigurableRegion,  ///< partially reconfigurable fabric slot
+};
+
+/// Printable name for a PeClass.
+std::string to_string(PeClass c);
+
+struct PeType {
+  std::string name;
+  PeClass pe_class = PeClass::kEmbeddedProcessor;
+
+  /// Probability that a raw SEU striking this PE is architecturally masked
+  /// (1 - AVF). Higher is better.
+  double masking_factor = 0.0;
+
+  /// Weibull shape parameter of the PE's wear-out distribution.
+  double weibull_beta = 2.0;
+
+  /// Baseline scale parameter (hours) of the wear-out distribution when the
+  /// PE runs a reference workload at nominal DVFS; task-specific eta values
+  /// scale from this with the thermal/power stress of the implementation.
+  double weibull_eta_base_hours = 1.0e5;
+
+  /// Static/idle power draw (W).
+  double idle_power_w = 0.05;
+
+  /// Local memory capacity in KB (the storage constraint of the paper's
+  /// future-work list). 0 means unconstrained — the base abstraction.
+  double memory_kb = 0.0;
+
+  /// Supported operating points (reconfigurable fabric typically exposes a
+  /// single point; embedded cores expose the full table).
+  DvfsTable dvfs;
+
+  /// Validate invariants; throws std::invalid_argument on violations.
+  void validate() const;
+};
+
+/// A PE instance: (IDp, PETypep) per the paper's architecture model.
+struct Pe {
+  std::size_t id = 0;         ///< index in the architecture
+  std::size_t type_index = 0; ///< index into Architecture's type list
+};
+
+}  // namespace clrearly::platform

@@ -1,0 +1,218 @@
+#include "reliability/clr_chain_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "markov/chain_builder.hpp"
+
+namespace clrearly::reliability {
+
+namespace {
+
+void check_prob(double p, const char* what) {
+  if (p < 0.0 || p > 1.0 || std::isnan(p)) {
+    throw std::invalid_argument(std::string("ClrChainParams: ") + what +
+                                " outside [0,1]");
+  }
+}
+
+/// Shared topology for both chains. `functional` selects the Fig. 3b variant
+/// with Error/noError absorbing states; otherwise everything forward-routes
+/// to the single End state (Fig. 3a).
+markov::AbsorbingChain build_chain(const ClrChainParams& p, bool functional) {
+  p.validate();
+  markov::ChainBuilder b;
+
+  const std::size_t n = p.intervals;
+
+  const markov::StateId error =
+      functional ? b.absorbing("Error") : markov::StateId{};
+  const markov::StateId done = b.absorbing(functional ? "noError" : "End");
+
+  // Create the per-interval state blocks first so "next interval" targets
+  // exist when wiring edges.
+  std::vector<markov::StateId> exec(n), hw(n), ssw_impl(n), ssw_det(n),
+      ssw_tol(n), asw(n), chk(n > 1 ? n - 1 : 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string suffix = "_" + std::to_string(i);
+    exec[i] = b.transient("Exec" + suffix,
+                          p.interval_time(i) + p.detection_time_us);
+    hw[i] = b.transient("HWRel" + suffix, 0.0);
+    ssw_impl[i] = b.transient("SSWImpl" + suffix, 0.0);
+    ssw_det[i] = b.transient("SSWDet" + suffix, 0.0);
+    ssw_tol[i] = b.transient("SSWTol" + suffix, p.tolerance_time_us);
+    asw[i] = b.transient("ASWRel" + suffix, 0.0);
+    if (i + 1 < n) {
+      chk[i] = b.transient("Chkpnt" + suffix, p.checkpoint_time_us);
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Clean completion of interval i proceeds to the next checkpoint, or to
+    // final absorption after the last interval.
+    const markov::StateId next = (i + 1 < n) ? chk[i] : done;
+    const double pne = p.pne_for_interval(i);
+
+    b.edge(exec[i], next, pne);
+    b.edge(exec[i], hw[i], 1.0 - pne);
+
+    b.edge(hw[i], next, p.hw_masking);
+    b.edge(hw[i], ssw_impl[i], 1.0 - p.hw_masking);
+
+    b.edge(ssw_impl[i], next, p.implicit_ssw_masking);
+    b.edge(ssw_impl[i], ssw_det[i], 1.0 - p.implicit_ssw_masking);
+
+    b.edge(ssw_det[i], ssw_tol[i], p.detection_coverage);
+    b.edge(ssw_det[i], asw[i], 1.0 - p.detection_coverage);
+
+    // Successful tolerance rolls back to the start of the current interval;
+    // failed tolerance leaves the error for the ASW layer.
+    b.edge(ssw_tol[i], exec[i], p.tolerance_success);
+    b.edge(ssw_tol[i], asw[i], 1.0 - p.tolerance_success);
+
+    if (functional) {
+      b.edge(asw[i], next, p.asw_masking);
+      b.edge(asw[i], error, 1.0 - p.asw_masking);
+    } else {
+      // Timing: the result's correctness does not change when it is ready.
+      b.edge(asw[i], next, 1.0);
+    }
+
+    if (i + 1 < n) {
+      if (functional && p.checkpoint_error_prob > 0.0) {
+        b.edge(chk[i], error, p.checkpoint_error_prob);
+        b.edge(chk[i], exec[i + 1], 1.0 - p.checkpoint_error_prob);
+      } else {
+        b.edge(chk[i], exec[i + 1], 1.0);
+      }
+    }
+  }
+  return b.build();
+}
+
+}  // namespace
+
+void ClrChainParams::validate() const {
+  if (exec_time_us <= 0.0 || std::isnan(exec_time_us)) {
+    throw std::invalid_argument("ClrChainParams: exec_time_us must be positive");
+  }
+  if (lambda_per_us < 0.0 || std::isnan(lambda_per_us)) {
+    throw std::invalid_argument("ClrChainParams: negative lambda");
+  }
+  if (intervals == 0) {
+    throw std::invalid_argument("ClrChainParams: intervals must be >= 1");
+  }
+  check_prob(hw_masking, "hw_masking");
+  check_prob(implicit_ssw_masking, "implicit_ssw_masking");
+  check_prob(detection_coverage, "detection_coverage");
+  check_prob(tolerance_success, "tolerance_success");
+  check_prob(asw_masking, "asw_masking");
+  check_prob(checkpoint_error_prob, "checkpoint_error_prob");
+  for (double t : {detection_time_us, tolerance_time_us, checkpoint_time_us}) {
+    if (t < 0.0 || std::isnan(t)) {
+      throw std::invalid_argument("ClrChainParams: negative overhead time");
+    }
+  }
+  if (!interval_fractions.empty()) {
+    if (interval_fractions.size() != intervals) {
+      throw std::invalid_argument(
+          "ClrChainParams: interval_fractions size must equal intervals");
+    }
+    double sum = 0.0;
+    for (double f : interval_fractions) {
+      if (f <= 0.0 || std::isnan(f)) {
+        throw std::invalid_argument(
+            "ClrChainParams: interval fractions must be positive");
+      }
+      sum += f;
+    }
+    if (std::abs(sum - 1.0) > 1e-9) {
+      throw std::invalid_argument(
+          "ClrChainParams: interval fractions must sum to 1");
+    }
+  }
+  // A detected error with certain tolerance and a zero no-error probability
+  // would loop forever; the chain constructor rejects that via singularity of
+  // I - Q, which surfaces as std::domain_error at build time.
+}
+
+double ClrChainParams::interval_time(std::size_t i) const {
+  if (i >= intervals) {
+    throw std::out_of_range("ClrChainParams::interval_time");
+  }
+  if (interval_fractions.empty()) {
+    return exec_time_us / static_cast<double>(intervals);
+  }
+  return exec_time_us * interval_fractions[i];
+}
+
+double ClrChainParams::pne_for_interval(std::size_t i) const {
+  return std::exp(-lambda_per_us * interval_time(i));
+}
+
+double ClrChainParams::pne_per_interval() const {
+  const double t_ici = exec_time_us / static_cast<double>(intervals);
+  return std::exp(-lambda_per_us * t_ici);
+}
+
+markov::AbsorbingChain build_timing_chain(const ClrChainParams& params) {
+  return build_chain(params, /*functional=*/false);
+}
+
+markov::AbsorbingChain build_functional_chain(const ClrChainParams& params) {
+  return build_chain(params, /*functional=*/true);
+}
+
+ClrChainAnalysis analyze_clr_chain(const ClrChainParams& params) {
+  ClrChainAnalysis out;
+
+  const double n = static_cast<double>(params.intervals);
+  out.min_exec_time_us = params.exec_time_us + n * params.detection_time_us +
+                         (n - 1.0) * params.checkpoint_time_us;
+
+  const markov::AbsorbingChain timing = build_timing_chain(params);
+  out.avg_exec_time_us = timing.expected_time(0);
+  out.exec_time_stddev_us = std::sqrt(std::max(timing.time_variance(0), 0.0));
+
+  const markov::AbsorbingChain functional = build_functional_chain(params);
+  out.error_prob = functional.absorption_probability(0, kAbsorbError);
+  return out;
+}
+
+CheckpointSweepResult optimize_checkpoint_intervals(
+    ClrChainParams params, std::size_t max_intervals) {
+  if (max_intervals == 0) {
+    throw std::invalid_argument(
+        "optimize_checkpoint_intervals: max_intervals must be >= 1");
+  }
+  params.interval_fractions.clear();
+  CheckpointSweepResult result;
+  bool found = false;
+  for (std::size_t n = 1; n <= max_intervals; ++n) {
+    params.intervals = n;
+    double avg = std::numeric_limits<double>::quiet_NaN();
+    try {
+      avg = analyze_clr_chain(params).avg_exec_time_us;
+    } catch (const std::domain_error&) {
+      // Non-absorbing at this interval count (e.g. pne underflow); record
+      // NaN and keep sweeping.
+    }
+    result.avg_time_per_intervals.push_back(avg);
+    if (!std::isnan(avg) && (!found || avg < result.best_avg_time_us)) {
+      result.best_intervals = n;
+      result.best_avg_time_us = avg;
+      found = true;
+    }
+  }
+  if (!found) {
+    throw std::domain_error(
+        "optimize_checkpoint_intervals: no interval count yields an "
+        "absorbing chain");
+  }
+  return result;
+}
+
+}  // namespace clrearly::reliability

@@ -1,0 +1,94 @@
+// Construction of the paper's Fig. 3 Markov chains for an arbitrary CLR
+// configuration, and their solution into task-level reliability numbers.
+//
+// Per inter-checkpoint interval (ICI) the chain threads
+//   Exec -> HWRel -> SSWImpl -> SSWDet -> SSWTol -> ASWRel
+// with residence time only on Exec (useful execution + always-on detection),
+// SSWTol (rollback/restore) and Chkpnt (checkpoint creation). Masked or
+// tolerated errors continue; in the *functional* chain errors that escape
+// every layer absorb into Error, clean completion into noError. In the
+// *timing* chain the outcome is irrelevant — all forward paths lead to End —
+// so the expected time to absorption is the average execution time whether or
+// not the result is correct.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "markov/chain.hpp"
+
+namespace clrearly::reliability {
+
+/// Fully resolved numeric inputs for one task implementation under one CLR
+/// configuration (all masking/DVFS/overhead scaling already applied — see
+/// TaskAnalyzer for the translation from catalog entries).
+struct ClrChainParams {
+  double exec_time_us = 0.0;        ///< total useful execution time
+  double lambda_per_us = 0.0;       ///< effective unmasked-by-arch SEU rate
+  double hw_masking = 0.0;          ///< spatial-redundancy masking m_HW
+  double implicit_ssw_masking = 0.0;///< m_implSSW
+  double detection_coverage = 0.0;  ///< cov_Det
+  double tolerance_success = 0.0;   ///< m_Tol
+  double asw_masking = 0.0;         ///< m_ASW
+  std::size_t intervals = 1;        ///< number of ICIs (checkpoints + 1)
+  double detection_time_us = 0.0;   ///< T_Det, paid once per ICI pass
+  double tolerance_time_us = 0.0;   ///< T_Tol, paid per detected error
+  double checkpoint_time_us = 0.0;  ///< T_Chk, per checkpoint
+  double checkpoint_error_prob = 0.0; ///< p_Chke (dotted edge of Fig. 3b)
+
+  /// Unequal checkpoint intervals (a capability the paper's Section IV
+  /// explicitly claims for the Markov approach): fraction of exec_time_us
+  /// spent in each ICI. Empty = equal split; otherwise must have `intervals`
+  /// entries, each positive, summing to 1 (within 1e-9).
+  std::vector<double> interval_fractions;
+
+  /// Validate ranges; throws std::invalid_argument.
+  void validate() const;
+
+  /// Useful execution time of interval `i` (honoring interval_fractions).
+  double interval_time(std::size_t i) const;
+
+  /// Probability of error-free useful execution of interval `i`:
+  /// pne_i = exp(-lambda * interval_time(i)).
+  double pne_for_interval(std::size_t i) const;
+
+  /// pne of the first interval under an equal split — kept for the common
+  /// equal-interval case and backward compatibility.
+  double pne_per_interval() const;
+};
+
+/// Timing chain of Fig. 3a — single absorbing state End (index 0).
+markov::AbsorbingChain build_timing_chain(const ClrChainParams& params);
+
+/// Functional chain of Fig. 3b — absorbing states Error (0) and noError (1).
+markov::AbsorbingChain build_functional_chain(const ClrChainParams& params);
+
+/// Indices of the functional chain's absorbing states.
+inline constexpr std::size_t kAbsorbError = 0;
+inline constexpr std::size_t kAbsorbNoError = 1;
+
+/// Task-level reliability numbers from both chains.
+struct ClrChainAnalysis {
+  double min_exec_time_us = 0.0;  ///< error-free path length
+  double avg_exec_time_us = 0.0;  ///< E[time to absorption], timing chain
+  double exec_time_stddev_us = 0.0;
+  double error_prob = 0.0;        ///< P[absorb in Error], functional chain
+};
+
+/// Build and solve both chains for `params`.
+ClrChainAnalysis analyze_clr_chain(const ClrChainParams& params);
+
+/// Sweep the checkpoint count 1..max_intervals (equal splits) and return the
+/// interval count minimizing average execution time — the classic
+/// checkpoint-placement question, answered through the same chains.
+/// `params.intervals`/`interval_fractions` are ignored. Throws if every
+/// candidate chain is non-absorbing.
+struct CheckpointSweepResult {
+  std::size_t best_intervals = 1;
+  double best_avg_time_us = 0.0;
+  std::vector<double> avg_time_per_intervals;  ///< index 0 = 1 interval
+};
+CheckpointSweepResult optimize_checkpoint_intervals(ClrChainParams params,
+                                                    std::size_t max_intervals);
+
+}  // namespace clrearly::reliability

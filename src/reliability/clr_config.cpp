@@ -1,0 +1,98 @@
+#include "reliability/clr_config.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace clrearly::reliability {
+
+ClrSpace::ClrSpace(std::vector<HwMethod> hw, std::vector<SswMethod> ssw,
+                   std::vector<AswMethod> asw)
+    : hw_(std::move(hw)), ssw_(std::move(ssw)), asw_(std::move(asw)) {
+  if (hw_.empty() || ssw_.empty() || asw_.empty()) {
+    throw std::invalid_argument("ClrSpace: all catalogs must be non-empty");
+  }
+  for (const auto& m : hw_) m.validate();
+  for (const auto& m : ssw_) m.validate();
+  for (const auto& m : asw_) m.validate();
+  // Index 0 must be the do-nothing baseline so pinned axes are meaningful.
+  if (hw_[0].masking != 0.0 || hw_[0].time_factor != 1.0) {
+    throw std::invalid_argument("ClrSpace: hw[0] must be the no-op baseline");
+  }
+  if (ssw_[0].is_active()) {
+    throw std::invalid_argument("ClrSpace: ssw[0] must be the no-op baseline");
+  }
+  if (asw_[0].masking != 0.0 || asw_[0].time_factor != 1.0) {
+    throw std::invalid_argument("ClrSpace: asw[0] must be the no-op baseline");
+  }
+}
+
+ClrSpace ClrSpace::paper_default() {
+  return ClrSpace(default_hw_methods(), default_ssw_methods(),
+                  default_asw_methods());
+}
+
+const HwMethod& ClrSpace::hw(const ClrConfig& c) const {
+  if (c.hw >= hw_.size()) throw std::out_of_range("ClrSpace::hw");
+  return hw_[c.hw];
+}
+
+const SswMethod& ClrSpace::ssw(const ClrConfig& c) const {
+  if (c.ssw >= ssw_.size()) throw std::out_of_range("ClrSpace::ssw");
+  return ssw_[c.ssw];
+}
+
+const AswMethod& ClrSpace::asw(const ClrConfig& c) const {
+  if (c.asw >= asw_.size()) throw std::out_of_range("ClrSpace::asw");
+  return asw_[c.asw];
+}
+
+std::size_t ClrSpace::size(std::size_t dvfs_modes, ClrAxes axes) const {
+  if (dvfs_modes == 0) {
+    throw std::invalid_argument("ClrSpace::size: need at least one DVFS mode");
+  }
+  std::size_t n = 1;
+  if (axes.hw) n *= hw_.size();
+  if (axes.ssw) n *= ssw_.size();
+  if (axes.asw) n *= asw_.size();
+  if (axes.dvfs) n *= dvfs_modes;
+  return n;
+}
+
+std::vector<ClrConfig> ClrSpace::enumerate(std::size_t dvfs_modes,
+                                           ClrAxes axes) const {
+  if (dvfs_modes == 0) {
+    throw std::invalid_argument(
+        "ClrSpace::enumerate: need at least one DVFS mode");
+  }
+  const std::size_t hw_n = axes.hw ? hw_.size() : 1;
+  const std::size_t ssw_n = axes.ssw ? ssw_.size() : 1;
+  const std::size_t asw_n = axes.asw ? asw_.size() : 1;
+  const std::size_t dvfs_n = axes.dvfs ? dvfs_modes : 1;
+
+  std::vector<ClrConfig> out;
+  out.reserve(hw_n * ssw_n * asw_n * dvfs_n);
+  for (std::size_t h = 0; h < hw_n; ++h) {
+    for (std::size_t s = 0; s < ssw_n; ++s) {
+      for (std::size_t a = 0; a < asw_n; ++a) {
+        for (std::size_t d = 0; d < dvfs_n; ++d) {
+          out.push_back(ClrConfig{h, s, a, d});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void ClrSpace::check(const ClrConfig& c, std::size_t dvfs_modes) const {
+  if (c.hw >= hw_.size() || c.ssw >= ssw_.size() || c.asw >= asw_.size() ||
+      c.dvfs >= dvfs_modes) {
+    throw std::out_of_range("ClrSpace::check: configuration out of bounds");
+  }
+}
+
+std::string ClrSpace::describe(const ClrConfig& c) const {
+  return hw(c).name + " + " + ssw(c).name + " + " + asw(c).name +
+         " @dvfs" + std::to_string(c.dvfs);
+}
+
+}  // namespace clrearly::reliability

@@ -1,0 +1,86 @@
+// Cross-layer reliability configuration space (Section V-A).
+//
+// For each task the paper forms Ct = HWRel_t x SSWRel_t x ASWRel_t — the
+// Cartesian product of the per-layer method choices — and jointly explores it
+// with the DVFS mode. ClrSpace owns the per-layer catalogs; ClrConfig is one
+// point of the product, stored as catalog indices so GA genomes stay compact.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "reliability/methods.hpp"
+
+namespace clrearly::reliability {
+
+/// One point of the CLR decision space: indices into a ClrSpace's catalogs
+/// plus the DVFS mode index of the target PE.
+struct ClrConfig {
+  std::size_t hw = 0;    ///< HWRel method index
+  std::size_t ssw = 0;   ///< SSWRel method index
+  std::size_t asw = 0;   ///< ASWRel method index
+  std::size_t dvfs = 0;  ///< DVFS mode index on the mapped PE
+
+  bool operator==(const ClrConfig&) const noexcept = default;
+};
+
+/// Which decision axes are free to vary — used to restrict the space for the
+/// single-layer ("other-layer-agnostic") baselines of Fig. 7.
+struct ClrAxes {
+  bool hw = true;
+  bool ssw = true;
+  bool asw = true;
+  bool dvfs = true;
+
+  static ClrAxes all() { return {}; }
+  static ClrAxes none() { return {false, false, false, false}; }
+  static ClrAxes only_hw() { return {true, false, false, false}; }
+  static ClrAxes only_ssw() { return {false, true, false, false}; }
+  static ClrAxes only_asw() { return {false, false, true, false}; }
+  static ClrAxes only_dvfs() { return {false, false, false, true}; }
+};
+
+/// The per-layer method catalogs shared by all tasks.
+class ClrSpace {
+ public:
+  /// Space over explicit catalogs; all must be non-empty and entry 0 of each
+  /// catalog must be the "no method" baseline (the agnostic baselines pin
+  /// non-explored layers to index 0).
+  ClrSpace(std::vector<HwMethod> hw, std::vector<SswMethod> ssw,
+           std::vector<AswMethod> asw);
+
+  /// The default catalogs of methods.hpp.
+  static ClrSpace paper_default();
+
+  const std::vector<HwMethod>& hw_methods() const noexcept { return hw_; }
+  const std::vector<SswMethod>& ssw_methods() const noexcept { return ssw_; }
+  const std::vector<AswMethod>& asw_methods() const noexcept { return asw_; }
+
+  const HwMethod& hw(const ClrConfig& c) const;
+  const SswMethod& ssw(const ClrConfig& c) const;
+  const AswMethod& asw(const ClrConfig& c) const;
+
+  /// |Ct| for a PE exposing `dvfs_modes` operating points, under free axes
+  /// `axes` (pinned axes contribute a factor of 1).
+  std::size_t size(std::size_t dvfs_modes, ClrAxes axes = ClrAxes::all()) const;
+
+  /// Enumerate every configuration for a PE with `dvfs_modes` operating
+  /// points; pinned axes stay at index 0. Order is deterministic
+  /// (hw-major, then ssw, asw, dvfs).
+  std::vector<ClrConfig> enumerate(std::size_t dvfs_modes,
+                                   ClrAxes axes = ClrAxes::all()) const;
+
+  /// Bounds-check a configuration against the catalogs; throws on violation.
+  void check(const ClrConfig& c, std::size_t dvfs_modes) const;
+
+  /// Human-readable description, e.g. "HW:TMR + SSW:chkpnt-2 + ASW:none".
+  std::string describe(const ClrConfig& c) const;
+
+ private:
+  std::vector<HwMethod> hw_;
+  std::vector<SswMethod> ssw_;
+  std::vector<AswMethod> asw_;
+};
+
+}  // namespace clrearly::reliability

@@ -1,0 +1,100 @@
+#include "reliability/fault_injection.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace clrearly::reliability {
+
+InjectionResult inject_faults(const ClrChainParams& params,
+                              std::size_t trials, std::uint64_t seed) {
+  params.validate();
+  if (trials == 0) {
+    throw std::invalid_argument("inject_faults: trials must be positive");
+  }
+  util::Rng rng(seed);
+
+  InjectionResult result;
+  result.trials = trials;
+  double total_time = 0.0;
+  double total_errors = 0.0;
+  double total_faults = 0.0;
+  double total_rollbacks = 0.0;
+
+  // Retry cap per interval: generous enough that hitting it means the
+  // configuration cannot make progress (the analytical model would have
+  // rejected it as non-absorbing).
+  constexpr std::size_t kMaxAttemptsPerInterval = 1'000'000;
+
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    double time = 0.0;
+    bool corrupted = false;
+
+    for (std::size_t i = 0; i < params.intervals; ++i) {
+      const double t_ici = params.interval_time(i);
+      const double p_fault = 1.0 - std::exp(-params.lambda_per_us * t_ici);
+
+      bool interval_done = false;
+      for (std::size_t attempt = 0;
+           attempt < kMaxAttemptsPerInterval && !interval_done; ++attempt) {
+        // Useful execution plus the always-on detection pass.
+        time += t_ici + params.detection_time_us;
+
+        if (!rng.bernoulli(p_fault)) {
+          interval_done = true;  // clean execution
+          break;
+        }
+        total_faults += 1.0;
+
+        // Hardware spatial redundancy out-votes the fault?
+        if (rng.bernoulli(params.hw_masking)) {
+          interval_done = true;
+          break;
+        }
+        // Implicit system-software masking?
+        if (rng.bernoulli(params.implicit_ssw_masking)) {
+          interval_done = true;
+          break;
+        }
+        // Detection.
+        if (rng.bernoulli(params.detection_coverage)) {
+          time += params.tolerance_time_us;
+          if (rng.bernoulli(params.tolerance_success)) {
+            total_rollbacks += 1.0;
+            continue;  // roll back: re-execute this interval
+          }
+        }
+        // Undetected or tolerance failed: the ASW layer is the last line.
+        if (!rng.bernoulli(params.asw_masking)) {
+          corrupted = true;
+        }
+        interval_done = true;  // execution proceeds either way
+      }
+      if (!interval_done) {
+        // Retry cap exhausted — treat as a failed run.
+        corrupted = true;
+        break;
+      }
+
+      // Checkpoint between intervals.
+      if (i + 1 < params.intervals) {
+        time += params.checkpoint_time_us;
+        if (rng.bernoulli(params.checkpoint_error_prob)) {
+          corrupted = true;  // snapshot corrupted (Fig. 3b dotted edge)
+        }
+      }
+    }
+
+    total_time += time;
+    if (corrupted) total_errors += 1.0;
+  }
+
+  result.mean_exec_time_us = total_time / static_cast<double>(trials);
+  result.error_rate = total_errors / static_cast<double>(trials);
+  result.mean_faults_injected = total_faults / static_cast<double>(trials);
+  result.mean_rollbacks = total_rollbacks / static_cast<double>(trials);
+  return result;
+}
+
+}  // namespace clrearly::reliability

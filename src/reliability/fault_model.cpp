@@ -1,0 +1,51 @@
+#include "reliability/fault_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace clrearly::reliability {
+
+void FaultEnvironment::validate() const {
+  if (base_seu_rate_per_us <= 0.0) {
+    throw std::invalid_argument("FaultEnvironment: SEU rate must be positive");
+  }
+  if (dvfs_sensitivity < 0.0) {
+    throw std::invalid_argument(
+        "FaultEnvironment: DVFS sensitivity must be non-negative");
+  }
+  if (environment_factor <= 0.0) {
+    throw std::invalid_argument(
+        "FaultEnvironment: environment factor must be positive");
+  }
+}
+
+double effective_seu_rate(const FaultEnvironment& env,
+                          const platform::PeType& pe,
+                          std::size_t dvfs_index) {
+  const double dvfs_scale = pe.dvfs.seu_scale(dvfs_index, env.dvfs_sensitivity);
+  const double exposure = 1.0 - pe.masking_factor;
+  return env.base_seu_rate_per_us * env.environment_factor * dvfs_scale *
+         exposure;
+}
+
+double error_probability(double lambda, double exec_time_us) {
+  if (lambda < 0.0 || exec_time_us < 0.0) {
+    throw std::invalid_argument("error_probability: negative argument");
+  }
+  return 1.0 - std::exp(-lambda * exec_time_us);
+}
+
+double ThermalModel::junction_temperature_c(double power_w) const {
+  if (power_w < 0.0) {
+    throw std::invalid_argument("ThermalModel: negative power");
+  }
+  return ambient_c + theta_c_per_w * power_w;
+}
+
+void ThermalModel::validate() const {
+  if (theta_c_per_w <= 0.0) {
+    throw std::invalid_argument("ThermalModel: theta must be positive");
+  }
+}
+
+}  // namespace clrearly::reliability

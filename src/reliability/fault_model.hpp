@@ -1,0 +1,58 @@
+// Soft-error and thermal models used by the task-level analysis.
+//
+// The Markov-chain models consume a per-microsecond SEU rate lambda; the
+// paper obtains pne = exp(-lambda * Texec) for the no-error probability of a
+// useful-execution interval. lambda depends on the raw environmental flux,
+// the DVFS operating point (lower voltage -> higher susceptibility) and the
+// PE's architectural masking (AVF): masked strikes never surface as errors.
+//
+// The lifetime model needs a junction temperature; at this abstraction level
+// we use a lumped thermal resistance: T = T_ambient + theta * P.
+#pragma once
+
+#include "platform/dvfs.hpp"
+#include "platform/pe.hpp"
+
+namespace clrearly::reliability {
+
+/// Environment + technology soft-error parameters.
+struct FaultEnvironment {
+  /// Raw SEU arrival rate at nominal voltage, per microsecond of execution.
+  /// The default corresponds to an accelerated test / high-altitude profile;
+  /// early-stage DSE cares about relative orderings, not absolute FIT.
+  double base_seu_rate_per_us = 2.0e-5;
+
+  /// Sensitivity exponent of the voltage/frequency scaling law
+  /// (Das et al., DATE'14); lambda multiplies by 10^d at the lowest point.
+  double dvfs_sensitivity = 2.0;
+
+  /// Environmental multiplier (1 = ground level; ~100s at avionics
+  /// altitudes). Exposed so experiments can sweep operating conditions.
+  double environment_factor = 1.0;
+
+  void validate() const;
+};
+
+/// Effective per-microsecond error rate seen by software running on PE type
+/// `pe` in DVFS mode `dvfs_index`: raw flux x environment x DVFS scaling x
+/// (1 - architectural masking).
+double effective_seu_rate(const FaultEnvironment& env,
+                          const platform::PeType& pe,
+                          std::size_t dvfs_index);
+
+/// Probability of at least one unmasked SEU during `exec_time_us`
+/// microseconds of execution at rate `lambda` (per us): 1 - exp(-lambda*t).
+double error_probability(double lambda, double exec_time_us);
+
+/// Lumped thermal model.
+struct ThermalModel {
+  double ambient_c = 45.0;          ///< ambient/package temperature (C)
+  double theta_c_per_w = 28.0;      ///< junction-to-ambient resistance (C/W)
+
+  /// Steady-state junction temperature at average power `power_w`.
+  double junction_temperature_c(double power_w) const;
+
+  void validate() const;
+};
+
+}  // namespace clrearly::reliability

@@ -1,0 +1,171 @@
+#include "reliability/methods.hpp"
+
+#include <stdexcept>
+
+namespace clrearly::reliability {
+
+namespace {
+
+void check_probability(double p, const char* what) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument(std::string(what) + " must be in [0,1]");
+  }
+}
+
+void check_factor(double f, const char* what) {
+  if (f < 1.0) {
+    throw std::invalid_argument(std::string(what) +
+                                " must be >= 1 (overheads cannot speed up)");
+  }
+}
+
+}  // namespace
+
+void HwMethod::validate() const {
+  if (name.empty()) throw std::invalid_argument("HwMethod: empty name");
+  check_probability(masking, "HwMethod masking");
+  check_factor(time_factor, "HwMethod time_factor");
+  check_factor(power_factor, "HwMethod power_factor");
+  check_factor(area_factor, "HwMethod area_factor");
+}
+
+void SswMethod::validate() const {
+  if (name.empty()) throw std::invalid_argument("SswMethod: empty name");
+  if (intervals == 0) {
+    throw std::invalid_argument("SswMethod: intervals must be >= 1");
+  }
+  check_probability(detection_coverage, "SswMethod detection_coverage");
+  check_probability(tolerance_success, "SswMethod tolerance_success");
+  check_probability(implicit_masking, "SswMethod implicit_masking");
+  check_probability(checkpoint_error_prob, "SswMethod checkpoint_error_prob");
+  for (double frac : {detection_time_frac, tolerance_time_frac,
+                      checkpoint_time_frac}) {
+    if (frac < 0.0) {
+      throw std::invalid_argument("SswMethod: negative overhead fraction");
+    }
+  }
+  if (intervals > 1 && tolerance_success == 0.0 && detection_coverage > 0.0) {
+    // Checkpointing without working rollback detects but never recovers —
+    // allowed (detection-only), but the intervals are then pointless.
+    // Not an error; the tDSE will Pareto-filter such configurations out.
+  }
+}
+
+void AswMethod::validate() const {
+  if (name.empty()) throw std::invalid_argument("AswMethod: empty name");
+  check_probability(masking, "AswMethod masking");
+  check_factor(time_factor, "AswMethod time_factor");
+  check_factor(power_factor, "AswMethod power_factor");
+}
+
+std::vector<HwMethod> default_hw_methods() {
+  std::vector<HwMethod> methods;
+  methods.push_back({.name = "HW:none",
+                     .masking = 0.0,
+                     .time_factor = 1.0,
+                     .power_factor = 1.0,
+                     .area_factor = 1.0});
+  methods.push_back({.name = "HW:hardening",
+                     .masking = 0.40,
+                     .time_factor = 1.05,
+                     .power_factor = 1.15,
+                     .area_factor = 1.25});
+  // Note: full TMR is deliberately absent — TABLE II's HWRel samples are
+  // partial TMR / DVFS / circuit hardening; blanket triplication is the
+  // costly traditional single-layer design CLR exists to avoid.
+  methods.push_back({.name = "HW:partial-TMR",
+                     .masking = 0.72,
+                     .time_factor = 1.08,
+                     .power_factor = 1.80,
+                     .area_factor = 2.10});
+  for (const auto& m : methods) m.validate();
+  return methods;
+}
+
+std::vector<SswMethod> default_ssw_methods() {
+  std::vector<SswMethod> methods;
+  methods.push_back({.name = "SSW:none"});
+  methods.push_back({.name = "SSW:retry",
+                     .intervals = 1,
+                     .detection_coverage = 0.90,
+                     .tolerance_success = 0.95,
+                     .implicit_masking = 0.0,
+                     .detection_time_frac = 0.05,
+                     .tolerance_time_frac = 0.02,
+                     .checkpoint_time_frac = 0.0});
+  for (std::size_t n : {2, 3, 4}) {
+    SswMethod chk;
+    chk.name = "SSW:chkpnt-" + std::to_string(n);
+    chk.intervals = n;
+    chk.detection_coverage = 0.92;
+    chk.tolerance_success = 0.98;
+    chk.implicit_masking = 0.0;
+    chk.detection_time_frac = 0.05;
+    chk.tolerance_time_frac = 0.03;
+    chk.checkpoint_time_frac = 0.06;
+    methods.push_back(chk);
+  }
+  for (const auto& m : methods) m.validate();
+  return methods;
+}
+
+std::vector<AswMethod> default_asw_methods() {
+  std::vector<AswMethod> methods;
+  methods.push_back({.name = "ASW:none",
+                     .masking = 0.0,
+                     .time_factor = 1.0,
+                     .power_factor = 1.0});
+  methods.push_back({.name = "ASW:checksum",
+                     .masking = 0.60,
+                     .time_factor = 1.12,
+                     .power_factor = 1.05});
+  methods.push_back({.name = "ASW:hamming",
+                     .masking = 0.80,
+                     .time_factor = 1.28,
+                     .power_factor = 1.10});
+  methods.push_back({.name = "ASW:code-tripling",
+                     .masking = 0.94,
+                     .time_factor = 3.15,
+                     .power_factor = 1.06});
+  for (const auto& m : methods) m.validate();
+  return methods;
+}
+
+HwMethod gen_masking(double m, double time_overhead, double power_overhead) {
+  HwMethod method{.name = "GenM",
+                  .masking = m,
+                  .time_factor = 1.0 + time_overhead,
+                  .power_factor = 1.0 + power_overhead,
+                  .area_factor = 1.0 + power_overhead};
+  method.validate();
+  return method;
+}
+
+SswMethod gen_detection(double coverage, double detection_time_frac) {
+  SswMethod method;
+  method.name = "GenD";
+  method.intervals = 1;
+  method.detection_coverage = coverage;
+  method.tolerance_success = 0.0;
+  method.detection_time_frac = detection_time_frac;
+  method.validate();
+  return method;
+}
+
+SswMethod gen_tolerance(double coverage, double tolerance_success,
+                        std::size_t intervals, double detection_time_frac,
+                        double tolerance_time_frac,
+                        double checkpoint_time_frac) {
+  SswMethod method;
+  method.name = "GenT";
+  method.intervals = intervals;
+  method.detection_coverage = coverage;
+  method.tolerance_success = tolerance_success;
+  method.detection_time_frac = detection_time_frac;
+  method.tolerance_time_frac = tolerance_time_frac;
+  method.checkpoint_time_frac = checkpoint_time_frac;
+  method.validate();
+  return method;
+}
+
+}  // namespace clrearly::reliability

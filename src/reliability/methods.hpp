@@ -1,0 +1,116 @@
+// Catalogs of reliability methods per layer (TABLE II).
+//
+//   Hardware (HWRel)             — spatial redundancy: partial/full TMR,
+//                                  circuit hardening (DVFS is modeled as a
+//                                  separate decision axis, see ClrSpace).
+//   System software (SSWRel)     — temporal redundancy: retry,
+//                                  checkpoint/rollback; carries detection
+//                                  coverage and tolerance success, plus the
+//                                  implicit masking of the software stack.
+//   Application software (ASWRel)— information redundancy: checksum/ABFT,
+//                                  Hamming correction, code tripling.
+//
+// Each method is described by the parameters the Markov-chain builder
+// consumes. The paper's evaluation additionally uses three *generic* tunable
+// methods (GenM, GenD, GenT) for masking / detection / tolerance — the
+// gen_* factories below construct those.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace clrearly::reliability {
+
+/// Spatial-redundancy method at the hardware layer.
+struct HwMethod {
+  std::string name;
+  /// Probability that an unmasked-by-architecture SEU is masked by the
+  /// spatial redundancy (e.g. out-voted by TMR).
+  double masking = 0.0;
+  /// Execution-time multiplier (voting / hardened-cell slowdown).
+  double time_factor = 1.0;
+  /// Power multiplier (replicated logic).
+  double power_factor = 1.0;
+  /// Area multiplier — tracked for reporting; not an optimization objective
+  /// in the paper's system-level problem.
+  double area_factor = 1.0;
+
+  void validate() const;
+};
+
+/// Temporal-redundancy method at the system-software layer.
+struct SswMethod {
+  std::string name;
+  /// Number of inter-checkpoint intervals the task is split into
+  /// (1 = no checkpointing; retry is 1 interval with rollback-to-start).
+  std::size_t intervals = 1;
+  /// Coverage of the error-detection mechanism (probability a surviving
+  /// error is detected).
+  double detection_coverage = 0.0;
+  /// Probability that the tolerance action (rollback/retry) succeeds.
+  double tolerance_success = 0.0;
+  /// Implicit masking of the system-software stack (paper: ImplMask sweep).
+  double implicit_masking = 0.0;
+  /// Detection overhead per interval, as a fraction of the task's
+  /// (post-HW/ASW-scaling) execution time.
+  double detection_time_frac = 0.0;
+  /// Tolerance (rollback + restore) overhead, fraction of execution time.
+  double tolerance_time_frac = 0.0;
+  /// Checkpoint-creation overhead per checkpoint, fraction of exec time.
+  double checkpoint_time_frac = 0.0;
+  /// Probability an error corrupts checkpoint creation itself (dotted edge
+  /// in Fig. 3b); 0 disables the path.
+  double checkpoint_error_prob = 0.0;
+
+  /// True when the method provides any temporal redundancy at all.
+  bool is_active() const noexcept {
+    return detection_coverage > 0.0 || intervals > 1;
+  }
+
+  void validate() const;
+};
+
+/// Information-redundancy method at the application-software layer.
+struct AswMethod {
+  std::string name;
+  /// Probability an error escaping the lower layers is masked/corrected.
+  double masking = 0.0;
+  /// Execution-time multiplier (encode/verify work).
+  double time_factor = 1.0;
+  /// Power multiplier.
+  double power_factor = 1.0;
+
+  void validate() const;
+};
+
+/// ---- Concrete catalogs (TABLE II sample methods) ----
+
+/// none, circuit hardening, partial TMR, full TMR.
+std::vector<HwMethod> default_hw_methods();
+
+/// none, retry, checkpoint/rollback with 2..4 intervals.
+std::vector<SswMethod> default_ssw_methods();
+
+/// none, checksum (ABFT), Hamming correction, code tripling.
+std::vector<AswMethod> default_asw_methods();
+
+/// ---- Generic tunable methods (GenM / GenD / GenT of Section VI-A) ----
+
+/// Generic masking method at the HW layer: masking probability m with
+/// time/power overhead fractions.
+HwMethod gen_masking(double m, double time_overhead, double power_overhead);
+
+/// Generic detection method at the SSW layer: coverage c with detection-time
+/// fraction; no tolerance.
+SswMethod gen_detection(double coverage, double detection_time_frac);
+
+/// Generic tolerance method at the SSW layer: detection coverage c,
+/// tolerance success t, `intervals` checkpoint intervals with the given
+/// overhead fractions.
+SswMethod gen_tolerance(double coverage, double tolerance_success,
+                        std::size_t intervals, double detection_time_frac,
+                        double tolerance_time_frac,
+                        double checkpoint_time_frac);
+
+}  // namespace clrearly::reliability

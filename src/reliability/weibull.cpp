@@ -1,0 +1,69 @@
+#include "reliability/weibull.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace clrearly::reliability {
+
+namespace {
+constexpr double kBoltzmannEvPerK = 8.617333262e-5;
+constexpr double kCelsiusToKelvin = 273.15;
+}  // namespace
+
+Weibull::Weibull(double eta, double beta) : eta_(eta), beta_(beta) {
+  if (eta <= 0.0 || beta <= 0.0) {
+    throw std::invalid_argument("Weibull: eta and beta must be positive");
+  }
+}
+
+double Weibull::reliability(double t) const {
+  if (t < 0.0) throw std::invalid_argument("Weibull::reliability: t < 0");
+  return std::exp(-std::pow(t / eta_, beta_));
+}
+
+double Weibull::cdf(double t) const { return 1.0 - reliability(t); }
+
+double Weibull::pdf(double t) const {
+  if (t < 0.0) throw std::invalid_argument("Weibull::pdf: t < 0");
+  if (t == 0.0) {
+    // Limit handling: density is 0 for beta > 1, 1/eta for beta == 1,
+    // +inf for beta < 1; report the right limit for the common cases.
+    if (beta_ > 1.0) return 0.0;
+    if (beta_ == 1.0) return 1.0 / eta_;
+  }
+  const double z = t / eta_;
+  return (beta_ / eta_) * std::pow(z, beta_ - 1.0) * std::exp(-std::pow(z, beta_));
+}
+
+double Weibull::hazard(double t) const {
+  if (t < 0.0) throw std::invalid_argument("Weibull::hazard: t < 0");
+  if (t == 0.0 && beta_ < 1.0) {
+    throw std::domain_error("Weibull::hazard: infinite at t=0 for beta<1");
+  }
+  return (beta_ / eta_) * std::pow(t / eta_, beta_ - 1.0);
+}
+
+double Weibull::mttf() const { return eta_ * std::tgamma(1.0 + 1.0 / beta_); }
+
+double Weibull::quantile(double p) const {
+  if (p < 0.0 || p >= 1.0) {
+    throw std::invalid_argument("Weibull::quantile: p must be in [0,1)");
+  }
+  return eta_ * std::pow(-std::log(1.0 - p), 1.0 / beta_);
+}
+
+double ArrheniusAging::scale_eta(double eta_ref, double temp_c) const {
+  if (eta_ref <= 0.0) {
+    throw std::invalid_argument("ArrheniusAging: eta_ref must be positive");
+  }
+  const double t_k = temp_c + kCelsiusToKelvin;
+  const double t_ref_k = reference_temp_c + kCelsiusToKelvin;
+  if (t_k <= 0.0) {
+    throw std::invalid_argument("ArrheniusAging: temperature below 0K");
+  }
+  const double exponent =
+      (activation_energy_ev / kBoltzmannEvPerK) * (1.0 / t_k - 1.0 / t_ref_k);
+  return eta_ref * std::exp(exponent);
+}
+
+}  // namespace clrearly::reliability

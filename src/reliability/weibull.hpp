@@ -1,0 +1,56 @@
+// Weibull wear-out / lifetime model (TABLE III, Eq. 2).
+//
+// Each PE type carries a shape parameter beta; each task implementation
+// induces a scale parameter eta that reflects the thermal stress of running
+// it (hot implementations age the PE faster). The paper computes
+//   MTTF(t,i,p) = eta(t,i) * Gamma(1 + 1/beta_p)
+// and aggregates per-PE MTTF over the tasks mapped to the PE.
+#pragma once
+
+namespace clrearly::reliability {
+
+/// Two-parameter Weibull distribution.
+class Weibull {
+ public:
+  /// eta = scale (same unit as t), beta = shape; both must be positive.
+  Weibull(double eta, double beta);
+
+  double eta() const noexcept { return eta_; }
+  double beta() const noexcept { return beta_; }
+
+  /// Survival (reliability) function R(t) = exp(-(t/eta)^beta).
+  double reliability(double t) const;
+
+  /// Failure CDF F(t) = 1 - R(t).
+  double cdf(double t) const;
+
+  /// Probability density f(t).
+  double pdf(double t) const;
+
+  /// Hazard rate h(t) = f(t)/R(t) = (beta/eta) (t/eta)^{beta-1}.
+  double hazard(double t) const;
+
+  /// Mean time to failure: eta * Gamma(1 + 1/beta).
+  double mttf() const;
+
+  /// Quantile: time by which fraction p has failed.
+  double quantile(double p) const;
+
+ private:
+  double eta_;
+  double beta_;
+};
+
+/// Arrhenius-style thermal acceleration of the Weibull scale parameter.
+/// eta(T) = eta_ref * exp( (Ea/k) * (1/T - 1/T_ref) ) with temperatures in
+/// Kelvin — hotter than the reference shrinks eta (faster aging).
+struct ArrheniusAging {
+  double activation_energy_ev = 0.48;  ///< typical electromigration Ea
+  double reference_temp_c = 60.0;      ///< temperature at which eta_ref holds
+
+  /// Scale eta_ref quoted at reference_temp_c to operating temperature
+  /// `temp_c`. Monotonically decreasing in temp_c.
+  double scale_eta(double eta_ref, double temp_c) const;
+};
+
+}  // namespace clrearly::reliability

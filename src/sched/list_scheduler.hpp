@@ -1,0 +1,62 @@
+// Priority-list scheduling of a task graph onto a fixed task-to-PE binding.
+//
+// The GA chromosome encodes the schedule implicitly as the ordering of task
+// sub-sequences (Section V-C); the scheduler realizes it: among ready tasks
+// (all predecessors finished) the one earliest in the priority order starts
+// next on its bound PE, at max(PE-free time, latest predecessor finish).
+// Communication delays are not modeled — the paper's architecture abstraction
+// defers interconnect effects to future work.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "app/task_graph.hpp"
+#include "platform/interconnect.hpp"
+
+namespace clrearly::sched {
+
+/// Per-task inputs to the scheduler: the binding and the (already
+/// CLR-adjusted) expected execution time and average power.
+struct TaskAssignment {
+  std::size_t pe = 0;
+  double exec_time_us = 0.0;
+  double power_w = 0.0;
+};
+
+/// Start/end of one task in the computed schedule (SST_t / SET_t).
+struct ScheduledTask {
+  double start_us = 0.0;
+  double end_us = 0.0;
+  std::size_t pe = 0;
+};
+
+struct Schedule {
+  std::vector<ScheduledTask> tasks;  ///< indexed by task id
+  double makespan_us = 0.0;          ///< Sapp = max SET_t
+  std::vector<double> pe_busy_us;    ///< accumulated busy time per PE
+
+  /// Peak instantaneous power: max over time of the summed power of
+  /// concurrently executing tasks (TABLE III, Eq. 4).
+  double peak_power(const std::vector<TaskAssignment>& assignments) const;
+};
+
+/// Compute the schedule. `priority_order` must be a permutation of all task
+/// ids; `assignments` must bind every task to a PE < num_pes. Throws
+/// std::invalid_argument on malformed input.
+Schedule list_schedule(const app::TaskGraph& graph,
+                       const std::vector<TaskAssignment>& assignments,
+                       const std::vector<std::size_t>& priority_order,
+                       std::size_t num_pes);
+
+/// Communication-aware variant (the paper's future-work extension): a
+/// dependency whose producer and consumer sit on *different* PEs delays the
+/// consumer's ready time by the interconnect's transfer time for the edge's
+/// data volume; co-located tasks communicate through local memory for free.
+Schedule list_schedule(const app::TaskGraph& graph,
+                       const std::vector<TaskAssignment>& assignments,
+                       const std::vector<std::size_t>& priority_order,
+                       std::size_t num_pes,
+                       const platform::Interconnect& interconnect);
+
+}  // namespace clrearly::sched

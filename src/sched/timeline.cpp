@@ -1,0 +1,72 @@
+#include "sched/timeline.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace clrearly::sched {
+
+void write_timeline_csv(std::ostream& os, const Schedule& schedule,
+                        const app::TaskGraph& graph) {
+  if (schedule.tasks.size() != graph.num_tasks()) {
+    throw std::invalid_argument("write_timeline_csv: schedule/graph mismatch");
+  }
+  std::vector<std::size_t> order(schedule.tasks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (schedule.tasks[a].start_us != schedule.tasks[b].start_us) {
+      return schedule.tasks[a].start_us < schedule.tasks[b].start_us;
+    }
+    return a < b;
+  });
+
+  os << "task,name,pe,start_us,end_us,exec_us\n";
+  for (std::size_t t : order) {
+    const ScheduledTask& s = schedule.tasks[t];
+    os << t << ',' << graph.task(t).name << ',' << s.pe << ','
+       << util::format_compact(s.start_us) << ','
+       << util::format_compact(s.end_us) << ','
+       << util::format_compact(s.end_us - s.start_us) << '\n';
+  }
+}
+
+std::string gantt_chart(const Schedule& schedule, const app::TaskGraph& graph,
+                        std::size_t num_pes, int width) {
+  if (schedule.tasks.empty() || schedule.tasks.size() != graph.num_tasks()) {
+    throw std::invalid_argument("gantt_chart: schedule/graph mismatch");
+  }
+  if (width < 10) {
+    throw std::invalid_argument("gantt_chart: width too small");
+  }
+  const double makespan = std::max(schedule.makespan_us, 1e-12);
+
+  std::ostringstream oss;
+  oss << "makespan " << util::format_compact(schedule.makespan_us) << " us\n";
+  for (std::size_t pe = 0; pe < num_pes; ++pe) {
+    std::string lane(static_cast<std::size_t>(width), '.');
+    std::string legend;
+    for (std::size_t t = 0; t < schedule.tasks.size(); ++t) {
+      if (schedule.tasks[t].pe != pe) continue;
+      const int begin = static_cast<int>(schedule.tasks[t].start_us /
+                                         makespan * (width - 1));
+      const int end =
+          std::max(begin + 1, static_cast<int>(schedule.tasks[t].end_us /
+                                               makespan * (width - 1)));
+      const char mark = static_cast<char>('A' + (t % 26));
+      for (int x = begin; x < end && x < width; ++x) {
+        lane[static_cast<std::size_t>(x)] = mark;
+      }
+      legend += ' ';
+      legend += mark;
+      legend += '=';
+      legend += graph.task(t).name;
+    }
+    oss << "PE" << pe << " |" << lane << "|" << legend << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace clrearly::sched

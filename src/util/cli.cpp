@@ -1,0 +1,131 @@
+#include "util/cli.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace clrearly::util {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+ArgParser& ArgParser::flag(const std::string& name, const std::string& help) {
+  if (!specs_.emplace(name, Spec{help, /*is_flag=*/true, ""}).second) {
+    throw std::invalid_argument("ArgParser: duplicate declaration of " + name);
+  }
+  declaration_order_.push_back(name);
+  return *this;
+}
+
+ArgParser& ArgParser::option(const std::string& name, const std::string& help,
+                             const std::string& default_value) {
+  if (!specs_.emplace(name, Spec{help, /*is_flag=*/false, default_value})
+           .second) {
+    throw std::invalid_argument("ArgParser: duplicate declaration of " + name);
+  }
+  declaration_order_.push_back(name);
+  return *this;
+}
+
+void ArgParser::parse(const std::vector<std::string>& args) {
+  values_.clear();
+  positionals_.clear();
+  bool options_done = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (options_done || arg.size() < 2 || arg.compare(0, 2, "--") != 0) {
+      positionals_.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      options_done = true;
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_inline_value = false;
+    const std::size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline_value = true;
+    }
+    const auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      throw std::invalid_argument("unknown option --" + name);
+    }
+    if (it->second.is_flag) {
+      if (has_inline_value) {
+        throw std::invalid_argument("flag --" + name + " takes no value");
+      }
+      values_[name] = "true";
+      continue;
+    }
+    if (!has_inline_value) {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument("option --" + name + " needs a value");
+      }
+      value = args[++i];
+    }
+    values_[name] = value;
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return values_.contains(name);
+}
+
+const std::string& ArgParser::get(const std::string& name) const {
+  const auto value = values_.find(name);
+  if (value != values_.end()) return value->second;
+  const auto spec = specs_.find(name);
+  if (spec == specs_.end() || spec->second.is_flag) {
+    throw std::invalid_argument("ArgParser::get: unknown option " + name);
+  }
+  return spec->second.default_value;
+}
+
+double ArgParser::get_number(const std::string& name) const {
+  const std::string& text = get(name);
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + ": '" + text +
+                                "' is not a number");
+  }
+  if (consumed != text.size()) {
+    throw std::invalid_argument("option --" + name + ": '" + text +
+                                "' is not a number");
+  }
+  return value;
+}
+
+std::uint64_t ArgParser::get_uint(const std::string& name) const {
+  const double value = get_number(name);
+  if (value < 0.0 || value != static_cast<double>(
+                                  static_cast<std::uint64_t>(value))) {
+    throw std::invalid_argument("option --" + name +
+                                " must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+std::string ArgParser::help() const {
+  std::ostringstream oss;
+  oss << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const std::string& name : declaration_order_) {
+    const Spec& spec = specs_.at(name);
+    oss << "  --" << name;
+    if (!spec.is_flag) {
+      oss << " <value>";
+      if (!spec.default_value.empty()) {
+        oss << " (default: " << spec.default_value << ")";
+      }
+    }
+    oss << "\n      " << spec.help << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace clrearly::util

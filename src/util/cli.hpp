@@ -1,0 +1,61 @@
+// Tiny command-line argument parser for the clrearly tools: long options
+// (--key value or --key=value), boolean flags, typed accessors with
+// defaults, and generated help text. Deliberately minimal — no subcommand
+// support here; tools dispatch on argv[1] themselves.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace clrearly::util {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Declare a boolean flag (--name). Returns *this for chaining.
+  ArgParser& flag(const std::string& name, const std::string& help);
+
+  /// Declare a valued option (--name <value>) with a default.
+  ArgParser& option(const std::string& name, const std::string& help,
+                    const std::string& default_value);
+
+  /// Parse `args` (argv[1:]; the program name must not be included).
+  /// Throws std::invalid_argument on unknown options, missing values or a
+  /// flag given a value. "--" ends option parsing; the rest are positionals.
+  void parse(const std::vector<std::string>& args);
+
+  /// True when a declared flag was present (or an option explicitly set).
+  bool has(const std::string& name) const;
+
+  /// Value of an option (explicit or default); throws for unknown names.
+  const std::string& get(const std::string& name) const;
+  double get_number(const std::string& name) const;
+  std::uint64_t get_uint(const std::string& name) const;
+
+  /// Arguments that were not options.
+  const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
+  }
+
+  /// Usage text listing every declared flag/option with its help string.
+  std::string help() const;
+
+ private:
+  struct Spec {
+    std::string help;
+    bool is_flag = false;
+    std::string default_value;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::string> declaration_order_;
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace clrearly::util

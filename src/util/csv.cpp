@@ -1,0 +1,70 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace clrearly::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (const auto& f : fields) field(f);
+  end_row();
+}
+
+CsvWriter& CsvWriter::field(std::string_view text) {
+  if (row_open_) out_ << ',';
+  out_ << escape(text);
+  row_open_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return field(std::string_view(buf));
+}
+
+CsvWriter& CsvWriter::field(long long value) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  (void)ec;
+  return field(std::string_view(buf, static_cast<std::size_t>(ptr - buf)));
+}
+
+CsvWriter& CsvWriter::field(std::size_t value) {
+  return field(static_cast<long long>(value));
+}
+
+void CsvWriter::end_row() {
+  out_ << '\n';
+  row_open_ = false;
+}
+
+void CsvWriter::flush() { out_.flush(); }
+
+std::string CsvWriter::escape(std::string_view text) {
+  const bool needs_quotes =
+      text.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(text);
+  std::string out = "\"";
+  for (char c : text) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string format_compact(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return buf;
+}
+
+}  // namespace clrearly::util

@@ -1,0 +1,43 @@
+// CSV emission for bench results (one file per reproduced table/figure so the
+// series can be re-plotted outside the harness).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clrearly::util {
+
+/// RFC-4180-ish CSV writer: quotes fields containing separators/quotes/
+/// newlines, doubles embedded quotes. Numeric overloads format with enough
+/// precision to round-trip doubles.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Write a full row; fields are escaped individually.
+  void row(const std::vector<std::string>& fields);
+
+  /// Append one field to the current row (flushed by end_row()).
+  CsvWriter& field(std::string_view text);
+  CsvWriter& field(double value);
+  CsvWriter& field(long long value);
+  CsvWriter& field(std::size_t value);
+  void end_row();
+
+  /// Flush buffered output to disk.
+  void flush();
+
+ private:
+  static std::string escape(std::string_view text);
+
+  std::ofstream out_;
+  bool row_open_ = false;
+};
+
+/// Format a double compactly (%.6g-style) for table output.
+std::string format_compact(double value);
+
+}  // namespace clrearly::util

@@ -1,0 +1,49 @@
+// Minimal leveled logging to stderr. The DSE flows report per-stage progress
+// at Info; set_level(Level::Warn) silences them (the benches do this when a
+// machine-readable stream is wanted).
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace clrearly::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide minimum level (default Info).
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit one line at `level` (filtered against the process-wide minimum).
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+
+/// Stream-style one-shot logger: Log(level) << "x=" << x; flushes on
+/// destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, oss_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    oss_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream oss_;
+};
+
+}  // namespace detail
+
+inline detail::LogStream log_debug() { return detail::LogStream(LogLevel::Debug); }
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::Info); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::Warn); }
+inline detail::LogStream log_error() { return detail::LogStream(LogLevel::Error); }
+
+}  // namespace clrearly::util

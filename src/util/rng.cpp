@@ -1,0 +1,120 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace clrearly::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // xoshiro requires a nonzero state; splitmix64 output of four consecutive
+  // draws being all-zero cannot happen, but keep the guard for clarity.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection-free Lemire-style bounded draw (bias negligible for our spans,
+  // but do one rejection round for cleanliness).
+  std::uint64_t x = next_u64();
+  std::uint64_t r = x % span;
+  return lo + static_cast<std::int64_t>(r);
+}
+
+std::size_t Rng::index(std::size_t n) noexcept {
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  const double pc = std::clamp(p, 0.0, 1.0);
+  return uniform() < pc;
+}
+
+double Rng::normal() noexcept {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; avoid log(0).
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = mag * std::sin(angle);
+  have_cached_normal_ = true;
+  return mag * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += std::max(w, 0.0);
+  if (total <= 0.0) return index(weights.size());
+  double pick = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    pick -= std::max(weights[i], 0.0);
+    if (pick <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::split() noexcept {
+  Rng child(0);
+  for (auto& word : child.s_) word = next_u64();
+  if ((child.s_[0] | child.s_[1] | child.s_[2] | child.s_[3]) == 0) {
+    child.s_[0] = 1;
+  }
+  child.have_cached_normal_ = false;
+  return child;
+}
+
+}  // namespace clrearly::util

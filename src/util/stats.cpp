@@ -1,0 +1,87 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace clrearly::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_total = na + nb;
+  mean_ += delta * nb / n_total;
+  m2_ += other.m2_ + delta * delta * na * nb / n_total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double mean(const std::vector<double>& xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double geometric_mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_acc = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) {
+      throw std::domain_error("geometric_mean: non-positive sample");
+    }
+    log_acc += std::log(x);
+  }
+  return std::exp(log_acc / static_cast<double>(xs.size()));
+}
+
+double median(std::vector<double> xs) { return quantile(std::move(xs), 0.5); }
+
+double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double percent_change(double base, double value) noexcept {
+  if (base == 0.0) {
+    if (value == 0.0) return 0.0;
+    return value > 0.0 ? std::numeric_limits<double>::infinity()
+                       : -std::numeric_limits<double>::infinity();
+  }
+  return 100.0 * (value - base) / base;
+}
+
+}  // namespace clrearly::util

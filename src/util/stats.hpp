@@ -1,0 +1,50 @@
+// Small statistics helpers shared by the benches and EXPERIMENTS reporting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace clrearly::util {
+
+/// Streaming mean / variance / extrema accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Merge another accumulator (parallel Welford combination).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of a sample; 0 for an empty sample.
+double mean(const std::vector<double>& xs) noexcept;
+
+/// Geometric mean; requires strictly positive entries, 0 for empty input.
+double geometric_mean(const std::vector<double>& xs);
+
+/// Median (interpolated for even sizes); copies and sorts internally.
+double median(std::vector<double> xs);
+
+/// q-th quantile in [0,1] with linear interpolation; copies and sorts.
+double quantile(std::vector<double> xs, double q);
+
+/// Percentage change from `base` to `value`: 100 * (value - base) / base.
+/// Returns 0 when base == 0 and value == 0; +/-inf preserved otherwise.
+double percent_change(double base, double value) noexcept;
+
+}  // namespace clrearly::util

@@ -1,0 +1,52 @@
+// Fixed-width text tables for bench output — the benches print the same rows
+// the paper's tables report, so alignment matters for readability.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace clrearly::util {
+
+/// Column-aligned ASCII table. Collect rows, then print(); widths are derived
+/// from content. Intended for small result tables, not bulk data (use
+/// CsvWriter for that).
+class TextTable {
+ public:
+  /// Set the header row (optional).
+  void header(std::vector<std::string> cells);
+
+  /// Append a data row. Rows may have differing lengths; shorter rows are
+  /// padded with empty cells when printed.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: append a row of already-formatted cells.
+  template <typename... Cells>
+  void row(Cells&&... cells) {
+    add_row({to_cell(std::forward<Cells>(cells))...});
+  }
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with single-space-padded columns and a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Render to a string (used by tests).
+  std::string to_string() const;
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(double v);
+  static std::string to_cell(int v) { return std::to_string(v); }
+  static std::string to_cell(long v) { return std::to_string(v); }
+  static std::string to_cell(long long v) { return std::to_string(v); }
+  static std::string to_cell(unsigned v) { return std::to_string(v); }
+  static std::string to_cell(unsigned long v) { return std::to_string(v); }
+  static std::string to_cell(unsigned long long v) { return std::to_string(v); }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace clrearly::util

@@ -1,0 +1,158 @@
+#include "app/characterizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace clrearly::app {
+namespace {
+
+TEST(CharacterizerOptionsTest, Validation) {
+  {
+    CharacterizerOptions o;
+    o.exec_time_median_us = 0.0;
+    EXPECT_THROW(o.validate(), std::invalid_argument);
+  }
+  {
+    CharacterizerOptions o;
+    o.proc_power_max_w = o.proc_power_min_w / 2.0;
+    EXPECT_THROW(o.validate(), std::invalid_argument);
+  }
+  {
+    CharacterizerOptions o;
+    o.fabric_speedup_min = 0.5;
+    EXPECT_THROW(o.validate(), std::invalid_argument);
+  }
+  {
+    CharacterizerOptions o;
+    o.fabric_availability = 2.0;
+    EXPECT_THROW(o.validate(), std::invalid_argument);
+  }
+  {
+    CharacterizerOptions o;
+    o.software_variants = 0;
+    EXPECT_THROW(o.validate(), std::invalid_argument);
+  }
+}
+
+TEST(CharacterizerTest, EveryTypeGetsProcessorImpl) {
+  CharacterizerOptions o;
+  util::Rng rng(7);
+  const auto impls = characterize_types(10, o, rng);
+  ASSERT_EQ(impls.size(), 10u);
+  for (const auto& type_impls : impls) {
+    ASSERT_FALSE(type_impls.empty());
+    EXPECT_EQ(type_impls[0].target, platform::PeClass::kEmbeddedProcessor);
+    for (const auto& impl : type_impls) {
+      EXPECT_NO_THROW(impl.validate());
+    }
+  }
+}
+
+TEST(CharacterizerTest, FullFabricAvailabilityGivesFabricImplEverywhere) {
+  CharacterizerOptions o;
+  o.fabric_availability = 1.0;
+  util::Rng rng(8);
+  const auto impls = characterize_types(10, o, rng);
+  for (const auto& type_impls : impls) {
+    bool has_fabric = false;
+    for (const auto& impl : type_impls) {
+      if (impl.target == platform::PeClass::kReconfigurableRegion) {
+        has_fabric = true;
+      }
+    }
+    EXPECT_TRUE(has_fabric);
+  }
+}
+
+TEST(CharacterizerTest, ZeroFabricAvailabilityGivesNone) {
+  CharacterizerOptions o;
+  o.fabric_availability = 0.0;
+  util::Rng rng(9);
+  const auto impls = characterize_types(10, o, rng);
+  for (const auto& type_impls : impls) {
+    for (const auto& impl : type_impls) {
+      EXPECT_EQ(impl.target, platform::PeClass::kEmbeddedProcessor);
+    }
+  }
+}
+
+TEST(CharacterizerTest, FabricSpeedupAndPowerWithinConfiguredRanges) {
+  CharacterizerOptions o;
+  util::Rng rng(10);
+  const auto impls = characterize_types(20, o, rng);
+  for (const auto& type_impls : impls) {
+    const auto& sw = type_impls[0];
+    for (const auto& impl : type_impls) {
+      if (impl.target != platform::PeClass::kReconfigurableRegion) continue;
+      const double speedup = sw.base_exec_time_us / impl.base_exec_time_us;
+      EXPECT_GE(speedup, o.fabric_speedup_min - 1e-9);
+      EXPECT_LE(speedup, o.fabric_speedup_max + 1e-9);
+      const double pf = impl.base_power_w / sw.base_power_w;
+      EXPECT_GE(pf, o.fabric_power_factor_min - 1e-9);
+      EXPECT_LE(pf, o.fabric_power_factor_max + 1e-9);
+    }
+  }
+}
+
+TEST(CharacterizerTest, SoftwareVariantsTradeTimeForPower) {
+  CharacterizerOptions o;
+  o.software_variants = 3;
+  o.fabric_availability = 0.0;
+  util::Rng rng(11);
+  const auto impls = characterize_types(5, o, rng);
+  for (const auto& type_impls : impls) {
+    ASSERT_EQ(type_impls.size(), 3u);
+    for (std::size_t v = 1; v < 3; ++v) {
+      EXPECT_LT(type_impls[v].base_exec_time_us,
+                type_impls[v - 1].base_exec_time_us);
+      EXPECT_GT(type_impls[v].base_power_w, type_impls[v - 1].base_power_w);
+    }
+  }
+}
+
+TEST(CharacterizerTest, DeterministicForRngState) {
+  CharacterizerOptions o;
+  util::Rng a(42), b(42);
+  const auto impls_a = characterize_types(8, o, a);
+  const auto impls_b = characterize_types(8, o, b);
+  for (std::size_t t = 0; t < 8; ++t) {
+    ASSERT_EQ(impls_a[t].size(), impls_b[t].size());
+    for (std::size_t i = 0; i < impls_a[t].size(); ++i) {
+      EXPECT_EQ(impls_a[t][i].base_exec_time_us,
+                impls_b[t][i].base_exec_time_us);
+      EXPECT_EQ(impls_a[t][i].base_power_w, impls_b[t][i].base_power_w);
+    }
+  }
+}
+
+TEST(SyntheticApplicationTest, BuildsValidatedApplication) {
+  const Application syn = make_synthetic_application(30, 10, 5);
+  EXPECT_EQ(syn.graph.num_tasks(), 30u);
+  EXPECT_LE(syn.graph.num_types(), 10u);
+  EXPECT_NO_THROW(syn.validate());
+  EXPECT_GT(syn.period_us, 0.0);
+}
+
+TEST(SyntheticApplicationTest, DeterministicForSeed) {
+  const Application a = make_synthetic_application(25, 10, 3);
+  const Application b = make_synthetic_application(25, 10, 3);
+  EXPECT_EQ(a.graph.edges(), b.graph.edges());
+  EXPECT_EQ(a.period_us, b.period_us);
+}
+
+TEST(SyntheticApplicationTest, SmallTaskCountClampsTypes) {
+  const Application tiny = make_synthetic_application(4, 10, 1);
+  EXPECT_EQ(tiny.graph.num_tasks(), 4u);
+  EXPECT_LE(tiny.graph.num_types(), 4u);
+  EXPECT_NO_THROW(tiny.validate());
+}
+
+TEST(SyntheticApplicationTest, PeriodScalesWithWorkload) {
+  const Application small = make_synthetic_application(10, 10, 7);
+  const Application large = make_synthetic_application(100, 10, 7);
+  EXPECT_GT(large.period_us, small.period_us);
+}
+
+}  // namespace
+}  // namespace clrearly::app

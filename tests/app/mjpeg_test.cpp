@@ -1,0 +1,122 @@
+#include "app/mjpeg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dse.hpp"
+#include "core/experiment.hpp"
+#include "platform/architecture.hpp"
+#include "util/log.hpp"
+
+namespace clrearly::app {
+namespace {
+
+TEST(MjpegTest, StructureIsTheEncoderPipeline) {
+  const Application mjpeg = make_mjpeg_application();
+  EXPECT_EQ(mjpeg.graph.num_tasks(), 9u);
+  EXPECT_EQ(mjpeg.graph.num_types(), 5u);
+  EXPECT_EQ(mjpeg.graph.num_edges(), 10u);
+  EXPECT_NO_THROW(mjpeg.validate());
+
+  // Single source (color conversion), single sink (Huffman).
+  EXPECT_EQ(mjpeg.graph.sources(), std::vector<std::size_t>{0});
+  EXPECT_EQ(mjpeg.graph.sinks(), std::vector<std::size_t>{8});
+  // Color conversion fans out to three DCTs; RLE joins three quantizers.
+  EXPECT_EQ(mjpeg.graph.successors(0).size(), 3u);
+  EXPECT_EQ(mjpeg.graph.predecessors(7).size(), 3u);
+  // Depth: CSC -> DCT -> Quant -> RLE -> Huffman.
+  EXPECT_EQ(mjpeg.graph.critical_path_length(), 5u);
+}
+
+TEST(MjpegTest, EntropyStagesAreMostCritical) {
+  const Application mjpeg = make_mjpeg_application();
+  const auto zeta = mjpeg.graph.normalized_criticality();
+  // Huffman is the single most critical task; RLE second.
+  for (std::size_t t = 0; t < 8; ++t) {
+    EXPECT_GT(zeta[8], zeta[t]);
+  }
+  for (std::size_t t = 0; t < 7; ++t) {
+    EXPECT_GT(zeta[7], zeta[t]);
+  }
+}
+
+TEST(MjpegTest, OnlyParallelStagesHaveFabricImpls) {
+  const Application mjpeg = make_mjpeg_application();
+  auto has_fabric = [&](std::size_t type) {
+    for (const auto& impl : mjpeg.impls[type]) {
+      if (impl.target == platform::PeClass::kReconfigurableRegion) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_fabric(kColorConvert));
+  EXPECT_TRUE(has_fabric(kDct));
+  EXPECT_FALSE(has_fabric(kQuantize));
+  EXPECT_FALSE(has_fabric(kZigZagRle));
+  EXPECT_FALSE(has_fabric(kHuffman));  // data-dependent control flow
+}
+
+TEST(MjpegTest, ChromaEdgesCarryLessData) {
+  const Application mjpeg = make_mjpeg_application();
+  const app::Edge* luma = mjpeg.graph.find_edge(0, 1);
+  const app::Edge* chroma = mjpeg.graph.find_edge(0, 2);
+  ASSERT_NE(luma, nullptr);
+  ASSERT_NE(chroma, nullptr);
+  EXPECT_GT(luma->data_kb, chroma->data_kb);
+}
+
+TEST(MjpegTest, FullDseFlowProducesFeasibleFront) {
+  util::set_log_level(util::LogLevel::Warn);
+  core::DseOptions options;
+  options.ga.population_size = 32;
+  options.ga.generations = 12;
+  options.seed = 6;
+  options.spec.min_functional_rel = 0.99;
+
+  const core::DseMethodology dse(make_mjpeg_application(),
+                                 platform::Architecture::paper_default(),
+                                 core::bench_system_analyzer());
+  const core::DseOutcome outcome = dse.run_proposed(options);
+  ASSERT_FALSE(outcome.front.empty());
+  for (const auto& p : outcome.front) {
+    EXPECT_GT(p[0], 0.0);
+    EXPECT_LE(p[1], 0.01 + 1e-9);  // the spec bounds the front's error
+  }
+}
+
+TEST(MjpegTest, ProtectionConcentratesOnCriticalStages) {
+  // In the fastest feasible design, the DSE should spend its protection
+  // budget where criticality is: the entropy stages get at least as much
+  // configured protection (non-baseline CLR methods) as the pixel stages.
+  util::set_log_level(util::LogLevel::Warn);
+  core::DseOptions options;
+  options.ga.population_size = 48;
+  options.ga.generations = 25;
+  options.seed = 8;
+  options.spec.min_functional_rel = 0.995;
+
+  const Application mjpeg = make_mjpeg_application();
+  const core::DseMethodology dse(mjpeg,
+                                 platform::Architecture::paper_default(),
+                                 core::bench_system_analyzer());
+  const core::DseOutcome outcome = dse.run_proposed(options);
+  ASSERT_FALSE(outcome.front.empty());
+
+  const core::ClrMappingProblem problem(
+      mjpeg, platform::Architecture::paper_default(),
+      core::bench_system_analyzer(), core::SystemObjectives{}, options.spec);
+  std::size_t fastest = 0;
+  for (std::size_t i = 1; i < outcome.front.size(); ++i) {
+    if (outcome.front[i][0] < outcome.front[fastest][0]) fastest = i;
+  }
+  const auto report = problem.report(outcome.front_genomes[fastest]);
+  auto protection_level = [](const core::ClrMappingProblem::TaskChoice& c) {
+    return (c.config.hw > 0 ? 1 : 0) + (c.config.ssw > 0 ? 1 : 0) +
+           (c.config.asw > 0 ? 1 : 0);
+  };
+  // Huffman (task 8) must carry some protection under a 99.5% floor.
+  EXPECT_GT(protection_level(report[8]), 0);
+}
+
+}  // namespace
+}  // namespace clrearly::app

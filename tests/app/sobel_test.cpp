@@ -1,0 +1,81 @@
+#include "app/sobel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clrearly::app {
+namespace {
+
+TEST(SobelTest, StructureMatchesFig2b) {
+  const Application sobel = make_sobel_application();
+  // Five tasks of four types, five edges.
+  EXPECT_EQ(sobel.graph.num_tasks(), 5u);
+  EXPECT_EQ(sobel.graph.num_types(), 4u);
+  EXPECT_EQ(sobel.graph.num_edges(), 5u);
+  EXPECT_NO_THROW(sobel.validate());
+}
+
+TEST(SobelTest, GradientTasksShareType) {
+  const Application sobel = make_sobel_application();
+  EXPECT_EQ(sobel.graph.task(2).type, sobel.graph.task(3).type);
+  EXPECT_EQ(sobel.graph.task(2).type, static_cast<std::size_t>(kSobGrad));
+}
+
+TEST(SobelTest, PipelineShape) {
+  const Application sobel = make_sobel_application();
+  // GScale is the unique source; CombThr the unique sink.
+  EXPECT_EQ(sobel.graph.sources(), std::vector<std::size_t>{0});
+  EXPECT_EQ(sobel.graph.sinks(), std::vector<std::size_t>{4});
+  // Smoothing fans out to both gradient kernels.
+  EXPECT_EQ(sobel.graph.successors(1).size(), 2u);
+  // Both gradients join at the combiner.
+  EXPECT_EQ(sobel.graph.predecessors(4).size(), 2u);
+  // Longest path: GScale -> GSmth -> SobGrad -> CombThr.
+  EXPECT_EQ(sobel.graph.critical_path_length(), 4u);
+}
+
+TEST(SobelTest, EveryTypeHasProcessorAndFabricImpl) {
+  const Application sobel = make_sobel_application();
+  for (std::size_t type = 0; type < 4; ++type) {
+    ASSERT_EQ(sobel.impls[type].size(), 2u) << "type " << type;
+    bool has_proc = false, has_fabric = false;
+    for (const auto& impl : sobel.impls[type]) {
+      if (impl.target == platform::PeClass::kEmbeddedProcessor) {
+        has_proc = true;
+      }
+      if (impl.target == platform::PeClass::kReconfigurableRegion) {
+        has_fabric = true;
+      }
+    }
+    EXPECT_TRUE(has_proc) << "type " << type;
+    EXPECT_TRUE(has_fabric) << "type " << type;
+  }
+}
+
+TEST(SobelTest, FabricImplsAreFasterButHotter) {
+  const Application sobel = make_sobel_application();
+  for (std::size_t type = 0; type < 4; ++type) {
+    const auto& proc = sobel.impls[type][0];
+    const auto& fabric = sobel.impls[type][1];
+    EXPECT_LT(fabric.base_exec_time_us, proc.base_exec_time_us);
+    EXPECT_GT(fabric.base_power_w, proc.base_power_w);
+  }
+}
+
+TEST(SobelTest, CombinerIsMostCritical) {
+  const Application sobel = make_sobel_application();
+  const auto zeta = sobel.graph.normalized_criticality();
+  for (std::size_t t = 0; t < 4; ++t) {
+    EXPECT_GT(zeta[4], zeta[t]);
+  }
+}
+
+TEST(SobelTest, DeterministicConstruction) {
+  const Application a = make_sobel_application();
+  const Application b = make_sobel_application();
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.impls[0][0].base_exec_time_us, b.impls[0][0].base_exec_time_us);
+  EXPECT_EQ(a.period_us, b.period_us);
+}
+
+}  // namespace
+}  // namespace clrearly::app

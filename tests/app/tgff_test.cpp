@@ -1,0 +1,168 @@
+#include "app/tgff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace clrearly::app {
+namespace {
+
+TEST(TgffOptionsTest, Validation) {
+  {
+    TgffOptions o;
+    o.num_tasks = 0;
+    EXPECT_THROW(o.validate(), std::invalid_argument);
+  }
+  {
+    TgffOptions o;
+    o.num_types = 0;
+    EXPECT_THROW(o.validate(), std::invalid_argument);
+  }
+  {
+    TgffOptions o;
+    o.max_out_degree = 0;
+    EXPECT_THROW(o.validate(), std::invalid_argument);
+  }
+  {
+    TgffOptions o;
+    o.fan_out_mean = 0.5;
+    EXPECT_THROW(o.validate(), std::invalid_argument);
+  }
+  {
+    TgffOptions o;
+    o.cross_edge_prob = 1.5;
+    EXPECT_THROW(o.validate(), std::invalid_argument);
+  }
+  {
+    TgffOptions o;
+    o.criticality_max = 0.1;  // below criticality_min
+    EXPECT_THROW(o.validate(), std::invalid_argument);
+  }
+}
+
+struct TgffCase {
+  std::size_t num_tasks;
+  std::uint64_t seed;
+};
+
+class TgffGraphTest : public ::testing::TestWithParam<TgffCase> {};
+
+TEST_P(TgffGraphTest, ExactTaskCountAndDag) {
+  TgffOptions o;
+  o.num_tasks = GetParam().num_tasks;
+  util::Rng rng(GetParam().seed);
+  const TaskGraph g = generate_tgff_graph(o, rng);
+  EXPECT_EQ(g.num_tasks(), o.num_tasks);
+  EXPECT_NO_THROW(g.validate());  // includes acyclicity
+}
+
+TEST_P(TgffGraphTest, ConnectedFromSingleRoot) {
+  TgffOptions o;
+  o.num_tasks = GetParam().num_tasks;
+  util::Rng rng(GetParam().seed);
+  const TaskGraph g = generate_tgff_graph(o, rng);
+  // Every non-root task was created with at least one predecessor, so the
+  // graph is weakly connected with task 0 as the unique source root...
+  // unless a restart attached elsewhere — but everyone still has parents.
+  std::size_t parentless = 0;
+  for (std::size_t t = 0; t < g.num_tasks(); ++t) {
+    if (g.predecessors(t).empty()) ++parentless;
+  }
+  EXPECT_EQ(parentless, 1u);
+}
+
+TEST_P(TgffGraphTest, DegreesRespectCaps) {
+  TgffOptions o;
+  o.num_tasks = GetParam().num_tasks;
+  o.max_out_degree = 3;
+  o.max_in_degree = 3;
+  util::Rng rng(GetParam().seed);
+  const TaskGraph g = generate_tgff_graph(o, rng);
+  for (std::size_t t = 0; t < g.num_tasks(); ++t) {
+    EXPECT_LE(g.predecessors(t).size(), o.max_in_degree);
+    // Out-degree may exceed the cap by the (rare) restart fallback by at
+    // most one.
+    EXPECT_LE(g.successors(t).size(), o.max_out_degree + 1);
+  }
+}
+
+TEST_P(TgffGraphTest, TypeCoverageWhenEnoughTasks) {
+  TgffOptions o;
+  o.num_tasks = GetParam().num_tasks;
+  o.num_types = 10;
+  util::Rng rng(GetParam().seed);
+  const TaskGraph g = generate_tgff_graph(o, rng);
+  std::set<std::size_t> types;
+  for (const Task& t : g.tasks()) {
+    EXPECT_LT(t.type, o.num_types);
+    types.insert(t.type);
+  }
+  if (o.num_tasks >= o.num_types) {
+    EXPECT_EQ(types.size(), o.num_types);
+  }
+}
+
+TEST_P(TgffGraphTest, CriticalityWithinBounds) {
+  TgffOptions o;
+  o.num_tasks = GetParam().num_tasks;
+  util::Rng rng(GetParam().seed);
+  const TaskGraph g = generate_tgff_graph(o, rng);
+  for (const Task& t : g.tasks()) {
+    EXPECT_GE(t.criticality, o.criticality_min);
+    EXPECT_LE(t.criticality, o.criticality_max);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, TgffGraphTest,
+    ::testing::Values(TgffCase{10, 1}, TgffCase{20, 2}, TgffCase{30, 3},
+                      TgffCase{50, 4}, TgffCase{100, 5}, TgffCase{10, 99},
+                      TgffCase{100, 77}, TgffCase{1, 1}, TgffCase{2, 1}));
+
+TEST(TgffGraphTest, DeterministicForSeed) {
+  TgffOptions o;
+  o.num_tasks = 40;
+  util::Rng rng_a(123), rng_b(123);
+  const TaskGraph a = generate_tgff_graph(o, rng_a);
+  const TaskGraph b = generate_tgff_graph(o, rng_b);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.edges(), b.edges());
+  for (std::size_t t = 0; t < a.num_tasks(); ++t) {
+    EXPECT_EQ(a.task(t).type, b.task(t).type);
+    EXPECT_EQ(a.task(t).criticality, b.task(t).criticality);
+  }
+}
+
+TEST(TgffGraphTest, DifferentSeedsProduceDifferentGraphs) {
+  TgffOptions o;
+  o.num_tasks = 40;
+  util::Rng rng_a(1), rng_b(2);
+  const TaskGraph a = generate_tgff_graph(o, rng_a);
+  const TaskGraph b = generate_tgff_graph(o, rng_b);
+  EXPECT_NE(a.edges(), b.edges());
+}
+
+TEST(TgffGraphTest, DepthScalesWithFanOut) {
+  // Wider fan-out should produce shallower graphs on average.
+  TgffOptions narrow;
+  narrow.num_tasks = 60;
+  narrow.fan_out_mean = 1.1;
+  narrow.cross_edge_prob = 0.0;
+  TgffOptions wide = narrow;
+  wide.fan_out_mean = 3.0;
+  wide.max_out_degree = 5;
+
+  double narrow_depth = 0.0, wide_depth = 0.0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    util::Rng rng_n(seed), rng_w(seed);
+    narrow_depth +=
+        static_cast<double>(generate_tgff_graph(narrow, rng_n).critical_path_length());
+    wide_depth +=
+        static_cast<double>(generate_tgff_graph(wide, rng_w).critical_path_length());
+  }
+  EXPECT_GT(narrow_depth, wide_depth);
+}
+
+}  // namespace
+}  // namespace clrearly::app

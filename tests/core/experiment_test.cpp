@@ -1,0 +1,116 @@
+// Tests for the bench scaffolding (core/experiment) and the DSE flows'
+// behavior under infeasible specs.
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "app/sobel.hpp"
+#include "core/baselines.hpp"
+#include "platform/architecture.hpp"
+#include "util/log.hpp"
+
+namespace clrearly::core {
+namespace {
+
+class FastModeTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("CLREARLY_FAST"); }
+};
+
+TEST_F(FastModeTest, OffByDefaultAndZero) {
+  unsetenv("CLREARLY_FAST");
+  EXPECT_FALSE(fast_mode());
+  setenv("CLREARLY_FAST", "", 1);
+  EXPECT_FALSE(fast_mode());
+  setenv("CLREARLY_FAST", "0", 1);
+  EXPECT_FALSE(fast_mode());
+}
+
+TEST_F(FastModeTest, AnyOtherValueEnables) {
+  setenv("CLREARLY_FAST", "1", 1);
+  EXPECT_TRUE(fast_mode());
+  setenv("CLREARLY_FAST", "yes", 1);
+  EXPECT_TRUE(fast_mode());
+}
+
+TEST_F(FastModeTest, ScalesBenchKnobs) {
+  setenv("CLREARLY_FAST", "1", 1);
+  const auto fast_params = bench_ga_params();
+  const auto fast_counts = bench_task_counts();
+  unsetenv("CLREARLY_FAST");
+  const auto full_params = bench_ga_params();
+  const auto full_counts = bench_task_counts();
+
+  EXPECT_LT(fast_params.population_size, full_params.population_size);
+  EXPECT_LT(fast_params.generations, full_params.generations);
+  EXPECT_LT(fast_counts.size(), full_counts.size());
+  // Operator probabilities stay at the paper's values in both modes.
+  EXPECT_DOUBLE_EQ(fast_params.crossover_prob, full_params.crossover_prob);
+  EXPECT_DOUBLE_EQ(fast_params.mutation_indpb, full_params.mutation_indpb);
+}
+
+TEST(BenchOptionsTest, EncodesTheEvaluationSetup) {
+  const DseOptions options = bench_options(77);
+  EXPECT_EQ(options.seed, 77u);
+  EXPECT_EQ(options.objectives.count(), 2u);
+  ASSERT_TRUE(options.spec.min_functional_rel.has_value());
+  EXPECT_DOUBLE_EQ(*options.spec.min_functional_rel, 0.99);
+}
+
+TEST(BenchAnalyzerTest, HarsherThanPaperDefault) {
+  const auto bench = bench_system_analyzer();
+  const auto base = reliability::TaskAnalyzer::paper_default();
+  EXPECT_GT(bench.environment().environment_factor,
+            base.environment().environment_factor);
+}
+
+class WriteFrontsCsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    std::filesystem::remove("results/experiment_test.csv");
+  }
+};
+
+TEST_F(WriteFrontsCsvTest, WritesSeriesRows) {
+  const std::vector<std::pair<std::string, std::vector<moea::Objectives>>>
+      series{{"alpha", {{1.0, 2.0}, {3.0, 4.0}}}, {"beta", {{5.0, 6.0}}}};
+  const std::string path =
+      write_fronts_csv("experiment_test.csv", series, {"x", "y"});
+  EXPECT_EQ(path, "results/experiment_test.csv");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  const std::string text = oss.str();
+  EXPECT_NE(text.find("series,x,y"), std::string::npos);
+  EXPECT_NE(text.find("alpha,1,2"), std::string::npos);
+  EXPECT_NE(text.find("alpha,3,4"), std::string::npos);
+  EXPECT_NE(text.find("beta,5,6"), std::string::npos);
+}
+
+TEST(InfeasibleSpecTest, FlowsReportEmptyFronts) {
+  util::set_log_level(util::LogLevel::Warn);
+  DseOptions options;
+  options.ga.population_size = 16;
+  options.ga.generations = 4;
+  options.seed = 2;
+  options.spec.max_makespan_us = 0.001;  // unachievable
+
+  const DseMethodology dse(app::make_sobel_application(),
+                           platform::Architecture::paper_default(),
+                           reliability::TaskAnalyzer::paper_default());
+  EXPECT_TRUE(dse.run_fcclr(options).front.empty());
+  EXPECT_TRUE(dse.run_pfclr(options).front.empty());
+  EXPECT_TRUE(dse.run_proposed(options).front.empty());
+  const AgnosticOutcome agnostic = run_agnostic(dse, options);
+  EXPECT_TRUE(agnostic.combined_front.empty());
+}
+
+}  // namespace
+}  // namespace clrearly::core

@@ -1,0 +1,126 @@
+#include "core/feasibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "app/characterizer.hpp"
+#include "app/sobel.hpp"
+#include "core/dse.hpp"
+#include "core/experiment.hpp"
+#include "platform/architecture.hpp"
+#include "util/log.hpp"
+
+namespace clrearly::core {
+namespace {
+
+class FeasibilityFixture : public ::testing::Test {
+ protected:
+  app::Application sobel_ = app::make_sobel_application();
+  platform::Architecture arch_ = platform::Architecture::paper_default();
+  reliability::TaskAnalyzer analyzer_ = bench_system_analyzer();
+};
+
+TEST_F(FeasibilityFixture, ReportCoversAllLayers) {
+  const FeasibilityReport report =
+      assess_feasibility(sobel_, arch_, analyzer_, sched::QosSpec{});
+  ASSERT_EQ(report.layers.size(), 5u);
+  EXPECT_EQ(report.layers[0].layer, "CLR");
+  EXPECT_EQ(report.layers[1].layer, "DVFS");
+  EXPECT_EQ(report.layers[4].layer, "ASWRel");
+  // No constraints: everything is possible.
+  EXPECT_TRUE(report.possibly_feasible);
+  for (const auto& layer : report.layers) {
+    EXPECT_TRUE(layer.reliability_possible);
+    EXPECT_TRUE(layer.deadline_possible);
+  }
+}
+
+TEST_F(FeasibilityFixture, ClrBoundsDominateEverySingleLayer) {
+  const FeasibilityReport report =
+      assess_feasibility(sobel_, arch_, analyzer_, sched::QosSpec{});
+  const LayerFeasibility& clr = report.clr();
+  for (std::size_t i = 1; i < report.layers.size(); ++i) {
+    // The cross-layer space contains every single-layer space, so its best
+    // achievable reliability can only be better and its fastest
+    // configuration can only be at least as fast.
+    EXPECT_GE(clr.max_functional_rel,
+              report.layers[i].max_functional_rel - 1e-12);
+    EXPECT_LE(clr.min_makespan_us, report.layers[i].min_makespan_us + 1e-9);
+  }
+}
+
+TEST_F(FeasibilityFixture, CertifiesReliabilityInfeasibility) {
+  sched::QosSpec impossible;
+  impossible.min_functional_rel = 1.0;  // perfection is unreachable
+  const FeasibilityReport report =
+      assess_feasibility(sobel_, arch_, analyzer_, impossible);
+  EXPECT_FALSE(report.possibly_feasible);
+  EXPECT_FALSE(report.clr().reliability_possible);
+}
+
+TEST_F(FeasibilityFixture, CertifiesDeadlineInfeasibility) {
+  sched::QosSpec impossible;
+  impossible.max_makespan_us = 1.0;  // far below the critical path
+  const FeasibilityReport report =
+      assess_feasibility(sobel_, arch_, analyzer_, impossible);
+  EXPECT_FALSE(report.possibly_feasible);
+  EXPECT_FALSE(report.clr().deadline_possible);
+  EXPECT_TRUE(report.clr().reliability_possible);
+}
+
+TEST_F(FeasibilityFixture, ReproducesTheFig7LayerStory) {
+  // Under the bench spec (Fapp >= 0.99 at 20x flux), the analytical bounds
+  // must tell the same story the GA experiments found: cross-layer and
+  // SSWRel-alone can meet the floor; DVFS-alone cannot.
+  sched::QosSpec spec;
+  spec.min_functional_rel = 0.99;
+  const app::Application syn = app::make_synthetic_application(20, 10, 1020);
+  const FeasibilityReport report =
+      assess_feasibility(syn, arch_, analyzer_, spec);
+
+  EXPECT_TRUE(report.possibly_feasible);
+  const auto layer = [&](const std::string& name) {
+    for (const auto& entry : report.layers) {
+      if (entry.layer == name) return entry;
+    }
+    throw std::logic_error("layer missing");
+  };
+  EXPECT_TRUE(layer("SSWRel").reliability_possible);
+  EXPECT_FALSE(layer("DVFS").reliability_possible);
+}
+
+TEST_F(FeasibilityFixture, BoundsAreSoundAgainstRealDesigns) {
+  // Every design the GA actually produced must respect the bounds.
+  util::set_log_level(util::LogLevel::Warn);
+  const FeasibilityReport report =
+      assess_feasibility(sobel_, arch_, analyzer_, sched::QosSpec{});
+
+  DseOptions options;
+  options.ga.population_size = 32;
+  options.ga.generations = 12;
+  options.seed = 3;
+  const DseMethodology dse(sobel_, arch_, analyzer_);
+  const DseOutcome outcome = dse.run_proposed(options);
+  ASSERT_FALSE(outcome.front.empty());
+  for (const auto& point : outcome.front) {
+    EXPECT_GE(point[0], report.clr().min_makespan_us - 1e-6);
+    EXPECT_GE(point[1], 1.0 - report.clr().max_functional_rel - 1e-9);
+  }
+}
+
+TEST_F(FeasibilityFixture, TighterPlatformRaisesTheMakespanBound) {
+  // A platform with fewer PEs can only raise the packing bound.
+  platform::Architecture small;
+  const std::size_t t = small.add_type(arch_.type(0));
+  small.add_pe(t);
+  const std::size_t fabric = small.add_type(arch_.type(2));
+  small.add_pe(fabric);
+
+  const FeasibilityReport full =
+      assess_feasibility(sobel_, arch_, analyzer_, sched::QosSpec{});
+  const FeasibilityReport tight =
+      assess_feasibility(sobel_, small, analyzer_, sched::QosSpec{});
+  EXPECT_GE(tight.clr().min_makespan_us, full.clr().min_makespan_us - 1e-9);
+}
+
+}  // namespace
+}  // namespace clrearly::core

@@ -1,0 +1,123 @@
+// Tests for the GA-based (stochastic) task-level DSE.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "app/sobel.hpp"
+#include "core/tdse.hpp"
+#include "moea/hypervolume.hpp"
+#include "platform/architecture.hpp"
+
+namespace clrearly::core {
+namespace {
+
+class StochasticTdseFixture : public ::testing::Test {
+ protected:
+  platform::Architecture arch_ = platform::Architecture::paper_default();
+  app::Application sobel_ = app::make_sobel_application();
+  Tdse tdse_{reliability::TaskAnalyzer::paper_default()};
+
+  moea::Nsga2Params ga_params() const {
+    moea::Nsga2Params ga;
+    ga.population_size = 40;
+    ga.generations = 30;
+    return ga;
+  }
+};
+
+TEST_F(StochasticTdseFixture, RejectsEmptyImplList) {
+  EXPECT_THROW(tdse_.run_stochastic({}, arch_, TdseObjectives::tdse_run(1),
+                                    ga_params(), 1),
+               std::invalid_argument);
+}
+
+TEST_F(StochasticTdseFixture, AllVisitedPointsAreValid) {
+  const auto result = tdse_.run_stochastic(
+      sobel_.impls[0], arch_, TdseObjectives::tdse_run(1), ga_params(), 2);
+  ASSERT_FALSE(result.enumerated.empty());
+  for (const TaskDesignPoint& p : result.enumerated) {
+    ASSERT_LT(p.impl_index, sobel_.impls[0].size());
+    EXPECT_TRUE(sobel_.impls[0][p.impl_index].runs_on(arch_.type(p.pe_type)));
+    EXPECT_GT(p.metrics.avg_exec_time_us, 0.0);
+  }
+}
+
+TEST_F(StochasticTdseFixture, VisitedPointsAreDeduplicated) {
+  const auto result = tdse_.run_stochastic(
+      sobel_.impls[0], arch_, TdseObjectives::tdse_run(1), ga_params(), 3);
+  for (std::size_t i = 0; i < result.enumerated.size(); ++i) {
+    for (std::size_t j = i + 1; j < result.enumerated.size(); ++j) {
+      const auto& a = result.enumerated[i];
+      const auto& b = result.enumerated[j];
+      EXPECT_FALSE(a.impl_index == b.impl_index && a.pe_type == b.pe_type &&
+                   a.config == b.config);
+    }
+  }
+}
+
+TEST_F(StochasticTdseFixture, FrontIsSubsetOfVisitedAndNonDominated) {
+  const TdseObjectives obj = TdseObjectives::tdse_run(1);
+  const auto result =
+      tdse_.run_stochastic(sobel_.impls[1], arch_, obj, ga_params(), 4);
+  ASSERT_FALSE(result.pareto.empty());
+  for (const TaskDesignPoint& survivor : result.pareto) {
+    const auto vs = obj.extract(survivor.metrics);
+    for (const TaskDesignPoint& other : result.enumerated) {
+      if (other.pe_type != survivor.pe_type) continue;
+      EXPECT_FALSE(moea::dominates(obj.extract(other.metrics), vs));
+    }
+  }
+}
+
+TEST_F(StochasticTdseFixture, ApproachesBruteForceFrontQuality) {
+  // The GA search must recover most of the exact front's hypervolume while
+  // visiting far fewer points than full enumeration.
+  const TdseObjectives obj = TdseObjectives::tdse_run(1);
+  const auto exact = tdse_.run(sobel_.impls[0], arch_, obj);
+  const auto approx =
+      tdse_.run_stochastic(sobel_.impls[0], arch_, obj, ga_params(), 5);
+
+  EXPECT_LT(approx.enumerated.size(), exact.enumerated.size());
+
+  auto to_vectors = [&](const std::vector<TaskDesignPoint>& points) {
+    std::vector<moea::Objectives> out;
+    for (const auto& p : points) out.push_back(obj.extract(p.metrics));
+    return out;
+  };
+  const auto exact_front = to_vectors(exact.pareto);
+  const auto approx_front = to_vectors(approx.pareto);
+  const auto ref = moea::common_reference({exact_front, approx_front});
+  const double hv_exact = moea::hypervolume(exact_front, ref);
+  const double hv_approx = moea::hypervolume(approx_front, ref);
+  EXPECT_GT(hv_approx, 0.8 * hv_exact);
+  // And it can never beat the exact front.
+  EXPECT_LE(hv_approx, hv_exact + 1e-9);
+}
+
+TEST_F(StochasticTdseFixture, DeterministicPerSeed) {
+  const TdseObjectives obj = TdseObjectives::tdse_run(1);
+  const auto a =
+      tdse_.run_stochastic(sobel_.impls[2], arch_, obj, ga_params(), 7);
+  const auto b =
+      tdse_.run_stochastic(sobel_.impls[2], arch_, obj, ga_params(), 7);
+  ASSERT_EQ(a.pareto.size(), b.pareto.size());
+  for (std::size_t i = 0; i < a.pareto.size(); ++i) {
+    EXPECT_EQ(a.pareto[i].config, b.pareto[i].config);
+    EXPECT_EQ(a.pareto[i].pe_type, b.pareto[i].pe_type);
+  }
+}
+
+TEST_F(StochasticTdseFixture, RespectsAxesRestriction) {
+  const Tdse restricted(reliability::TaskAnalyzer::paper_default(),
+                        reliability::ClrAxes::only_dvfs());
+  const auto result = restricted.run_stochastic(
+      sobel_.impls[0], arch_, TdseObjectives::tdse_run(1), ga_params(), 8);
+  for (const TaskDesignPoint& p : result.enumerated) {
+    EXPECT_EQ(p.config.hw, 0u);
+    EXPECT_EQ(p.config.ssw, 0u);
+    EXPECT_EQ(p.config.asw, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace clrearly::core

@@ -1,0 +1,181 @@
+#include "core/tdse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "app/sobel.hpp"
+#include "moea/pareto.hpp"
+#include "platform/architecture.hpp"
+
+namespace clrearly::core {
+namespace {
+
+// --- Objective ladders ----------------------------------------------------------
+
+TEST(TdseObjectivesTest, Table4LadderCounts) {
+  EXPECT_EQ(TdseObjectives::table4_row(1).count(), 1u);
+  EXPECT_EQ(TdseObjectives::table4_row(2).count(), 2u);
+  EXPECT_EQ(TdseObjectives::table4_row(3).count(), 3u);
+  EXPECT_EQ(TdseObjectives::table4_row(6).count(), 6u);
+  EXPECT_THROW(TdseObjectives::table4_row(0), std::invalid_argument);
+  EXPECT_THROW(TdseObjectives::table4_row(7), std::invalid_argument);
+}
+
+TEST(TdseObjectivesTest, TdseRunsGrowStrictly) {
+  EXPECT_EQ(TdseObjectives::tdse_run(1).count(), 2u);
+  EXPECT_EQ(TdseObjectives::tdse_run(2).count(), 3u);
+  EXPECT_TRUE(TdseObjectives::tdse_run(2).energy);
+  EXPECT_EQ(TdseObjectives::tdse_run(3).count(), 6u);
+  EXPECT_THROW(TdseObjectives::tdse_run(0), std::invalid_argument);
+  EXPECT_THROW(TdseObjectives::tdse_run(4), std::invalid_argument);
+}
+
+TEST(TdseObjectivesTest, ExtractNegatesMttf) {
+  reliability::TaskMetrics m;
+  m.avg_exec_time_us = 100.0;
+  m.error_prob = 0.1;
+  m.mttf_hours = 5000.0;
+  const auto v = TdseObjectives::table4_row(3).extract(m);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 100.0);
+  EXPECT_EQ(v[1], 0.1);
+  EXPECT_EQ(v[2], -5000.0);
+}
+
+TEST(TdseObjectivesTest, EmptySelectionRejected) {
+  TdseObjectives none;
+  none.avg_exec_time = false;
+  EXPECT_THROW(none.extract(reliability::TaskMetrics{}),
+               std::invalid_argument);
+  EXPECT_EQ(none.count(), 0u);
+}
+
+// --- Enumeration -----------------------------------------------------------------
+
+class TdseFixture : public ::testing::Test {
+ protected:
+  platform::Architecture arch_ = platform::Architecture::paper_default();
+  app::Application sobel_ = app::make_sobel_application();
+  Tdse tdse_{reliability::TaskAnalyzer::paper_default()};
+};
+
+TEST_F(TdseFixture, EnumerationCountMatchesConfigurationSpace) {
+  const auto points = tdse_.enumerate(sobel_.impls[0], arch_);
+  // Processor impl: 2 proc PE types x (3*5*4*3 = 180); fabric impl:
+  // 1 fabric type x (3*5*4*1 = 60) => 420.
+  EXPECT_EQ(points.size(), 2u * 180u + 60u);
+}
+
+TEST_F(TdseFixture, EnumerationPairsImplsWithCompatibleTypesOnly) {
+  const auto points = tdse_.enumerate(sobel_.impls[0], arch_);
+  for (const TaskDesignPoint& p : points) {
+    const auto& impl = sobel_.impls[0][p.impl_index];
+    EXPECT_TRUE(impl.runs_on(arch_.type(p.pe_type)));
+  }
+}
+
+TEST_F(TdseFixture, EnumerationRejectsEmptyImplList) {
+  EXPECT_THROW(tdse_.enumerate({}, arch_), std::invalid_argument);
+}
+
+TEST_F(TdseFixture, AxesRestrictEnumeration) {
+  const Tdse dvfs_only(reliability::TaskAnalyzer::paper_default(),
+                       reliability::ClrAxes::only_dvfs());
+  const auto points = dvfs_only.enumerate(sobel_.impls[0], arch_);
+  // Processor impl: 2 types x 3 modes; fabric impl: 1 type x 1 mode.
+  EXPECT_EQ(points.size(), 7u);
+  for (const TaskDesignPoint& p : points) {
+    EXPECT_EQ(p.config.hw, 0u);
+    EXPECT_EQ(p.config.ssw, 0u);
+    EXPECT_EQ(p.config.asw, 0u);
+  }
+}
+
+// --- Pareto filtering ---------------------------------------------------------------
+
+TEST_F(TdseFixture, FilterKeepsEveryPeTypeAlive) {
+  const auto result =
+      tdse_.run(sobel_.impls[0], arch_, TdseObjectives::table4_row(2));
+  std::set<std::size_t> pe_types;
+  for (const TaskDesignPoint& p : result.pareto) pe_types.insert(p.pe_type);
+  EXPECT_EQ(pe_types.size(), 3u);  // all three PE types keep survivors
+}
+
+TEST_F(TdseFixture, SingleObjectiveKeepsOnePointPerPeType) {
+  // TABLE IV row I: with execution time as the only metric, exactly the
+  // fastest configuration survives per PE type.
+  const auto result =
+      tdse_.run(sobel_.impls[0], arch_, TdseObjectives::table4_row(1));
+  std::map<std::size_t, std::size_t> per_type;
+  for (const TaskDesignPoint& p : result.pareto) ++per_type[p.pe_type];
+  for (const auto& [pe_type, count] : per_type) {
+    EXPECT_EQ(count, 1u) << "PE type " << pe_type;
+  }
+}
+
+TEST_F(TdseFixture, ParetoPointsAreMutuallyNonDominatedWithinGroup) {
+  const TdseObjectives obj = TdseObjectives::table4_row(3);
+  const auto result = tdse_.run(sobel_.impls[1], arch_, obj);
+  for (const TaskDesignPoint& a : result.pareto) {
+    for (const TaskDesignPoint& b : result.pareto) {
+      if (a.pe_type != b.pe_type) continue;
+      const auto va = obj.extract(a.metrics);
+      const auto vb = obj.extract(b.metrics);
+      if (&a != &b) {
+        EXPECT_FALSE(moea::dominates(va, vb) && moea::dominates(vb, va));
+      }
+    }
+  }
+}
+
+TEST_F(TdseFixture, NoEnumeratedPointDominatesASurvivor) {
+  const TdseObjectives obj = TdseObjectives::table4_row(2);
+  const auto result = tdse_.run(sobel_.impls[2], arch_, obj);
+  for (const TaskDesignPoint& survivor : result.pareto) {
+    const auto vs = obj.extract(survivor.metrics);
+    for (const TaskDesignPoint& candidate : result.enumerated) {
+      if (candidate.pe_type != survivor.pe_type) continue;
+      EXPECT_FALSE(moea::dominates(obj.extract(candidate.metrics), vs));
+    }
+  }
+}
+
+TEST_F(TdseFixture, ParetoCountGrowsWithObjectives) {
+  // TABLE IV's structure: counts are non-decreasing down the ladder and
+  // stabilize once the added metrics stop discriminating.
+  std::size_t prev = 0;
+  for (int row = 1; row <= 6; ++row) {
+    const auto result =
+        tdse_.run(sobel_.impls[0], arch_, TdseObjectives::table4_row(row));
+    EXPECT_GE(result.pareto.size(), prev) << "row " << row;
+    prev = result.pareto.size();
+  }
+}
+
+TEST_F(TdseFixture, RunApplicationCoversAllTypes) {
+  const auto results =
+      tdse_.run_application(sobel_, arch_, TdseObjectives::tdse_run(1));
+  ASSERT_EQ(results.size(), 4u);
+  for (const TdseResult& r : results) {
+    EXPECT_FALSE(r.pareto.empty());
+    EXPECT_GE(r.enumerated.size(), r.pareto.size());
+  }
+}
+
+TEST_F(TdseFixture, MoreTdseObjectivesYieldMoreImplementations) {
+  // The Fig. 9 effect: tDSE_3 produces at least as many Pareto
+  // implementations as tDSE_1 for every task type.
+  const auto run1 =
+      tdse_.run_application(sobel_, arch_, TdseObjectives::tdse_run(1));
+  const auto run3 =
+      tdse_.run_application(sobel_, arch_, TdseObjectives::tdse_run(3));
+  for (std::size_t type = 0; type < 4; ++type) {
+    EXPECT_GE(run3[type].pareto.size(), run1[type].pareto.size());
+  }
+}
+
+}  // namespace
+}  // namespace clrearly::core

@@ -1,0 +1,164 @@
+// End-to-end integration tests: the full CL(R)Early pipeline from system
+// model to Pareto front, exercising every subsystem together the way the
+// benches and examples do.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "app/characterizer.hpp"
+#include "app/sobel.hpp"
+#include "core/baselines.hpp"
+#include "core/dse.hpp"
+#include "core/experiment.hpp"
+#include "moea/hypervolume.hpp"
+#include "platform/architecture.hpp"
+#include "util/log.hpp"
+
+namespace clrearly {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { util::set_log_level(util::LogLevel::Warn); }
+
+  core::DseOptions options(std::uint64_t seed) const {
+    core::DseOptions o;
+    o.ga.population_size = 24;
+    o.ga.generations = 10;
+    o.seed = seed;
+    return o;
+  }
+};
+
+TEST_F(EndToEndTest, SobelFullPipeline) {
+  const app::Application sobel = app::make_sobel_application();
+  const platform::Architecture arch = platform::Architecture::paper_default();
+  const core::DseMethodology dse(sobel, arch,
+                                 reliability::TaskAnalyzer::paper_default());
+
+  const auto tdse = dse.run_tdse(options(1));
+  const core::DseOutcome outcome = dse.run_proposed(options(1), tdse);
+
+  ASSERT_FALSE(outcome.front.empty());
+  // Makespans must be at least the fastest possible critical path and the
+  // error probabilities within (0, 1).
+  for (const auto& point : outcome.front) {
+    EXPECT_GT(point[0], 100.0);  // 4-stage pipeline of >25us kernels
+    EXPECT_GT(point[1], 0.0);
+    EXPECT_LT(point[1], 1.0);
+  }
+
+  // Reported genomes must reproduce the reported objective vectors through
+  // an independent decode + QoS estimation.
+  const core::ClrMappingProblem fc(sobel, arch,
+                                   reliability::TaskAnalyzer::paper_default(),
+                                   core::SystemObjectives{}, sched::QosSpec{});
+  for (std::size_t i = 0; i < outcome.front.size(); ++i) {
+    const sched::QosMetrics qos = fc.qos(outcome.front_genomes[i]);
+    EXPECT_NEAR(qos.makespan_us, outcome.front[i][0], 1e-9);
+    EXPECT_NEAR(qos.error_prob, outcome.front[i][1], 1e-12);
+  }
+}
+
+TEST_F(EndToEndTest, SchedulesBehindFrontAreConsistent) {
+  const app::Application sobel = app::make_sobel_application();
+  const platform::Architecture arch = platform::Architecture::paper_default();
+  const core::ClrMappingProblem fc(sobel, arch,
+                                   reliability::TaskAnalyzer::paper_default(),
+                                   core::SystemObjectives{}, sched::QosSpec{});
+  util::Rng rng(11);
+  const core::MappingGenome g = fc.layout().random(rng);
+  const auto decisions = fc.decode(g);
+
+  sched::Schedule schedule;
+  const sched::QosMetrics qos =
+      sched::estimate_qos(sobel, arch, decisions, g.order, &schedule);
+
+  // The schedule respects every dependency edge and matches the makespan.
+  for (const app::Edge& e : sobel.graph.edges()) {
+    EXPECT_GE(schedule.tasks[e.dst].start_us,
+              schedule.tasks[e.src].end_us - 1e-9);
+  }
+  double max_end = 0.0;
+  for (const auto& task : schedule.tasks) {
+    max_end = std::max(max_end, task.end_us);
+  }
+  EXPECT_DOUBLE_EQ(qos.makespan_us, max_end);
+}
+
+TEST_F(EndToEndTest, HarderEnvironmentDegradesReliability) {
+  // Raising the environmental fault rate (the paper's high-altitude
+  // motivation) must push the whole front toward higher error probability.
+  const app::Application sobel = app::make_sobel_application();
+  const platform::Architecture arch = platform::Architecture::paper_default();
+
+  reliability::FaultEnvironment harsh;
+  harsh.dvfs_sensitivity = 1.2;
+  harsh.environment_factor = 50.0;
+  const reliability::TaskAnalyzer harsh_analyzer(
+      reliability::ClrSpace::paper_default(), harsh, reliability::ThermalModel{},
+      reliability::ArrheniusAging{});
+
+  const core::DseMethodology mild_dse(
+      sobel, arch, reliability::TaskAnalyzer::paper_default());
+  const core::DseMethodology harsh_dse(sobel, arch, harsh_analyzer);
+
+  const auto mild = mild_dse.run_fcclr(options(3));
+  const auto harsh_run = harsh_dse.run_fcclr(options(3));
+
+  auto best_error = [](const core::DseOutcome& o) {
+    double best = 1.0;
+    for (const auto& p : o.front) best = std::min(best, p[1]);
+    return best;
+  };
+  EXPECT_GT(best_error(harsh_run), best_error(mild));
+}
+
+TEST_F(EndToEndTest, ConstrainedRunHonorsSpec) {
+  const app::Application sobel = app::make_sobel_application();
+  const platform::Architecture arch = platform::Architecture::paper_default();
+  const core::DseMethodology dse(sobel, arch,
+                                 reliability::TaskAnalyzer::paper_default());
+
+  core::DseOptions o = options(4);
+  o.spec.max_makespan_us = 2500.0;
+  const core::DseOutcome outcome = dse.run_fcclr(o);
+  ASSERT_FALSE(outcome.front.empty());
+  for (const auto& point : outcome.front) {
+    EXPECT_LE(point[0], 2500.0 + 1e-6);
+  }
+}
+
+TEST_F(EndToEndTest, SyntheticScalingSweepStaysHealthy) {
+  // A miniature TABLE V/VI-style sweep: each size must complete and the
+  // proposed flow must produce valid fronts throughout.
+  for (std::size_t tasks : {10, 20, 30}) {
+    const app::Application syn =
+        app::make_synthetic_application(tasks, 10, 100 + tasks);
+    const core::DseMethodology dse(syn, platform::Architecture::paper_default(),
+                                   reliability::TaskAnalyzer::paper_default());
+    const core::DseOutcome outcome = dse.run_proposed(options(tasks));
+    EXPECT_FALSE(outcome.front.empty()) << tasks << " tasks";
+  }
+}
+
+TEST_F(EndToEndTest, ExperimentHelpersProduceUsableDefaults) {
+  const auto params = core::bench_ga_params();
+  EXPECT_NO_THROW(params.validate());
+  EXPECT_DOUBLE_EQ(params.crossover_prob, 0.8);
+  EXPECT_DOUBLE_EQ(params.mutation_indpb, 0.05);
+  EXPECT_EQ(params.tournament_k, 5u);
+
+  const auto counts = core::bench_task_counts();
+  ASSERT_FALSE(counts.empty());
+  EXPECT_EQ(counts.front(), 10u);
+  EXPECT_TRUE(std::is_sorted(counts.begin(), counts.end()));
+
+  const auto o = core::bench_options(3);
+  EXPECT_EQ(o.seed, 3u);
+  EXPECT_EQ(o.objectives.count(), 2u);
+}
+
+}  // namespace
+}  // namespace clrearly

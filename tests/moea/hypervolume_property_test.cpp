@@ -1,0 +1,113 @@
+// Property tests on the hypervolume indicator and its interaction with
+// Pareto dominance — invariants any correct implementation must satisfy,
+// checked over randomized fronts.
+#include <gtest/gtest.h>
+
+#include "moea/hypervolume.hpp"
+#include "moea/pareto.hpp"
+#include "util/rng.hpp"
+
+namespace clrearly::moea {
+namespace {
+
+std::vector<Objectives> random_front(std::size_t n, std::size_t dims,
+                                     util::Rng& rng) {
+  std::vector<Objectives> front;
+  for (std::size_t i = 0; i < n; ++i) {
+    Objectives p(dims);
+    for (double& x : p) x = rng.uniform(0.0, 1.0);
+    front.push_back(std::move(p));
+  }
+  return front;
+}
+
+struct HvShape {
+  std::size_t points;
+  std::size_t dims;
+  std::uint64_t seed;
+};
+
+class HypervolumeProperty : public ::testing::TestWithParam<HvShape> {};
+
+TEST_P(HypervolumeProperty, AddingPointsNeverDecreasesVolume) {
+  util::Rng rng(GetParam().seed);
+  auto front = random_front(GetParam().points, GetParam().dims, rng);
+  const Objectives ref(GetParam().dims, 1.05);
+
+  std::vector<Objectives> growing;
+  double prev = 0.0;
+  for (const Objectives& p : front) {
+    growing.push_back(p);
+    const double hv = hypervolume(growing, ref);
+    EXPECT_GE(hv, prev - 1e-12);
+    prev = hv;
+  }
+}
+
+TEST_P(HypervolumeProperty, DominatedPointsContributeNothing) {
+  util::Rng rng(GetParam().seed + 10);
+  const auto front = random_front(GetParam().points, GetParam().dims, rng);
+  const Objectives ref(GetParam().dims, 1.05);
+
+  const double full = hypervolume(front, ref);
+  const double filtered = hypervolume(pareto_filter(front), ref);
+  EXPECT_NEAR(full, filtered, 1e-10);
+}
+
+TEST_P(HypervolumeProperty, VolumeBoundedByEnclosingBox) {
+  util::Rng rng(GetParam().seed + 20);
+  const auto front = random_front(GetParam().points, GetParam().dims, rng);
+  const Objectives ref(GetParam().dims, 1.05);
+  // Points live in [0,1]^d, ref at 1.05: volume can never exceed 1.05^d.
+  double bound = 1.0;
+  for (std::size_t d = 0; d < GetParam().dims; ++d) bound *= 1.05;
+  const double hv = hypervolume(front, ref);
+  EXPECT_GE(hv, 0.0);
+  EXPECT_LE(hv, bound + 1e-12);
+}
+
+TEST_P(HypervolumeProperty, TranslationInvariance) {
+  // Shifting every point and the reference by the same offset preserves the
+  // volume exactly.
+  util::Rng rng(GetParam().seed + 30);
+  auto front = random_front(GetParam().points, GetParam().dims, rng);
+  Objectives ref(GetParam().dims, 1.05);
+  const double base = hypervolume(front, ref);
+
+  const double offset = rng.uniform(-5.0, 5.0);
+  for (Objectives& p : front) {
+    for (double& x : p) x += offset;
+  }
+  for (double& r : ref) r += offset;
+  EXPECT_NEAR(hypervolume(front, ref), base, 1e-9);
+}
+
+TEST_P(HypervolumeProperty, PermutationInvariance) {
+  util::Rng rng(GetParam().seed + 40);
+  auto front = random_front(GetParam().points, GetParam().dims, rng);
+  const Objectives ref(GetParam().dims, 1.05);
+  const double base = hypervolume(front, ref);
+  rng.shuffle(front);
+  EXPECT_NEAR(hypervolume(front, ref), base, 1e-10);
+}
+
+TEST_P(HypervolumeProperty, StrictlyBetterFrontHasLargerVolume) {
+  util::Rng rng(GetParam().seed + 50);
+  const auto front = random_front(GetParam().points, GetParam().dims, rng);
+  const Objectives ref(GetParam().dims, 1.05);
+
+  std::vector<Objectives> improved = front;
+  for (Objectives& p : improved) {
+    for (double& x : p) x *= 0.8;  // strictly closer to the ideal
+  }
+  EXPECT_GT(hypervolume(improved, ref), hypervolume(front, ref));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HypervolumeProperty,
+    ::testing::Values(HvShape{5, 2, 1}, HvShape{20, 2, 2}, HvShape{60, 2, 3},
+                      HvShape{10, 3, 4}, HvShape{25, 3, 5},
+                      HvShape{12, 4, 6}, HvShape{10, 5, 7}));
+
+}  // namespace
+}  // namespace clrearly::moea

@@ -1,0 +1,179 @@
+#include "moea/hypervolume.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace clrearly::moea {
+namespace {
+
+TEST(Hypervolume2DTest, SinglePointIsBoxArea) {
+  EXPECT_DOUBLE_EQ(hypervolume({{1.0, 2.0}}, {3.0, 5.0}), 2.0 * 3.0);
+}
+
+TEST(Hypervolume2DTest, TwoIncomparablePointsUnionArea) {
+  // ref (4,4): boxes (1,3)->3x1=3... compute union:
+  // p1=(1,3): gain (3,1); p2=(3,1): gain (1,3).
+  // union area = 3*1 + 1*3 - 1*1 = 5.
+  EXPECT_DOUBLE_EQ(hypervolume({{1.0, 3.0}, {3.0, 1.0}}, {4.0, 4.0}), 5.0);
+}
+
+TEST(Hypervolume2DTest, DominatedPointAddsNothing) {
+  const double base = hypervolume({{1.0, 1.0}}, {4.0, 4.0});
+  const double with_dominated =
+      hypervolume({{1.0, 1.0}, {2.0, 2.0}}, {4.0, 4.0});
+  EXPECT_DOUBLE_EQ(base, with_dominated);
+}
+
+TEST(Hypervolume2DTest, DuplicatePointsCountOnce) {
+  const double once = hypervolume({{1.0, 2.0}}, {3.0, 3.0});
+  const double twice = hypervolume({{1.0, 2.0}, {1.0, 2.0}}, {3.0, 3.0});
+  EXPECT_DOUBLE_EQ(once, twice);
+}
+
+TEST(Hypervolume2DTest, PointsBeyondReferenceIgnored) {
+  EXPECT_DOUBLE_EQ(hypervolume({{5.0, 5.0}}, {4.0, 4.0}), 0.0);
+  EXPECT_DOUBLE_EQ(hypervolume({{4.0, 1.0}}, {4.0, 4.0}), 0.0);  // boundary
+  const double mixed =
+      hypervolume({{1.0, 1.0}, {9.0, 9.0}}, {4.0, 4.0});
+  EXPECT_DOUBLE_EQ(mixed, 9.0);
+}
+
+TEST(Hypervolume2DTest, EmptyFrontIsZero) {
+  EXPECT_DOUBLE_EQ(hypervolume({}, {1.0, 1.0}), 0.0);
+}
+
+TEST(Hypervolume2DTest, StaircaseFront) {
+  // Classic staircase with ref (5,5):
+  // (1,4): 4x1, (2,3): adds 3x... compute: sweep desc gain0.
+  // gains: (4,1), (3,2), (2,3), (1,4) -> area = 4*1 + 3*1 + 2*1 + 1*1 = 10.
+  const std::vector<Objectives> front{
+      {1.0, 4.0}, {2.0, 3.0}, {3.0, 2.0}, {4.0, 1.0}};
+  EXPECT_DOUBLE_EQ(hypervolume(front, {5.0, 5.0}), 10.0);
+}
+
+TEST(HypervolumeErrorsTest, DimensionMismatchThrows) {
+  EXPECT_THROW(hypervolume({{1.0, 2.0, 3.0}}, {4.0, 4.0}),
+               std::invalid_argument);
+  EXPECT_THROW(hypervolume({{1.0}}, {}), std::invalid_argument);
+}
+
+TEST(Hypervolume3DTest, SingleBox) {
+  EXPECT_DOUBLE_EQ(hypervolume({{0.0, 0.0, 0.0}}, {2.0, 3.0, 4.0}), 24.0);
+}
+
+TEST(Hypervolume3DTest, TwoDisjointishBoxesInclusionExclusion) {
+  // p1 gains (2,2,1), p2 gains (1,1,3) w.r.t. ref (3,3,3)... overlap
+  // (1,1,1): union = 4 + 3 - 1 = 6.
+  const std::vector<Objectives> front{{1.0, 1.0, 2.0}, {2.0, 2.0, 0.0}};
+  EXPECT_DOUBLE_EQ(hypervolume(front, {3.0, 3.0, 3.0}), 6.0);
+}
+
+TEST(Hypervolume3DTest, DominatedPointAddsNothing) {
+  const std::vector<Objectives> front{{0.0, 0.0, 0.0}};
+  const std::vector<Objectives> extra{{0.0, 0.0, 0.0}, {1.0, 1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(hypervolume(front, {2.0, 2.0, 2.0}),
+                   hypervolume(extra, {2.0, 2.0, 2.0}));
+}
+
+TEST(Hypervolume3DTest, DegenerateThirdObjectiveMatches2D) {
+  // All points share objective 2 = 0 with ref 1: volume = 2D area x 1.
+  const std::vector<Objectives> front3{
+      {1.0, 4.0, 0.0}, {2.0, 3.0, 0.0}, {3.0, 2.0, 0.0}, {4.0, 1.0, 0.0}};
+  const std::vector<Objectives> front2{
+      {1.0, 4.0}, {2.0, 3.0}, {3.0, 2.0}, {4.0, 1.0}};
+  EXPECT_NEAR(hypervolume(front3, {5.0, 5.0, 1.0}),
+              hypervolume(front2, {5.0, 5.0}), 1e-12);
+}
+
+// Property: Monte-Carlo estimate agrees with the WFG recursion in 3-D/4-D.
+class HypervolumeMonteCarloTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypervolumeMonteCarloTest, MatchesSampling) {
+  const int dims = GetParam();
+  util::Rng rng(100 + dims);
+  std::vector<Objectives> front;
+  for (int i = 0; i < 12; ++i) {
+    Objectives p(dims);
+    for (int d = 0; d < dims; ++d) p[d] = rng.uniform(0.0, 1.0);
+    front.push_back(p);
+  }
+  Objectives ref(dims, 1.0);
+  const double exact = hypervolume(front, ref);
+
+  // Monte-Carlo: fraction of the unit cube dominated by some point.
+  const int samples = 200000;
+  int hits = 0;
+  for (int s = 0; s < samples; ++s) {
+    Objectives x(dims);
+    for (int d = 0; d < dims; ++d) x[d] = rng.uniform(0.0, 1.0);
+    for (const Objectives& p : front) {
+      bool dominated = true;
+      for (int d = 0; d < dims; ++d) {
+        if (p[d] > x[d]) {
+          dominated = false;
+          break;
+        }
+      }
+      if (dominated) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  const double estimate = static_cast<double>(hits) / samples;
+  EXPECT_NEAR(exact, estimate, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HypervolumeMonteCarloTest,
+                         ::testing::Values(2, 3, 4, 5));
+
+// --- common_reference ---------------------------------------------------------
+
+TEST(CommonReferenceTest, TakesComponentwiseMaxWithMargin) {
+  const std::vector<std::vector<Objectives>> fronts{
+      {{1.0, 5.0}, {2.0, 4.0}}, {{3.0, 1.0}}};
+  const Objectives ref = common_reference(fronts, 0.1);
+  EXPECT_NEAR(ref[0], 3.0 * 1.1, 1e-12);
+  EXPECT_NEAR(ref[1], 5.0 * 1.1, 1e-12);
+}
+
+TEST(CommonReferenceTest, EveryPointContributesUnderReference) {
+  const std::vector<std::vector<Objectives>> fronts{
+      {{1.0, 5.0}, {3.0, 1.0}, {2.0, 2.0}}};
+  const Objectives ref = common_reference(fronts);
+  for (const Objectives& p : fronts[0]) {
+    EXPECT_GT(hypervolume({p}, ref), 0.0);
+  }
+}
+
+TEST(CommonReferenceTest, HandlesNegativeCoordinates) {
+  // Negated-MTTF objectives are negative; the margin must still inflate
+  // toward worse (greater) values.
+  const std::vector<std::vector<Objectives>> fronts{{{-10.0, 1.0}}};
+  const Objectives ref = common_reference(fronts, 0.1);
+  EXPECT_GT(ref[0], -10.0);
+  EXPECT_GT(hypervolume({{-10.0, 1.0}}, ref), 0.0);
+}
+
+TEST(CommonReferenceTest, EmptyThrows) {
+  EXPECT_THROW(common_reference({}), std::invalid_argument);
+  EXPECT_THROW(common_reference({{}, {}}), std::invalid_argument);
+}
+
+// --- hypervolume_gain_percent ----------------------------------------------------
+
+TEST(HypervolumeGainTest, ComputesRelativeImprovement) {
+  const std::vector<Objectives> base{{2.0, 2.0}};
+  const std::vector<Objectives> better{{1.0, 1.0}};
+  const Objectives ref{3.0, 3.0};
+  // hv(base) = 1, hv(better) = 4 -> +300%.
+  EXPECT_NEAR(hypervolume_gain_percent(better, base, ref), 300.0, 1e-9);
+  EXPECT_NEAR(hypervolume_gain_percent(base, base, ref), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace clrearly::moea

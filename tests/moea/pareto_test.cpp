@@ -1,0 +1,179 @@
+#include "moea/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace clrearly::moea {
+namespace {
+
+TEST(DominatesTest, BasicCases) {
+  EXPECT_TRUE(dominates({1.0, 1.0}, {2.0, 2.0}));
+  EXPECT_TRUE(dominates({1.0, 2.0}, {1.0, 3.0}));  // weak + one strict
+  EXPECT_FALSE(dominates({1.0, 2.0}, {1.0, 2.0}));  // equal: no strict gain
+  EXPECT_FALSE(dominates({1.0, 3.0}, {2.0, 2.0}));  // incomparable
+  EXPECT_FALSE(dominates({2.0, 2.0}, {1.0, 1.0}));
+}
+
+TEST(DominatesTest, MismatchedVectorsThrow) {
+  EXPECT_THROW(dominates({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(dominates({}, {}), std::invalid_argument);
+}
+
+TEST(ConstrainedDominatesTest, FeasibleBeatsInfeasible) {
+  EXPECT_TRUE(constrained_dominates({9.0, 9.0}, 0.0, {1.0, 1.0}, 0.5));
+  EXPECT_FALSE(constrained_dominates({1.0, 1.0}, 0.5, {9.0, 9.0}, 0.0));
+}
+
+TEST(ConstrainedDominatesTest, LessViolationWinsAmongInfeasible) {
+  EXPECT_TRUE(constrained_dominates({9.0, 9.0}, 0.1, {1.0, 1.0}, 0.5));
+  EXPECT_FALSE(constrained_dominates({1.0, 1.0}, 0.5, {9.0, 9.0}, 0.1));
+  // Equal violation: neither dominates by violation alone.
+  EXPECT_FALSE(constrained_dominates({9.0, 9.0}, 0.5, {1.0, 1.0}, 0.5));
+}
+
+TEST(ConstrainedDominatesTest, ParetoDecidesAmongFeasible) {
+  EXPECT_TRUE(constrained_dominates({1.0, 1.0}, 0.0, {2.0, 2.0}, 0.0));
+  EXPECT_FALSE(constrained_dominates({1.0, 3.0}, 0.0, {2.0, 2.0}, 0.0));
+}
+
+TEST(ParetoFrontTest, ExtractsNonDominated) {
+  const std::vector<Objectives> points{
+      {1.0, 4.0}, {2.0, 3.0}, {3.0, 3.0}, {4.0, 1.0}, {2.5, 2.5}};
+  const auto front = pareto_front_indices(points);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 3, 4}));
+}
+
+TEST(ParetoFrontTest, DuplicatesAllRetained) {
+  const std::vector<Objectives> points{{1.0, 1.0}, {1.0, 1.0}, {2.0, 2.0}};
+  const auto front = pareto_front_indices(points);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(ParetoFrontTest, SinglePointIsItsOwnFront) {
+  EXPECT_EQ(pareto_front_indices({{5.0, 5.0}}).size(), 1u);
+  EXPECT_TRUE(pareto_front_indices({}).empty());
+}
+
+TEST(ParetoFilterTest, ReturnsPointsInOrder) {
+  const std::vector<Objectives> points{{3.0, 1.0}, {2.0, 2.0}, {9.0, 9.0}};
+  const auto filtered = pareto_filter(points);
+  ASSERT_EQ(filtered.size(), 2u);
+  EXPECT_EQ(filtered[0], (Objectives{3.0, 1.0}));
+  EXPECT_EQ(filtered[1], (Objectives{2.0, 2.0}));
+}
+
+TEST(NonDominatedSortTest, LayersCorrectly) {
+  // Front 0: (1,1); front 1: (2,2); front 2: (3,3).
+  const std::vector<Objectives> points{{3.0, 3.0}, {1.0, 1.0}, {2.0, 2.0}};
+  const auto fronts = non_dominated_sort(points);
+  ASSERT_EQ(fronts.size(), 3u);
+  EXPECT_EQ(fronts[0], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(fronts[1], (std::vector<std::size_t>{2}));
+  EXPECT_EQ(fronts[2], (std::vector<std::size_t>{0}));
+}
+
+TEST(NonDominatedSortTest, IncomparablePointsShareAFront) {
+  const std::vector<Objectives> points{{1.0, 4.0}, {4.0, 1.0}, {2.0, 3.0}};
+  const auto fronts = non_dominated_sort(points);
+  ASSERT_EQ(fronts.size(), 1u);
+  EXPECT_EQ(fronts[0].size(), 3u);
+}
+
+TEST(NonDominatedSortTest, ConstrainedPutsInfeasibleLast) {
+  const std::vector<Objectives> points{{1.0, 1.0}, {5.0, 5.0}, {2.0, 2.0}};
+  const std::vector<double> violations{0.7, 0.0, 0.1};
+  const auto fronts = non_dominated_sort(points, violations);
+  // Feasible (5,5) first; then violation 0.1; then 0.7.
+  ASSERT_EQ(fronts.size(), 3u);
+  EXPECT_EQ(fronts[0], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(fronts[1], (std::vector<std::size_t>{2}));
+  EXPECT_EQ(fronts[2], (std::vector<std::size_t>{0}));
+}
+
+TEST(NonDominatedSortTest, ViolationSizeMismatchThrows) {
+  EXPECT_THROW(non_dominated_sort({{1.0}}, {0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(NonDominatedSortTest, EveryPointAppearsExactlyOnce) {
+  util::Rng rng(6);
+  std::vector<Objectives> points;
+  for (int i = 0; i < 60; ++i) {
+    points.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0),
+                      rng.uniform(0.0, 10.0)});
+  }
+  const auto fronts = non_dominated_sort(points);
+  std::vector<bool> seen(points.size(), false);
+  for (const auto& front : fronts) {
+    for (std::size_t i : front) {
+      EXPECT_FALSE(seen[i]);
+      seen[i] = true;
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(NonDominatedSortTest, FrontRanksAreConsistentWithDominance) {
+  util::Rng rng(7);
+  std::vector<Objectives> points;
+  for (int i = 0; i < 40; ++i) {
+    points.push_back({rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)});
+  }
+  const auto fronts = non_dominated_sort(points);
+  std::vector<std::size_t> rank(points.size());
+  for (std::size_t f = 0; f < fronts.size(); ++f) {
+    for (std::size_t i : fronts[f]) rank[i] = f;
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (dominates(points[i], points[j])) {
+        EXPECT_LT(rank[i], rank[j]);
+      }
+    }
+  }
+}
+
+TEST(CrowdingDistanceTest, BoundariesAreInfinite) {
+  const std::vector<Objectives> points{
+      {1.0, 5.0}, {2.0, 4.0}, {3.0, 3.0}, {4.0, 2.0}, {5.0, 1.0}};
+  const std::vector<std::size_t> front{0, 1, 2, 3, 4};
+  const auto crowd = crowding_distance(points, front);
+  EXPECT_TRUE(std::isinf(crowd[0]));
+  EXPECT_TRUE(std::isinf(crowd[4]));
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_TRUE(std::isfinite(crowd[i]));
+    EXPECT_GT(crowd[i], 0.0);
+  }
+}
+
+TEST(CrowdingDistanceTest, DenserPointsGetSmallerDistance) {
+  // Points on a line; the middle point of the tight pair is most crowded.
+  const std::vector<Objectives> points{
+      {0.0, 10.0}, {1.0, 9.0}, {1.2, 8.8}, {10.0, 0.0}};
+  const auto crowd = crowding_distance(points, {0, 1, 2, 3});
+  EXPECT_LT(crowd[1], crowd[2]);
+}
+
+TEST(CrowdingDistanceTest, DegenerateObjectiveHandled) {
+  // All points share objective 1: its span is zero and contributes nothing.
+  const std::vector<Objectives> points{{1.0, 5.0}, {2.0, 5.0}, {3.0, 5.0}};
+  const auto crowd = crowding_distance(points, {0, 1, 2});
+  EXPECT_TRUE(std::isinf(crowd[0]));
+  EXPECT_TRUE(std::isinf(crowd[2]));
+  EXPECT_TRUE(std::isfinite(crowd[1]));
+}
+
+TEST(CrowdingDistanceTest, EmptyAndSingletonFronts) {
+  const std::vector<Objectives> points{{1.0, 1.0}};
+  EXPECT_TRUE(crowding_distance(points, {}).empty());
+  const auto single = crowding_distance(points, {0});
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_TRUE(std::isinf(single[0]));
+}
+
+}  // namespace
+}  // namespace clrearly::moea

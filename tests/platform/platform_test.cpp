@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "platform/architecture.hpp"
+#include "platform/dvfs.hpp"
+#include "platform/pe.hpp"
+
+namespace clrearly::platform {
+namespace {
+
+// --- DVFS ------------------------------------------------------------------
+
+TEST(DvfsTableTest, PaperDefaultHasThreeModes) {
+  const DvfsTable t = DvfsTable::paper_default();
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.mode(0).freq_mhz, 900.0);
+  EXPECT_EQ(t.mode(1).freq_mhz, 600.0);
+  EXPECT_EQ(t.mode(2).freq_mhz, 300.0);
+  EXPECT_EQ(t.nominal().voltage_v, 1.20);
+}
+
+TEST(DvfsTableTest, TimeScaleIsInverseFrequency) {
+  const DvfsTable t = DvfsTable::paper_default();
+  EXPECT_DOUBLE_EQ(t.time_scale(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.time_scale(1), 1.5);
+  EXPECT_DOUBLE_EQ(t.time_scale(2), 3.0);
+}
+
+TEST(DvfsTableTest, PowerScaleFollowsV2F) {
+  const DvfsTable t = DvfsTable::paper_default();
+  EXPECT_DOUBLE_EQ(t.power_scale(0), 1.0);
+  const double expected1 = (1.1 / 1.2) * (1.1 / 1.2) * (600.0 / 900.0);
+  EXPECT_NEAR(t.power_scale(1), expected1, 1e-12);
+  EXPECT_LT(t.power_scale(2), t.power_scale(1));
+}
+
+TEST(DvfsTableTest, SeuScaleOneAtNominalAndTenToDAtSlowest) {
+  const DvfsTable t = DvfsTable::paper_default();
+  EXPECT_DOUBLE_EQ(t.seu_scale(0, 2.0), 1.0);
+  EXPECT_NEAR(t.seu_scale(2, 2.0), 100.0, 1e-9);
+  EXPECT_NEAR(t.seu_scale(2, 1.0), 10.0, 1e-9);
+  // Intermediate mode falls strictly between.
+  EXPECT_GT(t.seu_scale(1, 2.0), 1.0);
+  EXPECT_LT(t.seu_scale(1, 2.0), 100.0);
+}
+
+TEST(DvfsTableTest, SingleModeTableHasUnitScales) {
+  const DvfsTable t({{"fixed", 1.0, 500.0}});
+  EXPECT_DOUBLE_EQ(t.time_scale(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.power_scale(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.seu_scale(0), 1.0);
+}
+
+TEST(DvfsTableTest, RejectsUnorderedModes) {
+  EXPECT_THROW(DvfsTable({{"slow", 1.0, 300.0}, {"fast", 1.2, 900.0}}),
+               std::invalid_argument);
+}
+
+TEST(DvfsTableTest, RejectsNonPositiveParameters) {
+  EXPECT_THROW(DvfsTable({{"bad", 0.0, 300.0}}), std::invalid_argument);
+  EXPECT_THROW(DvfsTable({{"bad", 1.0, -1.0}}), std::invalid_argument);
+}
+
+TEST(DvfsTableTest, OutOfRangeModeThrows) {
+  const DvfsTable t = DvfsTable::paper_default();
+  EXPECT_THROW(t.mode(3), std::out_of_range);
+  EXPECT_THROW(DvfsTable().nominal(), std::out_of_range);
+}
+
+// --- PeType ------------------------------------------------------------------
+
+PeType valid_pe_type() {
+  PeType pe;
+  pe.name = "test";
+  pe.masking_factor = 0.3;
+  pe.weibull_beta = 2.0;
+  pe.weibull_eta_base_hours = 1e5;
+  pe.idle_power_w = 0.05;
+  pe.dvfs = DvfsTable::paper_default();
+  return pe;
+}
+
+TEST(PeTypeTest, ValidTypePasses) {
+  EXPECT_NO_THROW(valid_pe_type().validate());
+}
+
+TEST(PeTypeTest, ValidationCatchesEachViolation) {
+  {
+    PeType pe = valid_pe_type();
+    pe.name.clear();
+    EXPECT_THROW(pe.validate(), std::invalid_argument);
+  }
+  {
+    PeType pe = valid_pe_type();
+    pe.masking_factor = 1.0;
+    EXPECT_THROW(pe.validate(), std::invalid_argument);
+  }
+  {
+    PeType pe = valid_pe_type();
+    pe.weibull_beta = 0.0;
+    EXPECT_THROW(pe.validate(), std::invalid_argument);
+  }
+  {
+    PeType pe = valid_pe_type();
+    pe.weibull_eta_base_hours = -5.0;
+    EXPECT_THROW(pe.validate(), std::invalid_argument);
+  }
+  {
+    PeType pe = valid_pe_type();
+    pe.idle_power_w = -0.1;
+    EXPECT_THROW(pe.validate(), std::invalid_argument);
+  }
+  {
+    PeType pe = valid_pe_type();
+    pe.dvfs = DvfsTable();
+    EXPECT_THROW(pe.validate(), std::invalid_argument);
+  }
+}
+
+TEST(PeTypeTest, ClassNames) {
+  EXPECT_EQ(to_string(PeClass::kEmbeddedProcessor), "EmbeddedProcessor");
+  EXPECT_EQ(to_string(PeClass::kReconfigurableRegion), "ReconfigurableRegion");
+}
+
+// --- Architecture -------------------------------------------------------------
+
+TEST(ArchitectureTest, PaperDefaultMatchesSectionVIA) {
+  const Architecture arch = Architecture::paper_default();
+  // Six PEs of three types: 4 embedded processors (two masking factors),
+  // 2 reconfigurable regions.
+  EXPECT_EQ(arch.num_pes(), 6u);
+  EXPECT_EQ(arch.num_types(), 3u);
+
+  std::size_t procs = 0, regions = 0;
+  for (const Pe& pe : arch.pes()) {
+    if (arch.type_of(pe.id).pe_class == PeClass::kEmbeddedProcessor) {
+      ++procs;
+    } else {
+      ++regions;
+    }
+  }
+  EXPECT_EQ(procs, 4u);
+  EXPECT_EQ(regions, 2u);
+
+  // The two processor types expose different masking factors.
+  EXPECT_NE(arch.type(0).masking_factor, arch.type(1).masking_factor);
+  // Embedded processors expose the full 3-point DVFS table; fabric is fixed.
+  EXPECT_EQ(arch.type(0).dvfs.size(), 3u);
+  EXPECT_EQ(arch.type(2).dvfs.size(), 1u);
+}
+
+TEST(ArchitectureTest, AddTypeValidates) {
+  Architecture arch;
+  PeType bad = valid_pe_type();
+  bad.weibull_beta = -1.0;
+  EXPECT_THROW(arch.add_type(bad), std::invalid_argument);
+}
+
+TEST(ArchitectureTest, AddPeRequiresKnownType) {
+  Architecture arch;
+  EXPECT_THROW(arch.add_pe(0), std::out_of_range);
+  const std::size_t t = arch.add_type(valid_pe_type());
+  const std::size_t id = arch.add_pe(t);
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(arch.pe(id).type_index, t);
+}
+
+TEST(ArchitectureTest, PesOfTypeGroupsCorrectly) {
+  const Architecture arch = Architecture::paper_default();
+  std::size_t total = 0;
+  for (std::size_t t = 0; t < arch.num_types(); ++t) {
+    for (std::size_t pe : arch.pes_of_type(t)) {
+      EXPECT_EQ(arch.pe(pe).type_index, t);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, arch.num_pes());
+}
+
+TEST(ArchitectureTest, AccessorsThrowOutOfRange) {
+  const Architecture arch = Architecture::paper_default();
+  EXPECT_THROW(arch.type(99), std::out_of_range);
+  EXPECT_THROW(arch.pe(99), std::out_of_range);
+  EXPECT_THROW(arch.type_of(99), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace clrearly::platform

@@ -1,0 +1,144 @@
+// Tests for the unequal-checkpoint-interval modeling (a capability the
+// paper's Section IV explicitly claims for the Markov approach) and the
+// checkpoint-count optimizer built on top of it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "reliability/clr_chain_builder.hpp"
+
+namespace clrearly::reliability {
+namespace {
+
+ClrChainParams protected_task() {
+  ClrChainParams p;
+  p.exec_time_us = 1000.0;
+  p.lambda_per_us = 1.0e-3;  // high enough that checkpoints pay off
+  p.detection_coverage = 1.0;
+  p.tolerance_success = 1.0;
+  p.detection_time_us = 5.0;
+  p.tolerance_time_us = 10.0;
+  p.checkpoint_time_us = 15.0;
+  return p;
+}
+
+// --- Unequal intervals ---------------------------------------------------------
+
+TEST(UnequalIntervalsTest, FractionValidation) {
+  ClrChainParams p = protected_task();
+  p.intervals = 2;
+  p.interval_fractions = {0.5};  // wrong size
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.interval_fractions = {0.7, 0.4};  // sums to 1.1
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.interval_fractions = {1.0, 0.0};  // non-positive entry
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.interval_fractions = {0.25, 0.75};
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(UnequalIntervalsTest, IntervalTimeHonorsFractions) {
+  ClrChainParams p = protected_task();
+  p.intervals = 2;
+  p.interval_fractions = {0.25, 0.75};
+  EXPECT_DOUBLE_EQ(p.interval_time(0), 250.0);
+  EXPECT_DOUBLE_EQ(p.interval_time(1), 750.0);
+  EXPECT_THROW(p.interval_time(2), std::out_of_range);
+  EXPECT_NEAR(p.pne_for_interval(0), std::exp(-1.0e-3 * 250.0), 1e-12);
+}
+
+TEST(UnequalIntervalsTest, EqualFractionsMatchDefaultSplit) {
+  ClrChainParams implicit = protected_task();
+  implicit.intervals = 4;
+
+  ClrChainParams explicit_equal = implicit;
+  explicit_equal.interval_fractions = {0.25, 0.25, 0.25, 0.25};
+
+  const ClrChainAnalysis a = analyze_clr_chain(implicit);
+  const ClrChainAnalysis b = analyze_clr_chain(explicit_equal);
+  EXPECT_NEAR(a.avg_exec_time_us, b.avg_exec_time_us, 1e-9);
+  EXPECT_NEAR(a.error_prob, b.error_prob, 1e-12);
+}
+
+TEST(UnequalIntervalsTest, SkewedSplitIsWorseThanEqualAtConstantRate) {
+  // With a constant fault rate the equal split minimizes expected time
+  // (convexity of the per-interval geometric retry cost); any skew loses.
+  ClrChainParams equal = protected_task();
+  equal.intervals = 2;
+
+  ClrChainParams skewed = equal;
+  skewed.interval_fractions = {0.85, 0.15};
+
+  EXPECT_LT(analyze_clr_chain(equal).avg_exec_time_us,
+            analyze_clr_chain(skewed).avg_exec_time_us);
+}
+
+TEST(UnequalIntervalsTest, MinExecTimeUnaffectedBySplit) {
+  ClrChainParams a = protected_task();
+  a.intervals = 3;
+  ClrChainParams b = a;
+  b.interval_fractions = {0.6, 0.3, 0.1};
+  EXPECT_DOUBLE_EQ(analyze_clr_chain(a).min_exec_time_us,
+                   analyze_clr_chain(b).min_exec_time_us);
+}
+
+// --- Checkpoint-count optimization ------------------------------------------------
+
+TEST(CheckpointOptimizerTest, RejectsZeroMax) {
+  EXPECT_THROW(optimize_checkpoint_intervals(protected_task(), 0),
+               std::invalid_argument);
+}
+
+TEST(CheckpointOptimizerTest, SweepCoversAllCounts) {
+  const auto result = optimize_checkpoint_intervals(protected_task(), 6);
+  ASSERT_EQ(result.avg_time_per_intervals.size(), 6u);
+  EXPECT_GE(result.best_intervals, 1u);
+  EXPECT_LE(result.best_intervals, 6u);
+  // best_avg matches the reported sweep entry.
+  EXPECT_DOUBLE_EQ(result.best_avg_time_us,
+                   result.avg_time_per_intervals[result.best_intervals - 1]);
+  for (double avg : result.avg_time_per_intervals) {
+    EXPECT_GE(avg, 1000.0);  // never below the raw execution time
+  }
+}
+
+TEST(CheckpointOptimizerTest, HighFaultRateWantsMoreCheckpoints) {
+  ClrChainParams low = protected_task();
+  low.lambda_per_us = 5.0e-5;
+  ClrChainParams high = protected_task();
+  high.lambda_per_us = 3.0e-3;
+
+  const auto few = optimize_checkpoint_intervals(low, 8);
+  const auto many = optimize_checkpoint_intervals(high, 8);
+  EXPECT_LT(few.best_intervals, many.best_intervals);
+}
+
+TEST(CheckpointOptimizerTest, ExpensiveCheckpointsWantFewer) {
+  ClrChainParams cheap = protected_task();
+  cheap.checkpoint_time_us = 1.0;
+  ClrChainParams costly = protected_task();
+  costly.checkpoint_time_us = 120.0;
+
+  const auto many = optimize_checkpoint_intervals(cheap, 8);
+  const auto few = optimize_checkpoint_intervals(costly, 8);
+  EXPECT_GE(many.best_intervals, few.best_intervals);
+}
+
+TEST(CheckpointOptimizerTest, BestBeatsAllAlternatives) {
+  const auto result = optimize_checkpoint_intervals(protected_task(), 8);
+  for (double avg : result.avg_time_per_intervals) {
+    if (std::isnan(avg)) continue;
+    EXPECT_LE(result.best_avg_time_us, avg + 1e-9);
+  }
+}
+
+TEST(CheckpointOptimizerTest, NegligibleFaultRateNeedsNoCheckpoints) {
+  ClrChainParams p = protected_task();
+  p.lambda_per_us = 1.0e-9;
+  const auto result = optimize_checkpoint_intervals(p, 6);
+  EXPECT_EQ(result.best_intervals, 1u);
+}
+
+}  // namespace
+}  // namespace clrearly::reliability

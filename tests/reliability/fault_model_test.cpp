@@ -1,0 +1,110 @@
+#include "reliability/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace clrearly::reliability {
+namespace {
+
+platform::PeType test_pe(double masking = 0.2) {
+  platform::PeType pe;
+  pe.name = "test";
+  pe.masking_factor = masking;
+  pe.weibull_beta = 2.0;
+  pe.weibull_eta_base_hours = 1e5;
+  pe.dvfs = platform::DvfsTable::paper_default();
+  return pe;
+}
+
+TEST(FaultEnvironmentTest, DefaultValidates) {
+  EXPECT_NO_THROW(FaultEnvironment{}.validate());
+}
+
+TEST(FaultEnvironmentTest, RejectsBadParameters) {
+  {
+    FaultEnvironment env;
+    env.base_seu_rate_per_us = 0.0;
+    EXPECT_THROW(env.validate(), std::invalid_argument);
+  }
+  {
+    FaultEnvironment env;
+    env.dvfs_sensitivity = -1.0;
+    EXPECT_THROW(env.validate(), std::invalid_argument);
+  }
+  {
+    FaultEnvironment env;
+    env.environment_factor = 0.0;
+    EXPECT_THROW(env.validate(), std::invalid_argument);
+  }
+}
+
+TEST(EffectiveSeuRateTest, NominalModeAppliesOnlyMasking) {
+  FaultEnvironment env;
+  const platform::PeType pe = test_pe(0.25);
+  const double rate = effective_seu_rate(env, pe, 0);
+  EXPECT_NEAR(rate, env.base_seu_rate_per_us * 0.75, 1e-18);
+}
+
+TEST(EffectiveSeuRateTest, LowerVoltageRaisesRate) {
+  FaultEnvironment env;
+  const platform::PeType pe = test_pe();
+  const double nominal = effective_seu_rate(env, pe, 0);
+  const double mid = effective_seu_rate(env, pe, 1);
+  const double slow = effective_seu_rate(env, pe, 2);
+  EXPECT_LT(nominal, mid);
+  EXPECT_LT(mid, slow);
+  // Sensitivity d=2 -> 100x at the slowest mode.
+  EXPECT_NEAR(slow / nominal, 100.0, 1e-6);
+}
+
+TEST(EffectiveSeuRateTest, EnvironmentFactorScalesLinearly) {
+  FaultEnvironment env;
+  const platform::PeType pe = test_pe();
+  const double ground = effective_seu_rate(env, pe, 0);
+  env.environment_factor = 50.0;  // avionics altitude
+  EXPECT_NEAR(effective_seu_rate(env, pe, 0), 50.0 * ground, 1e-15);
+}
+
+TEST(EffectiveSeuRateTest, StrongerMaskingLowersRate) {
+  FaultEnvironment env;
+  const double weak = effective_seu_rate(env, test_pe(0.1), 0);
+  const double strong = effective_seu_rate(env, test_pe(0.5), 0);
+  EXPECT_GT(weak, strong);
+}
+
+TEST(ErrorProbabilityTest, MatchesExponentialLaw) {
+  EXPECT_DOUBLE_EQ(error_probability(0.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(error_probability(1.0, 0.0), 0.0);
+  EXPECT_NEAR(error_probability(1e-4, 1000.0), 1.0 - std::exp(-0.1), 1e-12);
+  // Saturates toward 1.
+  EXPECT_NEAR(error_probability(1.0, 100.0), 1.0, 1e-12);
+}
+
+TEST(ErrorProbabilityTest, RejectsNegativeArguments) {
+  EXPECT_THROW(error_probability(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(error_probability(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(ThermalModelTest, JunctionTemperatureIsAffine) {
+  ThermalModel thermal;
+  thermal.ambient_c = 40.0;
+  thermal.theta_c_per_w = 30.0;
+  EXPECT_DOUBLE_EQ(thermal.junction_temperature_c(0.0), 40.0);
+  EXPECT_DOUBLE_EQ(thermal.junction_temperature_c(1.5), 85.0);
+}
+
+TEST(ThermalModelTest, RejectsNegativePower) {
+  EXPECT_THROW(ThermalModel{}.junction_temperature_c(-1.0),
+               std::invalid_argument);
+}
+
+TEST(ThermalModelTest, ValidateRejectsNonPositiveTheta) {
+  ThermalModel thermal;
+  thermal.theta_c_per_w = 0.0;
+  EXPECT_THROW(thermal.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace clrearly::reliability

@@ -1,0 +1,197 @@
+#include "reliability/methods.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "reliability/clr_config.hpp"
+
+namespace clrearly::reliability {
+namespace {
+
+// --- Catalog sanity -----------------------------------------------------------
+
+TEST(MethodCatalogTest, HwCatalogStartsWithNoop) {
+  const auto methods = default_hw_methods();
+  ASSERT_GE(methods.size(), 2u);
+  EXPECT_EQ(methods[0].masking, 0.0);
+  EXPECT_EQ(methods[0].time_factor, 1.0);
+  EXPECT_EQ(methods[0].power_factor, 1.0);
+}
+
+TEST(MethodCatalogTest, HwMaskingIncreasesWithCost) {
+  const auto methods = default_hw_methods();
+  for (std::size_t i = 1; i < methods.size(); ++i) {
+    EXPECT_GT(methods[i].masking, methods[i - 1].masking)
+        << methods[i].name;
+    EXPECT_GT(methods[i].power_factor, methods[i - 1].power_factor)
+        << methods[i].name;
+  }
+  // Partial TMR roughly doubles power.
+  EXPECT_GT(methods.back().power_factor, 1.6);
+}
+
+TEST(MethodCatalogTest, SswCatalogStartsWithNoop) {
+  const auto methods = default_ssw_methods();
+  ASSERT_GE(methods.size(), 3u);
+  EXPECT_FALSE(methods[0].is_active());
+  EXPECT_EQ(methods[0].intervals, 1u);
+}
+
+TEST(MethodCatalogTest, SswCheckpointVariantsCoverIntervals) {
+  const auto methods = default_ssw_methods();
+  bool saw_retry = false;
+  std::size_t max_intervals = 1;
+  for (const auto& m : methods) {
+    if (m.intervals == 1 && m.is_active()) saw_retry = true;
+    max_intervals = std::max(max_intervals, m.intervals);
+  }
+  EXPECT_TRUE(saw_retry);
+  EXPECT_GE(max_intervals, 4u);
+}
+
+TEST(MethodCatalogTest, AswCatalogStartsWithNoop) {
+  const auto methods = default_asw_methods();
+  ASSERT_GE(methods.size(), 3u);
+  EXPECT_EQ(methods[0].masking, 0.0);
+  EXPECT_EQ(methods[0].time_factor, 1.0);
+}
+
+TEST(MethodCatalogTest, AswMaskingTradesAgainstTime) {
+  const auto methods = default_asw_methods();
+  for (std::size_t i = 1; i < methods.size(); ++i) {
+    EXPECT_GT(methods[i].masking, methods[i - 1].masking);
+    EXPECT_GT(methods[i].time_factor, methods[i - 1].time_factor);
+  }
+  // Code tripling costs about 3x runtime.
+  EXPECT_GT(methods.back().time_factor, 3.0);
+}
+
+// --- Validation ---------------------------------------------------------------
+
+TEST(MethodValidationTest, HwMethodRangeChecks) {
+  HwMethod m{.name = "x", .masking = 1.5};
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m.masking = 0.5;
+  m.time_factor = 0.9;  // overheads cannot speed up
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m.time_factor = 1.0;
+  m.name.clear();
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(MethodValidationTest, SswMethodRangeChecks) {
+  SswMethod m;
+  m.name = "x";
+  m.intervals = 0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m.intervals = 1;
+  m.detection_coverage = 1.2;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m.detection_coverage = 0.5;
+  m.tolerance_time_frac = -0.1;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(MethodValidationTest, AswMethodRangeChecks) {
+  AswMethod m{.name = "x", .masking = -0.1};
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m.masking = 0.5;
+  m.power_factor = 0.5;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+// --- Generic method factories (GenM / GenD / GenT) -----------------------------
+
+TEST(GenericMethodTest, GenMaskingBuildsHwMethod) {
+  const HwMethod m = gen_masking(0.6, 0.1, 0.4);
+  EXPECT_EQ(m.name, "GenM");
+  EXPECT_DOUBLE_EQ(m.masking, 0.6);
+  EXPECT_DOUBLE_EQ(m.time_factor, 1.1);
+  EXPECT_DOUBLE_EQ(m.power_factor, 1.4);
+}
+
+TEST(GenericMethodTest, GenDetectionHasNoTolerance) {
+  const SswMethod m = gen_detection(0.85, 0.07);
+  EXPECT_EQ(m.name, "GenD");
+  EXPECT_DOUBLE_EQ(m.detection_coverage, 0.85);
+  EXPECT_EQ(m.tolerance_success, 0.0);
+  EXPECT_EQ(m.intervals, 1u);
+  EXPECT_TRUE(m.is_active());
+}
+
+TEST(GenericMethodTest, GenToleranceFullyParameterized) {
+  const SswMethod m = gen_tolerance(0.9, 0.95, 3, 0.05, 0.04, 0.06);
+  EXPECT_EQ(m.name, "GenT");
+  EXPECT_EQ(m.intervals, 3u);
+  EXPECT_DOUBLE_EQ(m.tolerance_success, 0.95);
+  EXPECT_DOUBLE_EQ(m.checkpoint_time_frac, 0.06);
+}
+
+TEST(GenericMethodTest, FactoriesValidate) {
+  EXPECT_THROW(gen_masking(1.5, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(gen_detection(-0.1, 0.0), std::invalid_argument);
+  EXPECT_THROW(gen_tolerance(0.9, 0.9, 0, 0.0, 0.0, 0.0),
+               std::invalid_argument);
+}
+
+// --- ClrSpace ------------------------------------------------------------------
+
+TEST(ClrSpaceTest, PaperDefaultCardinalities) {
+  const ClrSpace space = ClrSpace::paper_default();
+  EXPECT_EQ(space.hw_methods().size(), 3u);   // none/hardening/partial-TMR
+  EXPECT_EQ(space.ssw_methods().size(), 5u);  // none/retry/chk2-4
+  EXPECT_EQ(space.asw_methods().size(), 4u);  // none/checksum/hamming/tripling
+  // |Ct| with 3 DVFS modes: 3 * 5 * 4 * 3 = 180.
+  EXPECT_EQ(space.size(3), 180u);
+}
+
+TEST(ClrSpaceTest, AxesRestrictSize) {
+  const ClrSpace space = ClrSpace::paper_default();
+  EXPECT_EQ(space.size(3, ClrAxes::only_hw()), 3u);
+  EXPECT_EQ(space.size(3, ClrAxes::only_ssw()), 5u);
+  EXPECT_EQ(space.size(3, ClrAxes::only_asw()), 4u);
+  EXPECT_EQ(space.size(3, ClrAxes::only_dvfs()), 3u);
+  EXPECT_EQ(space.size(3, ClrAxes::none()), 1u);
+}
+
+TEST(ClrSpaceTest, EnumerateCoversAndRespectsAxes) {
+  const ClrSpace space = ClrSpace::paper_default();
+  const auto all = space.enumerate(3);
+  EXPECT_EQ(all.size(), 180u);
+
+  const auto hw_only = space.enumerate(3, ClrAxes::only_hw());
+  EXPECT_EQ(hw_only.size(), 3u);
+  for (const ClrConfig& c : hw_only) {
+    EXPECT_EQ(c.ssw, 0u);
+    EXPECT_EQ(c.asw, 0u);
+    EXPECT_EQ(c.dvfs, 0u);
+  }
+}
+
+TEST(ClrSpaceTest, CheckRejectsOutOfRange) {
+  const ClrSpace space = ClrSpace::paper_default();
+  EXPECT_NO_THROW(space.check(ClrConfig{2, 4, 3, 2}, 3));
+  EXPECT_THROW(space.check(ClrConfig{3, 0, 0, 0}, 3), std::out_of_range);
+  EXPECT_THROW(space.check(ClrConfig{0, 0, 0, 3}, 3), std::out_of_range);
+}
+
+TEST(ClrSpaceTest, RejectsNonNoopBaselines) {
+  auto hw = default_hw_methods();
+  std::swap(hw[0], hw[1]);  // baseline no longer index 0
+  EXPECT_THROW(
+      ClrSpace(hw, default_ssw_methods(), default_asw_methods()),
+      std::invalid_argument);
+}
+
+TEST(ClrSpaceTest, DescribeMentionsAllLayers) {
+  const ClrSpace space = ClrSpace::paper_default();
+  const std::string text = space.describe(ClrConfig{2, 1, 1, 2});
+  EXPECT_NE(text.find("HW:partial-TMR"), std::string::npos);
+  EXPECT_NE(text.find("SSW:retry"), std::string::npos);
+  EXPECT_NE(text.find("ASW:checksum"), std::string::npos);
+  EXPECT_NE(text.find("dvfs2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace clrearly::reliability

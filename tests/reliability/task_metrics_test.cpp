@@ -1,0 +1,186 @@
+#include "reliability/task_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "platform/architecture.hpp"
+#include "reliability/clr_chain_builder.hpp"
+#include "reliability/fault_model.hpp"
+
+namespace clrearly::reliability {
+namespace {
+
+BaseImpl proc_impl() {
+  BaseImpl impl;
+  impl.name = "sw";
+  impl.target = platform::PeClass::kEmbeddedProcessor;
+  impl.base_exec_time_us = 500.0;
+  impl.base_power_w = 0.4;
+  return impl;
+}
+
+const platform::PeType& proc_type() {
+  static const platform::Architecture arch =
+      platform::Architecture::paper_default();
+  return arch.type(0);
+}
+
+const platform::PeType& fabric_type() {
+  static const platform::Architecture arch =
+      platform::Architecture::paper_default();
+  return arch.type(2);
+}
+
+TEST(BaseImplTest, Validation) {
+  BaseImpl impl = proc_impl();
+  EXPECT_NO_THROW(impl.validate());
+  impl.base_exec_time_us = 0.0;
+  EXPECT_THROW(impl.validate(), std::invalid_argument);
+  impl = proc_impl();
+  impl.base_power_w = -1.0;
+  EXPECT_THROW(impl.validate(), std::invalid_argument);
+  impl = proc_impl();
+  impl.name.clear();
+  EXPECT_THROW(impl.validate(), std::invalid_argument);
+}
+
+TEST(BaseImplTest, RunsOnMatchesClass) {
+  const BaseImpl impl = proc_impl();
+  EXPECT_TRUE(impl.runs_on(proc_type()));
+  EXPECT_FALSE(impl.runs_on(fabric_type()));
+}
+
+TEST(TaskAnalyzerTest, RejectsClassMismatch) {
+  const TaskAnalyzer analyzer = TaskAnalyzer::paper_default();
+  EXPECT_THROW(analyzer.evaluate(proc_impl(), fabric_type(), ClrConfig{}),
+               std::invalid_argument);
+}
+
+TEST(TaskAnalyzerTest, RejectsOutOfRangeConfig) {
+  const TaskAnalyzer analyzer = TaskAnalyzer::paper_default();
+  EXPECT_THROW(analyzer.evaluate(proc_impl(), proc_type(),
+                                 ClrConfig{.hw = 99}),
+               std::out_of_range);
+  EXPECT_THROW(analyzer.evaluate(proc_impl(), proc_type(),
+                                 ClrConfig{.dvfs = 3}),
+               std::out_of_range);
+}
+
+TEST(TaskAnalyzerTest, BaselineConfigMatchesManualChain) {
+  const TaskAnalyzer analyzer = TaskAnalyzer::paper_default();
+  const TaskMetrics m =
+      analyzer.evaluate(proc_impl(), proc_type(), ClrConfig{});
+
+  // Reconstruct the expected numbers by hand.
+  const double lambda =
+      effective_seu_rate(analyzer.environment(), proc_type(), 0);
+  ClrChainParams params;
+  params.exec_time_us = 500.0;
+  params.lambda_per_us = lambda;
+  const ClrChainAnalysis chain = analyze_clr_chain(params);
+
+  EXPECT_NEAR(m.avg_exec_time_us, chain.avg_exec_time_us, 1e-9);
+  EXPECT_NEAR(m.error_prob, chain.error_prob, 1e-12);
+  EXPECT_NEAR(m.avg_power_w, 0.4 + proc_type().idle_power_w, 1e-12);
+  EXPECT_NEAR(m.energy_uj, m.avg_exec_time_us * m.avg_power_w, 1e-9);
+}
+
+TEST(TaskAnalyzerTest, DvfsSlowsAndWeakens) {
+  const TaskAnalyzer analyzer = TaskAnalyzer::paper_default();
+  const TaskMetrics fast =
+      analyzer.evaluate(proc_impl(), proc_type(), ClrConfig{.dvfs = 0});
+  const TaskMetrics slow =
+      analyzer.evaluate(proc_impl(), proc_type(), ClrConfig{.dvfs = 2});
+
+  // 300 MHz mode: 3x slower, much higher error probability, lower power.
+  EXPECT_NEAR(slow.min_exec_time_us / fast.min_exec_time_us, 3.0, 1e-9);
+  EXPECT_GT(slow.error_prob, 3.0 * fast.error_prob);
+  EXPECT_LT(slow.avg_power_w, fast.avg_power_w);
+  // Cooler -> slower aging -> longer MTTF.
+  EXPECT_LT(slow.peak_temp_c, fast.peak_temp_c);
+  EXPECT_GT(slow.mttf_hours, fast.mttf_hours);
+}
+
+TEST(TaskAnalyzerTest, PartialTmrMasksButBurnsPower) {
+  const TaskAnalyzer analyzer = TaskAnalyzer::paper_default();
+  const TaskMetrics plain =
+      analyzer.evaluate(proc_impl(), proc_type(), ClrConfig{});
+  const TaskMetrics tmr =
+      analyzer.evaluate(proc_impl(), proc_type(), ClrConfig{.hw = 2});
+
+  // Partial TMR masks 72% of surviving errors and nearly doubles power.
+  EXPECT_LT(tmr.error_prob, 0.4 * plain.error_prob);
+  EXPECT_GT(tmr.avg_power_w, 1.6 * plain.avg_power_w);
+  EXPECT_GT(tmr.peak_temp_c, plain.peak_temp_c);
+  EXPECT_LT(tmr.mttf_hours, plain.mttf_hours);  // hotter ages faster
+}
+
+TEST(TaskAnalyzerTest, CheckpointingAddsOverheadButDetects) {
+  const TaskAnalyzer analyzer = TaskAnalyzer::paper_default();
+  const TaskMetrics plain =
+      analyzer.evaluate(proc_impl(), proc_type(), ClrConfig{});
+  const TaskMetrics chk =
+      analyzer.evaluate(proc_impl(), proc_type(), ClrConfig{.ssw = 2});
+
+  EXPECT_GT(chk.min_exec_time_us, plain.min_exec_time_us);
+  EXPECT_LT(chk.error_prob, plain.error_prob);
+}
+
+TEST(TaskAnalyzerTest, AswMaskingReducesErrorAtTimeCost) {
+  const TaskAnalyzer analyzer = TaskAnalyzer::paper_default();
+  const TaskMetrics plain =
+      analyzer.evaluate(proc_impl(), proc_type(), ClrConfig{});
+  const TaskMetrics tripled =
+      analyzer.evaluate(proc_impl(), proc_type(), ClrConfig{.asw = 3});
+
+  EXPECT_GT(tripled.min_exec_time_us, 3.0 * plain.min_exec_time_us);
+  EXPECT_LT(tripled.error_prob, plain.error_prob);
+}
+
+TEST(TaskAnalyzerTest, MaskingFactorOfPeTypeMatters) {
+  const TaskAnalyzer analyzer = TaskAnalyzer::paper_default();
+  const platform::Architecture arch = platform::Architecture::paper_default();
+  // Type 1 has the stronger architectural masking.
+  const TaskMetrics weak =
+      analyzer.evaluate(proc_impl(), arch.type(0), ClrConfig{});
+  const TaskMetrics strong =
+      analyzer.evaluate(proc_impl(), arch.type(1), ClrConfig{});
+  EXPECT_GT(weak.error_prob, strong.error_prob);
+}
+
+TEST(TaskAnalyzerTest, ImplicitMaskingOverrideSweepsLikeFig6b) {
+  TaskAnalyzer analyzer = TaskAnalyzer::paper_default();
+  const ClrConfig cfg{.ssw = 1};  // retry: errors traverse the SSWImpl state
+
+  double prev = 1.0;
+  for (double mask : {0.0, 0.05, 0.10, 0.20}) {
+    analyzer.set_implicit_masking_override(mask);
+    const TaskMetrics m = analyzer.evaluate(proc_impl(), proc_type(), cfg);
+    EXPECT_LT(m.error_prob, prev);
+    prev = m.error_prob;
+  }
+  EXPECT_THROW(analyzer.set_implicit_masking_override(1.5),
+               std::invalid_argument);
+}
+
+TEST(TaskAnalyzerTest, EnergyIsTimeTimesPower) {
+  const TaskAnalyzer analyzer = TaskAnalyzer::paper_default();
+  for (std::size_t hw = 0; hw < 3; ++hw) {
+    const TaskMetrics m =
+        analyzer.evaluate(proc_impl(), proc_type(), ClrConfig{.hw = hw});
+    EXPECT_NEAR(m.energy_uj, m.avg_exec_time_us * m.avg_power_w, 1e-9);
+  }
+}
+
+TEST(TaskAnalyzerTest, MttfMatchesWeibullFormula) {
+  const TaskAnalyzer analyzer = TaskAnalyzer::paper_default();
+  const TaskMetrics m =
+      analyzer.evaluate(proc_impl(), proc_type(), ClrConfig{});
+  const Weibull weibull(m.eta_hours, proc_type().weibull_beta);
+  EXPECT_NEAR(m.mttf_hours, weibull.mttf(), 1e-9);
+}
+
+}  // namespace
+}  // namespace clrearly::reliability

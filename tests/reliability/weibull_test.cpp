@@ -1,0 +1,129 @@
+#include "reliability/weibull.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace clrearly::reliability {
+namespace {
+
+TEST(WeibullTest, RejectsNonPositiveParameters) {
+  EXPECT_THROW(Weibull(0.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(Weibull(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Weibull(-1.0, 2.0), std::invalid_argument);
+}
+
+TEST(WeibullTest, Beta1IsExponential) {
+  // With beta = 1 the Weibull degenerates to Exp(1/eta): MTTF = eta,
+  // R(t) = exp(-t/eta), constant hazard 1/eta.
+  const Weibull w(100.0, 1.0);
+  EXPECT_NEAR(w.mttf(), 100.0, 1e-10);
+  EXPECT_NEAR(w.reliability(100.0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(w.hazard(5.0), 0.01, 1e-12);
+  EXPECT_NEAR(w.hazard(500.0), 0.01, 1e-12);
+}
+
+TEST(WeibullTest, Beta2MttfUsesGammaFunction) {
+  // Gamma(1.5) = sqrt(pi)/2.
+  const Weibull w(1000.0, 2.0);
+  EXPECT_NEAR(w.mttf(), 1000.0 * std::sqrt(std::numbers::pi) / 2.0, 1e-9);
+}
+
+TEST(WeibullTest, ReliabilityBoundsAndMonotonicity) {
+  const Weibull w(50.0, 2.0);
+  EXPECT_DOUBLE_EQ(w.reliability(0.0), 1.0);
+  double prev = 1.0;
+  for (double t = 10.0; t <= 200.0; t += 10.0) {
+    const double r = w.reliability(t);
+    EXPECT_LT(r, prev);
+    EXPECT_GE(r, 0.0);
+    prev = r;
+  }
+}
+
+TEST(WeibullTest, CdfComplementsReliability) {
+  const Weibull w(50.0, 1.7);
+  for (double t : {0.0, 10.0, 50.0, 200.0}) {
+    EXPECT_NEAR(w.cdf(t) + w.reliability(t), 1.0, 1e-14);
+  }
+}
+
+TEST(WeibullTest, PdfIntegratesToCdf) {
+  // Trapezoidal integration of the density reproduces the CDF.
+  const Weibull w(40.0, 2.5);
+  double integral = 0.0;
+  const double dt = 0.01;
+  for (double t = 0.0; t < 80.0; t += dt) {
+    integral += 0.5 * (w.pdf(t) + w.pdf(t + dt)) * dt;
+  }
+  EXPECT_NEAR(integral, w.cdf(80.0), 1e-4);
+}
+
+TEST(WeibullTest, HazardIncreasesForBetaAbove1) {
+  const Weibull w(50.0, 3.0);
+  EXPECT_LT(w.hazard(10.0), w.hazard(20.0));
+  EXPECT_LT(w.hazard(20.0), w.hazard(40.0));
+}
+
+TEST(WeibullTest, PdfLimitsAtZero) {
+  EXPECT_DOUBLE_EQ(Weibull(10.0, 2.0).pdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Weibull(10.0, 1.0).pdf(0.0), 0.1);
+}
+
+TEST(WeibullTest, HazardAtZeroForBetaBelow1Throws) {
+  EXPECT_THROW(Weibull(10.0, 0.5).hazard(0.0), std::domain_error);
+}
+
+TEST(WeibullTest, QuantileRoundTripsCdf) {
+  const Weibull w(75.0, 1.9);
+  for (double p : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(w.cdf(w.quantile(p)), p, 1e-12);
+  }
+  EXPECT_THROW(w.quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(w.quantile(-0.1), std::invalid_argument);
+}
+
+TEST(WeibullTest, NegativeTimeRejected) {
+  const Weibull w(10.0, 2.0);
+  EXPECT_THROW(w.reliability(-1.0), std::invalid_argument);
+  EXPECT_THROW(w.pdf(-1.0), std::invalid_argument);
+  EXPECT_THROW(w.hazard(-1.0), std::invalid_argument);
+}
+
+// --- Arrhenius aging ---------------------------------------------------------
+
+TEST(ArrheniusAgingTest, ReferenceTemperatureIsIdentity) {
+  const ArrheniusAging aging;
+  EXPECT_NEAR(aging.scale_eta(1e5, aging.reference_temp_c), 1e5, 1e-6);
+}
+
+TEST(ArrheniusAgingTest, HotterShrinksEta) {
+  const ArrheniusAging aging;
+  const double cool = aging.scale_eta(1e5, 50.0);
+  const double ref = aging.scale_eta(1e5, 60.0);
+  const double hot = aging.scale_eta(1e5, 90.0);
+  EXPECT_GT(cool, ref);
+  EXPECT_GT(ref, hot);
+}
+
+TEST(ArrheniusAgingTest, AccelerationFactorMatchesClosedForm) {
+  ArrheniusAging aging;
+  aging.activation_energy_ev = 0.5;
+  aging.reference_temp_c = 60.0;
+  const double t1_k = 60.0 + 273.15;
+  const double t2_k = 85.0 + 273.15;
+  const double expected =
+      std::exp((0.5 / 8.617333262e-5) * (1.0 / t2_k - 1.0 / t1_k));
+  EXPECT_NEAR(aging.scale_eta(1.0, 85.0), expected, 1e-12);
+}
+
+TEST(ArrheniusAgingTest, RejectsBadInput) {
+  const ArrheniusAging aging;
+  EXPECT_THROW(aging.scale_eta(0.0, 60.0), std::invalid_argument);
+  EXPECT_THROW(aging.scale_eta(1.0, -300.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace clrearly::reliability

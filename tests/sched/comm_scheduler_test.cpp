@@ -1,0 +1,210 @@
+// Tests for the communication-aware scheduling extension: the optional
+// Interconnect model and its effect on list scheduling and QoS estimation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "app/sobel.hpp"
+#include "platform/architecture.hpp"
+#include "platform/interconnect.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/qos.hpp"
+
+namespace clrearly::sched {
+namespace {
+
+// --- Interconnect model -------------------------------------------------------
+
+TEST(InterconnectTest, DisabledModelIsFree) {
+  const platform::Interconnect icn;  // default: disabled
+  EXPECT_FALSE(icn.models_communication());
+  EXPECT_DOUBLE_EQ(icn.transfer_time_us(100.0), 0.0);
+}
+
+TEST(InterconnectTest, TransferTimeIsLatencyPlusSize) {
+  platform::Interconnect icn;
+  icn.bandwidth_kb_per_us = 2.0;  // 2 GB/s
+  icn.latency_us = 5.0;
+  EXPECT_TRUE(icn.models_communication());
+  EXPECT_DOUBLE_EQ(icn.transfer_time_us(100.0), 5.0 + 50.0);
+  EXPECT_DOUBLE_EQ(icn.transfer_time_us(0.0), 0.0);  // nothing to move
+}
+
+TEST(InterconnectTest, Validation) {
+  platform::Interconnect icn;
+  icn.bandwidth_kb_per_us = -1.0;
+  EXPECT_THROW(icn.validate(), std::invalid_argument);
+  icn.bandwidth_kb_per_us = 1.0;
+  icn.latency_us = -1.0;
+  EXPECT_THROW(icn.validate(), std::invalid_argument);
+  EXPECT_THROW(icn.transfer_time_us(-1.0), std::invalid_argument);
+}
+
+TEST(InterconnectTest, ArchitectureCarriesModel) {
+  platform::Architecture arch = platform::Architecture::paper_default();
+  EXPECT_FALSE(arch.interconnect().models_communication());
+  platform::Interconnect icn;
+  icn.bandwidth_kb_per_us = 1.0;
+  arch.set_interconnect(icn);
+  EXPECT_TRUE(arch.interconnect().models_communication());
+
+  icn.latency_us = -1.0;
+  EXPECT_THROW(arch.set_interconnect(icn), std::invalid_argument);
+}
+
+// --- Communication-aware list scheduling ------------------------------------------
+
+app::TaskGraph chain_with_data(double kb) {
+  app::TaskGraph g;
+  g.add_task(0, "a");
+  g.add_task(0, "b");
+  g.add_edge(0, 1, kb);
+  return g;
+}
+
+TEST(CommSchedulerTest, CrossPeEdgePaysTransfer) {
+  const app::TaskGraph g = chain_with_data(100.0);
+  const std::vector<TaskAssignment> asg{{0, 10.0, 1.0}, {1, 10.0, 1.0}};
+  platform::Interconnect icn;
+  icn.bandwidth_kb_per_us = 10.0;
+  icn.latency_us = 2.0;
+
+  const Schedule s = list_schedule(g, asg, {0, 1}, 2, icn);
+  // b waits for a (10) + transfer (2 + 100/10 = 12) = 22.
+  EXPECT_DOUBLE_EQ(s.tasks[1].start_us, 22.0);
+  EXPECT_DOUBLE_EQ(s.makespan_us, 32.0);
+}
+
+TEST(CommSchedulerTest, CoLocatedEdgeIsFree) {
+  const app::TaskGraph g = chain_with_data(100.0);
+  const std::vector<TaskAssignment> asg{{0, 10.0, 1.0}, {0, 10.0, 1.0}};
+  platform::Interconnect icn;
+  icn.bandwidth_kb_per_us = 10.0;
+  icn.latency_us = 2.0;
+
+  const Schedule s = list_schedule(g, asg, {0, 1}, 2, icn);
+  EXPECT_DOUBLE_EQ(s.tasks[1].start_us, 10.0);
+  EXPECT_DOUBLE_EQ(s.makespan_us, 20.0);
+}
+
+TEST(CommSchedulerTest, DisabledModelMatchesBaseScheduler) {
+  const app::Application sobel = app::make_sobel_application();
+  std::vector<TaskAssignment> asg(5);
+  for (std::size_t t = 0; t < 5; ++t) {
+    asg[t] = {t % 3, 100.0 + 10.0 * static_cast<double>(t), 0.5};
+  }
+  const std::vector<std::size_t> order{0, 1, 2, 3, 4};
+  const Schedule base = list_schedule(sobel.graph, asg, order, 3);
+  const Schedule with_disabled =
+      list_schedule(sobel.graph, asg, order, 3, platform::Interconnect{});
+  for (std::size_t t = 0; t < 5; ++t) {
+    EXPECT_DOUBLE_EQ(base.tasks[t].start_us, with_disabled.tasks[t].start_us);
+  }
+  EXPECT_DOUBLE_EQ(base.makespan_us, with_disabled.makespan_us);
+}
+
+TEST(CommSchedulerTest, CommunicationOnlyDelaysNeverSpeedsUp) {
+  const app::Application sobel = app::make_sobel_application();
+  std::vector<TaskAssignment> asg(5);
+  for (std::size_t t = 0; t < 5; ++t) {
+    asg[t] = {t % 6, 100.0, 0.5};
+  }
+  const std::vector<std::size_t> order{0, 1, 2, 3, 4};
+  platform::Interconnect icn;
+  icn.bandwidth_kb_per_us = 5.0;
+  icn.latency_us = 1.0;
+  const Schedule base = list_schedule(sobel.graph, asg, order, 6);
+  const Schedule comm = list_schedule(sobel.graph, asg, order, 6, icn);
+  EXPECT_GE(comm.makespan_us, base.makespan_us);
+  for (std::size_t t = 0; t < 5; ++t) {
+    EXPECT_GE(comm.tasks[t].start_us, base.tasks[t].start_us - 1e-9);
+  }
+}
+
+TEST(CommSchedulerTest, FasterInterconnectShortensMakespan) {
+  const app::Application sobel = app::make_sobel_application();
+  std::vector<TaskAssignment> asg(5);
+  for (std::size_t t = 0; t < 5; ++t) {
+    asg[t] = {t % 6, 100.0, 0.5};  // fully spread: every edge crosses PEs
+  }
+  const std::vector<std::size_t> order{0, 1, 2, 3, 4};
+  platform::Interconnect slow{0.5, 2.0};
+  platform::Interconnect fast{50.0, 0.5};
+  const double m_slow =
+      list_schedule(sobel.graph, asg, order, 6, slow).makespan_us;
+  const double m_fast =
+      list_schedule(sobel.graph, asg, order, 6, fast).makespan_us;
+  EXPECT_GT(m_slow, m_fast);
+}
+
+// --- QoS integration -----------------------------------------------------------
+
+TEST(CommQosTest, InterconnectRaisesMakespanThroughQos) {
+  const app::Application sobel = app::make_sobel_application();
+  platform::Architecture arch = platform::Architecture::paper_default();
+
+  std::vector<TaskDecision> decisions(5);
+  for (std::size_t t = 0; t < 5; ++t) {
+    reliability::TaskMetrics m;
+    m.avg_exec_time_us = 100.0;
+    m.min_exec_time_us = 100.0;
+    m.avg_power_w = 0.5;
+    m.energy_uj = 50.0;
+    m.mttf_hours = 1e5;
+    m.eta_hours = 1e5;
+    decisions[t] = {t % arch.num_pes(), m};
+  }
+  const std::vector<std::size_t> order{0, 1, 2, 3, 4};
+  const QosMetrics base = estimate_qos(sobel, arch, decisions, order);
+
+  platform::Interconnect icn;
+  icn.bandwidth_kb_per_us = 1.0;
+  icn.latency_us = 3.0;
+  arch.set_interconnect(icn);
+  const QosMetrics comm = estimate_qos(sobel, arch, decisions, order);
+
+  EXPECT_GT(comm.makespan_us, base.makespan_us);
+  // Metrics that do not involve the schedule are untouched.
+  EXPECT_DOUBLE_EQ(comm.error_prob, base.error_prob);
+  EXPECT_DOUBLE_EQ(comm.energy_uj, base.energy_uj);
+  EXPECT_DOUBLE_EQ(comm.mttf_hours, base.mttf_hours);
+}
+
+TEST(CommQosTest, CoLocationBecomesAttractiveUnderSlowInterconnect) {
+  // Two designs: pipeline spread over PEs vs fully co-located. With a slow
+  // interconnect the co-located one wins on makespan despite serializing.
+  app::TaskGraph g;
+  g.add_task(0, "a");
+  g.add_task(0, "b");
+  g.add_edge(0, 1, 500.0);
+  app::Application chain;
+  chain.name = "chain";
+  chain.graph = g;
+  reliability::BaseImpl impl;
+  impl.name = "i";
+  impl.base_exec_time_us = 10.0;
+  impl.base_power_w = 0.1;
+  chain.impls = {{impl}};
+  chain.period_us = 1e4;
+
+  platform::Architecture arch = platform::Architecture::paper_default();
+  platform::Interconnect icn;
+  icn.bandwidth_kb_per_us = 1.0;  // 500 us to move the payload
+  arch.set_interconnect(icn);
+
+  reliability::TaskMetrics m;
+  m.avg_exec_time_us = 100.0;
+  m.avg_power_w = 0.5;
+  m.mttf_hours = 1e5;
+
+  const std::vector<TaskDecision> spread{{0, m}, {1, m}};
+  const std::vector<TaskDecision> colocated{{0, m}, {0, m}};
+  const double makespan_spread =
+      estimate_qos(chain, arch, spread, {0, 1}).makespan_us;
+  const double makespan_colocated =
+      estimate_qos(chain, arch, colocated, {0, 1}).makespan_us;
+  EXPECT_LT(makespan_colocated, makespan_spread);
+}
+
+}  // namespace
+}  // namespace clrearly::sched

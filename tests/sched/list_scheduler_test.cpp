@@ -1,0 +1,191 @@
+#include "sched/list_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "app/tgff.hpp"
+#include "util/rng.hpp"
+
+namespace clrearly::sched {
+namespace {
+
+app::TaskGraph diamond() {
+  app::TaskGraph g;
+  g.add_task(0, "a");
+  g.add_task(0, "b");
+  g.add_task(0, "c");
+  g.add_task(0, "d");
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  return g;
+}
+
+std::vector<std::size_t> identity_order(std::size_t n) {
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  return order;
+}
+
+TEST(ListSchedulerTest, SingleTask) {
+  app::TaskGraph g;
+  g.add_task(0, "only");
+  const Schedule s =
+      list_schedule(g, {{0, 10.0, 1.0}}, identity_order(1), 2);
+  EXPECT_DOUBLE_EQ(s.makespan_us, 10.0);
+  EXPECT_DOUBLE_EQ(s.tasks[0].start_us, 0.0);
+  EXPECT_DOUBLE_EQ(s.tasks[0].end_us, 10.0);
+  EXPECT_DOUBLE_EQ(s.pe_busy_us[0], 10.0);
+  EXPECT_DOUBLE_EQ(s.pe_busy_us[1], 0.0);
+}
+
+TEST(ListSchedulerTest, DiamondOnTwoPesOverlapsBranches) {
+  const app::TaskGraph g = diamond();
+  // a on PE0 (10), b on PE0 (20), c on PE1 (15), d on PE0 (5).
+  const std::vector<TaskAssignment> asg{
+      {0, 10.0, 1.0}, {0, 20.0, 1.0}, {1, 15.0, 1.0}, {0, 5.0, 1.0}};
+  const Schedule s = list_schedule(g, asg, identity_order(4), 2);
+  // b runs 10..30 on PE0, c runs 10..25 on PE1 in parallel; d starts at 30.
+  EXPECT_DOUBLE_EQ(s.tasks[1].start_us, 10.0);
+  EXPECT_DOUBLE_EQ(s.tasks[2].start_us, 10.0);
+  EXPECT_DOUBLE_EQ(s.tasks[3].start_us, 30.0);
+  EXPECT_DOUBLE_EQ(s.makespan_us, 35.0);
+}
+
+TEST(ListSchedulerTest, PrecedenceRespected) {
+  const app::TaskGraph g = diamond();
+  util::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<TaskAssignment> asg(4);
+    for (auto& a : asg) {
+      a.pe = rng.index(3);
+      a.exec_time_us = rng.uniform(1.0, 50.0);
+      a.power_w = 1.0;
+    }
+    std::vector<std::size_t> order = identity_order(4);
+    rng.shuffle(order);
+    const Schedule s = list_schedule(g, asg, order, 3);
+    for (const app::Edge& e : g.edges()) {
+      EXPECT_GE(s.tasks[e.dst].start_us, s.tasks[e.src].end_us - 1e-9);
+    }
+  }
+}
+
+TEST(ListSchedulerTest, NoPeOverlap) {
+  util::Rng rng(4);
+  app::TgffOptions options;
+  options.num_tasks = 30;
+  const app::TaskGraph g = app::generate_tgff_graph(options, rng);
+  std::vector<TaskAssignment> asg(30);
+  for (auto& a : asg) {
+    a.pe = rng.index(4);
+    a.exec_time_us = rng.uniform(5.0, 30.0);
+    a.power_w = 0.5;
+  }
+  std::vector<std::size_t> order = identity_order(30);
+  rng.shuffle(order);
+  const Schedule s = list_schedule(g, asg, order, 4);
+
+  for (std::size_t i = 0; i < 30; ++i) {
+    for (std::size_t j = i + 1; j < 30; ++j) {
+      if (asg[i].pe != asg[j].pe) continue;
+      const bool disjoint = s.tasks[i].end_us <= s.tasks[j].start_us + 1e-9 ||
+                            s.tasks[j].end_us <= s.tasks[i].start_us + 1e-9;
+      EXPECT_TRUE(disjoint) << "tasks " << i << "," << j << " overlap on PE";
+    }
+  }
+}
+
+TEST(ListSchedulerTest, PriorityOrderBreaksTies) {
+  // Two independent tasks contending for one PE: priority decides who first.
+  app::TaskGraph g;
+  g.add_task(0, "a");
+  g.add_task(0, "b");
+  const std::vector<TaskAssignment> asg{{0, 10.0, 1.0}, {0, 10.0, 1.0}};
+
+  const Schedule ab = list_schedule(g, asg, {0, 1}, 1);
+  EXPECT_DOUBLE_EQ(ab.tasks[0].start_us, 0.0);
+  EXPECT_DOUBLE_EQ(ab.tasks[1].start_us, 10.0);
+
+  const Schedule ba = list_schedule(g, asg, {1, 0}, 1);
+  EXPECT_DOUBLE_EQ(ba.tasks[1].start_us, 0.0);
+  EXPECT_DOUBLE_EQ(ba.tasks[0].start_us, 10.0);
+}
+
+TEST(ListSchedulerTest, MakespanAtLeastCriticalPathAndBottleneck) {
+  util::Rng rng(5);
+  app::TgffOptions options;
+  options.num_tasks = 25;
+  const app::TaskGraph g = app::generate_tgff_graph(options, rng);
+  std::vector<TaskAssignment> asg(25);
+  double total = 0.0;
+  for (auto& a : asg) {
+    a.pe = rng.index(3);
+    a.exec_time_us = rng.uniform(1.0, 20.0);
+    total += a.exec_time_us;
+  }
+  const Schedule s = list_schedule(g, asg, identity_order(25), 3);
+  // Lower bound: total work / PEs.
+  EXPECT_GE(s.makespan_us, total / 3.0 - 1e-9);
+  // Busy times sum to total work.
+  double busy = 0.0;
+  for (double b : s.pe_busy_us) busy += b;
+  EXPECT_NEAR(busy, total, 1e-9);
+}
+
+TEST(ListSchedulerTest, PeakPowerHandComputed) {
+  const app::TaskGraph g = diamond();
+  const std::vector<TaskAssignment> asg{
+      {0, 10.0, 2.0}, {0, 20.0, 3.0}, {1, 15.0, 4.0}, {0, 5.0, 1.0}};
+  const Schedule s = list_schedule(g, asg, identity_order(4), 2);
+  // b (3W) and c (4W) overlap during [10, 25): peak 7W.
+  EXPECT_DOUBLE_EQ(s.peak_power(asg), 7.0);
+}
+
+TEST(ListSchedulerTest, PeakPowerOfSequentialTasksIsMax) {
+  app::TaskGraph g;
+  g.add_task(0, "a");
+  g.add_task(0, "b");
+  g.add_edge(0, 1);
+  const std::vector<TaskAssignment> asg{{0, 10.0, 2.0}, {0, 10.0, 5.0}};
+  const Schedule s = list_schedule(g, asg, identity_order(2), 1);
+  EXPECT_DOUBLE_EQ(s.peak_power(asg), 5.0);
+}
+
+TEST(ListSchedulerTest, InputValidation) {
+  const app::TaskGraph g = diamond();
+  const std::vector<TaskAssignment> asg(4, TaskAssignment{0, 1.0, 1.0});
+  // Wrong assignment count.
+  EXPECT_THROW(list_schedule(g, {{0, 1.0, 1.0}}, identity_order(4), 1),
+               std::invalid_argument);
+  // Wrong order size.
+  EXPECT_THROW(list_schedule(g, asg, {0, 1}, 1), std::invalid_argument);
+  // Not a permutation.
+  EXPECT_THROW(list_schedule(g, asg, {0, 0, 1, 2}, 1), std::invalid_argument);
+  // PE out of range.
+  std::vector<TaskAssignment> bad_pe = asg;
+  bad_pe[2].pe = 5;
+  EXPECT_THROW(list_schedule(g, bad_pe, identity_order(4), 2),
+               std::invalid_argument);
+  // Negative execution time.
+  std::vector<TaskAssignment> bad_time = asg;
+  bad_time[1].exec_time_us = -1.0;
+  EXPECT_THROW(list_schedule(g, bad_time, identity_order(4), 1),
+               std::invalid_argument);
+  // Zero PEs.
+  EXPECT_THROW(list_schedule(g, asg, identity_order(4), 0),
+               std::invalid_argument);
+}
+
+TEST(ListSchedulerTest, PeakPowerValidatesAssignmentSize) {
+  app::TaskGraph g;
+  g.add_task(0, "a");
+  const Schedule s = list_schedule(g, {{0, 1.0, 1.0}}, identity_order(1), 1);
+  EXPECT_THROW(s.peak_power({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace clrearly::sched

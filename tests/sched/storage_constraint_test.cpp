@@ -1,0 +1,161 @@
+// Tests for the storage-constraint extension: implementation footprints vs
+// per-PE memory capacities, flowing from TaskAnalyzer through QoS estimation
+// into the constraint machinery the GA sees.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "app/sobel.hpp"
+#include "core/dse.hpp"
+#include "core/experiment.hpp"
+#include "platform/architecture.hpp"
+#include "sched/qos.hpp"
+
+namespace clrearly::sched {
+namespace {
+
+reliability::TaskMetrics with_footprint(double kb) {
+  reliability::TaskMetrics m;
+  m.avg_exec_time_us = 100.0;
+  m.min_exec_time_us = 100.0;
+  m.avg_power_w = 0.5;
+  m.mttf_hours = 1e5;
+  m.eta_hours = 1e5;
+  m.footprint_kb = kb;
+  return m;
+}
+
+app::Application two_task_app() {
+  app::Application a;
+  a.graph.add_task(0, "t0");
+  a.graph.add_task(0, "t1");
+  reliability::BaseImpl impl;
+  impl.name = "i";
+  impl.base_exec_time_us = 10.0;
+  impl.base_power_w = 0.1;
+  a.impls = {{impl}};
+  a.period_us = 1e4;
+  return a;
+}
+
+/// Architecture whose PE type 0 has a memory capacity of `kb`.
+platform::Architecture capped_architecture(double kb) {
+  platform::Architecture full = platform::Architecture::paper_default();
+  platform::Architecture arch;
+  platform::PeType type = full.type(0);
+  type.memory_kb = kb;
+  const std::size_t t = arch.add_type(type);
+  arch.add_pe(t);
+  arch.add_pe(t);
+  return arch;
+}
+
+// --- Model plumbing ---------------------------------------------------------------
+
+TEST(StorageConstraintTest, PeTypeValidatesCapacity) {
+  platform::PeType type = platform::Architecture::paper_default().type(0);
+  type.memory_kb = -1.0;
+  EXPECT_THROW(type.validate(), std::invalid_argument);
+}
+
+TEST(StorageConstraintTest, ImplValidatesFootprint) {
+  reliability::BaseImpl impl;
+  impl.name = "x";
+  impl.base_exec_time_us = 1.0;
+  impl.base_power_w = 0.1;
+  impl.footprint_kb = -1.0;
+  EXPECT_THROW(impl.validate(), std::invalid_argument);
+}
+
+TEST(StorageConstraintTest, CheckpointingGrowsFootprint) {
+  const reliability::TaskAnalyzer analyzer =
+      reliability::TaskAnalyzer::paper_default();
+  const platform::Architecture arch = platform::Architecture::paper_default();
+  reliability::BaseImpl impl;
+  impl.name = "x";
+  impl.base_exec_time_us = 500.0;
+  impl.base_power_w = 0.4;
+  impl.footprint_kb = 100.0;
+
+  const auto plain =
+      analyzer.evaluate(impl, arch.type(0), reliability::ClrConfig{});
+  // ssw = 4: checkpointing with 4 intervals (3 checkpoints).
+  const auto chk = analyzer.evaluate(impl, arch.type(0),
+                                     reliability::ClrConfig{.ssw = 4});
+  EXPECT_DOUBLE_EQ(plain.footprint_kb, 100.0);
+  EXPECT_DOUBLE_EQ(chk.footprint_kb, 100.0 * 1.75);
+}
+
+// --- QoS integration -----------------------------------------------------------------
+
+TEST(StorageConstraintTest, NoOverflowWhenTasksFit) {
+  const app::Application a = two_task_app();
+  const platform::Architecture arch = capped_architecture(300.0);
+  std::vector<TaskDecision> decisions{{0, with_footprint(100.0)},
+                                      {1, with_footprint(100.0)}};
+  const QosMetrics qos = estimate_qos(a, arch, decisions, {0, 1});
+  EXPECT_DOUBLE_EQ(qos.memory_overflow, 0.0);
+  EXPECT_TRUE(QosSpec{}.feasible(qos));
+}
+
+TEST(StorageConstraintTest, StackingPastCapacityOverflows) {
+  const app::Application a = two_task_app();
+  const platform::Architecture arch = capped_architecture(150.0);
+  std::vector<TaskDecision> decisions{{0, with_footprint(100.0)},
+                                      {0, with_footprint(100.0)}};
+  const QosMetrics qos = estimate_qos(a, arch, decisions, {0, 1});
+  // 200 KB on a 150 KB PE: relative overshoot (200-150)/150.
+  EXPECT_NEAR(qos.memory_overflow, 50.0 / 150.0, 1e-12);
+  // Physical constraint: infeasible even under an empty spec.
+  EXPECT_FALSE(QosSpec{}.feasible(qos));
+  EXPECT_GT(QosSpec{}.violation(qos), 0.0);
+}
+
+TEST(StorageConstraintTest, UncappedPeNeverOverflows) {
+  const app::Application a = two_task_app();
+  const platform::Architecture arch = platform::Architecture::paper_default();
+  std::vector<TaskDecision> decisions{{0, with_footprint(1e9)},
+                                      {0, with_footprint(1e9)}};
+  const QosMetrics qos = estimate_qos(a, arch, decisions, {0, 1});
+  EXPECT_DOUBLE_EQ(qos.memory_overflow, 0.0);
+}
+
+// --- DSE integration ----------------------------------------------------------------
+
+TEST(StorageConstraintTest, DseAvoidsOverflowingMappings) {
+  // Tight capacities: no single PE can host the whole Sobel pipeline, so
+  // every feasible design must spread tasks across PEs.
+  platform::Architecture arch = platform::Architecture::paper_default();
+  {
+    platform::Architecture capped;
+    for (std::size_t t = 0; t < arch.num_types(); ++t) {
+      platform::PeType type = arch.type(t);
+      type.memory_kb = 280.0;  // fits at most ~2 Sobel kernels
+      capped.add_type(type);
+    }
+    for (const platform::Pe& pe : arch.pes()) {
+      capped.add_pe(pe.type_index);
+    }
+    arch = capped;
+  }
+
+  const core::DseMethodology dse(app::make_sobel_application(), arch,
+                                 reliability::TaskAnalyzer::paper_default());
+  core::DseOptions options;
+  options.ga.population_size = 40;
+  options.ga.generations = 20;
+  options.seed = 9;
+  const core::DseOutcome outcome = dse.run_fcclr(options);
+
+  ASSERT_FALSE(outcome.front.empty());
+  const core::ClrMappingProblem problem(
+      app::make_sobel_application(), arch,
+      reliability::TaskAnalyzer::paper_default(), core::SystemObjectives{},
+      sched::QosSpec{});
+  for (const auto& genome : outcome.front_genomes) {
+    EXPECT_DOUBLE_EQ(problem.qos(genome).memory_overflow, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace clrearly::sched

@@ -1,0 +1,170 @@
+// Tests for the timing-reliability extension: makespan spread along the
+// critical path and the deadline-miss probability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "app/sobel.hpp"
+#include "platform/architecture.hpp"
+#include "sched/qos.hpp"
+
+namespace clrearly::sched {
+namespace {
+
+reliability::TaskMetrics metrics_with(double time, double stddev) {
+  reliability::TaskMetrics m;
+  m.avg_exec_time_us = time;
+  m.min_exec_time_us = time;
+  m.exec_time_stddev_us = stddev;
+  m.avg_power_w = 0.5;
+  m.mttf_hours = 1e5;
+  m.eta_hours = 1e5;
+  return m;
+}
+
+app::Application chain_app(std::size_t n) {
+  app::Application a;
+  for (std::size_t i = 0; i < n; ++i) {
+    a.graph.add_task(0, "t" + std::to_string(i));
+    if (i > 0) a.graph.add_edge(i - 1, i);
+  }
+  reliability::BaseImpl impl;
+  impl.name = "i";
+  impl.base_exec_time_us = 10.0;
+  impl.base_power_w = 0.1;
+  a.impls = {{impl}};
+  a.period_us = 1e4;
+  return a;
+}
+
+std::vector<std::size_t> iota_order(std::size_t n) {
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  return order;
+}
+
+TEST(MakespanSpreadTest, ChainVariancesAdd) {
+  const app::Application a = chain_app(3);
+  const platform::Architecture arch = platform::Architecture::paper_default();
+  std::vector<TaskDecision> decisions{{0, metrics_with(100.0, 3.0)},
+                                      {1, metrics_with(100.0, 4.0)},
+                                      {2, metrics_with(100.0, 12.0)}};
+  const QosMetrics qos = estimate_qos(a, arch, decisions, iota_order(3));
+  EXPECT_DOUBLE_EQ(qos.makespan_us, 300.0);
+  EXPECT_NEAR(qos.makespan_stddev_us, std::sqrt(9.0 + 16.0 + 144.0), 1e-9);
+}
+
+TEST(MakespanSpreadTest, ParallelTasksFollowCriticalBranch) {
+  // Two independent tasks on different PEs: only the longer one defines the
+  // makespan and its spread.
+  app::Application a;
+  a.graph.add_task(0, "short");
+  a.graph.add_task(0, "long");
+  reliability::BaseImpl impl;
+  impl.name = "i";
+  impl.base_exec_time_us = 10.0;
+  impl.base_power_w = 0.1;
+  a.impls = {{impl}};
+  a.period_us = 1e4;
+
+  const platform::Architecture arch = platform::Architecture::paper_default();
+  std::vector<TaskDecision> decisions{{0, metrics_with(50.0, 40.0)},
+                                      {1, metrics_with(200.0, 7.0)}};
+  const QosMetrics qos = estimate_qos(a, arch, decisions, iota_order(2));
+  EXPECT_DOUBLE_EQ(qos.makespan_us, 200.0);
+  EXPECT_NEAR(qos.makespan_stddev_us, 7.0, 1e-9);
+}
+
+TEST(MakespanSpreadTest, PeContentionJoinsThePath) {
+  // Independent tasks forced onto one PE: the chain of PE blocking makes
+  // both variances count.
+  app::Application a;
+  a.graph.add_task(0, "a");
+  a.graph.add_task(0, "b");
+  reliability::BaseImpl impl;
+  impl.name = "i";
+  impl.base_exec_time_us = 10.0;
+  impl.base_power_w = 0.1;
+  a.impls = {{impl}};
+  a.period_us = 1e4;
+
+  const platform::Architecture arch = platform::Architecture::paper_default();
+  std::vector<TaskDecision> decisions{{0, metrics_with(100.0, 3.0)},
+                                      {0, metrics_with(100.0, 4.0)}};
+  const QosMetrics qos = estimate_qos(a, arch, decisions, iota_order(2));
+  EXPECT_DOUBLE_EQ(qos.makespan_us, 200.0);
+  EXPECT_NEAR(qos.makespan_stddev_us, 5.0, 1e-9);
+}
+
+TEST(MakespanSpreadTest, DeterministicTasksGiveZeroSpread) {
+  const app::Application a = chain_app(2);
+  const platform::Architecture arch = platform::Architecture::paper_default();
+  std::vector<TaskDecision> decisions{{0, metrics_with(100.0, 0.0)},
+                                      {1, metrics_with(100.0, 0.0)}};
+  const QosMetrics qos = estimate_qos(a, arch, decisions, iota_order(2));
+  EXPECT_DOUBLE_EQ(qos.makespan_stddev_us, 0.0);
+}
+
+TEST(MakespanSpreadTest, RealPipelineHasPositiveSpreadUnderFaults) {
+  const app::Application sobel = app::make_sobel_application();
+  const platform::Architecture arch = platform::Architecture::paper_default();
+  const reliability::TaskAnalyzer analyzer =
+      reliability::TaskAnalyzer::paper_default();
+
+  std::vector<TaskDecision> decisions(5);
+  for (std::size_t t = 0; t < 5; ++t) {
+    // Retry configuration on the embedded cores: non-deterministic
+    // execution time.
+    decisions[t].pe = t % 4;  // processor PEs only
+    decisions[t].metrics = analyzer.evaluate(
+        sobel.impls[sobel.graph.task(t).type][0],
+        arch.type_of(decisions[t].pe), reliability::ClrConfig{.ssw = 1});
+  }
+  const QosMetrics qos =
+      estimate_qos(sobel, arch, decisions, iota_order(5));
+  EXPECT_GT(qos.makespan_stddev_us, 0.0);
+  EXPECT_LT(qos.makespan_stddev_us, qos.makespan_us);
+}
+
+// --- Deadline-miss probability -------------------------------------------------
+
+TEST(DeadlineMissTest, NormalApproximationValues) {
+  QosMetrics m;
+  m.makespan_us = 1000.0;
+  m.makespan_stddev_us = 100.0;
+  EXPECT_NEAR(deadline_miss_probability(m, 1000.0), 0.5, 1e-12);
+  EXPECT_NEAR(deadline_miss_probability(m, 1100.0), 0.15865525, 1e-6);
+  EXPECT_NEAR(deadline_miss_probability(m, 900.0), 0.84134475, 1e-6);
+  EXPECT_LT(deadline_miss_probability(m, 1300.0), 0.01);
+}
+
+TEST(DeadlineMissTest, ZeroSpreadIsAStep) {
+  QosMetrics m;
+  m.makespan_us = 1000.0;
+  m.makespan_stddev_us = 0.0;
+  EXPECT_DOUBLE_EQ(deadline_miss_probability(m, 1000.0), 0.0);
+  EXPECT_DOUBLE_EQ(deadline_miss_probability(m, 999.9), 1.0);
+}
+
+TEST(DeadlineMissTest, RejectsBadDeadline) {
+  EXPECT_THROW(deadline_miss_probability(QosMetrics{}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(deadline_miss_probability(QosMetrics{}, -5.0),
+               std::invalid_argument);
+}
+
+TEST(DeadlineMissTest, MonotoneInDeadline) {
+  QosMetrics m;
+  m.makespan_us = 500.0;
+  m.makespan_stddev_us = 50.0;
+  double prev = 1.0;
+  for (double deadline = 300.0; deadline <= 800.0; deadline += 50.0) {
+    const double p = deadline_miss_probability(m, deadline);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+}
+
+}  // namespace
+}  // namespace clrearly::sched

@@ -1,0 +1,89 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace clrearly::util {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p("tool", "test parser");
+  p.flag("verbose", "say more")
+      .option("seed", "rng seed", "42")
+      .option("name", "a string", "default-name");
+  return p;
+}
+
+TEST(ArgParserTest, DefaultsApplyWithoutArgs) {
+  ArgParser p = make_parser();
+  p.parse({});
+  EXPECT_FALSE(p.has("verbose"));
+  EXPECT_EQ(p.get("seed"), "42");
+  EXPECT_EQ(p.get_uint("seed"), 42u);
+  EXPECT_EQ(p.get("name"), "default-name");
+  EXPECT_TRUE(p.positionals().empty());
+}
+
+TEST(ArgParserTest, SpaceAndEqualsSyntax) {
+  ArgParser p = make_parser();
+  p.parse({"--seed", "7", "--name=xyz", "--verbose"});
+  EXPECT_TRUE(p.has("verbose"));
+  EXPECT_EQ(p.get_uint("seed"), 7u);
+  EXPECT_EQ(p.get("name"), "xyz");
+}
+
+TEST(ArgParserTest, PositionalsCollected) {
+  ArgParser p = make_parser();
+  p.parse({"first", "--seed", "9", "second"});
+  ASSERT_EQ(p.positionals().size(), 2u);
+  EXPECT_EQ(p.positionals()[0], "first");
+  EXPECT_EQ(p.positionals()[1], "second");
+}
+
+TEST(ArgParserTest, DoubleDashEndsOptions) {
+  ArgParser p = make_parser();
+  p.parse({"--", "--seed", "9"});
+  EXPECT_EQ(p.get_uint("seed"), 42u);  // default; after -- all positional
+  EXPECT_EQ(p.positionals().size(), 2u);
+}
+
+TEST(ArgParserTest, Errors) {
+  ArgParser p = make_parser();
+  EXPECT_THROW(p.parse({"--unknown"}), std::invalid_argument);
+  EXPECT_THROW(p.parse({"--seed"}), std::invalid_argument);  // missing value
+  EXPECT_THROW(p.parse({"--verbose=1"}), std::invalid_argument);
+  p.parse({"--seed", "abc"});
+  EXPECT_THROW(p.get_number("seed"), std::invalid_argument);
+  p.parse({"--seed", "1.5"});
+  EXPECT_DOUBLE_EQ(p.get_number("seed"), 1.5);
+  EXPECT_THROW(p.get_uint("seed"), std::invalid_argument);
+  p.parse({"--seed", "-3"});
+  EXPECT_THROW(p.get_uint("seed"), std::invalid_argument);
+  EXPECT_THROW(p.get("nonexistent"), std::invalid_argument);
+}
+
+TEST(ArgParserTest, DuplicateDeclarationRejected) {
+  ArgParser p("t", "d");
+  p.flag("x", "first");
+  EXPECT_THROW(p.flag("x", "again"), std::invalid_argument);
+  EXPECT_THROW(p.option("x", "again", ""), std::invalid_argument);
+}
+
+TEST(ArgParserTest, HelpListsEverything) {
+  const ArgParser p = make_parser();
+  const std::string help = p.help();
+  EXPECT_NE(help.find("--verbose"), std::string::npos);
+  EXPECT_NE(help.find("--seed <value> (default: 42)"), std::string::npos);
+  EXPECT_NE(help.find("say more"), std::string::npos);
+  EXPECT_NE(help.find("test parser"), std::string::npos);
+}
+
+TEST(ArgParserTest, RepeatedOptionLastWins) {
+  ArgParser p = make_parser();
+  p.parse({"--seed", "1", "--seed", "2"});
+  EXPECT_EQ(p.get_uint("seed"), 2u);
+}
+
+}  // namespace
+}  // namespace clrearly::util

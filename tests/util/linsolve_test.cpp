@@ -1,0 +1,126 @@
+#include "util/linsolve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace clrearly::util {
+namespace {
+
+TEST(LinSolveTest, SolvesHandComputedSystem) {
+  // 2x + y = 5, x + 3y = 10  ->  x = 1, y = 3
+  const Matrix a{{2, 1}, {1, 3}};
+  const auto x = solve_linear(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LinSolveTest, SolveRequiresMatchingRhs) {
+  LuDecomposition lu(Matrix::identity(3));
+  EXPECT_THROW(lu.solve(std::vector<double>{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(LinSolveTest, NonSquareThrows) {
+  EXPECT_THROW(LuDecomposition(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(LinSolveTest, SingularThrows) {
+  const Matrix singular{{1, 2}, {2, 4}};
+  EXPECT_THROW(LuDecomposition{singular}, std::domain_error);
+}
+
+TEST(LinSolveTest, PivotingHandlesZeroLeadingEntry) {
+  // Requires a row swap to factor.
+  const Matrix a{{0, 1}, {1, 0}};
+  const auto x = solve_linear(a, {3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LinSolveTest, InverseOfIdentityIsIdentity) {
+  const Matrix inv = invert(Matrix::identity(4));
+  EXPECT_LT(Matrix::max_abs_diff(inv, Matrix::identity(4)), 1e-14);
+}
+
+TEST(LinSolveTest, InverseHandComputed) {
+  const Matrix a{{4, 7}, {2, 6}};
+  const Matrix inv = invert(a);
+  // det = 10; inverse = [[0.6, -0.7], [-0.2, 0.4]]
+  EXPECT_NEAR(inv(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(inv(0, 1), -0.7, 1e-12);
+  EXPECT_NEAR(inv(1, 0), -0.2, 1e-12);
+  EXPECT_NEAR(inv(1, 1), 0.4, 1e-12);
+}
+
+TEST(LinSolveTest, DeterminantHandComputed) {
+  LuDecomposition lu(Matrix{{4, 7}, {2, 6}});
+  EXPECT_NEAR(lu.determinant(), 10.0, 1e-12);
+}
+
+TEST(LinSolveTest, DeterminantSignWithPermutation) {
+  LuDecomposition lu(Matrix{{0, 1}, {1, 0}});
+  EXPECT_NEAR(lu.determinant(), -1.0, 1e-12);
+}
+
+TEST(LinSolveTest, MatrixRhsSolve) {
+  const Matrix a{{2, 0}, {0, 4}};
+  const Matrix b{{2, 4}, {8, 12}};
+  const Matrix x = LuDecomposition(a).solve(b);
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 2.0, 1e-12);
+  EXPECT_NEAR(x(1, 1), 3.0, 1e-12);
+}
+
+class LinSolveRandomTest : public ::testing::TestWithParam<std::size_t> {};
+
+// Property: A * A^{-1} == I for random diagonally dominant matrices.
+TEST_P(LinSolveRandomTest, InverseRoundTrips) {
+  const std::size_t n = GetParam();
+  Rng rng(1000 + n);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_mass = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = rng.uniform(-1.0, 1.0);
+      row_mass += std::abs(a(i, j));
+    }
+    a(i, i) += row_mass + 1.0;  // diagonal dominance -> well conditioned
+  }
+  const Matrix inv = invert(a);
+  EXPECT_LT(Matrix::max_abs_diff(a * inv, Matrix::identity(n)), 1e-10);
+  EXPECT_LT(Matrix::max_abs_diff(inv * a, Matrix::identity(n)), 1e-10);
+}
+
+// Property: solve() agrees with inverse-based solution.
+TEST_P(LinSolveRandomTest, SolveMatchesInverseApply) {
+  const std::size_t n = GetParam();
+  Rng rng(2000 + n);
+  Matrix a(n, n);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = rng.uniform(-5.0, 5.0);
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+    a(i, i) += static_cast<double>(n) + 1.0;
+  }
+  const LuDecomposition lu(a);
+  const auto x = lu.solve(b);
+  const auto x_via_inverse = lu.inverse().apply(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i], x_via_inverse[i], 1e-10);
+  }
+  // Residual check against the original system.
+  const auto ax = a.apply(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(ax[i], b[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LinSolveRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace clrearly::util

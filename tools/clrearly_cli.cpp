@@ -1,0 +1,479 @@
+// clrearly — command-line front end to the CL(R)Early toolchain.
+//
+//   clrearly generate --tasks 30 --types 10 --seed 5 --out app.json
+//       Generate a TGFF-style synthetic application and save it.
+//
+//   clrearly info --app sobel [--dot graph.dot]
+//       Summarize a model; optionally export the task graph as Graphviz.
+//
+//   clrearly tdse --app sobel --objectives 2 [--csv points.csv]
+//       Task-level DSE: Pareto-filter every task type's configuration space.
+//
+//   clrearly dse --app synthetic:20 --flow proposed --min-frel 0.99
+//                [--env 20] [--pop 100] [--gens 60] [--csv front.csv]
+//                [--report] [--gantt]
+//       System-level DSE with any of the paper's flows
+//       (fcclr | pfclr | proposed | agnostic).
+//
+// Application specs: "sobel", "mjpeg", "synthetic:<tasks>[:<seed>]", or a .json path
+// (io/serialize format). Architecture specs: "default" or a .json path.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "app/characterizer.hpp"
+#include "app/dot.hpp"
+#include "app/mjpeg.hpp"
+#include "app/sobel.hpp"
+#include "core/baselines.hpp"
+#include "core/feasibility.hpp"
+#include "reliability/clr_chain_builder.hpp"
+#include "reliability/fault_injection.hpp"
+#include "core/dse.hpp"
+#include "core/experiment.hpp"
+#include "io/serialize.hpp"
+#include "moea/hypervolume.hpp"
+#include "platform/architecture.hpp"
+#include "sched/timeline.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace clrearly;
+
+app::Application resolve_app(const std::string& spec) {
+  if (spec == "sobel") return app::make_sobel_application();
+  if (spec == "mjpeg") return app::make_mjpeg_application();
+  if (spec.rfind("synthetic:", 0) == 0) {
+    const std::string rest = spec.substr(10);
+    const std::size_t colon = rest.find(':');
+    const std::size_t tasks = std::stoul(rest.substr(0, colon));
+    const std::uint64_t seed =
+        colon == std::string::npos ? 1 : std::stoull(rest.substr(colon + 1));
+    return app::make_synthetic_application(tasks, 10, seed);
+  }
+  return io::load_application(spec);
+}
+
+platform::Architecture resolve_arch(const std::string& spec) {
+  if (spec == "default") return platform::Architecture::paper_default();
+  return io::load_architecture(spec);
+}
+
+reliability::TaskAnalyzer resolve_analyzer(double env_factor) {
+  reliability::FaultEnvironment env;
+  env.dvfs_sensitivity = 1.2;
+  env.environment_factor = env_factor;
+  return reliability::TaskAnalyzer(reliability::ClrSpace::paper_default(), env,
+                                   reliability::ThermalModel{},
+                                   reliability::ArrheniusAging{});
+}
+
+int cmd_generate(const std::vector<std::string>& args) {
+  util::ArgParser parser("clrearly generate",
+                         "generate a synthetic application model");
+  parser.flag("help", "show this help");
+  parser.option("tasks", "number of tasks", "20")
+      .option("types", "number of task types", "10")
+      .option("seed", "generator seed", "1")
+      .option("out", "output JSON path", "app.json");
+  parser.parse(args);
+  if (parser.has("help")) {
+    std::printf("%s", parser.help().c_str());
+    return 0;
+  }
+
+  const app::Application syn = app::make_synthetic_application(
+      parser.get_uint("tasks"), parser.get_uint("types"),
+      parser.get_uint("seed"));
+  io::save_application(parser.get("out"), syn);
+  std::printf("wrote %s: %zu tasks, %zu types, %zu edges\n",
+              parser.get("out").c_str(), syn.graph.num_tasks(),
+              syn.graph.num_types(), syn.graph.num_edges());
+  return 0;
+}
+
+int cmd_info(const std::vector<std::string>& args) {
+  util::ArgParser parser("clrearly info", "summarize a system model");
+  parser.flag("help", "show this help");
+  parser.option("app", "application spec", "sobel")
+      .option("arch", "architecture spec", "default")
+      .option("dot", "write the task graph as Graphviz DOT to this path", "");
+  parser.parse(args);
+  if (parser.has("help")) {
+    std::printf("%s", parser.help().c_str());
+    return 0;
+  }
+
+  const app::Application application = resolve_app(parser.get("app"));
+  const platform::Architecture arch = resolve_arch(parser.get("arch"));
+
+  std::printf("application %s: %zu tasks, %zu types, %zu edges, period %.0f us\n",
+              application.name.c_str(), application.graph.num_tasks(),
+              application.graph.num_types(), application.graph.num_edges(),
+              application.period_us);
+  std::printf("  critical path: %zu tasks\n",
+              application.graph.critical_path_length());
+  for (std::size_t type = 0; type < application.impls.size(); ++type) {
+    std::printf("  type %zu: %zu implementation(s)\n", type,
+                application.impls[type].size());
+  }
+  std::printf("architecture: %zu PEs, %zu types\n", arch.num_pes(),
+              arch.num_types());
+  for (std::size_t t = 0; t < arch.num_types(); ++t) {
+    const platform::PeType& type = arch.type(t);
+    std::printf("  %-16s %-20s masking %.2f, beta %.1f, %zu DVFS mode(s), "
+                "%zu instance(s)\n",
+                type.name.c_str(), to_string(type.pe_class).c_str(),
+                type.masking_factor, type.weibull_beta, type.dvfs.size(),
+                arch.pes_of_type(t).size());
+  }
+  if (arch.interconnect().models_communication()) {
+    std::printf("  interconnect: %.2f KB/us, %.2f us latency\n",
+                arch.interconnect().bandwidth_kb_per_us,
+                arch.interconnect().latency_us);
+  }
+
+  if (!parser.get("dot").empty()) {
+    std::ofstream out(parser.get("dot"));
+    app::write_dot(out, application.graph, application.name);
+    std::printf("wrote %s\n", parser.get("dot").c_str());
+  }
+  return 0;
+}
+
+int cmd_tdse(const std::vector<std::string>& args) {
+  util::ArgParser parser("clrearly tdse", "task-level design-space exploration");
+  parser.flag("help", "show this help");
+  parser.option("app", "application spec", "sobel")
+      .option("arch", "architecture spec", "default")
+      .option("objectives", "TABLE IV ladder row (1-6)", "2")
+      .option("env", "environmental fault-rate factor", "1")
+      .option("csv", "write Pareto points to this CSV", "");
+  parser.parse(args);
+  if (parser.has("help")) {
+    std::printf("%s", parser.help().c_str());
+    return 0;
+  }
+
+  const app::Application application = resolve_app(parser.get("app"));
+  const platform::Architecture arch = resolve_arch(parser.get("arch"));
+  const core::Tdse tdse(resolve_analyzer(parser.get_number("env")));
+  const core::TdseObjectives objectives = core::TdseObjectives::table4_row(
+      static_cast<int>(parser.get_uint("objectives")));
+
+  const auto results = tdse.run_application(application, arch, objectives);
+  util::TextTable table;
+  table.header({"type", "enumerated", "pareto"});
+  for (std::size_t type = 0; type < results.size(); ++type) {
+    table.row(type, results[type].enumerated.size(),
+              results[type].pareto.size());
+  }
+  table.print(std::cout);
+
+  if (!parser.get("csv").empty()) {
+    util::CsvWriter csv(parser.get("csv"));
+    csv.row({"type", "impl", "pe_type", "hw", "ssw", "asw", "dvfs",
+             "avg_exec_time_us", "err_prob", "mttf_hours", "power_w"});
+    for (std::size_t type = 0; type < results.size(); ++type) {
+      for (const core::TaskDesignPoint& p : results[type].pareto) {
+        csv.field(type)
+            .field(p.impl_index)
+            .field(p.pe_type)
+            .field(p.config.hw)
+            .field(p.config.ssw)
+            .field(p.config.asw)
+            .field(p.config.dvfs)
+            .field(p.metrics.avg_exec_time_us)
+            .field(p.metrics.error_prob)
+            .field(p.metrics.mttf_hours)
+            .field(p.metrics.avg_power_w);
+        csv.end_row();
+      }
+    }
+    std::printf("wrote %s\n", parser.get("csv").c_str());
+  }
+  return 0;
+}
+
+int cmd_dse(const std::vector<std::string>& args) {
+  util::ArgParser parser("clrearly dse", "system-level CLR-aware task mapping");
+  parser.flag("help", "show this help");
+  parser.option("app", "application spec", "sobel")
+      .option("arch", "architecture spec", "default")
+      .option("flow", "fcclr | pfclr | proposed | agnostic", "proposed")
+      .option("pop", "GA population size", "100")
+      .option("gens", "GA generations", "60")
+      .option("seed", "GA seed", "1")
+      .option("env", "environmental fault-rate factor", "1")
+      .option("min-frel", "minimum functional reliability (0 disables)", "0")
+      .option("max-makespan", "makespan limit in us (0 disables)", "0")
+      .option("csv", "write the front to this CSV", "")
+      .flag("report", "print per-task choices of the fastest design")
+      .flag("gantt", "print the fastest design's schedule");
+  parser.parse(args);
+  if (parser.has("help")) {
+    std::printf("%s", parser.help().c_str());
+    return 0;
+  }
+
+  const app::Application application = resolve_app(parser.get("app"));
+  const platform::Architecture arch = resolve_arch(parser.get("arch"));
+  const reliability::TaskAnalyzer analyzer =
+      resolve_analyzer(parser.get_number("env"));
+  const core::DseMethodology dse(application, arch, analyzer);
+
+  core::DseOptions options;
+  options.ga.population_size = parser.get_uint("pop");
+  options.ga.generations = parser.get_uint("gens");
+  options.seed = parser.get_uint("seed");
+  if (parser.get_number("min-frel") > 0.0) {
+    options.spec.min_functional_rel = parser.get_number("min-frel");
+  }
+  if (parser.get_number("max-makespan") > 0.0) {
+    options.spec.max_makespan_us = parser.get_number("max-makespan");
+  }
+
+  const std::string flow = parser.get("flow");
+  core::DseOutcome outcome;
+  if (flow == "fcclr") {
+    outcome = dse.run_fcclr(options);
+  } else if (flow == "pfclr") {
+    outcome = dse.run_pfclr(options);
+  } else if (flow == "proposed") {
+    outcome = dse.run_proposed(options);
+  } else if (flow == "agnostic") {
+    const core::AgnosticOutcome agnostic = core::run_agnostic(dse, options);
+    outcome.front = agnostic.combined_front;
+    outcome.evaluations = agnostic.evaluations;
+  } else {
+    std::fprintf(stderr, "unknown flow '%s'\n", flow.c_str());
+    return 2;
+  }
+
+  std::printf("%s: %zu front points, %zu evaluations\n", flow.c_str(),
+              outcome.front.size(), outcome.evaluations);
+  util::TextTable table;
+  table.header({"makespan (us)", "error prob"});
+  std::size_t fastest = 0;
+  for (std::size_t i = 0; i < outcome.front.size(); ++i) {
+    table.row(outcome.front[i][0], outcome.front[i][1]);
+    if (outcome.front[i][0] < outcome.front[fastest][0]) fastest = i;
+  }
+  table.print(std::cout);
+
+  if (!parser.get("csv").empty()) {
+    util::CsvWriter csv(parser.get("csv"));
+    csv.row({"avg_makespan_us", "app_error_prob"});
+    for (const auto& p : outcome.front) {
+      csv.field(p[0]).field(p[1]);
+      csv.end_row();
+    }
+    std::printf("wrote %s\n", parser.get("csv").c_str());
+  }
+
+  if ((parser.has("report") || parser.has("gantt")) &&
+      !outcome.front_genomes.empty()) {
+    const core::ClrMappingProblem problem(application, arch, analyzer,
+                                          options.objectives, options.spec);
+    if (parser.has("report")) {
+      for (const auto& c : problem.report(outcome.front_genomes[fastest])) {
+        std::printf("%-12s -> %-14s on PE%zu (%s)  %s\n", c.task_name.c_str(),
+                    c.impl_name.c_str(), c.pe, c.pe_type_name.c_str(),
+                    c.config_text.c_str());
+      }
+    }
+    if (parser.has("gantt")) {
+      sched::Schedule schedule;
+      sched::estimate_qos(application, arch,
+                          problem.decode(outcome.front_genomes[fastest]),
+                          outcome.front_genomes[fastest].order, &schedule);
+      std::printf("%s", sched::gantt_chart(schedule, application.graph,
+                                           arch.num_pes())
+                            .c_str());
+    }
+  }
+  return 0;
+}
+
+
+int cmd_check(const std::vector<std::string>& args) {
+  util::ArgParser parser("clrearly check",
+                         "early-stage feasibility certificates (no GA)");
+  parser.flag("help", "show this help");
+  parser.option("app", "application spec", "sobel")
+      .option("arch", "architecture spec", "default")
+      .option("env", "environmental fault-rate factor", "1")
+      .option("min-frel", "minimum functional reliability (0 disables)", "0")
+      .option("max-makespan", "makespan limit in us (0 disables)", "0");
+  parser.parse(args);
+  if (parser.has("help")) {
+    std::printf("%s", parser.help().c_str());
+    return 0;
+  }
+
+  const app::Application application = resolve_app(parser.get("app"));
+  const platform::Architecture arch = resolve_arch(parser.get("arch"));
+  sched::QosSpec spec;
+  if (parser.get_number("min-frel") > 0.0) {
+    spec.min_functional_rel = parser.get_number("min-frel");
+  }
+  if (parser.get_number("max-makespan") > 0.0) {
+    spec.max_makespan_us = parser.get_number("max-makespan");
+  }
+
+  const core::FeasibilityReport report = core::assess_feasibility(
+      application, arch, resolve_analyzer(parser.get_number("env")), spec);
+
+  util::TextTable table;
+  table.header({"layer(s)", "max Fapp", "min makespan (us)",
+                "Fapp floor ok", "deadline ok"});
+  for (const auto& layer : report.layers) {
+    table.row(layer.layer, layer.max_functional_rel, layer.min_makespan_us,
+              layer.reliability_possible ? "yes" : "NO",
+              layer.deadline_possible ? "yes" : "NO");
+  }
+  table.print(std::cout);
+  std::printf("\nverdict: %s\n",
+              report.possibly_feasible
+                  ? "possibly feasible (bounds pass; run `clrearly dse`)"
+                  : "INFEASIBLE (certified by mapping-independent bounds)");
+  return report.possibly_feasible ? 0 : 3;
+}
+
+
+int cmd_export(const std::vector<std::string>& args) {
+  util::ArgParser parser("clrearly export",
+                         "write the built-in models as JSON files");
+  parser.flag("help", "show this help");
+  parser.option("dir", "output directory", "models");
+  parser.parse(args);
+  if (parser.has("help")) {
+    std::printf("%s", parser.help().c_str());
+    return 0;
+  }
+  const std::string dir = parser.get("dir");
+  std::filesystem::create_directories(dir);
+  io::save_architecture(dir + "/paper_platform.json",
+                        platform::Architecture::paper_default());
+  io::save_application(dir + "/sobel.json", app::make_sobel_application());
+  io::save_application(dir + "/mjpeg.json", app::make_mjpeg_application());
+  std::printf("wrote %s/{paper_platform,sobel,mjpeg}.json\n", dir.c_str());
+  return 0;
+}
+
+
+int cmd_chain(const std::vector<std::string>& args) {
+  util::ArgParser parser("clrearly chain",
+                         "evaluate one CLR configuration through the Fig. 3 "
+                         "Markov models");
+  parser.flag("help", "show this help");
+  parser.option("exec-time", "useful execution time (us)", "1000")
+      .option("lambda", "effective SEU rate (/us)", "3e-4")
+      .option("hw-masking", "spatial-redundancy masking m_HW", "0")
+      .option("impl-masking", "implicit SSW masking", "0")
+      .option("coverage", "detection coverage cov_Det", "0")
+      .option("tolerance", "tolerance success m_Tol", "0")
+      .option("asw-masking", "information-redundancy masking m_ASW", "0")
+      .option("intervals", "inter-checkpoint intervals", "1")
+      .option("det-time", "detection time per interval (us)", "0")
+      .option("tol-time", "tolerance/rollback time (us)", "0")
+      .option("chk-time", "checkpoint time (us)", "0")
+      .option("chk-err", "checkpoint corruption probability", "0")
+      .flag("validate", "cross-check with 100k fault-injection runs")
+      .flag("sweep", "also sweep 1..10 intervals for the optimal count");
+  parser.parse(args);
+  if (parser.has("help")) {
+    std::printf("%s", parser.help().c_str());
+    return 0;
+  }
+
+  reliability::ClrChainParams params;
+  params.exec_time_us = parser.get_number("exec-time");
+  params.lambda_per_us = parser.get_number("lambda");
+  params.hw_masking = parser.get_number("hw-masking");
+  params.implicit_ssw_masking = parser.get_number("impl-masking");
+  params.detection_coverage = parser.get_number("coverage");
+  params.tolerance_success = parser.get_number("tolerance");
+  params.asw_masking = parser.get_number("asw-masking");
+  params.intervals = parser.get_uint("intervals");
+  params.detection_time_us = parser.get_number("det-time");
+  params.tolerance_time_us = parser.get_number("tol-time");
+  params.checkpoint_time_us = parser.get_number("chk-time");
+  params.checkpoint_error_prob = parser.get_number("chk-err");
+
+  const reliability::ClrChainAnalysis analysis =
+      reliability::analyze_clr_chain(params);
+  std::printf("min execution time : %.3f us\n", analysis.min_exec_time_us);
+  std::printf("avg execution time : %.3f us\n", analysis.avg_exec_time_us);
+  std::printf("time spread (sigma): %.3f us\n", analysis.exec_time_stddev_us);
+  std::printf("error probability  : %.6g\n", analysis.error_prob);
+
+  if (parser.has("validate")) {
+    const reliability::InjectionResult sim =
+        reliability::inject_faults(params, 100000, 42);
+    std::printf("fault injection    : avg time %.3f us, error rate %.6g "
+                "(%zu runs, %.2f faults/run)\n",
+                sim.mean_exec_time_us, sim.error_rate, sim.trials,
+                sim.mean_faults_injected);
+  }
+  if (parser.has("sweep")) {
+    const auto sweep = reliability::optimize_checkpoint_intervals(params, 10);
+    std::printf("optimal intervals  : %zu (avg time %.3f us)\n",
+                sweep.best_intervals, sweep.best_avg_time_us);
+  }
+  return 0;
+}
+
+void print_usage() {
+  std::printf(
+      "clrearly — cross-layer reliability-aware early-stage DSE\n\n"
+      "usage: clrearly <command> [options]\n\n"
+      "commands:\n"
+      "  generate   create a synthetic application model (JSON)\n"
+      "  info       summarize an application/architecture (+DOT export)\n"
+      "  tdse       task-level DSE with Pareto filtering\n"
+      "  check      feasibility certificates for a QoS spec (no GA)\n"
+      "  export     dump the built-in models as editable JSON\n"
+      "  chain      Markov-model calculator for one CLR configuration\n"
+      "  dse        system-level DSE (fcclr | pfclr | proposed | agnostic)\n"
+      "\nrun 'clrearly <command> --help' for per-command options\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::set_log_level(util::LogLevel::Warn);
+  if (argc < 2) {
+    print_usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "info") return cmd_info(args);
+    if (command == "tdse") return cmd_tdse(args);
+    if (command == "check") return cmd_check(args);
+    if (command == "export") return cmd_export(args);
+    if (command == "chain") return cmd_chain(args);
+    if (command == "dse") return cmd_dse(args);
+    if (command == "--help" || command == "help") {
+      print_usage();
+      return 0;
+    }
+    std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
+    print_usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
