@@ -24,6 +24,7 @@
 #include "platform/architecture.hpp"
 #include "reliability/clr_chain_builder.hpp"
 #include "util/csv.hpp"
+#include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -213,7 +214,9 @@ void ablation_checkpoint_sweep() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  clrearly::util::ArgParser args("bench_ablations", "ablation studies: seeding, pruning, communication, stochastic tDSE, checkpoint sweep");
+  if (!clrearly::util::parse_standard_args(args, argc, argv)) return 0;
   util::set_log_level(util::LogLevel::Warn);
   ablation_seeding_and_pruning();
   ablation_communication();

@@ -1,0 +1,156 @@
+// Eval-throughput benchmark for the parallel evaluation engine: NSGA-II
+// fitness throughput (genomes/sec) and the dense Markov-table build of
+// ClrMappingProblem, serial (1 thread) vs the configured thread count, on
+// the paper's Sobel fcCLR problem. Emits BENCH_eval.json so the perf
+// trajectory is tracked across PRs; docs/PERFORMANCE.md explains the
+// fields. The serial and parallel fronts are cross-checked — a speedup that
+// changed the search would be a bug, not a result.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "app/sobel.hpp"
+#include "core/dse.hpp"
+#include "core/experiment.hpp"
+#include "platform/architecture.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace clrearly;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Wall time of one fcCLR problem construction (dominated by
+/// build_full_config_tables), best of `reps`.
+double table_build_seconds(const app::Application& application,
+                           const platform::Architecture& arch,
+                           const reliability::TaskAnalyzer& analyzer,
+                           int reps) {
+  double best = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = Clock::now();
+    const core::ClrMappingProblem problem(application, arch, analyzer,
+                                          core::SystemObjectives{},
+                                          sched::QosSpec{});
+    best = std::min(best, seconds_since(start));
+  }
+  return best;
+}
+
+struct GaRun {
+  double seconds = 0.0;
+  std::size_t evaluations = 0;
+  std::vector<moea::Objectives> front;
+};
+
+GaRun ga_run(const core::ClrMappingProblem& problem,
+             const moea::Nsga2Params& params, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto start = Clock::now();
+  const auto result = moea::run_nsga2(params, problem.ops(), rng);
+  GaRun run;
+  run.seconds = seconds_since(start);
+  run.evaluations = result.evaluations;
+  run.front = result.front_objectives();
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("bench_eval_throughput",
+                       "NSGA-II fitness and Markov-table-build throughput, "
+                       "serial vs parallel (emits BENCH_eval.json)");
+  args.option("population", "GA population size", "100")
+      .option("generations", "GA generations", "60")
+      .option("seed", "GA seed", "11")
+      .option("out", "output JSON path", "BENCH_eval.json");
+  if (!util::parse_standard_args(args, argc, argv)) return 0;
+  util::set_log_level(util::LogLevel::Warn);
+
+  moea::Nsga2Params params;
+  params.population_size = args.get_uint("population");
+  params.generations = args.get_uint("generations");
+  if (core::fast_mode()) {
+    params.population_size = std::min<std::size_t>(params.population_size, 24);
+    params.generations = std::min<std::size_t>(params.generations, 10);
+  }
+  const std::uint64_t seed = args.get_uint("seed");
+  const std::size_t threads = util::effective_thread_count();
+
+  const app::Application sobel = app::make_sobel_application();
+  const platform::Architecture arch = platform::Architecture::paper_default();
+  const reliability::TaskAnalyzer analyzer =
+      reliability::TaskAnalyzer::paper_default();
+
+  std::printf("=== eval throughput: sobel fcCLR, pop %zu x %zu generations ===\n",
+              params.population_size, params.generations);
+  std::printf("threads: serial 1 vs parallel %zu\n\n", threads);
+
+  // ---- Markov-table build (ClrMappingProblem construction) ----
+  const int reps = core::fast_mode() ? 2 : 5;
+  util::set_thread_count(1);
+  const double table_serial = table_build_seconds(sobel, arch, analyzer, reps);
+  util::set_thread_count(threads);
+  const double table_parallel =
+      table_build_seconds(sobel, arch, analyzer, reps);
+  std::printf("table build: serial %.3f ms, %zu threads %.3f ms (%.2fx)\n",
+              table_serial * 1e3, threads, table_parallel * 1e3,
+              table_serial / table_parallel);
+
+  // ---- NSGA-II fitness throughput ----
+  util::set_thread_count(1);
+  const core::ClrMappingProblem problem(sobel, arch, analyzer,
+                                        core::SystemObjectives{},
+                                        sched::QosSpec{});
+  const GaRun serial = ga_run(problem, params, seed);
+  util::set_thread_count(threads);
+  const GaRun parallel = ga_run(problem, params, seed);
+  util::set_thread_count(0);
+
+  const double serial_rate = static_cast<double>(serial.evaluations) /
+                             serial.seconds;
+  const double parallel_rate = static_cast<double>(parallel.evaluations) /
+                               parallel.seconds;
+  const bool identical = serial.front == parallel.front &&
+                         serial.evaluations == parallel.evaluations;
+  std::printf(
+      "nsga2: serial %.0f genomes/s, %zu threads %.0f genomes/s (%.2fx), "
+      "%zu evaluations, fronts %s\n",
+      serial_rate, threads, parallel_rate, parallel_rate / serial_rate,
+      serial.evaluations, identical ? "identical" : "DIVERGED");
+
+  util::JsonObject report;
+  report["benchmark"] = "eval_throughput";
+  report["application"] = "sobel";
+  report["mode"] = "fcCLR";
+  report["population"] = params.population_size;
+  report["generations"] = params.generations;
+  report["threads"] = threads;
+  report["evaluations"] = serial.evaluations;
+  report["eval_seconds_serial"] = serial.seconds;
+  report["eval_seconds_parallel"] = parallel.seconds;
+  report["genomes_per_sec_serial"] = serial_rate;
+  report["genomes_per_sec_parallel"] = parallel_rate;
+  report["eval_speedup"] = parallel_rate / serial_rate;
+  report["table_build_seconds_serial"] = table_serial;
+  report["table_build_seconds_parallel"] = table_parallel;
+  report["table_build_speedup"] = table_serial / table_parallel;
+  report["deterministic"] = identical;
+
+  const std::string out = args.get("out");
+  std::ofstream stream(out);
+  stream << util::json_serialize(util::JsonValue(std::move(report))) << "\n";
+  std::printf("[wrote %s]\n", out.c_str());
+  return identical ? 0 : 1;
+}

@@ -18,6 +18,7 @@
 #include "core/experiment.hpp"
 #include "core/tdse.hpp"
 #include "platform/architecture.hpp"
+#include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -65,7 +66,9 @@ std::vector<std::pair<double, double>> front_for_dvfs(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  clrearly::util::ArgParser args("bench_fig6_tdse", "Fig. 6: task-level Pareto fronts across DVFS modes and implicit masking");
+  if (!clrearly::util::parse_standard_args(args, argc, argv)) return 0;
   util::set_log_level(util::LogLevel::Warn);
   const platform::Architecture arch = platform::Architecture::paper_default();
   const platform::PeType& pe = arch.type(0);

@@ -24,6 +24,7 @@
 #include "moea/hypervolume.hpp"
 #include "platform/architecture.hpp"
 #include "util/csv.hpp"
+#include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -36,7 +37,9 @@ constexpr std::uint64_t kGaSeed = 11;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  clrearly::util::ArgParser args("bench_fig7_table5_agnostic", "Fig. 7 / TABLE V: CLR vs single-layer and reliability-agnostic baselines");
+  if (!clrearly::util::parse_standard_args(args, argc, argv)) return 0;
   util::set_log_level(util::LogLevel::Warn);
   const platform::Architecture arch = platform::Architecture::paper_default();
   const core::DseOptions options = core::bench_options(kGaSeed);

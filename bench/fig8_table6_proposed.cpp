@@ -18,6 +18,7 @@
 #include "moea/indicators.hpp"
 #include "platform/architecture.hpp"
 #include "util/csv.hpp"
+#include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -31,7 +32,9 @@ constexpr std::uint64_t kGaSeed = 11;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  clrearly::util::ArgParser args("bench_fig8_table6_proposed", "Fig. 8 / TABLE VI: proposed multi-stage DSE vs the problem-agnostic fcCLR");
+  if (!clrearly::util::parse_standard_args(args, argc, argv)) return 0;
   util::set_log_level(util::LogLevel::Warn);
   const platform::Architecture arch = platform::Architecture::paper_default();
   const core::DseOptions options = core::bench_options(kGaSeed);

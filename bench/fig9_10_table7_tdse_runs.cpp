@@ -20,6 +20,7 @@
 #include "moea/hypervolume.hpp"
 #include "platform/architecture.hpp"
 #include "util/csv.hpp"
+#include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -38,7 +39,9 @@ core::DseOptions options_for_run(int tdse_run) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  clrearly::util::ArgParser args("bench_fig9_10_table7_tdse_runs", "Fig. 9/10, TABLE VII: tDSE objective-set sweeps");
+  if (!clrearly::util::parse_standard_args(args, argc, argv)) return 0;
   util::set_log_level(util::LogLevel::Warn);
   const platform::Architecture arch = platform::Architecture::paper_default();
 

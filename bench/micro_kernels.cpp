@@ -7,6 +7,9 @@
 // which is what makes the multi-stage GA flows tractable on a laptop.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+
 #include "app/characterizer.hpp"
 #include "app/sobel.hpp"
 #include "app/tgff.hpp"
@@ -16,6 +19,7 @@
 #include "platform/architecture.hpp"
 #include "reliability/clr_chain_builder.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -144,6 +148,20 @@ BENCHMARK(BM_TdseEnumerate)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   clrearly::util::set_log_level(clrearly::util::LogLevel::Warn);
+  // Honour the shared --threads flag (google-benchmark owns the remaining
+  // argv, so strip ours before benchmark::Initialize sees it).
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      clrearly::util::set_thread_count(std::stoul(argv[++i]));
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      clrearly::util::set_thread_count(std::stoul(arg + 10));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -22,6 +22,7 @@
 #include "core/tdse.hpp"
 #include "platform/architecture.hpp"
 #include "util/csv.hpp"
+#include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -44,7 +45,9 @@ platform::Architecture two_type_architecture() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  clrearly::util::ArgParser args("bench_table4_sobel", "TABLE IV: Pareto-front design points per Sobel task type");
+  if (!clrearly::util::parse_standard_args(args, argc, argv)) return 0;
   util::set_log_level(util::LogLevel::Warn);
   std::printf(
       "=== TABLE IV: Pareto-front design points per Sobel task type ===\n");

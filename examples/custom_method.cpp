@@ -14,6 +14,7 @@
 #include "platform/architecture.hpp"
 #include "reliability/clr_chain_builder.hpp"
 #include "reliability/methods.hpp"
+#include "util/cli.hpp"
 #include "util/log.hpp"
 
 namespace {
@@ -55,7 +56,9 @@ reliability::ClrSpace generic_space() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  clrearly::util::ArgParser args("custom_method", "plugging custom reliability methods into the framework");
+  if (!clrearly::util::parse_standard_args(args, argc, argv)) return 0;
   util::set_log_level(util::LogLevel::Warn);
 
   // ---- 1+2: task-level DSE over the generic-method space --------------

@@ -15,9 +15,12 @@
 #include "core/dse.hpp"
 #include "core/experiment.hpp"
 #include "platform/architecture.hpp"
+#include "util/cli.hpp"
 #include "util/log.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  clrearly::util::ArgParser args("mjpeg_encoder", "MJPEG encoder DSE under a frame deadline");
+  if (!clrearly::util::parse_standard_args(args, argc, argv)) return 0;
   using namespace clrearly;
   util::set_log_level(util::LogLevel::Warn);
 

@@ -15,9 +15,12 @@
 #include "app/sobel.hpp"
 #include "core/dse.hpp"
 #include "platform/architecture.hpp"
+#include "util/cli.hpp"
 #include "util/log.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  clrearly::util::ArgParser args("quickstart", "the complete CL(R)Early flow on the Sobel application");
+  if (!clrearly::util::parse_standard_args(args, argc, argv)) return 0;
   using namespace clrearly;
   util::set_log_level(util::LogLevel::Warn);
 

@@ -19,6 +19,7 @@
 #include "app/sobel.hpp"
 #include "core/scenario.hpp"
 #include "platform/architecture.hpp"
+#include "util/cli.hpp"
 #include "util/log.hpp"
 
 namespace {
@@ -52,7 +53,9 @@ core::MappingGenome optimize_single(const core::ClrMappingProblem& problem,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  clrearly::util::ArgParser args("scenario_design", "operating-condition-robust design for the UAV mission profile");
+  if (!clrearly::util::parse_standard_args(args, argc, argv)) return 0;
   util::set_log_level(util::LogLevel::Warn);
 
   const app::Application sobel = app::make_sobel_application();

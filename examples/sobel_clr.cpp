@@ -17,6 +17,7 @@
 #include "core/dse.hpp"
 #include "platform/architecture.hpp"
 #include "sched/timeline.hpp"
+#include "util/cli.hpp"
 #include "util/log.hpp"
 
 namespace {
@@ -93,7 +94,9 @@ void design_for(const char* label, double flux_factor) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  clrearly::util::ArgParser args("sobel_clr", "CLR-aware Sobel design at ground level and high altitude");
+  if (!clrearly::util::parse_standard_args(args, argc, argv)) return 0;
   util::set_log_level(util::LogLevel::Warn);
   design_for("Ground level", 1.0);
   design_for("High altitude", 50.0);

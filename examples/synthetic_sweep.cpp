@@ -14,6 +14,7 @@
 #include "core/experiment.hpp"
 #include "moea/hypervolume.hpp"
 #include "platform/architecture.hpp"
+#include "util/cli.hpp"
 #include "util/log.hpp"
 
 namespace {
@@ -38,7 +39,9 @@ FlowResult timed(Fn&& flow) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  clrearly::util::ArgParser args("synthetic_sweep", "synthetic application sweep over sizes");
+  if (!clrearly::util::parse_standard_args(args, argc, argv)) return 0;
   util::set_log_level(util::LogLevel::Warn);
   const platform::Architecture arch = platform::Architecture::paper_default();
 

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/thread_pool.hpp"
+
 namespace clrearly::core {
 
 namespace {
@@ -137,6 +139,16 @@ void ClrMappingProblem::build_full_config_tables() {
   const std::size_t a_n = space.asw_methods().size();
   const std::size_t types = app_.graph.num_types();
 
+  // Size the (type, impl, pe_type) table skeleton serially, collecting one
+  // work item per populated table; then fan the dense CLR-config sweeps —
+  // independent absorbing-chain solves writing into disjoint tables — out
+  // over the thread pool. TaskAnalyzer is stateless, so concurrent
+  // evaluate() calls are safe and the result is identical to the serial
+  // fill at any thread count.
+  struct Sweep {
+    std::size_t type, impl, pe_type;
+  };
+  std::vector<Sweep> sweeps;
   metrics_.assign(types, {});
   for (std::size_t type = 0; type < types; ++type) {
     const auto& impls = app_.impls[type];
@@ -147,25 +159,32 @@ void ClrMappingProblem::build_full_config_tables() {
         const platform::PeType& pe = arch_.type(pt);
         if (!impls[impl].runs_on(pe)) continue;
         if (pes_by_type_[pt].empty()) continue;  // type with no instances
-        const std::size_t d_n = pe.dvfs.size();
-        auto& table = metrics_[type][impl][pt];
-        table.assign(h_n * s_n * a_n * d_n, reliability::TaskMetrics{});
-        // Populate only axis-reachable entries; pinned axes always decode
-        // to index 0.
-        for (std::size_t h = 0; h < (axes_.hw ? h_n : 1); ++h) {
-          for (std::size_t s = 0; s < (axes_.ssw ? s_n : 1); ++s) {
-            for (std::size_t a = 0; a < (axes_.asw ? a_n : 1); ++a) {
-              for (std::size_t d = 0; d < (axes_.dvfs ? d_n : 1); ++d) {
-                const reliability::ClrConfig cfg{h, s, a, d};
-                const std::size_t idx = ((h * s_n + s) * a_n + a) * d_n + d;
-                table[idx] = analyzer_.evaluate(impls[impl], pe, cfg);
-              }
-            }
+        metrics_[type][impl][pt].assign(h_n * s_n * a_n * pe.dvfs.size(),
+                                        reliability::TaskMetrics{});
+        sweeps.push_back({type, impl, pt});
+      }
+    }
+  }
+  util::parallel_for(sweeps.size(), [&](std::size_t k) {
+    const Sweep& sweep = sweeps[k];
+    const reliability::BaseImpl& impl = app_.impls[sweep.type][sweep.impl];
+    const platform::PeType& pe = arch_.type(sweep.pe_type);
+    const std::size_t d_n = pe.dvfs.size();
+    auto& table = metrics_[sweep.type][sweep.impl][sweep.pe_type];
+    // Populate only axis-reachable entries; pinned axes always decode
+    // to index 0.
+    for (std::size_t h = 0; h < (axes_.hw ? h_n : 1); ++h) {
+      for (std::size_t s = 0; s < (axes_.ssw ? s_n : 1); ++s) {
+        for (std::size_t a = 0; a < (axes_.asw ? a_n : 1); ++a) {
+          for (std::size_t d = 0; d < (axes_.dvfs ? d_n : 1); ++d) {
+            const reliability::ClrConfig cfg{h, s, a, d};
+            const std::size_t idx = ((h * s_n + s) * a_n + a) * d_n + d;
+            table[idx] = analyzer_.evaluate(impl, pe, cfg);
           }
         }
       }
     }
-  }
+  });
 }
 
 void ClrMappingProblem::build_layout() {

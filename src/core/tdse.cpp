@@ -8,6 +8,7 @@
 
 #include "moea/operators.hpp"
 #include "moea/pareto.hpp"
+#include "util/thread_pool.hpp"
 
 namespace clrearly::core {
 
@@ -247,11 +248,13 @@ std::vector<TdseResult> Tdse::run_application(
     const TdseObjectives& objectives) const {
   application.validate();
   const std::size_t types = application.graph.num_types();
-  std::vector<TdseResult> results;
-  results.reserve(types);
-  for (std::size_t type = 0; type < types; ++type) {
-    results.push_back(run(application.impls[type], architecture, objectives));
-  }
+  // Task types are independent explorations; fan them out over the thread
+  // pool, each writing its own result slot. run() is const and the analyzer
+  // stateless, so this is bit-identical to the serial per-type loop.
+  std::vector<TdseResult> results(types);
+  util::parallel_for(types, [&](std::size_t type) {
+    results[type] = run(application.impls[type], architecture, objectives);
+  });
   return results;
 }
 

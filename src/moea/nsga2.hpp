@@ -20,6 +20,7 @@
 #include "moea/operators.hpp"
 #include "moea/pareto.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace clrearly::moea {
 
@@ -127,26 +128,46 @@ namespace detail {
 /// Merge feasible `candidates` into the non-dominated `archive`, then
 /// crowding-truncate to `capacity`. Duplicate objective vectors are kept
 /// once.
+///
+/// The merge is batched: over the union (archive members first, then the
+/// feasible candidates, both in order) a single dominance pass keeps every
+/// point no other point dominates, retaining only the first of each group
+/// of equal objective vectors. This is exactly the fixed point the old
+/// per-candidate insert-scan-and-erase loop converged to (dominance is
+/// transitive, and the archive invariant — mutually non-dominated — holds
+/// on entry), without the per-candidate archive scan + erase_if churn.
 template <typename Genome>
 void update_archive(std::vector<EvaluatedGenome<Genome>>& archive,
                     const std::vector<EvaluatedGenome<Genome>>& candidates,
                     std::size_t capacity) {
+  std::vector<const EvaluatedGenome<Genome>*> pool;
+  pool.reserve(archive.size() + candidates.size());
+  for (const auto& member : archive) pool.push_back(&member);
   for (const auto& candidate : candidates) {
     if (candidate.eval.violation > 0.0) continue;
-    bool rejected = false;
-    for (const auto& member : archive) {
-      if (member.eval.objectives == candidate.eval.objectives ||
-          dominates(member.eval.objectives, candidate.eval.objectives)) {
-        rejected = true;
-        break;
-      }
-    }
-    if (rejected) continue;
-    std::erase_if(archive, [&](const EvaluatedGenome<Genome>& member) {
-      return dominates(candidate.eval.objectives, member.eval.objectives);
-    });
-    archive.push_back(candidate);
+    pool.push_back(&candidate);
   }
+  std::vector<char> keep(pool.size(), 1);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const Objectives& mine = pool[i]->eval.objectives;
+    for (std::size_t j = 0; j < pool.size() && keep[i]; ++j) {
+      if (j == i) continue;
+      const Objectives& other = pool[j]->eval.objectives;
+      if (dominates(other, mine) || (j < i && other == mine)) keep[i] = 0;
+    }
+  }
+  std::vector<EvaluatedGenome<Genome>> merged;
+  merged.reserve(pool.size());
+  const std::size_t members = archive.size();
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (!keep[i]) continue;
+    if (i < members) {
+      merged.push_back(std::move(archive[i]));
+    } else {
+      merged.push_back(*pool[i]);
+    }
+  }
+  archive = std::move(merged);
   if (archive.size() <= capacity) return;
 
   std::vector<Objectives> points;
@@ -167,11 +188,40 @@ void update_archive(std::vector<EvaluatedGenome<Genome>>& archive,
   archive = std::move(kept);
 }
 
+/// Evaluate `genomes` concurrently (index-sharded over the global thread
+/// pool) and append them to `population` and the parallel `points` /
+/// `violations` arrays. Evaluation is pure — it never touches the RNG — so
+/// each result lands in its own slot and the outcome is bit-identical to a
+/// serial evaluation loop at any thread count.
+template <typename Genome>
+void evaluate_append(const Nsga2Ops<Genome>& ops, std::vector<Genome> genomes,
+                     std::vector<EvaluatedGenome<Genome>>& population,
+                     std::vector<Objectives>& points,
+                     std::vector<double>& violations,
+                     std::size_t& evaluations) {
+  std::vector<Evaluation> evals(genomes.size());
+  util::parallel_for(genomes.size(), [&](std::size_t i) {
+    evals[i] = ops.evaluate(genomes[i]);
+  });
+  evaluations += genomes.size();
+  for (std::size_t i = 0; i < genomes.size(); ++i) {
+    points.push_back(evals[i].objectives);
+    violations.push_back(evals[i].violation);
+    population.push_back({std::move(genomes[i]), std::move(evals[i])});
+  }
+}
+
 }  // namespace detail
 
 /// Run NSGA-II. `seeds` pre-loads the initial population (truncated to the
 /// population size; the remainder is filled by ops.create) — this implements
 /// the paper's directed seeding of fcCLR with pfCLR's front.
+///
+/// Every generation is two phases: a serial *variation* phase (selection,
+/// crossover, mutation — the only RNG consumers, drawn in the exact order
+/// the historical serial loop used) followed by a parallel *evaluation*
+/// phase over the whole offspring batch. Fronts, archives and evaluation
+/// counts are therefore bit-identical across thread counts.
 template <typename Genome>
 Nsga2Result<Genome> run_nsga2(const Nsga2Params& params,
                               const Nsga2Ops<Genome>& ops, util::Rng& rng,
@@ -185,39 +235,44 @@ Nsga2Result<Genome> run_nsga2(const Nsga2Params& params,
   auto& population = result.population;
   population.reserve(params.population_size * 2);
 
+  // Objective / violation arrays are kept in lock-step with `population`
+  // (evaluation results only ever get appended or selected, never changed),
+  // so nothing is rebuilt from scratch between phases.
+  std::vector<Objectives> points;
+  std::vector<double> violations;
+  points.reserve(params.population_size * 2);
+  violations.reserve(params.population_size * 2);
+
+  std::vector<Genome> batch;
+  batch.reserve(params.population_size);
   for (std::size_t i = 0; i < params.population_size; ++i) {
-    Genome g = (i < seeds.size()) ? std::move(seeds[i]) : ops.create(rng);
-    Evaluation e = ops.evaluate(g);
-    ++result.evaluations;
-    population.push_back({std::move(g), std::move(e)});
+    batch.push_back((i < seeds.size()) ? std::move(seeds[i]) : ops.create(rng));
   }
+  detail::evaluate_append(ops, std::move(batch), population, points,
+                          violations, result.evaluations);
   if (params.archive_size > 0) {
     detail::update_archive(result.archive, population, params.archive_size);
   }
 
-  std::vector<Objectives> points(params.population_size);
-  std::vector<double> violations(params.population_size);
-  auto refresh_arrays = [&]() {
-    points.resize(population.size());
-    violations.resize(population.size());
-    for (std::size_t i = 0; i < population.size(); ++i) {
-      points[i] = population[i].eval.objectives;
-      violations[i] = population[i].eval.violation;
-    }
-  };
+  // Scratch buffers for survivor selection, reused across generations.
+  std::vector<EvaluatedGenome<Genome>> next;
+  std::vector<Objectives> next_points;
+  std::vector<double> next_violations;
+  next.reserve(params.population_size);
+  next_points.reserve(params.population_size);
+  next_violations.reserve(params.population_size);
 
   for (std::size_t gen = 0; gen < params.generations; ++gen) {
-    refresh_arrays();
     const RankCrowding rc = rank_and_crowding(points, violations);
     auto better = [&](std::size_t a, std::size_t b) {
       if (rc.rank[a] != rc.rank[b]) return rc.rank[a] < rc.rank[b];
       return rc.crowding[a] > rc.crowding[b];
     };
 
-    // Offspring generation (lambda = mu).
-    std::vector<EvaluatedGenome<Genome>> offspring;
-    offspring.reserve(params.population_size);
-    while (offspring.size() < params.population_size) {
+    // Variation phase (lambda = mu), serial and RNG-ordered.
+    batch = std::vector<Genome>();
+    batch.reserve(params.population_size);
+    while (batch.size() < params.population_size) {
       const std::size_t pa = tournament_select(params.population_size,
                                                params.tournament_k, rng, better);
       const std::size_t pb = tournament_select(params.population_size,
@@ -232,32 +287,35 @@ Nsga2Result<Genome> run_nsga2(const Nsga2Params& params,
       if (rng.bernoulli(params.mutation_prob)) ops.mutate(ca, rng);
       if (rng.bernoulli(params.mutation_prob)) ops.mutate(cb, rng);
 
-      Evaluation ea = ops.evaluate(ca);
-      ++result.evaluations;
-      offspring.push_back({std::move(ca), std::move(ea)});
-      if (offspring.size() < params.population_size) {
-        Evaluation eb = ops.evaluate(cb);
-        ++result.evaluations;
-        offspring.push_back({std::move(cb), std::move(eb)});
+      batch.push_back(std::move(ca));
+      if (batch.size() < params.population_size) {
+        batch.push_back(std::move(cb));
       }
     }
 
-    // (mu + lambda) elitist survival.
-    for (auto& child : offspring) population.push_back(std::move(child));
-    refresh_arrays();
+    // Evaluation phase over the whole batch, then (mu + lambda) elitist
+    // survival over the combined arrays.
+    detail::evaluate_append(ops, std::move(batch), population, points,
+                            violations, result.evaluations);
     const std::vector<std::size_t> keep =
         survivor_selection(points, violations, params.population_size);
-    std::vector<EvaluatedGenome<Genome>> next;
-    next.reserve(params.population_size);
-    for (std::size_t i : keep) next.push_back(std::move(population[i]));
-    population = std::move(next);
+    next.clear();
+    next_points.clear();
+    next_violations.clear();
+    for (std::size_t i : keep) {
+      next.push_back(std::move(population[i]));
+      next_points.push_back(std::move(points[i]));
+      next_violations.push_back(violations[i]);
+    }
+    population.swap(next);
+    points.swap(next_points);
+    violations.swap(next_violations);
 
     if (params.archive_size > 0) {
       detail::update_archive(result.archive, population, params.archive_size);
     }
   }
 
-  refresh_arrays();
   const auto fronts = non_dominated_sort(points, violations);
   result.front = fronts.empty() ? std::vector<std::size_t>{} : fronts.front();
   return result;

@@ -1,7 +1,11 @@
 #include "util/cli.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace clrearly::util {
 
@@ -126,6 +130,36 @@ std::string ArgParser::help() const {
     oss << "\n      " << spec.help << "\n";
   }
   return oss.str();
+}
+
+ArgParser& add_threads_option(ArgParser& parser) {
+  return parser.option(
+      "threads",
+      "worker threads for parallel evaluation (0 = hardware concurrency; "
+      "overrides CLREARLY_THREADS)",
+      "0");
+}
+
+bool parse_standard_args(ArgParser& parser, int argc, char** argv) {
+  parser.flag("help", "print this help and exit");
+  add_threads_option(parser);
+  std::vector<std::string> args;
+  args.reserve(argc > 1 ? static_cast<std::size_t>(argc - 1) : 0);
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  try {
+    parser.parse(args);
+    if (!parser.has("help") && parser.has("threads")) {
+      set_thread_count(static_cast<std::size_t>(parser.get_uint("threads")));
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s\n\n%s", error.what(), parser.help().c_str());
+    std::exit(2);
+  }
+  if (parser.has("help")) {
+    std::fputs(parser.help().c_str(), stdout);
+    return false;
+  }
+  return true;
 }
 
 }  // namespace clrearly::util

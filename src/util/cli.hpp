@@ -58,4 +58,17 @@ class ArgParser {
   std::vector<std::string> positionals_;
 };
 
+/// Declare the shared --threads option (the one flag every clrearly driver
+/// exposes): worker threads for the parallel evaluation engine, 0 = hardware
+/// concurrency. An explicit --threads overrides CLREARLY_THREADS.
+ArgParser& add_threads_option(ArgParser& parser);
+
+/// Standard driver prologue: declares --help and --threads on `parser` (after
+/// any driver-specific declarations), parses argv[1:], and
+///  * on --help prints the generated usage text and returns false (drivers
+///    then exit 0),
+///  * on a parse error prints the error + usage to stderr and exits with 2,
+///  * otherwise applies --threads via set_thread_count() and returns true.
+bool parse_standard_args(ArgParser& parser, int argc, char** argv);
+
 }  // namespace clrearly::util

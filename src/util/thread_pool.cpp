@@ -1,0 +1,203 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace clrearly::util {
+
+namespace {
+
+/// Set while this thread executes a parallel_for body; nested calls then
+/// run inline instead of re-entering the queue (which could deadlock once
+/// every worker waits on work only it could execute).
+thread_local bool tls_inside_parallel = false;
+
+std::size_t hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// CLREARLY_THREADS: unset, empty, unparsable or 0 all mean "defer".
+std::size_t env_threads() {
+  const char* text = std::getenv("CLREARLY_THREADS");
+  if (text == nullptr || *text == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(text, &end, 10);
+  if (end == text || *end != '\0') return 0;
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::size_t total = 1;
+  std::vector<std::thread> workers;
+
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<std::function<void()>> queue;
+  bool stopping = false;
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(queue_mutex);
+        queue_cv.wait(lock, [&] { return stopping || !queue.empty(); });
+        // Drain the queue even when stopping: a queued batch chunk must
+        // check in or its issuer would wait forever.
+        if (queue.empty()) return;
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      task();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(std::make_unique<Impl>()) {
+  impl_->total = threads == 0 ? hardware_threads() : threads;
+  const std::size_t workers = impl_->total - 1;
+  impl_->workers.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    impl_->workers.emplace_back([impl = impl_.get()] { impl->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->queue_mutex);
+    impl_->stopping = true;
+  }
+  impl_->queue_cv.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+}
+
+std::size_t ThreadPool::thread_count() const noexcept { return impl_->total; }
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1 || impl_->total <= 1 || tls_inside_parallel) {
+    const bool was_inside = tls_inside_parallel;
+    tls_inside_parallel = true;
+    try {
+      for (std::size_t i = 0; i < n; ++i) body(i);
+    } catch (...) {
+      tls_inside_parallel = was_inside;
+      throw;
+    }
+    tls_inside_parallel = was_inside;
+    return;
+  }
+
+  // Per-call state, held by the queued chunks via shared_ptr. The caller
+  // always waits for every chunk to check in before returning, which keeps
+  // the `body` reference alive for chunks that start late.
+  struct CallState {
+    std::atomic<std::size_t> next{0};
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::size_t pending = 0;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<CallState>();
+  state->n = n;
+  state->body = &body;
+  const std::size_t participants = std::min(impl_->total, n);
+  state->pending = participants;
+
+  auto chunk = [state] {
+    const bool was_inside = tls_inside_parallel;
+    tls_inside_parallel = true;
+    std::exception_ptr first;
+    for (;;) {
+      const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state->n) break;
+      try {
+        (*state->body)(i);
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    tls_inside_parallel = was_inside;
+    std::lock_guard<std::mutex> lock(state->done_mutex);
+    if (first && !state->error) state->error = first;
+    if (--state->pending == 0) state->done_cv.notify_all();
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->queue_mutex);
+    for (std::size_t i = 0; i + 1 < participants; ++i) {
+      impl_->queue.push_back(chunk);
+    }
+  }
+  impl_->queue_cv.notify_all();
+
+  chunk();  // the caller participates
+
+  std::unique_lock<std::mutex> lock(state->done_mutex);
+  state->done_cv.wait(lock, [&] { return state->pending == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+namespace {
+
+struct GlobalPoolState {
+  std::mutex mutex;
+  std::optional<std::size_t> override_threads;
+  std::unique_ptr<ThreadPool> pool;
+  std::size_t pool_threads = 0;
+
+  std::size_t resolve_locked() const {
+    std::size_t n =
+        override_threads.has_value() ? *override_threads : env_threads();
+    if (n == 0) n = hardware_threads();
+    return n;
+  }
+};
+
+GlobalPoolState& global_state() {
+  static GlobalPoolState state;
+  return state;
+}
+
+}  // namespace
+
+void set_thread_count(std::size_t threads) {
+  GlobalPoolState& state = global_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.override_threads = threads;
+}
+
+std::size_t effective_thread_count() {
+  GlobalPoolState& state = global_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.resolve_locked();
+}
+
+ThreadPool& global_pool() {
+  GlobalPoolState& state = global_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  const std::size_t want = state.resolve_locked();
+  if (!state.pool || state.pool_threads != want) {
+    state.pool.reset();  // join the old workers before replacing
+    state.pool = std::make_unique<ThreadPool>(want);
+    state.pool_threads = want;
+  }
+  return *state.pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  global_pool().parallel_for(n, body);
+}
+
+}  // namespace clrearly::util

@@ -1,0 +1,151 @@
+// Determinism guarantee of the parallel evaluation engine: because the RNG
+// is consumed only in the serial variation phase and evaluation is pure,
+// every DSE flow must produce bit-identical fronts, archives and evaluation
+// counts at any thread count. These tests pin serial (1 thread) against
+// parallel (4 threads) runs of all three flows on the paper's Sobel
+// application (the models/sobel.json system model).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "app/sobel.hpp"
+#include "core/dse.hpp"
+#include "platform/architecture.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace clrearly {
+namespace {
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { util::set_log_level(util::LogLevel::Warn); }
+  void TearDown() override { util::set_thread_count(0); }
+
+  static core::DseOptions options() {
+    core::DseOptions o;
+    o.ga.population_size = 24;
+    o.ga.generations = 8;
+    o.seed = 7;
+    return o;
+  }
+
+  static core::DseMethodology methodology() {
+    return core::DseMethodology(app::make_sobel_application(),
+                                platform::Architecture::paper_default(),
+                                reliability::TaskAnalyzer::paper_default());
+  }
+
+  static void expect_identical(const core::DseOutcome& serial,
+                               const core::DseOutcome& parallel) {
+    EXPECT_EQ(serial.evaluations, parallel.evaluations);
+    ASSERT_EQ(serial.front.size(), parallel.front.size());
+    for (std::size_t i = 0; i < serial.front.size(); ++i) {
+      EXPECT_EQ(serial.front[i], parallel.front[i]) << "front point " << i;
+    }
+    ASSERT_EQ(serial.front_genomes.size(), parallel.front_genomes.size());
+    for (std::size_t i = 0; i < serial.front_genomes.size(); ++i) {
+      EXPECT_EQ(serial.front_genomes[i], parallel.front_genomes[i])
+          << "front genome " << i;
+    }
+  }
+};
+
+TEST_F(DeterminismTest, FcClrFlowIsThreadCountInvariant) {
+  const core::DseMethodology dse = methodology();
+  util::set_thread_count(1);
+  const core::DseOutcome serial = dse.run_fcclr(options());
+  util::set_thread_count(4);
+  const core::DseOutcome parallel = dse.run_fcclr(options());
+  ASSERT_FALSE(serial.front.empty());
+  expect_identical(serial, parallel);
+}
+
+TEST_F(DeterminismTest, PfClrFlowIsThreadCountInvariant) {
+  const core::DseMethodology dse = methodology();
+  util::set_thread_count(1);
+  const core::DseOutcome serial = dse.run_pfclr(options());
+  util::set_thread_count(4);
+  const core::DseOutcome parallel = dse.run_pfclr(options());
+  ASSERT_FALSE(serial.front.empty());
+  expect_identical(serial, parallel);
+}
+
+TEST_F(DeterminismTest, ProposedFlowIsThreadCountInvariant) {
+  const core::DseMethodology dse = methodology();
+  util::set_thread_count(1);
+  const core::DseOutcome serial = dse.run_proposed(options());
+  util::set_thread_count(4);
+  const core::DseOutcome parallel = dse.run_proposed(options());
+  ASSERT_FALSE(serial.front.empty());
+  expect_identical(serial, parallel);
+}
+
+TEST_F(DeterminismTest, TdseResultsAreThreadCountInvariant) {
+  const core::DseMethodology dse = methodology();
+  util::set_thread_count(1);
+  const auto serial = dse.run_tdse(options());
+  util::set_thread_count(4);
+  const auto parallel = dse.run_tdse(options());
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t type = 0; type < serial.size(); ++type) {
+    ASSERT_EQ(serial[type].enumerated.size(), parallel[type].enumerated.size());
+    ASSERT_EQ(serial[type].pareto.size(), parallel[type].pareto.size());
+    for (std::size_t i = 0; i < serial[type].pareto.size(); ++i) {
+      const core::TaskDesignPoint& a = serial[type].pareto[i];
+      const core::TaskDesignPoint& b = parallel[type].pareto[i];
+      EXPECT_EQ(a.impl_index, b.impl_index);
+      EXPECT_EQ(a.pe_type, b.pe_type);
+      EXPECT_EQ(a.config.hw, b.config.hw);
+      EXPECT_EQ(a.config.ssw, b.config.ssw);
+      EXPECT_EQ(a.config.asw, b.config.asw);
+      EXPECT_EQ(a.config.dvfs, b.config.dvfs);
+      EXPECT_EQ(a.metrics.avg_exec_time_us, b.metrics.avg_exec_time_us);
+      EXPECT_EQ(a.metrics.error_prob, b.metrics.error_prob);
+      EXPECT_EQ(a.metrics.mttf_hours, b.metrics.mttf_hours);
+    }
+  }
+}
+
+TEST_F(DeterminismTest, ArchiveIsThreadCountInvariant) {
+  // Exercise the external archive (batched merge) through run_nsga2 itself:
+  // the archives of serial and parallel runs must match member for member.
+  const app::Application sobel = app::make_sobel_application();
+  const platform::Architecture arch = platform::Architecture::paper_default();
+  const core::ClrMappingProblem problem(
+      sobel, arch, reliability::TaskAnalyzer::paper_default(),
+      core::SystemObjectives{}, sched::QosSpec{});
+
+  moea::Nsga2Params params;
+  params.population_size = 24;
+  params.generations = 8;
+  params.archive_size = 16;
+
+  util::set_thread_count(1);
+  util::Rng rng_serial(7);
+  const auto serial = moea::run_nsga2(params, problem.ops(), rng_serial);
+
+  util::set_thread_count(4);
+  util::Rng rng_parallel(7);
+  const auto parallel = moea::run_nsga2(params, problem.ops(), rng_parallel);
+
+  EXPECT_EQ(serial.evaluations, parallel.evaluations);
+  ASSERT_FALSE(serial.archive.empty());
+  ASSERT_EQ(serial.archive.size(), parallel.archive.size());
+  for (std::size_t i = 0; i < serial.archive.size(); ++i) {
+    EXPECT_EQ(serial.archive[i].genome, parallel.archive[i].genome);
+    EXPECT_EQ(serial.archive[i].eval.objectives,
+              parallel.archive[i].eval.objectives);
+    EXPECT_EQ(serial.archive[i].eval.violation,
+              parallel.archive[i].eval.violation);
+  }
+  ASSERT_EQ(serial.front.size(), parallel.front.size());
+  for (std::size_t i = 0; i < serial.front.size(); ++i) {
+    EXPECT_EQ(serial.population[serial.front[i]].eval.objectives,
+              parallel.population[parallel.front[i]].eval.objectives);
+  }
+}
+
+}  // namespace
+}  // namespace clrearly

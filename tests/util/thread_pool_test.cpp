@@ -1,0 +1,180 @@
+// Thread-pool contract tests: every index runs exactly once, results land
+// in their own slots (the determinism contract the DSE layers rely on),
+// exceptions propagate, nesting degrades to inline serial execution and the
+// 1-thread pool never spawns.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace clrearly::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, PerSlotResultsMatchSerialLoop) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 512;
+  std::vector<double> parallel(kN), serial(kN);
+  auto f = [](std::size_t i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k <= i % 97; ++k) acc += static_cast<double>(k) * 0.5;
+    return acc;
+  };
+  pool.parallel_for(kN, [&](std::size_t i) { parallel[i] = f(i); });
+  for (std::size_t i = 0; i < kN; ++i) serial[i] = f(i);
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(ThreadPoolTest, ZeroIterationsIsANoop) {
+  ThreadPool pool(4);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInlineInOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.parallel_for(16, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);  // unsynchronized on purpose: must be the caller
+  });
+  std::vector<std::size_t> expected(16);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i) {
+                          if (i % 7 == 3) {
+                            throw std::runtime_error("boom at " +
+                                                     std::to_string(i));
+                          }
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionDoesNotPoisonThePool) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   8, [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  // The pool must still process a clean batch afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, SerialFallbackPropagatesException) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(
+                   4, [](std::size_t) { throw std::invalid_argument("bad"); }),
+               std::invalid_argument);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 32;
+  std::vector<std::vector<int>> inner_hits(kOuter,
+                                           std::vector<int>(kInner, 0));
+  pool.parallel_for(kOuter, [&](std::size_t o) {
+    const std::thread::id executor = std::this_thread::get_id();
+    // A nested call must run serially on the same thread — no handoff back
+    // into the queue (which could deadlock), no concurrent inner writers.
+    pool.parallel_for(kInner, [&, executor](std::size_t i) {
+      EXPECT_EQ(std::this_thread::get_id(), executor);
+      inner_hits[o][i] += 1;
+    });
+  });
+  for (const auto& row : inner_hits) {
+    for (int hits : row) EXPECT_EQ(hits, 1);
+  }
+}
+
+TEST(ThreadPoolTest, NestedCallOnGlobalPoolIsAlsoInline) {
+  set_thread_count(4);
+  std::atomic<int> total{0};
+  parallel_for(8, [&](std::size_t) {
+    const std::thread::id executor = std::this_thread::get_id();
+    parallel_for(4, [&, executor](std::size_t) {
+      EXPECT_EQ(std::this_thread::get_id(), executor);
+      total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(total.load(), 32);
+  set_thread_count(0);
+}
+
+TEST(ThreadPoolTest, MoreIndicesThanThreadsAndViceVersa) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> few(3);
+  pool.parallel_for(3, [&](std::size_t i) { few[i].fetch_add(1); });
+  for (auto& hit : few) EXPECT_EQ(hit.load(), 1);
+
+  std::vector<std::atomic<int>> many(10000);
+  pool.parallel_for(10000, [&](std::size_t i) { many[i].fetch_add(1); });
+  for (auto& hit : many) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPoolTest, SetThreadCountOverridesEnvironment) {
+  // set_thread_count wins over CLREARLY_THREADS; 0 falls back to hardware.
+  set_thread_count(3);
+  EXPECT_EQ(effective_thread_count(), 3u);
+  set_thread_count(1);
+  EXPECT_EQ(effective_thread_count(), 1u);
+  EXPECT_EQ(global_pool().thread_count(), 1u);
+  set_thread_count(0);
+  EXPECT_GE(effective_thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, GlobalPoolTracksConfiguredCount) {
+  set_thread_count(2);
+  EXPECT_EQ(global_pool().thread_count(), 2u);
+  set_thread_count(5);
+  EXPECT_EQ(global_pool().thread_count(), 5u);
+  std::atomic<int> count{0};
+  parallel_for(64, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+  set_thread_count(0);
+}
+
+TEST(ThreadPoolTest, ConcurrentTopLevelCallsShareTheWorkers) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 256;
+  std::vector<int> a(kN, 0), b(kN, 0);
+  std::thread other(
+      [&] { pool.parallel_for(kN, [&](std::size_t i) { a[i] += 1; }); });
+  pool.parallel_for(kN, [&](std::size_t i) { b[i] += 1; });
+  other.join();
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(a[i], 1);
+    EXPECT_EQ(b[i], 1);
+  }
+}
+
+}  // namespace
+}  // namespace clrearly::util

@@ -39,6 +39,7 @@
 #include "platform/architecture.hpp"
 #include "sched/timeline.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
@@ -79,11 +80,15 @@ int cmd_generate(const std::vector<std::string>& args) {
   util::ArgParser parser("clrearly generate",
                          "generate a synthetic application model");
   parser.flag("help", "show this help");
+  util::add_threads_option(parser);
   parser.option("tasks", "number of tasks", "20")
       .option("types", "number of task types", "10")
       .option("seed", "generator seed", "1")
       .option("out", "output JSON path", "app.json");
   parser.parse(args);
+  if (parser.has("threads")) {
+    util::set_thread_count(parser.get_uint("threads"));
+  }
   if (parser.has("help")) {
     std::printf("%s", parser.help().c_str());
     return 0;
@@ -102,10 +107,14 @@ int cmd_generate(const std::vector<std::string>& args) {
 int cmd_info(const std::vector<std::string>& args) {
   util::ArgParser parser("clrearly info", "summarize a system model");
   parser.flag("help", "show this help");
+  util::add_threads_option(parser);
   parser.option("app", "application spec", "sobel")
       .option("arch", "architecture spec", "default")
       .option("dot", "write the task graph as Graphviz DOT to this path", "");
   parser.parse(args);
+  if (parser.has("threads")) {
+    util::set_thread_count(parser.get_uint("threads"));
+  }
   if (parser.has("help")) {
     std::printf("%s", parser.help().c_str());
     return 0;
@@ -151,12 +160,16 @@ int cmd_info(const std::vector<std::string>& args) {
 int cmd_tdse(const std::vector<std::string>& args) {
   util::ArgParser parser("clrearly tdse", "task-level design-space exploration");
   parser.flag("help", "show this help");
+  util::add_threads_option(parser);
   parser.option("app", "application spec", "sobel")
       .option("arch", "architecture spec", "default")
       .option("objectives", "TABLE IV ladder row (1-6)", "2")
       .option("env", "environmental fault-rate factor", "1")
       .option("csv", "write Pareto points to this CSV", "");
   parser.parse(args);
+  if (parser.has("threads")) {
+    util::set_thread_count(parser.get_uint("threads"));
+  }
   if (parser.has("help")) {
     std::printf("%s", parser.help().c_str());
     return 0;
@@ -205,6 +218,7 @@ int cmd_tdse(const std::vector<std::string>& args) {
 int cmd_dse(const std::vector<std::string>& args) {
   util::ArgParser parser("clrearly dse", "system-level CLR-aware task mapping");
   parser.flag("help", "show this help");
+  util::add_threads_option(parser);
   parser.option("app", "application spec", "sobel")
       .option("arch", "architecture spec", "default")
       .option("flow", "fcclr | pfclr | proposed | agnostic", "proposed")
@@ -218,6 +232,9 @@ int cmd_dse(const std::vector<std::string>& args) {
       .flag("report", "print per-task choices of the fastest design")
       .flag("gantt", "print the fastest design's schedule");
   parser.parse(args);
+  if (parser.has("threads")) {
+    util::set_thread_count(parser.get_uint("threads"));
+  }
   if (parser.has("help")) {
     std::printf("%s", parser.help().c_str());
     return 0;
@@ -307,12 +324,16 @@ int cmd_check(const std::vector<std::string>& args) {
   util::ArgParser parser("clrearly check",
                          "early-stage feasibility certificates (no GA)");
   parser.flag("help", "show this help");
+  util::add_threads_option(parser);
   parser.option("app", "application spec", "sobel")
       .option("arch", "architecture spec", "default")
       .option("env", "environmental fault-rate factor", "1")
       .option("min-frel", "minimum functional reliability (0 disables)", "0")
       .option("max-makespan", "makespan limit in us (0 disables)", "0");
   parser.parse(args);
+  if (parser.has("threads")) {
+    util::set_thread_count(parser.get_uint("threads"));
+  }
   if (parser.has("help")) {
     std::printf("%s", parser.help().c_str());
     return 0;
@@ -352,8 +373,12 @@ int cmd_export(const std::vector<std::string>& args) {
   util::ArgParser parser("clrearly export",
                          "write the built-in models as JSON files");
   parser.flag("help", "show this help");
+  util::add_threads_option(parser);
   parser.option("dir", "output directory", "models");
   parser.parse(args);
+  if (parser.has("threads")) {
+    util::set_thread_count(parser.get_uint("threads"));
+  }
   if (parser.has("help")) {
     std::printf("%s", parser.help().c_str());
     return 0;
@@ -374,6 +399,7 @@ int cmd_chain(const std::vector<std::string>& args) {
                          "evaluate one CLR configuration through the Fig. 3 "
                          "Markov models");
   parser.flag("help", "show this help");
+  util::add_threads_option(parser);
   parser.option("exec-time", "useful execution time (us)", "1000")
       .option("lambda", "effective SEU rate (/us)", "3e-4")
       .option("hw-masking", "spatial-redundancy masking m_HW", "0")
@@ -389,6 +415,9 @@ int cmd_chain(const std::vector<std::string>& args) {
       .flag("validate", "cross-check with 100k fault-injection runs")
       .flag("sweep", "also sweep 1..10 intervals for the optimal count");
   parser.parse(args);
+  if (parser.has("threads")) {
+    util::set_thread_count(parser.get_uint("threads"));
+  }
   if (parser.has("help")) {
     std::printf("%s", parser.help().c_str());
     return 0;
