@@ -216,8 +216,10 @@ void ablation_checkpoint_sweep() {
 
 int main(int argc, char** argv) {
   clrearly::util::ArgParser args("bench_ablations", "ablation studies: seeding, pruning, communication, stochastic tDSE, checkpoint sweep");
-  if (!clrearly::util::parse_standard_args(args, argc, argv)) return 0;
-  util::set_log_level(util::LogLevel::Warn);
+  if (!clrearly::util::parse_standard_args(args, argc, argv,
+                                          clrearly::util::LogLevel::Warn)) {
+    return 0;
+  }
   ablation_seeding_and_pruning();
   ablation_communication();
   ablation_stochastic_tdse();

@@ -75,8 +75,9 @@ int main(int argc, char** argv) {
       .option("generations", "GA generations", "60")
       .option("seed", "GA seed", "11")
       .option("out", "output JSON path", "BENCH_eval.json");
-  if (!util::parse_standard_args(args, argc, argv)) return 0;
-  util::set_log_level(util::LogLevel::Warn);
+  if (!util::parse_standard_args(args, argc, argv, util::LogLevel::Warn)) {
+    return 0;
+  }
 
   moea::Nsga2Params params;
   params.population_size = args.get_uint("population");

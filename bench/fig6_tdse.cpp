@@ -68,8 +68,10 @@ std::vector<std::pair<double, double>> front_for_dvfs(
 
 int main(int argc, char** argv) {
   clrearly::util::ArgParser args("bench_fig6_tdse", "Fig. 6: task-level Pareto fronts across DVFS modes and implicit masking");
-  if (!clrearly::util::parse_standard_args(args, argc, argv)) return 0;
-  util::set_log_level(util::LogLevel::Warn);
+  if (!clrearly::util::parse_standard_args(args, argc, argv,
+                                          clrearly::util::LogLevel::Warn)) {
+    return 0;
+  }
   const platform::Architecture arch = platform::Architecture::paper_default();
   const platform::PeType& pe = arch.type(0);
 

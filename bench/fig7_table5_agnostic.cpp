@@ -39,8 +39,10 @@ constexpr std::uint64_t kGaSeed = 11;
 
 int main(int argc, char** argv) {
   clrearly::util::ArgParser args("bench_fig7_table5_agnostic", "Fig. 7 / TABLE V: CLR vs single-layer and reliability-agnostic baselines");
-  if (!clrearly::util::parse_standard_args(args, argc, argv)) return 0;
-  util::set_log_level(util::LogLevel::Warn);
+  if (!clrearly::util::parse_standard_args(args, argc, argv,
+                                          clrearly::util::LogLevel::Warn)) {
+    return 0;
+  }
   const platform::Architecture arch = platform::Architecture::paper_default();
   const core::DseOptions options = core::bench_options(kGaSeed);
 

@@ -41,8 +41,10 @@ core::DseOptions options_for_run(int tdse_run) {
 
 int main(int argc, char** argv) {
   clrearly::util::ArgParser args("bench_fig9_10_table7_tdse_runs", "Fig. 9/10, TABLE VII: tDSE objective-set sweeps");
-  if (!clrearly::util::parse_standard_args(args, argc, argv)) return 0;
-  util::set_log_level(util::LogLevel::Warn);
+  if (!clrearly::util::parse_standard_args(args, argc, argv,
+                                          clrearly::util::LogLevel::Warn)) {
+    return 0;
+  }
   const platform::Architecture arch = platform::Architecture::paper_default();
 
   // ---------------- Fig. 9: Pareto-implementation counts ----------------

@@ -1,0 +1,180 @@
+// Monte Carlo validation of the analytic QoS pipeline: run the three DSE
+// flows (fcCLR, pfCLR, proposed) on the seed scenario, then simulate every
+// Pareto-front design point end-to-end with src/sim and compare the
+// simulated makespan / error probability / energy against the analytic
+// QosMetrics the search optimized. Also cross-checks the simulator's
+// determinism contract: a 10k-trial run must be bit-identical at 1 and 4
+// threads. Emits BENCH_sim.json (fields explained in docs/SIMULATION.md);
+// the exit code gates on determinism and on >= 90% analytic/simulated
+// agreement across the fronts.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "app/sobel.hpp"
+#include "core/dse.hpp"
+#include "core/experiment.hpp"
+#include "core/sim_bridge.hpp"
+#include "platform/architecture.hpp"
+#include "sim/validate.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace clrearly;
+
+struct FlowFront {
+  std::string name;
+  std::vector<core::MappingGenome> genomes;
+  /// Problem in the same genome encoding as `genomes`.
+  std::shared_ptr<const core::ClrMappingProblem> problem;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("bench_sim_validation",
+                       "Monte Carlo simulation vs analytic QoS across the "
+                       "DSE flows' Pareto fronts (emits BENCH_sim.json)");
+  args.option("trials", "Monte Carlo trials per design point", "10000")
+      .option("sim-seed", "simulator seed", "7")
+      .option("seed", "GA seed", "11")
+      .option("out", "output JSON path", "BENCH_sim.json");
+  if (!util::parse_standard_args(args, argc, argv, util::LogLevel::Warn)) {
+    return 0;
+  }
+
+  const bool fast = core::fast_mode();
+  const std::size_t trials =
+      fast ? std::min<std::size_t>(args.get_uint("trials"), 2000)
+           : args.get_uint("trials");
+  const std::uint64_t sim_seed = args.get_uint("sim-seed");
+
+  const app::Application sobel = app::make_sobel_application();
+  const platform::Architecture arch = platform::Architecture::paper_default();
+  const reliability::TaskAnalyzer analyzer = core::bench_system_analyzer();
+  const core::DseMethodology dse(sobel, arch, analyzer);
+  core::DseOptions options = core::bench_options(args.get_uint("seed"));
+
+  std::printf("=== sim validation: sobel, %zu trials/point ===\n", trials);
+
+  // One shared tDSE feeds pfCLR and keeps its Pareto points identical to
+  // the ones the pfCLR problem must decode against.
+  const std::vector<core::TdseResult> tdse = dse.run_tdse(options);
+  std::vector<std::vector<core::TaskDesignPoint>> points;
+  points.reserve(tdse.size());
+  for (const core::TdseResult& r : tdse) points.push_back(r.pareto);
+
+  const auto fc_problem = std::make_shared<const core::ClrMappingProblem>(
+      sobel, arch, analyzer, options.objectives, options.spec);
+  const auto pf_problem = std::make_shared<const core::ClrMappingProblem>(
+      sobel, arch, analyzer, options.objectives, options.spec,
+      std::move(points));
+
+  std::vector<FlowFront> fronts;
+  {
+    core::DseOutcome outcome = dse.run_fcclr(options);
+    fronts.push_back({"fcclr", std::move(outcome.front_genomes), fc_problem});
+  }
+  {
+    core::DseOutcome outcome = dse.run_pfclr(options, tdse);
+    fronts.push_back({"pfclr", std::move(outcome.front_genomes), pf_problem});
+  }
+  {
+    core::DseOutcome outcome = dse.run_proposed(options, tdse);
+    fronts.push_back(
+        {"proposed", std::move(outcome.front_genomes), fc_problem});
+  }
+
+  sim::ValidationReport report;
+  util::JsonObject flows_json;
+  for (const FlowFront& front : fronts) {
+    sim::ValidationReport flow_report;
+    for (std::size_t i = 0; i < front.genomes.size(); ++i) {
+      const core::MappingGenome& genome = front.genomes[i];
+      const sched::QosMetrics analytic = front.problem->qos(genome);
+
+      sim::SimOptions sim_options;
+      sim_options.trials = trials;
+      sim_options.seed = sim_seed;
+      // Deadline one analytic sigma past the mean: exercises the per-trial
+      // miss accounting in a regime where both estimates are non-trivial.
+      sim_options.deadline_us =
+          analytic.makespan_us + analytic.makespan_stddev_us;
+
+      const sim::SimResult simulated =
+          core::simulate_design_point(*front.problem, genome, sim_options);
+      flow_report.rows.push_back(sim::compare_design_point(
+          front.name + "#" + std::to_string(i), analytic, simulated));
+    }
+    std::printf(
+        "%-9s %2zu points: makespan agreement %.0f%%, error agreement "
+        "%.0f%%\n",
+        front.name.c_str(), flow_report.rows.size(),
+        100.0 * flow_report.makespan_agreement(),
+        100.0 * flow_report.error_agreement());
+    flows_json[front.name] = sim::validation_report_json(flow_report);
+    for (sim::ValidationRow& row : flow_report.rows) {
+      report.rows.push_back(std::move(row));
+    }
+  }
+
+  // ---- Determinism: 10k trials, 1 thread vs 4 threads, bit-identical ----
+  bool deterministic = true;
+  double serial_rate = 0.0;
+  double parallel_rate = 0.0;
+  if (!report.rows.empty() && !fronts.front().genomes.empty()) {
+    sim::SimOptions sim_options;
+    sim_options.trials = 10000;
+    sim_options.seed = sim_seed;
+    const core::ClrMappingProblem& problem = *fronts.front().problem;
+    const core::MappingGenome& genome = fronts.front().genomes.front();
+    util::set_thread_count(1);
+    const sim::SimResult serial =
+        core::simulate_design_point(problem, genome, sim_options);
+    util::set_thread_count(4);
+    const sim::SimResult parallel =
+        core::simulate_design_point(problem, genome, sim_options);
+    util::set_thread_count(0);
+    deterministic = sim::sim_results_identical(serial, parallel);
+    serial_rate = serial.trials_per_sec;
+    parallel_rate = parallel.trials_per_sec;
+    std::printf(
+        "determinism (10k trials, 1 vs 4 threads): %s (%.0f vs %.0f "
+        "trials/s)\n",
+        deterministic ? "identical" : "DIVERGED", serial_rate, parallel_rate);
+  }
+
+  const double agreement = report.agreement();
+  const bool agrees = agreement >= 0.9;
+  std::printf("overall: %zu design points, %.0f%% full agreement%s\n",
+              report.rows.size(), 100.0 * agreement,
+              agrees ? "" : "  [BELOW 90% TARGET]");
+
+  util::JsonObject out_json;
+  out_json["benchmark"] = "sim_validation";
+  out_json["application"] = "sobel";
+  out_json["trials_per_point"] = trials;
+  out_json["sim_seed"] = sim_seed;
+  out_json["flows"] = std::move(flows_json);
+  out_json["design_points"] = report.rows.size();
+  out_json["makespan_agreement"] = report.makespan_agreement();
+  out_json["error_agreement"] = report.error_agreement();
+  out_json["agreement"] = agreement;
+  out_json["deterministic"] = deterministic;
+  out_json["trials_per_sec_serial"] = serial_rate;
+  out_json["trials_per_sec_parallel"] = parallel_rate;
+
+  const std::string out = args.get("out");
+  std::ofstream stream(out);
+  stream << util::json_serialize(util::JsonValue(std::move(out_json))) << "\n";
+  std::printf("[wrote %s]\n", out.c_str());
+  return (deterministic && agrees) ? 0 : 1;
+}

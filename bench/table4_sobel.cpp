@@ -47,8 +47,10 @@ platform::Architecture two_type_architecture() {
 
 int main(int argc, char** argv) {
   clrearly::util::ArgParser args("bench_table4_sobel", "TABLE IV: Pareto-front design points per Sobel task type");
-  if (!clrearly::util::parse_standard_args(args, argc, argv)) return 0;
-  util::set_log_level(util::LogLevel::Warn);
+  if (!clrearly::util::parse_standard_args(args, argc, argv,
+                                          clrearly::util::LogLevel::Warn)) {
+    return 0;
+  }
   std::printf(
       "=== TABLE IV: Pareto-front design points per Sobel task type ===\n");
 

@@ -58,8 +58,10 @@ reliability::ClrSpace generic_space() {
 
 int main(int argc, char** argv) {
   clrearly::util::ArgParser args("custom_method", "plugging custom reliability methods into the framework");
-  if (!clrearly::util::parse_standard_args(args, argc, argv)) return 0;
-  util::set_log_level(util::LogLevel::Warn);
+  if (!clrearly::util::parse_standard_args(args, argc, argv,
+                                          clrearly::util::LogLevel::Warn)) {
+    return 0;
+  }
 
   // ---- 1+2: task-level DSE over the generic-method space --------------
   reliability::FaultEnvironment env;

@@ -20,9 +20,11 @@
 
 int main(int argc, char** argv) {
   clrearly::util::ArgParser args("mjpeg_encoder", "MJPEG encoder DSE under a frame deadline");
-  if (!clrearly::util::parse_standard_args(args, argc, argv)) return 0;
+  if (!clrearly::util::parse_standard_args(args, argc, argv,
+                                          clrearly::util::LogLevel::Warn)) {
+    return 0;
+  }
   using namespace clrearly;
-  util::set_log_level(util::LogLevel::Warn);
 
   const app::Application mjpeg = app::make_mjpeg_application();
   const platform::Architecture arch = platform::Architecture::paper_default();

@@ -20,9 +20,11 @@
 
 int main(int argc, char** argv) {
   clrearly::util::ArgParser args("quickstart", "the complete CL(R)Early flow on the Sobel application");
-  if (!clrearly::util::parse_standard_args(args, argc, argv)) return 0;
+  if (!clrearly::util::parse_standard_args(args, argc, argv,
+                                          clrearly::util::LogLevel::Warn)) {
+    return 0;
+  }
   using namespace clrearly;
-  util::set_log_level(util::LogLevel::Warn);
 
   // --- 1. System model.
   const platform::Architecture arch = platform::Architecture::paper_default();

@@ -55,8 +55,10 @@ core::MappingGenome optimize_single(const core::ClrMappingProblem& problem,
 
 int main(int argc, char** argv) {
   clrearly::util::ArgParser args("scenario_design", "operating-condition-robust design for the UAV mission profile");
-  if (!clrearly::util::parse_standard_args(args, argc, argv)) return 0;
-  util::set_log_level(util::LogLevel::Warn);
+  if (!clrearly::util::parse_standard_args(args, argc, argv,
+                                          clrearly::util::LogLevel::Warn)) {
+    return 0;
+  }
 
   const app::Application sobel = app::make_sobel_application();
   const platform::Architecture arch = platform::Architecture::paper_default();

@@ -96,8 +96,10 @@ void design_for(const char* label, double flux_factor) {
 
 int main(int argc, char** argv) {
   clrearly::util::ArgParser args("sobel_clr", "CLR-aware Sobel design at ground level and high altitude");
-  if (!clrearly::util::parse_standard_args(args, argc, argv)) return 0;
-  util::set_log_level(util::LogLevel::Warn);
+  if (!clrearly::util::parse_standard_args(args, argc, argv,
+                                          clrearly::util::LogLevel::Warn)) {
+    return 0;
+  }
   design_for("Ground level", 1.0);
   design_for("High altitude", 50.0);
   return 0;

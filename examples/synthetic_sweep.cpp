@@ -41,8 +41,10 @@ FlowResult timed(Fn&& flow) {
 
 int main(int argc, char** argv) {
   clrearly::util::ArgParser args("synthetic_sweep", "synthetic application sweep over sizes");
-  if (!clrearly::util::parse_standard_args(args, argc, argv)) return 0;
-  util::set_log_level(util::LogLevel::Warn);
+  if (!clrearly::util::parse_standard_args(args, argc, argv,
+                                          clrearly::util::LogLevel::Warn)) {
+    return 0;
+  }
   const platform::Architecture arch = platform::Architecture::paper_default();
 
   std::printf("%-7s %-10s %8s %8s %8s %9s %9s %7s %7s %7s\n", "#tasks",

@@ -288,6 +288,15 @@ std::vector<sched::TaskDecision> ClrMappingProblem::decode(
   return decisions;
 }
 
+std::vector<ClrMappingProblem::ResolvedTask> ClrMappingProblem::resolve(
+    const MappingGenome& genome) const {
+  layout_->validate(genome);
+  const std::size_t n = app_.graph.num_tasks();
+  std::vector<ResolvedTask> resolved(n);
+  for (std::size_t t = 0; t < n; ++t) resolved[t] = decode_task(genome, t);
+  return resolved;
+}
+
 std::vector<ClrMappingProblem::TaskChoice> ClrMappingProblem::report(
     const MappingGenome& genome) const {
   layout_->validate(genome);

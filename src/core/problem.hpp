@@ -104,6 +104,21 @@ class ClrMappingProblem {
   /// Resolve the per-task decisions encoded in `genome`.
   std::vector<sched::TaskDecision> decode(const MappingGenome& genome) const;
 
+  /// Fully resolved choice for one task: the PE instance, the implementation
+  /// index within the task type's catalog, the CLR configuration and the
+  /// resulting metrics. decode() flattens this into sched::TaskDecisions;
+  /// consumers that need the underlying choices (e.g. core/sim_bridge
+  /// rebuilding the fault-process parameters for simulation) use resolve().
+  struct ResolvedTask {
+    std::size_t pe = 0;
+    std::size_t impl_index = 0;
+    reliability::ClrConfig config;
+    reliability::TaskMetrics metrics;
+  };
+
+  /// Resolve every task of `genome` (same decoding as decode()).
+  std::vector<ResolvedTask> resolve(const MappingGenome& genome) const;
+
   /// Human-readable resolution of a genome: per task, the chosen
   /// implementation, PE, CLR configuration and resulting metrics. For
   /// presenting final design points to the designer (examples, reports).
@@ -148,13 +163,6 @@ class ClrMappingProblem {
   void build_full_config_tables();
   void build_layout();
 
-  /// Fully resolved choice for one task.
-  struct ResolvedTask {
-    std::size_t pe = 0;
-    std::size_t impl_index = 0;
-    reliability::ClrConfig config;
-    reliability::TaskMetrics metrics;
-  };
   ResolvedTask decode_task(const MappingGenome& genome, std::size_t t) const;
 
   app::Application app_;

@@ -1,0 +1,42 @@
+#include "core/sim_bridge.hpp"
+
+#include <utility>
+
+namespace clrearly::core {
+
+SimDesignPoint make_sim_design_point(const ClrMappingProblem& problem,
+                                     const MappingGenome& genome,
+                                     std::string label) {
+  const app::Application& app = problem.application();
+  const platform::Architecture& arch = problem.architecture();
+  const std::vector<ClrMappingProblem::ResolvedTask> resolved =
+      problem.resolve(genome);
+
+  SimDesignPoint point;
+  point.label = std::move(label);
+  point.priority_order = genome.order;
+  point.tasks.reserve(resolved.size());
+  for (std::size_t t = 0; t < resolved.size(); ++t) {
+    const std::size_t type = app.graph.task(t).type;
+    const reliability::BaseImpl& impl =
+        app.impls[type][resolved[t].impl_index];
+    sim::SimTask task;
+    task.chain = problem.analyzer().chain_params(
+        impl, arch.type_of(resolved[t].pe), resolved[t].config);
+    task.pe = resolved[t].pe;
+    task.power_w = resolved[t].metrics.avg_power_w;
+    point.tasks.push_back(std::move(task));
+  }
+  return point;
+}
+
+sim::SimResult simulate_design_point(const ClrMappingProblem& problem,
+                                     const MappingGenome& genome,
+                                     const sim::SimOptions& options) {
+  const SimDesignPoint point = make_sim_design_point(problem, genome);
+  return sim::simulate_schedule(problem.application().graph,
+                                problem.architecture(), point.tasks,
+                                point.priority_order, options);
+}
+
+}  // namespace clrearly::core

@@ -1,0 +1,42 @@
+// Bridge from DSE design points to Monte Carlo simulator inputs.
+//
+// A MappingGenome only encodes indices; the simulator needs the fully
+// resolved fault-process parameters of every task. This module rebuilds them
+// through the same TaskAnalyzer the analytic tables were computed with
+// (TaskAnalyzer::chain_params), so the simulated process and the analytic
+// Fig. 3 chains see byte-identical inputs — any disagreement between
+// SimResult and QosMetrics is then attributable to the system-level
+// aggregation approximations alone, never to diverging task models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/encoding.hpp"
+#include "core/problem.hpp"
+#include "sim/schedule_sim.hpp"
+
+namespace clrearly::core {
+
+/// One design point in simulator form: per-task fault-process parameters +
+/// PE bindings + powers, and the genome's schedule priority order.
+struct SimDesignPoint {
+  std::string label;
+  std::vector<sim::SimTask> tasks;
+  std::vector<std::size_t> priority_order;
+};
+
+/// Resolve `genome` against `problem` into simulator inputs. Works for both
+/// fcCLR and pfCLR problems (pfCLR Pareto points carry their implementation
+/// index and CLR configuration, which chain_params re-expands). Throws like
+/// ClrMappingProblem::decode on malformed genomes.
+SimDesignPoint make_sim_design_point(const ClrMappingProblem& problem,
+                                     const MappingGenome& genome,
+                                     std::string label = {});
+
+/// Convenience: bridge + simulate in one call.
+sim::SimResult simulate_design_point(const ClrMappingProblem& problem,
+                                     const MappingGenome& genome,
+                                     const sim::SimOptions& options);
+
+}  // namespace clrearly::core

@@ -56,9 +56,9 @@ void TaskAnalyzer::set_implicit_masking_override(double m) {
   implicit_masking_override_ = m;
 }
 
-TaskMetrics TaskAnalyzer::evaluate(const BaseImpl& impl,
-                                   const platform::PeType& pe,
-                                   const ClrConfig& config) const {
+ClrChainParams TaskAnalyzer::chain_params(const BaseImpl& impl,
+                                          const platform::PeType& pe,
+                                          const ClrConfig& config) const {
   impl.validate();
   if (!impl.runs_on(pe)) {
     throw std::invalid_argument("TaskAnalyzer: implementation " + impl.name +
@@ -101,6 +101,16 @@ TaskMetrics TaskAnalyzer::evaluate(const BaseImpl& impl,
   params.checkpoint_time_us =
       ssw.checkpoint_time_frac * exec_time * ssw_cost;
   params.checkpoint_error_prob = ssw.checkpoint_error_prob;
+  return params;
+}
+
+TaskMetrics TaskAnalyzer::evaluate(const BaseImpl& impl,
+                                   const platform::PeType& pe,
+                                   const ClrConfig& config) const {
+  const ClrChainParams params = chain_params(impl, pe, config);
+  const SswMethod& ssw = space_.ssw(config);
+  const HwMethod& hw = space_.hw(config);
+  const AswMethod& asw = space_.asw(config);
 
   const ClrChainAnalysis chain = analyze_clr_chain(params);
 

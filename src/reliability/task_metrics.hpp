@@ -8,6 +8,7 @@
 #include <string>
 
 #include "platform/pe.hpp"
+#include "reliability/clr_chain_builder.hpp"
 #include "reliability/clr_config.hpp"
 #include "reliability/fault_model.hpp"
 #include "reliability/weibull.hpp"
@@ -92,6 +93,13 @@ class TaskAnalyzer {
   /// `pe` (class mismatch) and on out-of-range configuration indices.
   TaskMetrics evaluate(const BaseImpl& impl, const platform::PeType& pe,
                        const ClrConfig& config) const;
+
+  /// The fully resolved Fig. 3 chain inputs for (impl, pe, config) — exactly
+  /// what evaluate() solves analytically. Exposed so simulation oracles
+  /// (reliability::inject_faults, the sim/ Monte Carlo scheduler) can replay
+  /// the identical fault process instead of re-deriving the scaling.
+  ClrChainParams chain_params(const BaseImpl& impl, const platform::PeType& pe,
+                              const ClrConfig& config) const;
 
  private:
   ClrSpace space_;

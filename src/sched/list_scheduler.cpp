@@ -44,6 +44,17 @@ Schedule list_schedule(const app::TaskGraph& graph,
                        platform::Interconnect{});
 }
 
+double data_arrival_us(const app::TaskGraph& graph,
+                       const platform::Interconnect& interconnect,
+                       std::size_t src, std::size_t dst, double src_end_us,
+                       std::size_t src_pe, std::size_t dst_pe) {
+  if (!interconnect.models_communication() || src_pe == dst_pe) {
+    return src_end_us;
+  }
+  const app::Edge* edge = graph.find_edge(src, dst);
+  return src_end_us + interconnect.transfer_time_us(edge ? edge->data_kb : 0.0);
+}
+
 Schedule list_schedule(const app::TaskGraph& graph,
                        const std::vector<TaskAssignment>& assignments,
                        const std::vector<std::size_t>& priority_order,
@@ -114,12 +125,9 @@ Schedule list_schedule(const app::TaskGraph& graph,
     done[best] = true;
     for (std::size_t succ : graph.successors(best)) {
       --unscheduled_preds[succ];
-      double arrival = end;
-      if (interconnect.models_communication() &&
-          assignments[succ].pe != asg.pe) {
-        const app::Edge* edge = graph.find_edge(best, succ);
-        arrival += interconnect.transfer_time_us(edge ? edge->data_kb : 0.0);
-      }
+      const double arrival = data_arrival_us(graph, interconnect, best, succ,
+                                             end, asg.pe,
+                                             assignments[succ].pe);
       ready_time[succ] = std::max(ready_time[succ], arrival);
     }
   }

@@ -59,4 +59,15 @@ Schedule list_schedule(const app::TaskGraph& graph,
                        std::size_t num_pes,
                        const platform::Interconnect& interconnect);
 
+/// Arrival time at task `dst` of the data produced by task `src` finishing
+/// at `src_end_us`: co-located tasks communicate for free, cross-PE
+/// dependencies pay the interconnect's transfer time for the edge's data
+/// volume (nothing when the model is disabled). Shared by the list
+/// scheduler, the QoS critical-path walk and the Monte Carlo schedule
+/// simulator so all three price communication identically.
+double data_arrival_us(const app::TaskGraph& graph,
+                       const platform::Interconnect& interconnect,
+                       std::size_t src, std::size_t dst, double src_end_us,
+                       std::size_t src_pe, std::size_t dst_pe);
+
 }  // namespace clrearly::sched

@@ -131,12 +131,9 @@ QosMetrics estimate_qos(const app::Application& application,
       std::size_t blocker = n;
       // Dependency blocker (data arrival defines the start)?
       for (std::size_t p : graph.predecessors(current)) {
-        double arrival = schedule.tasks[p].end_us;
-        if (icn.models_communication() &&
-            schedule.tasks[p].pe != schedule.tasks[current].pe) {
-          const app::Edge* edge = graph.find_edge(p, current);
-          arrival += icn.transfer_time_us(edge ? edge->data_kb : 0.0);
-        }
+        const double arrival = data_arrival_us(
+            graph, icn, p, current, schedule.tasks[p].end_us,
+            schedule.tasks[p].pe, schedule.tasks[current].pe);
         if (std::abs(arrival - start) < kTieTol) {
           blocker = p;
           break;

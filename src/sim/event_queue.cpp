@@ -1,0 +1,54 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace clrearly::sim {
+
+void EventQueue::push(const Event& event) {
+  heap_.push_back(Entry{event, next_seq_++});
+  sift_up(heap_.size() - 1);
+}
+
+Event EventQueue::pop() {
+  const Event top = heap_.front().event;
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return top;
+}
+
+double EventQueue::next_time_us() const noexcept {
+  return heap_.front().event.time_us;
+}
+
+void EventQueue::clear() noexcept {
+  heap_.clear();
+  next_seq_ = 0;
+}
+
+void EventQueue::sift_up(std::size_t i) noexcept {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heap_[i].earlier_than(heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) noexcept {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = left + 1;
+    std::size_t smallest = i;
+    if (left < n && heap_[left].earlier_than(heap_[smallest])) smallest = left;
+    if (right < n && heap_[right].earlier_than(heap_[smallest])) {
+      smallest = right;
+    }
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace clrearly::sim

@@ -1,0 +1,67 @@
+// Deterministic discrete-event kernel for the Monte Carlo schedule
+// simulator.
+//
+// A plain binary min-heap of (time, kind, task) events, ordered by time with
+// insertion sequence as the tie-break: two events at the same timestamp pop
+// in the order they were pushed, on every platform and at every thread
+// count. That total order is what makes whole-simulation runs bit-identical
+// for a fixed seed — the scheduler never has to break a tie with anything
+// less reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace clrearly::sim {
+
+enum class EventKind : std::uint8_t {
+  kDataReady,  ///< all of a task's input data has arrived; it may dispatch
+  kComplete,   ///< a task finished executing; its PE is free again
+};
+
+struct Event {
+  double time_us = 0.0;
+  EventKind kind = EventKind::kDataReady;
+  std::size_t task = 0;
+};
+
+class EventQueue {
+ public:
+  /// Schedule `event`; events at equal times pop in push order.
+  void push(const Event& event);
+
+  /// Remove and return the earliest event. Undefined when empty().
+  Event pop();
+
+  /// Earliest pending timestamp. Undefined when empty().
+  double next_time_us() const noexcept;
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Drop all pending events and reset the sequence counter — lets one
+  /// queue be reused across Monte Carlo trials without reallocating.
+  void clear() noexcept;
+
+ private:
+  struct Entry {
+    Event event;
+    std::uint64_t seq = 0;  ///< push order, the deterministic tie-break
+
+    bool earlier_than(const Entry& other) const noexcept {
+      if (event.time_us != other.event.time_us) {
+        return event.time_us < other.event.time_us;
+      }
+      return seq < other.seq;
+    }
+  };
+
+  void sift_up(std::size_t i) noexcept;
+  void sift_down(std::size_t i) noexcept;
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace clrearly::sim

@@ -1,0 +1,256 @@
+#include "sim/schedule_sim.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "sched/list_scheduler.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/task_sampler.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace clrearly::sim {
+
+namespace {
+
+/// Everything one trial contributes to the aggregate — written to slot
+/// `trial` of a pre-sized vector, so parallel execution is bit-identical to
+/// serial (the ThreadPool per-index contract).
+struct TrialOutcome {
+  double makespan_us = 0.0;
+  double error_weight = 0.0;  ///< sum of zeta_t over corrupted tasks
+  double energy_uj = 0.0;
+  double faults = 0.0;
+  double rollbacks = 0.0;
+  bool deadline_miss = false;
+};
+
+/// One full application run: sample every task's trial, then execute the
+/// graph event-by-event.
+TrialOutcome run_trial(const app::TaskGraph& graph,
+                       const platform::Interconnect& interconnect,
+                       const std::vector<SimTask>& tasks,
+                       const std::vector<TaskSampler>& samplers,
+                       const std::vector<std::size_t>& rank,
+                       const std::vector<double>& zeta, std::size_t num_pes,
+                       double deadline_us, util::Rng& rng) {
+  const std::size_t n = tasks.size();
+
+  // The fault process of a task is independent of when it runs, so all task
+  // trials are drawn up front in task-id order — one fixed draw order per
+  // stream, regardless of how the schedule unfolds.
+  std::vector<TaskTrial> draws(n);
+  for (std::size_t t = 0; t < n; ++t) draws[t] = samplers[t].sample(rng);
+
+  TrialOutcome out;
+  for (std::size_t t = 0; t < n; ++t) {
+    out.energy_uj += draws[t].exec_time_us * tasks[t].power_w;
+    out.faults += static_cast<double>(draws[t].faults);
+    out.rollbacks += static_cast<double>(draws[t].rollbacks);
+    if (draws[t].corrupted) out.error_weight += zeta[t];
+  }
+
+  // Self-timed execution: tasks dispatch when their data has arrived and
+  // their PE is free, lowest priority rank first.
+  EventQueue queue;
+  std::vector<std::size_t> pending(n);
+  std::vector<double> arrival(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    pending[t] = graph.predecessors(t).size();
+    if (pending[t] == 0) queue.push({0.0, EventKind::kDataReady, t});
+  }
+  std::vector<bool> pe_idle(num_pes, true);
+  std::vector<std::vector<std::size_t>> ready(num_pes);
+
+  while (!queue.empty()) {
+    const double now = queue.next_time_us();
+    // Drain every event at this timestamp before dispatching, so the set of
+    // ready tasks a PE chooses from never depends on event pop order.
+    while (!queue.empty() && queue.next_time_us() == now) {
+      const Event event = queue.pop();
+      if (event.kind == EventKind::kComplete) {
+        pe_idle[tasks[event.task].pe] = true;
+        out.makespan_us = std::max(out.makespan_us, now);
+        for (std::size_t succ : graph.successors(event.task)) {
+          arrival[succ] = std::max(
+              arrival[succ],
+              sched::data_arrival_us(graph, interconnect, event.task, succ,
+                                     now, tasks[event.task].pe,
+                                     tasks[succ].pe));
+          if (--pending[succ] == 0) {
+            queue.push({arrival[succ], EventKind::kDataReady, succ});
+          }
+        }
+      } else {
+        ready[tasks[event.task].pe].push_back(event.task);
+      }
+    }
+    for (std::size_t p = 0; p < num_pes; ++p) {
+      if (!pe_idle[p] || ready[p].empty()) continue;
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < ready[p].size(); ++i) {
+        if (rank[ready[p][i]] < rank[ready[p][best]]) best = i;
+      }
+      const std::size_t task = ready[p][best];
+      ready[p][best] = ready[p].back();
+      ready[p].pop_back();
+      pe_idle[p] = false;
+      queue.push({now + draws[task].exec_time_us, EventKind::kComplete, task});
+    }
+  }
+
+  if (deadline_us > 0.0) out.deadline_miss = out.makespan_us > deadline_us;
+  return out;
+}
+
+}  // namespace
+
+bool sim_results_identical(const SimResult& a, const SimResult& b) noexcept {
+  return a.trials == b.trials &&                               //
+         a.makespan_mean_us == b.makespan_mean_us &&           //
+         a.makespan_stddev_us == b.makespan_stddev_us &&       //
+         a.makespan_min_us == b.makespan_min_us &&             //
+         a.makespan_max_us == b.makespan_max_us &&             //
+         a.makespan_ci_us == b.makespan_ci_us &&               //
+         a.error_prob == b.error_prob &&                       //
+         a.error_ci == b.error_ci &&                           //
+         a.energy_mean_uj == b.energy_mean_uj &&               //
+         a.energy_stddev_uj == b.energy_stddev_uj &&           //
+         a.energy_ci_uj == b.energy_ci_uj &&                   //
+         a.deadline_us == b.deadline_us &&                     //
+         a.deadline_miss_rate == b.deadline_miss_rate &&       //
+         a.deadline_miss_ci == b.deadline_miss_ci &&           //
+         a.mean_faults == b.mean_faults &&                     //
+         a.mean_rollbacks == b.mean_rollbacks;
+}
+
+SimResult simulate_schedule(const app::TaskGraph& graph,
+                            const platform::Architecture& architecture,
+                            const std::vector<SimTask>& tasks,
+                            const std::vector<std::size_t>& priority_order,
+                            const SimOptions& options) {
+  const std::size_t n = graph.num_tasks();
+  const std::size_t num_pes = architecture.num_pes();
+  if (tasks.size() != n) {
+    throw std::invalid_argument("simulate_schedule: task count mismatch");
+  }
+  if (priority_order.size() != n) {
+    throw std::invalid_argument(
+        "simulate_schedule: priority order size mismatch");
+  }
+  if (options.trials == 0) {
+    throw std::invalid_argument("simulate_schedule: trials must be positive");
+  }
+  std::vector<std::size_t> rank(n, n);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const std::size_t task = priority_order[pos];
+    if (task >= n || rank[task] != n) {
+      throw std::invalid_argument(
+          "simulate_schedule: priority order is not a permutation of task "
+          "ids");
+    }
+    rank[task] = pos;
+  }
+  std::vector<TaskSampler> samplers;
+  samplers.reserve(n);
+  for (const SimTask& task : tasks) {
+    if (task.pe >= num_pes) {
+      throw std::invalid_argument("simulate_schedule: PE index out of range");
+    }
+    samplers.emplace_back(task.chain);  // validates the chain parameters
+  }
+  {
+    // Kahn pass: reject cyclic graphs up front instead of stalling trials.
+    std::vector<std::size_t> pending(n);
+    std::vector<std::size_t> frontier;
+    for (std::size_t t = 0; t < n; ++t) {
+      pending[t] = graph.predecessors(t).size();
+      if (pending[t] == 0) frontier.push_back(t);
+    }
+    std::size_t visited = 0;
+    while (!frontier.empty()) {
+      const std::size_t t = frontier.back();
+      frontier.pop_back();
+      ++visited;
+      for (std::size_t succ : graph.successors(t)) {
+        if (--pending[succ] == 0) frontier.push_back(succ);
+      }
+    }
+    if (visited != n) {
+      throw std::invalid_argument(
+          "simulate_schedule: task graph contains a cycle");
+    }
+  }
+
+  const std::vector<double> zeta = graph.normalized_criticality();
+  const platform::Interconnect& interconnect = architecture.interconnect();
+
+  // One child stream per trial, split off serially — stream i is the same
+  // object no matter which thread later consumes it.
+  util::Rng root(options.seed);
+  std::vector<util::Rng> streams;
+  streams.reserve(options.trials);
+  for (std::size_t i = 0; i < options.trials; ++i) {
+    streams.push_back(root.split());
+  }
+
+  std::vector<TrialOutcome> outcomes(options.trials);
+  const auto t0 = std::chrono::steady_clock::now();
+  util::parallel_for(options.trials, [&](std::size_t i) {
+    outcomes[i] = run_trial(graph, interconnect, tasks, samplers, rank, zeta,
+                            num_pes, options.deadline_us, streams[i]);
+  });
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Serial aggregation in trial order — identical whatever the thread count.
+  SimResult result;
+  result.trials = options.trials;
+  result.deadline_us = options.deadline_us;
+  const double inv_n = 1.0 / static_cast<double>(options.trials);
+  double error_weight = 0.0;
+  double misses = 0.0;
+  result.makespan_min_us = outcomes.front().makespan_us;
+  result.makespan_max_us = outcomes.front().makespan_us;
+  for (const TrialOutcome& o : outcomes) {
+    result.makespan_mean_us += o.makespan_us * inv_n;
+    result.energy_mean_uj += o.energy_uj * inv_n;
+    result.mean_faults += o.faults * inv_n;
+    result.mean_rollbacks += o.rollbacks * inv_n;
+    error_weight += o.error_weight;
+    if (o.deadline_miss) misses += 1.0;
+    result.makespan_min_us = std::min(result.makespan_min_us, o.makespan_us);
+    result.makespan_max_us = std::max(result.makespan_max_us, o.makespan_us);
+  }
+  if (options.trials > 1) {
+    double makespan_m2 = 0.0;
+    double energy_m2 = 0.0;
+    for (const TrialOutcome& o : outcomes) {
+      const double dm = o.makespan_us - result.makespan_mean_us;
+      const double de = o.energy_uj - result.energy_mean_uj;
+      makespan_m2 += dm * dm;
+      energy_m2 += de * de;
+    }
+    const double inv_n1 = 1.0 / static_cast<double>(options.trials - 1);
+    result.makespan_stddev_us = std::sqrt(makespan_m2 * inv_n1);
+    result.energy_stddev_uj = std::sqrt(energy_m2 * inv_n1);
+  }
+  result.makespan_ci_us = util::confidence_interval_95(
+      result.makespan_mean_us, result.makespan_stddev_us, options.trials);
+  result.energy_ci_uj = util::confidence_interval_95(
+      result.energy_mean_uj, result.energy_stddev_uj, options.trials);
+  result.error_prob = error_weight * inv_n;
+  result.error_ci = util::wilson_interval_95(error_weight, options.trials);
+  if (options.deadline_us > 0.0) {
+    result.deadline_miss_rate = misses * inv_n;
+    result.deadline_miss_ci = util::wilson_interval_95(misses, options.trials);
+  }
+  result.trials_per_sec =
+      elapsed_s > 0.0 ? static_cast<double>(options.trials) / elapsed_s : 0.0;
+  return result;
+}
+
+}  // namespace clrearly::sim

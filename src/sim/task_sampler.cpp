@@ -1,0 +1,77 @@
+#include "sim/task_sampler.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace clrearly::sim {
+
+TaskSampler::TaskSampler(reliability::ClrChainParams params)
+    : params_(std::move(params)) {
+  params_.validate();
+}
+
+TaskTrial TaskSampler::sample(util::Rng& rng) const noexcept {
+  // Mirrors the trial loop of reliability::inject_faults() — keep the two in
+  // sync; the fault_injection tests pin the aggregate statistics of this
+  // process against the analytic chains.
+  constexpr std::size_t kMaxAttemptsPerInterval = 1'000'000;
+
+  TaskTrial trial;
+  for (std::size_t i = 0; i < params_.intervals; ++i) {
+    const double t_ici = params_.interval_time(i);
+    const double p_fault = 1.0 - std::exp(-params_.lambda_per_us * t_ici);
+
+    bool interval_done = false;
+    for (std::size_t attempt = 0;
+         attempt < kMaxAttemptsPerInterval && !interval_done; ++attempt) {
+      // Useful execution plus the always-on detection pass.
+      trial.exec_time_us += t_ici + params_.detection_time_us;
+
+      if (!rng.bernoulli(p_fault)) {
+        interval_done = true;  // clean execution
+        break;
+      }
+      ++trial.faults;
+
+      // Hardware spatial redundancy out-votes the fault?
+      if (rng.bernoulli(params_.hw_masking)) {
+        interval_done = true;
+        break;
+      }
+      // Implicit system-software masking?
+      if (rng.bernoulli(params_.implicit_ssw_masking)) {
+        interval_done = true;
+        break;
+      }
+      // Detection.
+      if (rng.bernoulli(params_.detection_coverage)) {
+        trial.exec_time_us += params_.tolerance_time_us;
+        if (rng.bernoulli(params_.tolerance_success)) {
+          ++trial.rollbacks;
+          continue;  // roll back: re-execute this interval
+        }
+      }
+      // Undetected or tolerance failed: the ASW layer is the last line.
+      if (!rng.bernoulli(params_.asw_masking)) {
+        trial.corrupted = true;
+      }
+      interval_done = true;  // execution proceeds either way
+    }
+    if (!interval_done) {
+      // Retry cap exhausted — treat as a failed run.
+      trial.corrupted = true;
+      break;
+    }
+
+    // Checkpoint between intervals.
+    if (i + 1 < params_.intervals) {
+      trial.exec_time_us += params_.checkpoint_time_us;
+      if (rng.bernoulli(params_.checkpoint_error_prob)) {
+        trial.corrupted = true;  // snapshot corrupted (Fig. 3b dotted edge)
+      }
+    }
+  }
+  return trial;
+}
+
+}  // namespace clrearly::sim

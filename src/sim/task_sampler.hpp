@@ -1,0 +1,52 @@
+// Per-task Monte Carlo trial sampling for the schedule simulator.
+//
+// One TaskTrial is a single simulated execution of one task under its fully
+// resolved CLR configuration: per inter-checkpoint interval, draw the fault
+// arrival, flip the layer masking / detection / tolerance coins, roll back
+// on successful tolerance, pay the checkpoint costs. The process is the same
+// one reliability::inject_faults() runs — that oracle aggregates over many
+// trials of a *single* task, while the schedule simulator needs the
+// individual outcomes so it can thread each realization through the task
+// graph. Both share reliability::ClrChainParams, so any input the analytic
+// Fig. 3 chains accept is sampled here without re-deriving the scaling.
+#pragma once
+
+#include <cstddef>
+
+#include "reliability/clr_chain_builder.hpp"
+#include "util/rng.hpp"
+
+namespace clrearly::sim {
+
+/// Outcome of one simulated execution of one task.
+struct TaskTrial {
+  double exec_time_us = 0.0;    ///< wall time including detection/rollback/
+                                ///< checkpoint overheads
+  bool corrupted = false;       ///< an error escaped every CLR layer
+  std::size_t faults = 0;       ///< raw fault events during the run
+  std::size_t rollbacks = 0;    ///< successful tolerance actions
+};
+
+/// Samples TaskTrials for one (implementation, PE, CLR configuration)
+/// triple. Validates the parameters once at construction; sample() is then
+/// allocation-free and cheap enough to call millions of times.
+class TaskSampler {
+ public:
+  /// Throws like ClrChainParams::validate() on malformed parameters.
+  explicit TaskSampler(reliability::ClrChainParams params);
+
+  /// One simulated execution, consuming draws from `rng`. Deterministic for
+  /// a given RNG state. Runaway configurations (which the analytic model
+  /// rejects as non-absorbing) abort the offending interval after an
+  /// internal retry cap and report the run as corrupted.
+  TaskTrial sample(util::Rng& rng) const noexcept;
+
+  const reliability::ClrChainParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  reliability::ClrChainParams params_;
+};
+
+}  // namespace clrearly::sim

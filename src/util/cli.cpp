@@ -140,16 +140,29 @@ ArgParser& add_threads_option(ArgParser& parser) {
       "0");
 }
 
-bool parse_standard_args(ArgParser& parser, int argc, char** argv) {
+ArgParser& add_log_level_option(ArgParser& parser, LogLevel default_level) {
+  return parser.option("log-level",
+                       "minimum log level: debug|info|warn|error|off",
+                       std::string(to_string(default_level)));
+}
+
+bool parse_standard_args(ArgParser& parser, int argc, char** argv,
+                         LogLevel default_log_level) {
   parser.flag("help", "print this help and exit");
   add_threads_option(parser);
+  add_log_level_option(parser, default_log_level);
   std::vector<std::string> args;
   args.reserve(argc > 1 ? static_cast<std::size_t>(argc - 1) : 0);
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
   try {
     parser.parse(args);
-    if (!parser.has("help") && parser.has("threads")) {
-      set_thread_count(static_cast<std::size_t>(parser.get_uint("threads")));
+    if (!parser.has("help")) {
+      if (parser.has("threads")) {
+        set_thread_count(static_cast<std::size_t>(parser.get_uint("threads")));
+      }
+      // Unconditional: the declared default carries the driver's verbosity
+      // choice, so no driver needs an ad-hoc set_log_level() call anymore.
+      set_log_level(parse_log_level(parser.get("log-level")));
     }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "%s\n\n%s", error.what(), parser.help().c_str());

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "util/log.hpp"
+
 namespace clrearly::util {
 
 class ArgParser {
@@ -63,12 +65,21 @@ class ArgParser {
 /// concurrency. An explicit --threads overrides CLREARLY_THREADS.
 ArgParser& add_threads_option(ArgParser& parser);
 
-/// Standard driver prologue: declares --help and --threads on `parser` (after
-/// any driver-specific declarations), parses argv[1:], and
+/// Declare the shared --log-level option ({debug,info,warn,error,off}).
+/// `default_level` is the driver's choice of verbosity when the flag is
+/// absent (benches default to warn so their stdout stays machine-readable).
+ArgParser& add_log_level_option(ArgParser& parser,
+                                LogLevel default_level = LogLevel::Info);
+
+/// Standard driver prologue: declares --help, --threads and --log-level on
+/// `parser` (after any driver-specific declarations), parses argv[1:], and
 ///  * on --help prints the generated usage text and returns false (drivers
 ///    then exit 0),
 ///  * on a parse error prints the error + usage to stderr and exits with 2,
-///  * otherwise applies --threads via set_thread_count() and returns true.
-bool parse_standard_args(ArgParser& parser, int argc, char** argv);
+///  * otherwise applies --threads via set_thread_count(), applies the log
+///    level (an explicit --log-level beats `default_log_level`, which beats
+///    whatever the process had set before) and returns true.
+bool parse_standard_args(ArgParser& parser, int argc, char** argv,
+                         LogLevel default_log_level = LogLevel::Info);
 
 }  // namespace clrearly::util

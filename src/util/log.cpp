@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
 namespace clrearly::util {
@@ -22,6 +23,27 @@ const char* level_tag(LogLevel level) noexcept {
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "info";
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn") return LogLevel::Warn;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off") return LogLevel::Off;
+  throw std::invalid_argument("unknown log level '" + std::string(name) +
+                              "' (expected debug|info|warn|error|off)");
+}
 
 LogLevel log_level() noexcept { return g_level.load(); }
 

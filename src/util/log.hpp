@@ -14,6 +14,13 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
+/// Canonical lowercase name of a level ("debug", "info", "warn", "error",
+/// "off") — the vocabulary of the shared --log-level option.
+std::string_view to_string(LogLevel level) noexcept;
+
+/// Inverse of to_string(); throws std::invalid_argument on anything else.
+LogLevel parse_log_level(std::string_view name);
+
 /// Emit one line at `level` (filtered against the process-wide minimum).
 void log_line(LogLevel level, std::string_view message);
 

@@ -113,7 +113,13 @@ Rng Rng::split() noexcept {
   if ((child.s_[0] | child.s_[1] | child.s_[2] | child.s_[3]) == 0) {
     child.s_[0] = 1;
   }
+  // The child must start with an empty Box-Muller cache: inheriting the
+  // parent's cached_normal_ would hand the same draw to both streams (and
+  // correlate every child split after a normal() call). The fresh Rng above
+  // already guarantees this; the explicit reset pins the invariant, and
+  // rng_test's SplitChildIgnoresCachedNormalState covers it.
   child.have_cached_normal_ = false;
+  child.cached_normal_ = 0.0;
   return child;
 }
 

@@ -75,6 +75,31 @@ double quantile(std::vector<double> xs, double q) {
   return xs[lo] + frac * (xs[hi] - xs[lo]);
 }
 
+Interval confidence_interval_95(double mean, double stddev,
+                                std::size_t n) noexcept {
+  constexpr double kZ95 = 1.959963984540054;
+  if (n < 2 || stddev <= 0.0) return Interval{mean, mean};
+  const double half = kZ95 * stddev / std::sqrt(static_cast<double>(n));
+  return Interval{mean - half, mean + half};
+}
+
+Interval wilson_interval_95(double successes, std::size_t n) {
+  if (successes < 0.0) {
+    throw std::invalid_argument("wilson_interval_95: negative successes");
+  }
+  if (n == 0) return Interval{0.0, 1.0};
+  constexpr double kZ95 = 1.959963984540054;
+  const double nn = static_cast<double>(n);
+  const double p = std::min(successes, nn) / nn;
+  const double z2 = kZ95 * kZ95;
+  const double denom = 1.0 + z2 / nn;
+  const double center = p + z2 / (2.0 * nn);
+  const double spread =
+      kZ95 * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn));
+  return Interval{std::max(0.0, (center - spread) / denom),
+                  std::min(1.0, (center + spread) / denom)};
+}
+
 double percent_change(double base, double value) noexcept {
   if (base == 0.0) {
     if (value == 0.0) return 0.0;

@@ -47,4 +47,32 @@ double quantile(std::vector<double> xs, double q);
 /// Returns 0 when base == 0 and value == 0; +/-inf preserved otherwise.
 double percent_change(double base, double value) noexcept;
 
+/// Closed interval [lo, hi] — the reporting unit of the confidence-interval
+/// helpers below.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double half_width() const noexcept { return 0.5 * (hi - lo); }
+  bool contains(double x) const noexcept { return x >= lo && x <= hi; }
+
+  bool operator==(const Interval&) const noexcept = default;
+};
+
+/// 95% normal-approximation confidence interval for a mean estimated from
+/// `n` samples with the given *sample* standard deviation:
+///   mean +/- 1.96 * stddev / sqrt(n).
+/// Degenerates to [mean, mean] for n < 2 or a non-positive stddev (the
+/// caller has no spread information either way).
+Interval confidence_interval_95(double mean, double stddev,
+                                std::size_t n) noexcept;
+
+/// Wilson score 95% interval for a binomial proportion with `successes`
+/// successes out of `n` trials. Unlike the Wald interval it never collapses
+/// to a zero-width interval at p = 0 or 1, which is exactly the regime the
+/// simulator's rare-error estimates live in. `successes` may be fractional
+/// (criticality-weighted outcomes); it is clamped into [0, n]. Returns
+/// [0, 1] for n == 0; throws std::invalid_argument for negative successes.
+Interval wilson_interval_95(double successes, std::size_t n);
+
 }  // namespace clrearly::util

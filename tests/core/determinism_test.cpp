@@ -11,7 +11,9 @@
 
 #include "app/sobel.hpp"
 #include "core/dse.hpp"
+#include "core/sim_bridge.hpp"
 #include "platform/architecture.hpp"
+#include "sim/schedule_sim.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
@@ -106,6 +108,35 @@ TEST_F(DeterminismTest, TdseResultsAreThreadCountInvariant) {
       EXPECT_EQ(a.metrics.mttf_hours, b.metrics.mttf_hours);
     }
   }
+}
+
+TEST_F(DeterminismTest, ScheduleSimulatorIsThreadCountInvariant) {
+  // The Monte Carlo schedule simulator carries the same guarantee as the
+  // evaluation engine: per-trial split RNG streams and per-index outcome
+  // slots make a (seed, trials) run bit-identical at any thread count.
+  const app::Application sobel = app::make_sobel_application();
+  const platform::Architecture arch = platform::Architecture::paper_default();
+  const core::ClrMappingProblem problem(
+      sobel, arch, reliability::TaskAnalyzer::paper_default(),
+      core::SystemObjectives{}, sched::QosSpec{});
+
+  const core::DseMethodology dse = methodology();
+  util::set_thread_count(1);
+  const core::DseOutcome outcome = dse.run_fcclr(options());
+  ASSERT_FALSE(outcome.front_genomes.empty());
+  const core::MappingGenome& genome = outcome.front_genomes.front();
+
+  sim::SimOptions sim_options;
+  sim_options.trials = 4000;
+  sim_options.seed = 7;
+  const sim::SimResult serial =
+      core::simulate_design_point(problem, genome, sim_options);
+  util::set_thread_count(4);
+  const sim::SimResult parallel =
+      core::simulate_design_point(problem, genome, sim_options);
+
+  EXPECT_TRUE(sim::sim_results_identical(serial, parallel));
+  EXPECT_GT(serial.makespan_mean_us, 0.0);
 }
 
 TEST_F(DeterminismTest, ArchiveIsThreadCountInvariant) {

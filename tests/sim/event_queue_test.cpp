@@ -1,0 +1,106 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace clrearly::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  q.push({5.0, EventKind::kComplete, 1});
+  q.push({1.0, EventKind::kDataReady, 2});
+  q.push({3.0, EventKind::kComplete, 3});
+  q.push({2.0, EventKind::kDataReady, 4});
+
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_DOUBLE_EQ(q.next_time_us(), 1.0);
+
+  std::vector<double> times;
+  std::vector<std::size_t> tasks;
+  while (!q.empty()) {
+    const Event e = q.pop();
+    times.push_back(e.time_us);
+    tasks.push_back(e.task);
+  }
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0, 3.0, 5.0}));
+  EXPECT_EQ(tasks, (std::vector<std::size_t>{2, 4, 3, 1}));
+}
+
+TEST(EventQueueTest, EqualTimesPopInPushOrder) {
+  // The determinism contract: ties break on insertion sequence, never on
+  // heap internals.
+  EventQueue q;
+  for (std::size_t task = 0; task < 10; ++task) {
+    q.push({7.5, EventKind::kDataReady, task});
+  }
+  for (std::size_t task = 0; task < 10; ++task) {
+    const Event e = q.pop();
+    EXPECT_DOUBLE_EQ(e.time_us, 7.5);
+    EXPECT_EQ(e.task, task);
+  }
+}
+
+TEST(EventQueueTest, TieBreakSurvivesInterleavedEarlierEvents) {
+  EventQueue q;
+  q.push({2.0, EventKind::kComplete, 0});
+  q.push({1.0, EventKind::kDataReady, 1});
+  q.push({2.0, EventKind::kComplete, 2});
+  q.push({0.5, EventKind::kDataReady, 3});
+  q.push({2.0, EventKind::kDataReady, 4});
+
+  EXPECT_EQ(q.pop().task, 3u);
+  EXPECT_EQ(q.pop().task, 1u);
+  // The three t=2.0 events come back in push order 0, 2, 4.
+  EXPECT_EQ(q.pop().task, 0u);
+  EXPECT_EQ(q.pop().task, 2u);
+  EXPECT_EQ(q.pop().task, 4u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, InterleavedPushPopKeepsOrder) {
+  EventQueue q;
+  q.push({4.0, EventKind::kComplete, 0});
+  q.push({1.0, EventKind::kDataReady, 1});
+  EXPECT_EQ(q.pop().task, 1u);
+  q.push({2.0, EventKind::kDataReady, 2});
+  q.push({3.0, EventKind::kComplete, 3});
+  EXPECT_EQ(q.pop().task, 2u);
+  EXPECT_EQ(q.pop().task, 3u);
+  EXPECT_EQ(q.pop().task, 0u);
+}
+
+TEST(EventQueueTest, PreservesEventPayload) {
+  EventQueue q;
+  q.push({1.5, EventKind::kComplete, 42});
+  const Event e = q.pop();
+  EXPECT_DOUBLE_EQ(e.time_us, 1.5);
+  EXPECT_EQ(e.kind, EventKind::kComplete);
+  EXPECT_EQ(e.task, 42u);
+}
+
+TEST(EventQueueTest, ClearResetsForReuseAcrossTrials) {
+  EventQueue q;
+  q.push({1.0, EventKind::kDataReady, 0});
+  q.push({1.0, EventKind::kDataReady, 1});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+
+  // After clear() the sequence counter restarts: tie-break order of the next
+  // trial is decided by its own pushes alone.
+  q.push({9.0, EventKind::kComplete, 5});
+  q.push({9.0, EventKind::kComplete, 6});
+  EXPECT_EQ(q.pop().task, 5u);
+  EXPECT_EQ(q.pop().task, 6u);
+}
+
+}  // namespace
+}  // namespace clrearly::sim

@@ -1,0 +1,192 @@
+// Satellite oracle check: on a chain-structured scenario the analytic QoS
+// pipeline is exact (no parallel merges, so no Jensen bias — the makespan
+// expectation is the sum of the per-task Markov expectations and the
+// variances add along the single path). The Monte Carlo simulator must
+// therefore reproduce every analytic QosMetrics figure within its own
+// reported confidence intervals. Both sides are fed the *same*
+// ClrChainParams, so this pins the whole stack: sampler vs chains, DES vs
+// list schedule, weighted error estimator vs TABLE III aggregation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "app/task_graph.hpp"
+#include "platform/architecture.hpp"
+#include "platform/interconnect.hpp"
+#include "reliability/clr_chain_builder.hpp"
+#include "sched/qos.hpp"
+#include "sim/schedule_sim.hpp"
+#include "sim/validate.hpp"
+
+namespace clrearly::sim {
+namespace {
+
+struct Scenario {
+  app::Application application;
+  platform::Architecture arch;
+  std::vector<sched::TaskDecision> decisions;
+  std::vector<SimTask> tasks;
+  std::vector<std::size_t> order{0, 1, 2};
+};
+
+reliability::ClrChainParams chain_params(double exec_us, double lambda) {
+  reliability::ClrChainParams p;
+  p.exec_time_us = exec_us;
+  p.lambda_per_us = lambda;
+  p.hw_masking = 0.2;
+  p.implicit_ssw_masking = 0.05;
+  p.detection_coverage = 0.85;
+  p.tolerance_success = 0.9;
+  p.asw_masking = 0.1;
+  p.intervals = 3;
+  p.detection_time_us = 0.02 * exec_us;
+  p.tolerance_time_us = 0.05 * exec_us;
+  p.checkpoint_time_us = 0.01 * exec_us;
+  p.checkpoint_error_prob = 5e-4;
+  return p;
+}
+
+/// Chain t0(PE0) -> t1(PE1) -> t2(PE0) with the communication model on, so
+/// the cross-PE transfers exercise sched::data_arrival_us in both paths.
+Scenario make_chain_scenario() {
+  Scenario s;
+  s.application.name = "chain3";
+  app::TaskGraph& graph = s.application.graph;
+  graph.add_task(0, "t0", 1.0);
+  graph.add_task(1, "t1", 2.0);
+  graph.add_task(2, "t2", 1.5);
+  graph.add_edge(0, 1, 8.0);
+  graph.add_edge(1, 2, 4.0);
+
+  platform::PeType type;
+  type.name = "core";
+  type.masking_factor = 0.3;
+  type.dvfs = platform::DvfsTable::paper_default();
+  const std::size_t t = s.arch.add_type(type);
+  s.arch.add_pe(t);
+  s.arch.add_pe(t);
+  platform::Interconnect link;
+  link.bandwidth_kb_per_us = 2.0;
+  link.latency_us = 1.0;
+  s.arch.set_interconnect(link);
+
+  const double execs[3] = {120.0, 200.0, 80.0};
+  const double lambdas[3] = {2e-3, 1.5e-3, 3e-3};
+  const double powers[3] = {0.8, 1.2, 0.6};
+  const std::size_t pes[3] = {0, 1, 0};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const reliability::ClrChainParams params =
+        chain_params(execs[i], lambdas[i]);
+    const reliability::ClrChainAnalysis chain =
+        reliability::analyze_clr_chain(params);
+
+    sched::TaskDecision decision;
+    decision.pe = pes[i];
+    decision.metrics.min_exec_time_us = chain.min_exec_time_us;
+    decision.metrics.avg_exec_time_us = chain.avg_exec_time_us;
+    decision.metrics.exec_time_stddev_us = chain.exec_time_stddev_us;
+    decision.metrics.error_prob = chain.error_prob;
+    decision.metrics.avg_power_w = powers[i];
+    decision.metrics.energy_uj = chain.avg_exec_time_us * powers[i];
+    decision.metrics.mttf_hours = 1e5;
+    s.decisions.push_back(decision);
+
+    s.tasks.push_back(SimTask{params, pes[i], powers[i]});
+  }
+  return s;
+}
+
+class SimAgreementTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new Scenario(make_chain_scenario());
+    analytic_ = sched::estimate_qos(scenario_->application, scenario_->arch,
+                                    scenario_->decisions, scenario_->order);
+    SimOptions options;
+    options.trials = 20000;
+    options.seed = 5;
+    options.deadline_us = analytic_->makespan_us;
+    simulated_ = simulate_schedule(scenario_->application.graph,
+                                   scenario_->arch, scenario_->tasks,
+                                   scenario_->order, options);
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+    analytic_.reset();
+    simulated_.reset();
+  }
+
+  static Scenario* scenario_;
+  static std::optional<sched::QosMetrics> analytic_;
+  static std::optional<SimResult> simulated_;
+};
+
+Scenario* SimAgreementTest::scenario_ = nullptr;
+std::optional<sched::QosMetrics> SimAgreementTest::analytic_;
+std::optional<SimResult> SimAgreementTest::simulated_;
+
+TEST_F(SimAgreementTest, MakespanMeanWithinConfidenceInterval) {
+  // Chain structure: the analytic makespan is the exact expectation, so the
+  // simulator's 95% CI must cover it (deterministic for the fixed seed).
+  EXPECT_TRUE(simulated_->makespan_ci_us.contains(analytic_->makespan_us))
+      << "analytic " << analytic_->makespan_us << " vs CI ["
+      << simulated_->makespan_ci_us.lo << ", " << simulated_->makespan_ci_us.hi
+      << "]";
+}
+
+TEST_F(SimAgreementTest, MakespanSpreadMatchesAnalyticStddev) {
+  // Variances add along the (single) critical path, so the analytic stddev
+  // is exact too; 20k trials estimate it to a few percent.
+  EXPECT_NEAR(simulated_->makespan_stddev_us, analytic_->makespan_stddev_us,
+              0.10 * analytic_->makespan_stddev_us);
+  EXPECT_GT(analytic_->makespan_stddev_us, 0.0);
+}
+
+TEST_F(SimAgreementTest, ErrorProbabilityWithinWilsonInterval) {
+  // The weighted per-trial estimator is unbiased for sum_t zeta_t ErrProb_t
+  // = analytic error_prob; the Wilson interval (conservative for weighted
+  // outcomes) must cover it.
+  EXPECT_TRUE(simulated_->error_ci.contains(analytic_->error_prob))
+      << "analytic " << analytic_->error_prob << " vs Wilson ["
+      << simulated_->error_ci.lo << ", " << simulated_->error_ci.hi << "]";
+  EXPECT_GT(analytic_->error_prob, 0.0);
+}
+
+TEST_F(SimAgreementTest, EnergyWithinConfidenceInterval) {
+  // Energy is a sum of independent per-task terms — unbiased on both sides.
+  EXPECT_TRUE(simulated_->energy_ci_uj.contains(analytic_->energy_uj))
+      << "analytic " << analytic_->energy_uj << " vs CI ["
+      << simulated_->energy_ci_uj.lo << ", " << simulated_->energy_ci_uj.hi
+      << "]";
+}
+
+TEST_F(SimAgreementTest, DeadlineMissRateBracketsNormalApproximation) {
+  // The deadline sits at the analytic mean, where the normal approximation
+  // says 0.5. The rollback-inflated time law is right-skewed (median below
+  // mean), so the simulated miss rate lands *under* 0.5 — by a bounded
+  // margin that measures exactly the error the normal approximation makes.
+  const double analytic_miss = sched::deadline_miss_probability(
+      *analytic_, simulated_->deadline_us);
+  EXPECT_DOUBLE_EQ(analytic_miss, 0.5);
+  EXPECT_LT(simulated_->deadline_miss_rate, 0.5);
+  EXPECT_NEAR(simulated_->deadline_miss_rate, analytic_miss, 0.25);
+  EXPECT_GT(simulated_->deadline_miss_rate, 0.1);
+}
+
+TEST_F(SimAgreementTest, CompareDesignPointAgreesOnBothCriteria) {
+  // The bench's agreement scoring must accept this exact-by-construction
+  // scenario outright.
+  const ValidationRow row =
+      compare_design_point("chain3", *analytic_, *simulated_);
+  EXPECT_TRUE(row.makespan_agrees);
+  EXPECT_TRUE(row.error_agrees);
+  EXPECT_TRUE(row.agrees());
+  EXPECT_LE(std::abs(row.makespan_delta_us), row.makespan_tolerance_us);
+}
+
+}  // namespace
+}  // namespace clrearly::sim

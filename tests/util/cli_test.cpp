@@ -3,6 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace clrearly::util {
 namespace {
@@ -83,6 +88,74 @@ TEST(ArgParserTest, RepeatedOptionLastWins) {
   ArgParser p = make_parser();
   p.parse({"--seed", "1", "--seed", "2"});
   EXPECT_EQ(p.get_uint("seed"), 2u);
+}
+
+// ---- --log-level plumbing (add_log_level_option / parse_standard_args) ----
+
+TEST(LogLevelOptionTest, RoundTripsThroughStrings) {
+  for (LogLevel level : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                         LogLevel::Error, LogLevel::Off}) {
+    EXPECT_EQ(parse_log_level(to_string(level)), level);
+  }
+  EXPECT_THROW(parse_log_level("verbose"), std::invalid_argument);
+  EXPECT_THROW(parse_log_level(""), std::invalid_argument);
+}
+
+TEST(LogLevelOptionTest, DeclaresOptionWithDefault) {
+  ArgParser p("tool", "test");
+  add_log_level_option(p, LogLevel::Warn);
+  p.parse({});
+  EXPECT_EQ(p.get("log-level"), "warn");
+  p.parse({"--log-level", "debug"});
+  EXPECT_EQ(p.get("log-level"), "debug");
+  EXPECT_NE(p.help().find("--log-level"), std::string::npos);
+}
+
+/// Restores the global log level and thread count after each precedence test
+/// so the suite leaves no trace in other tests' environment.
+class StandardArgsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override {
+    set_log_level(previous_);
+    set_thread_count(0);
+  }
+
+  /// Run parse_standard_args over `cli` (argv[1:]) with `default_level`.
+  static bool run(const std::vector<std::string>& cli,
+                  LogLevel default_level) {
+    std::vector<std::string> storage = cli;
+    storage.insert(storage.begin(), "tool");
+    std::vector<char*> argv;
+    argv.reserve(storage.size());
+    for (std::string& arg : storage) argv.push_back(arg.data());
+    ArgParser parser("tool", "standard-args test");
+    return parse_standard_args(parser, static_cast<int>(argv.size()),
+                               argv.data(), default_level);
+  }
+
+ private:
+  LogLevel previous_ = LogLevel::Info;
+};
+
+TEST_F(StandardArgsTest, DefaultLevelBeatsPriorProcessState) {
+  set_log_level(LogLevel::Debug);  // whatever the process had before
+  ASSERT_TRUE(run({}, LogLevel::Warn));
+  EXPECT_EQ(log_level(), LogLevel::Warn);
+}
+
+TEST_F(StandardArgsTest, ExplicitFlagBeatsDefaultLevel) {
+  set_log_level(LogLevel::Error);
+  ASSERT_TRUE(run({"--log-level", "debug"}, LogLevel::Warn));
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  ASSERT_TRUE(run({"--log-level=off"}, LogLevel::Warn));
+  EXPECT_EQ(log_level(), LogLevel::Off);
+}
+
+TEST_F(StandardArgsTest, HelpReturnsFalseWithoutTouchingLogLevel) {
+  set_log_level(LogLevel::Error);
+  EXPECT_FALSE(run({"--help"}, LogLevel::Warn));
+  EXPECT_EQ(log_level(), LogLevel::Error);
 }
 
 }  // namespace

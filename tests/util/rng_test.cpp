@@ -181,5 +181,34 @@ TEST(RngTest, SplitStreamsAreIndependentAndDeterministic) {
   EXPECT_LT(equal, 2);
 }
 
+TEST(RngTest, SplitChildIgnoresCachedNormalState) {
+  // Regression: split() must hand out children with an empty Box-Muller
+  // cache. A parent holding a cached second normal has the same raw xoshiro
+  // state as one that has already consumed it (returning the cached value
+  // costs no raw draws), so both must derive the *identical* child stream.
+  Rng cached(123);
+  (void)cached.normal();  // draws a Box-Muller pair, caches the second value
+  Rng drained = cached;
+  (void)drained.normal();  // consumes only the cache; raw state unchanged
+
+  Rng child_of_cached = cached.split();
+  Rng child_of_drained = drained.split();
+  EXPECT_EQ(child_of_cached, child_of_drained);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(child_of_cached.next_u64(), child_of_drained.next_u64());
+    EXPECT_DOUBLE_EQ(child_of_cached.normal(), child_of_drained.normal());
+  }
+
+  // And the child's first normal must not be the parent's pending cached
+  // value — interleaved normal() + split() produce independent draws.
+  Rng parent(7);
+  const double parent_first = parent.normal();  // caches the pair's second
+  Rng child = parent.split();
+  const double child_first = child.normal();
+  const double parent_second = parent.normal();  // the cached value
+  EXPECT_NE(child_first, parent_second);
+  EXPECT_NE(child_first, parent_first);
+}
+
 }  // namespace
 }  // namespace clrearly::util

@@ -104,5 +104,89 @@ TEST(StatsTest, PercentChange) {
   EXPECT_TRUE(std::isinf(percent_change(0.0, 1.0)));
 }
 
+TEST(IntervalTest, HalfWidthAndContainment) {
+  const Interval iv{2.0, 6.0};
+  EXPECT_DOUBLE_EQ(iv.half_width(), 2.0);
+  EXPECT_TRUE(iv.contains(2.0));   // closed on both ends
+  EXPECT_TRUE(iv.contains(6.0));
+  EXPECT_TRUE(iv.contains(4.0));
+  EXPECT_FALSE(iv.contains(1.999));
+  EXPECT_FALSE(iv.contains(6.001));
+  EXPECT_EQ(iv, (Interval{2.0, 6.0}));
+}
+
+TEST(ConfidenceIntervalTest, HandComputedValue) {
+  // mean 10, stddev 2, n 100: half-width = 1.96 * 2 / 10 = 0.3919927969...
+  const Interval iv = confidence_interval_95(10.0, 2.0, 100);
+  const double half = 1.959963984540054 * 2.0 / 10.0;
+  EXPECT_NEAR(iv.lo, 10.0 - half, 1e-12);
+  EXPECT_NEAR(iv.hi, 10.0 + half, 1e-12);
+  EXPECT_TRUE(iv.contains(10.0));
+}
+
+TEST(ConfidenceIntervalTest, ShrinksWithSampleSize) {
+  const Interval small = confidence_interval_95(5.0, 1.0, 100);
+  const Interval large = confidence_interval_95(5.0, 1.0, 10000);
+  EXPECT_LT(large.half_width(), small.half_width());
+  EXPECT_NEAR(small.half_width() / large.half_width(), 10.0, 1e-9);
+}
+
+TEST(ConfidenceIntervalTest, DegeneratesWithoutSpreadInformation) {
+  // Fewer than two samples or no spread: [mean, mean].
+  EXPECT_EQ(confidence_interval_95(3.0, 2.0, 0), (Interval{3.0, 3.0}));
+  EXPECT_EQ(confidence_interval_95(3.0, 2.0, 1), (Interval{3.0, 3.0}));
+  EXPECT_EQ(confidence_interval_95(3.0, 0.0, 50), (Interval{3.0, 3.0}));
+  EXPECT_EQ(confidence_interval_95(3.0, -1.0, 50), (Interval{3.0, 3.0}));
+}
+
+TEST(WilsonIntervalTest, HandComputedHalfSplit) {
+  // 50 / 100 with z = 1.96: the classic textbook value [0.4038, 0.5962].
+  const Interval iv = wilson_interval_95(50.0, 100);
+  EXPECT_NEAR(iv.lo, 0.4038, 5e-4);
+  EXPECT_NEAR(iv.hi, 0.5962, 5e-4);
+  EXPECT_TRUE(iv.contains(0.5));
+}
+
+TEST(WilsonIntervalTest, NeverCollapsesAtTheBoundaries) {
+  // Unlike Wald, p = 0 and p = 1 still give informative intervals in [0,1].
+  const Interval none = wilson_interval_95(0.0, 1000);
+  EXPECT_NEAR(none.lo, 0.0, 1e-12);
+  EXPECT_GT(none.hi, 1e-4);
+  EXPECT_LT(none.hi, 0.01);
+  const Interval all = wilson_interval_95(1000.0, 1000);
+  EXPECT_LT(all.lo, 1.0 - 1e-4);
+  EXPECT_GT(all.lo, 0.99);
+  EXPECT_NEAR(all.hi, 1.0, 1e-12);
+}
+
+TEST(WilsonIntervalTest, FractionalSuccessesAndClamping) {
+  // Criticality-weighted outcomes are fractional; successes above n clamp.
+  const Interval iv = wilson_interval_95(2.5, 100);
+  EXPECT_GT(iv.lo, 0.0);
+  EXPECT_LT(iv.hi, 0.1);
+  EXPECT_TRUE(iv.contains(0.025));
+  EXPECT_EQ(wilson_interval_95(150.0, 100), wilson_interval_95(100.0, 100));
+}
+
+TEST(WilsonIntervalTest, EdgeCases) {
+  EXPECT_EQ(wilson_interval_95(0.0, 0), (Interval{0.0, 1.0}));
+  EXPECT_THROW(wilson_interval_95(-1.0, 100), std::invalid_argument);
+}
+
+TEST(WilsonIntervalTest, CoversTrueProportionEmpirically) {
+  // ~95% of simulated binomial experiments must contain the true p.
+  Rng rng(23);
+  const double p = 0.07;
+  const std::size_t n = 400;
+  int covered = 0;
+  const int experiments = 500;
+  for (int e = 0; e < experiments; ++e) {
+    double successes = 0.0;
+    for (std::size_t i = 0; i < n; ++i) successes += rng.bernoulli(p) ? 1 : 0;
+    if (wilson_interval_95(successes, n).contains(p)) ++covered;
+  }
+  EXPECT_GT(static_cast<double>(covered) / experiments, 0.90);
+}
+
 }  // namespace
 }  // namespace clrearly::util

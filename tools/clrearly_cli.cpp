@@ -17,10 +17,12 @@
 //
 // Application specs: "sobel", "mjpeg", "synthetic:<tasks>[:<seed>]", or a .json path
 // (io/serialize format). Architecture specs: "default" or a .json path.
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,6 +36,8 @@
 #include "reliability/fault_injection.hpp"
 #include "core/dse.hpp"
 #include "core/experiment.hpp"
+#include "core/sim_bridge.hpp"
+#include "sim/validate.hpp"
 #include "io/serialize.hpp"
 #include "moea/hypervolume.hpp"
 #include "platform/architecture.hpp"
@@ -320,6 +324,121 @@ int cmd_dse(const std::vector<std::string>& args) {
 }
 
 
+int cmd_simulate(const std::vector<std::string>& args) {
+  util::ArgParser parser(
+      "clrearly simulate",
+      "Monte Carlo schedule simulation of a DSE flow's Pareto front");
+  parser.flag("help", "show this help");
+  util::add_threads_option(parser);
+  parser.option("app", "application spec", "sobel")
+      .option("arch", "architecture spec", "default")
+      .option("flow", "fcclr | pfclr | proposed", "proposed")
+      .option("pop", "GA population size", "60")
+      .option("gens", "GA generations", "30")
+      .option("seed", "GA seed", "1")
+      .option("env", "environmental fault-rate factor", "1")
+      .option("trials", "Monte Carlo trials per design point", "10000")
+      .option("sim-seed", "simulator seed", "7")
+      .option("points", "max front points to simulate (0 = all)", "0")
+      .option("deadline", "deadline in us for miss accounting (0 disables)",
+              "0")
+      .option("csv", "write the comparison report to this CSV", "");
+  parser.parse(args);
+  if (parser.has("threads")) {
+    util::set_thread_count(parser.get_uint("threads"));
+  }
+  if (parser.has("help")) {
+    std::printf("%s", parser.help().c_str());
+    return 0;
+  }
+
+  const app::Application application = resolve_app(parser.get("app"));
+  const platform::Architecture arch = resolve_arch(parser.get("arch"));
+  const reliability::TaskAnalyzer analyzer =
+      resolve_analyzer(parser.get_number("env"));
+  const core::DseMethodology dse(application, arch, analyzer);
+
+  core::DseOptions options;
+  options.ga.population_size = parser.get_uint("pop");
+  options.ga.generations = parser.get_uint("gens");
+  options.seed = parser.get_uint("seed");
+
+  // Run the flow and build a problem in the *same encoding* as the returned
+  // genomes (pfCLR fronts decode against the pfCLR problem over the same
+  // tDSE points; fcclr and proposed fronts are full-configuration genomes).
+  const std::string flow = parser.get("flow");
+  core::DseOutcome outcome;
+  std::unique_ptr<core::ClrMappingProblem> problem;
+  if (flow == "fcclr" || flow == "proposed") {
+    outcome = flow == "fcclr" ? dse.run_fcclr(options)
+                              : dse.run_proposed(options);
+    problem = std::make_unique<core::ClrMappingProblem>(
+        application, arch, analyzer, options.objectives, options.spec);
+  } else if (flow == "pfclr") {
+    const std::vector<core::TdseResult> tdse = dse.run_tdse(options);
+    outcome = dse.run_pfclr(options, tdse);
+    std::vector<std::vector<core::TaskDesignPoint>> points;
+    points.reserve(tdse.size());
+    for (const core::TdseResult& r : tdse) points.push_back(r.pareto);
+    problem = std::make_unique<core::ClrMappingProblem>(
+        application, arch, analyzer, options.objectives, options.spec,
+        std::move(points));
+  } else {
+    std::fprintf(stderr, "unknown flow '%s'\n", flow.c_str());
+    return 2;
+  }
+  if (outcome.front_genomes.empty()) {
+    std::fprintf(stderr, "flow produced no feasible front points\n");
+    return 1;
+  }
+
+  sim::SimOptions sim_options;
+  sim_options.trials = parser.get_uint("trials");
+  sim_options.seed = parser.get_uint("sim-seed");
+  sim_options.deadline_us = parser.get_number("deadline");
+  std::size_t count = outcome.front_genomes.size();
+  if (parser.get_uint("points") > 0) {
+    count = std::min<std::size_t>(count, parser.get_uint("points"));
+  }
+
+  sim::ValidationReport report;
+  for (std::size_t i = 0; i < count; ++i) {
+    const core::MappingGenome& genome = outcome.front_genomes[i];
+    const sched::QosMetrics analytic = problem->qos(genome);
+    const sim::SimResult simulated =
+        core::simulate_design_point(*problem, genome, sim_options);
+    report.rows.push_back(sim::compare_design_point(
+        flow + "#" + std::to_string(i), analytic, simulated));
+  }
+
+  util::TextTable table;
+  table.header({"point", "makespan an/sim (us)", "delta", "ok",
+                "err prob an/sim", "ok"});
+  char buffer[64];
+  for (const sim::ValidationRow& row : report.rows) {
+    std::snprintf(buffer, sizeof buffer, "%.1f / %.1f",
+                  row.analytic.makespan_us, row.simulated.makespan_mean_us);
+    const std::string makespans = buffer;
+    std::snprintf(buffer, sizeof buffer, "%.4g / %.4g",
+                  row.analytic.error_prob, row.simulated.error_prob);
+    table.row(row.label, makespans, row.makespan_delta_us,
+              row.makespan_agrees ? "yes" : "NO", std::string(buffer),
+              row.error_agrees ? "yes" : "NO");
+  }
+  table.print(std::cout);
+  std::printf(
+      "agreement: makespan %.0f%%, error prob %.0f%% (%zu points, %zu "
+      "trials each)\n",
+      100.0 * report.makespan_agreement(), 100.0 * report.error_agreement(),
+      report.rows.size(), sim_options.trials);
+
+  if (!parser.get("csv").empty()) {
+    sim::write_validation_csv(parser.get("csv"), report);
+    std::printf("wrote %s\n", parser.get("csv").c_str());
+  }
+  return 0;
+}
+
 int cmd_check(const std::vector<std::string>& args) {
   util::ArgParser parser("clrearly check",
                          "early-stage feasibility certificates (no GA)");
@@ -472,6 +591,7 @@ void print_usage() {
       "  export     dump the built-in models as editable JSON\n"
       "  chain      Markov-model calculator for one CLR configuration\n"
       "  dse        system-level DSE (fcclr | pfclr | proposed | agnostic)\n"
+      "  simulate   Monte Carlo schedule simulation of a flow's front\n"
       "\nrun 'clrearly <command> --help' for per-command options\n");
 }
 
@@ -494,6 +614,7 @@ int main(int argc, char** argv) {
     if (command == "export") return cmd_export(args);
     if (command == "chain") return cmd_chain(args);
     if (command == "dse") return cmd_dse(args);
+    if (command == "simulate") return cmd_simulate(args);
     if (command == "--help" || command == "help") {
       print_usage();
       return 0;
