@@ -1,10 +1,12 @@
-// Eval-throughput benchmark for the parallel evaluation engine: NSGA-II
-// fitness throughput (genomes/sec) and the dense Markov-table build of
-// ClrMappingProblem, serial (1 thread) vs the configured thread count, on
-// the paper's Sobel fcCLR problem. Emits BENCH_eval.json so the perf
-// trajectory is tracked across PRs; docs/PERFORMANCE.md explains the
-// fields. The serial and parallel fronts are cross-checked — a speedup that
-// changed the search would be a bug, not a result.
+// Eval-throughput benchmark for the parallel evaluation engine and the
+// memoization layer: NSGA-II fitness throughput (genomes/sec) and the dense
+// Markov-table build of ClrMappingProblem, serial (1 thread) vs the
+// configured thread count, and cached vs uncached at the configured thread
+// count, on the paper's Sobel fcCLR problem. Emits BENCH_eval.json so the
+// perf trajectory is tracked across PRs; docs/PERFORMANCE.md and
+// docs/CACHING.md explain the fields. Serial/parallel and uncached/cached
+// fronts are cross-checked — a speedup that changed the search would be a
+// bug, not a result.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -16,7 +18,9 @@
 #include "core/dse.hpp"
 #include "core/experiment.hpp"
 #include "platform/architecture.hpp"
+#include "reliability/clr_chain_builder.hpp"
 #include "util/cli.hpp"
+#include "util/memo_cache.hpp"
 #include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -53,6 +57,30 @@ struct GaRun {
   std::vector<moea::Objectives> front;
 };
 
+/// Throughput (genomes/sec) of raw fitness evaluation over a fixed genome
+/// batch; best of `reps` passes. With a cache this measures the hit path
+/// once warm. Work is dispatched in blocks so the pool's per-item claim
+/// overhead (identical cached and uncached) doesn't dilute the evaluation
+/// cost being compared.
+double eval_batch_rate(const moea::Nsga2Ops<core::MappingGenome>& ops,
+                       const std::vector<core::MappingGenome>& genomes,
+                       std::vector<moea::Evaluation>& evals, int reps) {
+  const std::size_t block = 64;
+  const std::size_t blocks = (genomes.size() + block - 1) / block;
+  double best = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = Clock::now();
+    util::parallel_for(blocks, [&](std::size_t b) {
+      const std::size_t end = std::min(genomes.size(), (b + 1) * block);
+      for (std::size_t i = b * block; i < end; ++i) {
+        evals[i] = ops.evaluate(genomes[i]);
+      }
+    });
+    best = std::min(best, seconds_since(start));
+  }
+  return static_cast<double>(genomes.size()) / best;
+}
+
 GaRun ga_run(const core::ClrMappingProblem& problem,
              const moea::Nsga2Params& params, std::uint64_t seed) {
   util::Rng rng(seed);
@@ -88,6 +116,10 @@ int main(int argc, char** argv) {
   }
   const std::uint64_t seed = args.get_uint("seed");
   const std::size_t threads = util::effective_thread_count();
+  // Capacity for the cached-vs-uncached section; --no-cache would make the
+  // comparison degenerate, so fall back to the built-in default then.
+  std::size_t cache_entries = util::cache_capacity();
+  if (cache_entries == 0) cache_entries = util::kDefaultCacheCapacity;
 
   const app::Application sobel = app::make_sobel_application();
   const platform::Architecture arch = platform::Architecture::paper_default();
@@ -99,6 +131,9 @@ int main(int argc, char** argv) {
   std::printf("threads: serial 1 vs parallel %zu\n\n", threads);
 
   // ---- Markov-table build (ClrMappingProblem construction) ----
+  // Thread-scaling sections run cache-off so they measure the pool, not the
+  // memo layer; the cache section below measures the memo layer alone.
+  util::set_cache_capacity(0);
   const int reps = core::fast_mode() ? 2 : 5;
   util::set_thread_count(1);
   const double table_serial = table_build_seconds(sobel, arch, analyzer, reps);
@@ -117,7 +152,25 @@ int main(int argc, char** argv) {
   const GaRun serial = ga_run(problem, params, seed);
   util::set_thread_count(threads);
   const GaRun parallel = ga_run(problem, params, seed);
-  util::set_thread_count(0);
+
+  // Fixed random genome batch for the raw evaluation-throughput sections:
+  // whole-GA genomes/sec blends evaluation with the serial variation and
+  // sorting phases, so the cache's effect on evaluation itself is measured
+  // on this batch alone (dispatched through parallel_for, like a
+  // generation's offspring).
+  const std::size_t batch_size = core::fast_mode() ? 512 : 4096;
+  std::vector<core::MappingGenome> batch;
+  {
+    util::Rng batch_rng(seed + 1);
+    const auto ops = problem.ops();
+    batch.reserve(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      batch.push_back(ops.create(batch_rng));
+    }
+  }
+  std::vector<moea::Evaluation> evals_uncached(batch.size());
+  const double batch_uncached =
+      eval_batch_rate(problem.ops(), batch, evals_uncached, reps);
 
   const double serial_rate = static_cast<double>(serial.evaluations) /
                              serial.seconds;
@@ -130,6 +183,82 @@ int main(int argc, char** argv) {
       "%zu evaluations, fronts %s\n",
       serial_rate, threads, parallel_rate, parallel_rate / serial_rate,
       serial.evaluations, identical ? "identical" : "DIVERGED");
+
+  // ---- Memoization: cached vs uncached at the configured thread count ----
+  // The cache-off `parallel` run above is the uncached baseline. Switching
+  // the capacity on rebuilds (clears) the global chain-solve cache, so the
+  // first construction is a cold cached build and later ones are warm.
+  util::set_cache_capacity(cache_entries);
+  const auto cold_start = Clock::now();
+  { const core::ClrMappingProblem warmup(sobel, arch, analyzer,
+                                         core::SystemObjectives{},
+                                         sched::QosSpec{}); }
+  const double table_cold = seconds_since(cold_start);
+  const double table_warm = table_build_seconds(sobel, arch, analyzer, reps);
+  const core::ClrMappingProblem cached_problem(sobel, arch, analyzer,
+                                               core::SystemObjectives{},
+                                               sched::QosSpec{});
+  // Cold: the first cached run pays every miss while it fills the cache.
+  // Warm: the rerun (same seed, so the identical genome stream) finds every
+  // genome resident — the steady-state throughput of a cache-backed search,
+  // which is what repeated-seed experiments and the proposed flow's
+  // re-evaluations actually see.
+  const GaRun cached_cold = ga_run(cached_problem, params, seed);
+  const util::CacheStats after_cold = cached_problem.fitness_cache_stats();
+  const GaRun cached_warm = ga_run(cached_problem, params, seed);
+  const util::CacheStats after_warm = cached_problem.fitness_cache_stats();
+
+  // Raw evaluation throughput on the fixed batch: one pass fills the cache,
+  // the measured passes run against a warm cache (the steady state a
+  // cache-backed search converges to).
+  std::vector<moea::Evaluation> evals_cached(batch.size());
+  eval_batch_rate(cached_problem.ops(), batch, evals_cached, 1);
+  const double batch_cached =
+      eval_batch_rate(cached_problem.ops(), batch, evals_cached, reps);
+  util::set_thread_count(0);
+  bool batch_identical = true;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch_identical = batch_identical &&
+                      evals_uncached[i].objectives == evals_cached[i].objectives &&
+                      evals_uncached[i].violation == evals_cached[i].violation;
+  }
+
+  const util::CacheStats fitness = cached_problem.fitness_cache_stats();
+  const util::CacheStats chain = reliability::chain_cache_stats();
+  const double warm_hits =
+      static_cast<double>(after_warm.hits - after_cold.hits);
+  const double warm_lookups =
+      static_cast<double>(after_warm.hits - after_cold.hits +
+                          after_warm.misses - after_cold.misses);
+  const double warm_hit_rate = warm_lookups > 0 ? warm_hits / warm_lookups : 0;
+  const double cold_rate = static_cast<double>(cached_cold.evaluations) /
+                           cached_cold.seconds;
+  const double cached_rate = static_cast<double>(cached_warm.evaluations) /
+                             cached_warm.seconds;
+  const double cache_speedup = batch_cached / batch_uncached;
+  const bool cache_identical = batch_identical &&
+                               cached_cold.front == parallel.front &&
+                               cached_warm.front == parallel.front &&
+                               cached_cold.evaluations == parallel.evaluations &&
+                               cached_warm.evaluations == parallel.evaluations;
+  std::printf(
+      "cache, raw evaluation: uncached %.0f genomes/s, warm cached %.0f "
+      "genomes/s (%.2fx)\n",
+      batch_uncached, batch_cached, cache_speedup);
+  std::printf(
+      "cache, whole GA: uncached %.0f genomes/s, cached cold %.0f genomes/s "
+      "(%.2fx, hit rate %.1f%%), warm %.0f genomes/s (%.2fx, hit rate "
+      "%.1f%%), %llu evictions, results %s\n",
+      parallel_rate, cold_rate, cold_rate / parallel_rate,
+      100.0 * after_cold.hit_rate(), cached_rate, cached_rate / parallel_rate,
+      100.0 * warm_hit_rate,
+      static_cast<unsigned long long>(fitness.evictions),
+      cache_identical ? "identical" : "DIVERGED");
+  std::printf(
+      "chain-solve cache: table build cold %.3f ms, warm %.3f ms (%.2fx), "
+      "hit rate %.1f%%\n",
+      table_cold * 1e3, table_warm * 1e3, table_cold / table_warm,
+      100.0 * chain.hit_rate());
 
   util::JsonObject report;
   report["benchmark"] = "eval_throughput";
@@ -148,10 +277,31 @@ int main(int argc, char** argv) {
   report["table_build_seconds_parallel"] = table_parallel;
   report["table_build_speedup"] = table_serial / table_parallel;
   report["deterministic"] = identical;
+  report["cache_capacity"] = cache_entries;
+  report["eval_batch_size"] = batch.size();
+  report["eval_batch_genomes_per_sec_uncached"] = batch_uncached;
+  report["eval_batch_genomes_per_sec_cached"] = batch_cached;
+  report["cache_speedup"] = cache_speedup;
+  report["genomes_per_sec_uncached"] = parallel_rate;
+  report["genomes_per_sec_cached_cold"] = cold_rate;
+  report["genomes_per_sec_cached"] = cached_rate;
+  report["ga_cache_speedup_cold"] = cold_rate / parallel_rate;
+  report["ga_cache_speedup"] = cached_rate / parallel_rate;
+  report["fitness_cache_hit_rate_cold"] = after_cold.hit_rate();
+  report["fitness_cache_hit_rate"] = warm_hit_rate;
+  report["fitness_cache_hits"] = static_cast<std::size_t>(fitness.hits);
+  report["fitness_cache_misses"] = static_cast<std::size_t>(fitness.misses);
+  report["fitness_cache_evictions"] =
+      static_cast<std::size_t>(fitness.evictions);
+  report["chain_cache_hit_rate"] = chain.hit_rate();
+  report["table_build_seconds_cached_cold"] = table_cold;
+  report["table_build_seconds_cached_warm"] = table_warm;
+  report["table_build_cache_speedup"] = table_cold / table_warm;
+  report["cache_deterministic"] = cache_identical;
 
   const std::string out = args.get("out");
   std::ofstream stream(out);
   stream << util::json_serialize(util::JsonValue(std::move(report))) << "\n";
   std::printf("[wrote %s]\n", out.c_str());
-  return identical ? 0 : 1;
+  return (identical && cache_identical) ? 0 : 1;
 }

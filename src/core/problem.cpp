@@ -80,6 +80,7 @@ ClrMappingProblem::ClrMappingProblem(app::Application application,
   }
   build_full_config_tables();
   build_layout();
+  build_fitness_cache();
 }
 
 ClrMappingProblem::ClrMappingProblem(
@@ -130,6 +131,12 @@ ClrMappingProblem::ClrMappingProblem(
     }
   }
   build_layout();
+  build_fitness_cache();
+}
+
+void ClrMappingProblem::build_fitness_cache() {
+  fitness_cache_ =
+      std::make_unique<FitnessCache>(util::cache_capacity(), "fitness");
 }
 
 void ClrMappingProblem::build_full_config_tables() {
@@ -321,13 +328,40 @@ sched::QosMetrics ClrMappingProblem::qos(const MappingGenome& genome) const {
   return sched::estimate_qos(app_, arch_, decode(genome), genome.order);
 }
 
-moea::Evaluation ClrMappingProblem::evaluate(
+util::Key128 ClrMappingProblem::genome_key(const MappingGenome& genome) {
+  util::Key128Stream key;
+  // Length-prefix both sequences so (order, genes) splits can't collide.
+  key.add(static_cast<std::uint64_t>(genome.order.size()));
+  for (std::size_t v : genome.order) key.add(static_cast<std::uint64_t>(v));
+  key.add(static_cast<std::uint64_t>(genome.genes.size()));
+  for (std::size_t v : genome.genes) key.add(static_cast<std::uint64_t>(v));
+  return key.digest();
+}
+
+std::uint64_t ClrMappingProblem::genome_hash(const MappingGenome& genome) {
+  return genome_key(genome).lo;
+}
+
+moea::Evaluation ClrMappingProblem::evaluate_uncached(
     const MappingGenome& genome) const {
   const sched::QosMetrics metrics = qos(genome);
   moea::Evaluation eval;
   eval.objectives = objectives_.extract(metrics);
   eval.violation = spec_.violation(metrics);
   return eval;
+}
+
+moea::Evaluation ClrMappingProblem::evaluate(
+    const MappingGenome& genome) const {
+  if (!fitness_cache_ || !fitness_cache_->enabled()) {
+    return evaluate_uncached(genome);
+  }
+  return fitness_cache_->get_or_compute(
+      genome_key(genome), [&] { return evaluate_uncached(genome); });
+}
+
+util::CacheStats ClrMappingProblem::fitness_cache_stats() const {
+  return fitness_cache_ ? fitness_cache_->stats() : util::CacheStats{};
 }
 
 moea::Nsga2Ops<MappingGenome> ClrMappingProblem::ops(
@@ -342,6 +376,10 @@ moea::Nsga2Ops<MappingGenome> ClrMappingProblem::ops(
     layout_->mutate(g, rng, mutation_indpb);
   };
   ops.evaluate = [this](const MappingGenome& g) { return evaluate(g); };
+  ops.hash = [](const MappingGenome& g) { return genome_hash(g); };
+  ops.equal = [](const MappingGenome& a, const MappingGenome& b) {
+    return a == b;
+  };
   return ops;
 }
 

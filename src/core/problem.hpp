@@ -23,6 +23,7 @@
 #include "platform/architecture.hpp"
 #include "reliability/task_metrics.hpp"
 #include "sched/qos.hpp"
+#include "util/memo_cache.hpp"
 
 namespace clrearly::core {
 
@@ -136,8 +137,24 @@ class ClrMappingProblem {
   /// Full QoS metrics of a genome (decode + schedule + TABLE III).
   sched::QosMetrics qos(const MappingGenome& genome) const;
 
-  /// NSGA-II fitness: active objectives + QoS-spec violation.
+  /// 128-bit content key of a genome (schedule permutation + genes), the
+  /// fitness-cache key. Deterministic across runs; genomes differing in any
+  /// gene or in the permutation hash differently.
+  static util::Key128 genome_key(const MappingGenome& genome);
+
+  /// 64-bit genome content hash (the low half of genome_key) — the
+  /// within-batch deduplication hash handed to moea::Nsga2Ops.
+  static std::uint64_t genome_hash(const MappingGenome& genome);
+
+  /// NSGA-II fitness: active objectives + QoS-spec violation. Memoized per
+  /// problem instance through a thread-safe genome-keyed cache when caching
+  /// is enabled (util::cache_capacity() at construction time > 0); fitness
+  /// is a pure function of the genome, so cached and uncached runs are
+  /// bit-identical.
   moea::Evaluation evaluate(const MappingGenome& genome) const;
+
+  /// Counters of this problem's fitness cache (zeros when disabled).
+  util::CacheStats fitness_cache_stats() const;
 
   /// Variation/evaluation callbacks bound to this problem. The problem must
   /// outlive the returned ops. `mutation_indpb` is the per-task mutation
@@ -160,8 +177,14 @@ class ClrMappingProblem {
   double log10_design_space_size() const;
 
  private:
+  using FitnessCache =
+      util::MemoCache<util::Key128, moea::Evaluation, util::Key128Hash>;
+
   void build_full_config_tables();
   void build_layout();
+  void build_fitness_cache();
+
+  moea::Evaluation evaluate_uncached(const MappingGenome& genome) const;
 
   ResolvedTask decode_task(const MappingGenome& genome, std::size_t t) const;
 
@@ -187,6 +210,12 @@ class ClrMappingProblem {
 
   /// pfCLR: the tDSE Pareto points per task type.
   std::vector<std::vector<TaskDesignPoint>> points_;
+
+  /// Genome-keyed fitness memo (null only before construction finishes; a
+  /// capacity of 0 builds a disabled pass-through cache). MemoCache is
+  /// internally synchronized, so concurrent evaluate() calls from the
+  /// parallel evaluation engine are safe.
+  std::unique_ptr<FitnessCache> fitness_cache_;
 };
 
 }  // namespace clrearly::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -166,7 +168,58 @@ markov::AbsorbingChain build_functional_chain(const ClrChainParams& params) {
   return build_chain(params, /*functional=*/true);
 }
 
-ClrChainAnalysis analyze_clr_chain(const ClrChainParams& params) {
+util::Key128 chain_cache_key(const ClrChainParams& p) {
+  p.validate();
+  util::Key128Stream key;
+  key.add(p.exec_time_us)
+      .add(p.lambda_per_us)
+      .add(p.hw_masking)
+      .add(p.implicit_ssw_masking)
+      .add(p.detection_coverage)
+      .add(p.tolerance_success)
+      .add(p.asw_masking)
+      .add(static_cast<std::uint64_t>(p.intervals))
+      .add(p.detection_time_us)
+      .add(p.tolerance_time_us)
+      .add(p.checkpoint_time_us)
+      .add(p.checkpoint_error_prob);
+  // Stream the derived per-interval splits instead of interval_fractions
+  // itself: representations that build the same chain share the key.
+  for (std::size_t i = 0; i < p.intervals; ++i) {
+    key.add(p.interval_time(i));
+  }
+  return key.digest();
+}
+
+namespace {
+
+using ChainCache = util::MemoCache<util::Key128, ClrChainAnalysis,
+                                   util::Key128Hash>;
+
+struct ChainCacheState {
+  std::mutex mutex;
+  std::unique_ptr<ChainCache> cache;
+  std::size_t built_capacity = 0;
+};
+
+/// The process-wide chain-solve cache, rebuilt (and thereby cleared) when
+/// util::cache_capacity() changes — same contract as the global thread pool:
+/// reconfigure between runs, not while solves are in flight.
+ChainCache* chain_cache() {
+  static ChainCacheState state;
+  const std::size_t capacity = util::cache_capacity();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (!state.cache || state.built_capacity != capacity) {
+    state.cache.reset();
+    state.cache = std::make_unique<ChainCache>(capacity, "chain_solve");
+    state.built_capacity = capacity;
+  }
+  return state.cache->enabled() ? state.cache.get() : nullptr;
+}
+
+}  // namespace
+
+ClrChainAnalysis analyze_clr_chain_uncached(const ClrChainParams& params) {
   ClrChainAnalysis out;
 
   const double n = static_cast<double>(params.intervals);
@@ -180,6 +233,19 @@ ClrChainAnalysis analyze_clr_chain(const ClrChainParams& params) {
   const markov::AbsorbingChain functional = build_functional_chain(params);
   out.error_prob = functional.absorption_probability(0, kAbsorbError);
   return out;
+}
+
+ClrChainAnalysis analyze_clr_chain(const ClrChainParams& params) {
+  ChainCache* cache = chain_cache();
+  if (cache == nullptr) return analyze_clr_chain_uncached(params);
+  return cache->get_or_compute(
+      chain_cache_key(params),
+      [&params] { return analyze_clr_chain_uncached(params); });
+}
+
+util::CacheStats chain_cache_stats() {
+  ChainCache* cache = chain_cache();
+  return cache == nullptr ? util::CacheStats{} : cache->stats();
 }
 
 CheckpointSweepResult optimize_checkpoint_intervals(

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "markov/chain.hpp"
+#include "util/memo_cache.hpp"
 
 namespace clrearly::reliability {
 
@@ -75,8 +76,30 @@ struct ClrChainAnalysis {
   double error_prob = 0.0;        ///< P[absorb in Error], functional chain
 };
 
-/// Build and solve both chains for `params`.
+/// Canonical 128-bit key of the chain solve for `params`.
+///
+/// The key streams exactly the quantities the Fig. 3 chains are built from —
+/// the layer maskings/coverages, the overhead residence times, the interval
+/// count, and the *derived* per-interval values interval_time(i) and
+/// pne_for_interval(i) — rather than the raw struct bytes. Two parameter
+/// sets that resolve to the same chain therefore map to the same key even
+/// when their representations differ (e.g. an explicit equal-split
+/// interval_fractions vector vs the empty default, or distinct catalog
+/// entries with identical numbers), and equal keys imply bit-identical
+/// analysis results because the chains built from them are bit-identical.
+util::Key128 chain_cache_key(const ClrChainParams& params);
+
+/// Build and solve both chains for `params`, bypassing the cache (the pure
+/// reference path; also what the cache itself runs on a miss).
+ClrChainAnalysis analyze_clr_chain_uncached(const ClrChainParams& params);
+
+/// Build and solve both chains for `params`. Memoized through the global
+/// chain-solve cache (keyed by chain_cache_key) when caching is enabled
+/// (util::cache_capacity() > 0); results are bit-identical either way.
 ClrChainAnalysis analyze_clr_chain(const ClrChainParams& params);
+
+/// Counters of the process-wide chain-solve cache (zeros when disabled).
+util::CacheStats chain_cache_stats();
 
 /// Sweep the checkpoint count 1..max_intervals (equal splits) and return the
 /// interval count minimizing average execution time — the classic

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/memo_cache.hpp"
 #include "util/thread_pool.hpp"
 
 namespace clrearly::util {
@@ -146,11 +147,29 @@ ArgParser& add_log_level_option(ArgParser& parser, LogLevel default_level) {
                        std::string(to_string(default_level)));
 }
 
+ArgParser& add_cache_options(ArgParser& parser) {
+  parser.option("cache-size",
+                "memoization-cache capacity in entries for the chain-solve "
+                "and fitness caches (0 disables; overrides CLREARLY_CACHE)",
+                "");
+  return parser.flag("no-cache",
+                     "disable the memoization caches (same as --cache-size 0)");
+}
+
+void apply_cache_options(const ArgParser& parser) {
+  if (parser.has("no-cache")) {
+    set_cache_capacity(0);
+  } else if (parser.has("cache-size")) {
+    set_cache_capacity(static_cast<std::size_t>(parser.get_uint("cache-size")));
+  }
+}
+
 bool parse_standard_args(ArgParser& parser, int argc, char** argv,
                          LogLevel default_log_level) {
   parser.flag("help", "print this help and exit");
   add_threads_option(parser);
   add_log_level_option(parser, default_log_level);
+  add_cache_options(parser);
   std::vector<std::string> args;
   args.reserve(argc > 1 ? static_cast<std::size_t>(argc - 1) : 0);
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
@@ -160,6 +179,7 @@ bool parse_standard_args(ArgParser& parser, int argc, char** argv,
       if (parser.has("threads")) {
         set_thread_count(static_cast<std::size_t>(parser.get_uint("threads")));
       }
+      apply_cache_options(parser);
       // Unconditional: the declared default carries the driver's verbosity
       // choice, so no driver needs an ad-hoc set_log_level() call anymore.
       set_log_level(parse_log_level(parser.get("log-level")));

@@ -71,14 +71,26 @@ ArgParser& add_threads_option(ArgParser& parser);
 ArgParser& add_log_level_option(ArgParser& parser,
                                 LogLevel default_level = LogLevel::Info);
 
-/// Standard driver prologue: declares --help, --threads and --log-level on
-/// `parser` (after any driver-specific declarations), parses argv[1:], and
+/// Declare the shared memoization-cache options: --cache-size <entries>
+/// (capacity of the chain-solve and fitness caches; 0 disables) and
+/// --no-cache (shorthand for --cache-size 0).
+ArgParser& add_cache_options(ArgParser& parser);
+
+/// Apply the declared cache options via set_cache_capacity(): --no-cache
+/// wins over --cache-size; when neither was given the global default
+/// (CLREARLY_CACHE env or kDefaultCacheCapacity) stays in effect.
+void apply_cache_options(const ArgParser& parser);
+
+/// Standard driver prologue: declares --help, --threads, --log-level,
+/// --cache-size and --no-cache on `parser` (after any driver-specific
+/// declarations), parses argv[1:], and
 ///  * on --help prints the generated usage text and returns false (drivers
 ///    then exit 0),
 ///  * on a parse error prints the error + usage to stderr and exits with 2,
-///  * otherwise applies --threads via set_thread_count(), applies the log
-///    level (an explicit --log-level beats `default_log_level`, which beats
-///    whatever the process had set before) and returns true.
+///  * otherwise applies --threads via set_thread_count(), the cache options
+///    via set_cache_capacity(), and the log level (an explicit --log-level
+///    beats `default_log_level`, which beats whatever the process had set
+///    before), then returns true.
 bool parse_standard_args(ArgParser& parser, int argc, char** argv,
                          LogLevel default_log_level = LogLevel::Info);
 

@@ -1,0 +1,99 @@
+#include "util/memo_cache.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <optional>
+
+namespace clrearly::util {
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::uint64_t next_token = 1;
+  std::map<std::uint64_t, std::pair<std::string, std::function<CacheStats()>>>
+      caches;
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // never destroyed: caches with
+  return *instance;  // static storage duration may unregister during exit
+}
+
+struct CapacityState {
+  std::mutex mutex;
+  std::optional<std::size_t> override_capacity;
+};
+
+CapacityState& capacity_state() {
+  static CapacityState state;
+  return state;
+}
+
+std::size_t env_capacity() {
+  const char* env = std::getenv("CLREARLY_CACHE");
+  if (env == nullptr || *env == '\0') return kDefaultCacheCapacity;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(env, &end, 10);
+  if (end == nullptr || *end != '\0') return kDefaultCacheCapacity;
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t register_cache(std::string name,
+                             std::function<CacheStats()> stats) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const std::uint64_t token = reg.next_token++;
+  reg.caches.emplace(token,
+                     std::make_pair(std::move(name), std::move(stats)));
+  return token;
+}
+
+void unregister_cache(std::uint64_t token) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.caches.erase(token);
+}
+
+}  // namespace detail
+
+std::vector<std::pair<std::string, CacheStats>> aggregate_cache_stats() {
+  // Snapshot the providers first: a stats() callback may take its cache's
+  // shard locks, which must not nest inside the registry lock.
+  std::vector<std::pair<std::string, std::function<CacheStats()>>> providers;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    providers.reserve(reg.caches.size());
+    for (const auto& [token, entry] : reg.caches) providers.push_back(entry);
+  }
+  std::map<std::string, CacheStats> by_name;
+  for (const auto& [name, stats] : providers) by_name[name] += stats();
+  return {by_name.begin(), by_name.end()};
+}
+
+void set_cache_capacity(std::size_t capacity) {
+  CapacityState& state = capacity_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.override_capacity = capacity;
+}
+
+void reset_cache_capacity() {
+  CapacityState& state = capacity_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.override_capacity.reset();
+}
+
+std::size_t cache_capacity() {
+  CapacityState& state = capacity_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.override_capacity.has_value() ? *state.override_capacity
+                                             : env_capacity();
+}
+
+}  // namespace clrearly::util

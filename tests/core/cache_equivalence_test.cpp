@@ -1,0 +1,193 @@
+// The load-bearing guarantee of the memoization layer: caching is an
+// implementation detail that must never change a search result. For
+// randomized problems, seeds, and thread counts, a cache-off run and
+// cache-on runs (roomy capacity and tiny, eviction-thrashed capacity) of
+// every DSE flow must produce bit-identical fronts, front genomes, and
+// evaluation counts — and run_nsga2 itself must produce bit-identical
+// populations, archives, objectives, and violations. Both caches are in
+// play here: the genome-level fitness cache inside ClrMappingProblem and
+// the chain-solve cache under the reliability analysis.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "app/characterizer.hpp"
+#include "app/sobel.hpp"
+#include "core/dse.hpp"
+#include "moea/nsga2.hpp"
+#include "platform/architecture.hpp"
+#include "util/log.hpp"
+#include "util/memo_cache.hpp"
+#include "util/thread_pool.hpp"
+
+namespace clrearly {
+namespace {
+
+class CacheEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { util::set_log_level(util::LogLevel::Warn); }
+  void TearDown() override {
+    util::reset_cache_capacity();
+    util::set_thread_count(0);
+  }
+};
+
+core::DseOptions small_options(std::uint64_t seed) {
+  core::DseOptions o;
+  o.ga.population_size = 16;
+  o.ga.generations = 5;
+  o.seed = seed;
+  return o;
+}
+
+void expect_identical(const core::DseOutcome& a, const core::DseOutcome& b) {
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  ASSERT_EQ(a.front.size(), b.front.size());
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    EXPECT_EQ(a.front[i], b.front[i]) << "front point " << i;
+  }
+  ASSERT_EQ(a.front_genomes.size(), b.front_genomes.size());
+  for (std::size_t i = 0; i < a.front_genomes.size(); ++i) {
+    EXPECT_EQ(a.front_genomes[i], b.front_genomes[i]) << "front genome " << i;
+  }
+}
+
+using FlowFn = core::DseOutcome (core::DseMethodology::*)(
+    const core::DseOptions&) const;
+
+/// Run one flow cache-off, then cache-on at a roomy and a tiny (eviction
+/// pressure) capacity, across serial and 4-thread pools; all runs must be
+/// bit-identical to the cache-off baseline.
+void check_flow(const core::DseMethodology& dse, FlowFn flow,
+                std::uint64_t seed) {
+  const core::DseOptions options = small_options(seed);
+
+  util::set_cache_capacity(0);
+  util::set_thread_count(1);
+  const core::DseOutcome baseline = (dse.*flow)(options);
+  ASSERT_FALSE(baseline.front.empty());
+
+  for (const std::size_t capacity : {std::size_t{2048}, std::size_t{32}}) {
+    util::set_cache_capacity(capacity);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      util::set_thread_count(threads);
+      const core::DseOutcome cached = (dse.*flow)(options);
+      SCOPED_TRACE(::testing::Message()
+                   << "capacity " << capacity << ", threads " << threads);
+      expect_identical(baseline, cached);
+    }
+  }
+}
+
+TEST_F(CacheEquivalenceTest, FcClrFlowOnSobel) {
+  const core::DseMethodology dse(app::make_sobel_application(),
+                                 platform::Architecture::paper_default(),
+                                 reliability::TaskAnalyzer::paper_default());
+  check_flow(dse, &core::DseMethodology::run_fcclr, 7);
+}
+
+TEST_F(CacheEquivalenceTest, PfClrFlowOnSobel) {
+  const core::DseMethodology dse(app::make_sobel_application(),
+                                 platform::Architecture::paper_default(),
+                                 reliability::TaskAnalyzer::paper_default());
+  check_flow(dse, &core::DseMethodology::run_pfclr, 11);
+}
+
+TEST_F(CacheEquivalenceTest, ProposedFlowOnSobel) {
+  const core::DseMethodology dse(app::make_sobel_application(),
+                                 platform::Architecture::paper_default(),
+                                 reliability::TaskAnalyzer::paper_default());
+  check_flow(dse, &core::DseMethodology::run_proposed, 13);
+}
+
+TEST_F(CacheEquivalenceTest, AllFlowsOnRandomizedSyntheticApplications) {
+  // Randomized problem structure: TGFF-style graphs of varying size with
+  // fresh characterization seeds, each checked across flows and seeds.
+  const struct { std::size_t tasks; std::uint64_t app_seed; } specs[] = {
+      {10, 301}, {14, 302}};
+  const FlowFn flows[] = {&core::DseMethodology::run_fcclr,
+                          &core::DseMethodology::run_pfclr,
+                          &core::DseMethodology::run_proposed};
+  std::uint64_t ga_seed = 40;
+  for (const auto& spec : specs) {
+    const core::DseMethodology dse(
+        app::make_synthetic_application(spec.tasks, 10, spec.app_seed),
+        platform::Architecture::paper_default(),
+        reliability::TaskAnalyzer::paper_default());
+    for (const FlowFn flow : flows) {
+      SCOPED_TRACE(::testing::Message() << "tasks " << spec.tasks
+                                        << ", ga seed " << ga_seed);
+      check_flow(dse, flow, ga_seed++);
+    }
+  }
+}
+
+TEST_F(CacheEquivalenceTest, ArchivePointsAndViolationsMatchBitForBit) {
+  // Drop below the DseOutcome surface: run_nsga2's full state — population
+  // objectives, constraint violations, archive members — must be identical
+  // with and without the caches, including the within-batch genome dedupe
+  // path that only engages when ops.hash/ops.equal are set.
+  const app::Application sobel = app::make_sobel_application();
+  const platform::Architecture arch = platform::Architecture::paper_default();
+  const core::ClrMappingProblem problem(
+      sobel, arch, reliability::TaskAnalyzer::paper_default(),
+      core::SystemObjectives{}, sched::QosSpec{});
+
+  moea::Nsga2Params params;
+  params.population_size = 16;
+  params.generations = 6;
+  params.archive_size = 12;
+
+  util::set_cache_capacity(0);
+  util::set_thread_count(1);
+  util::Rng rng_off(21);
+  const auto off = moea::run_nsga2(params, problem.ops(), rng_off);
+  ASSERT_FALSE(off.population.empty());
+
+  for (const std::size_t capacity : {std::size_t{4096}, std::size_t{32}}) {
+    util::set_cache_capacity(capacity);
+    // A fresh problem so the fitness cache is built at the new capacity.
+    const core::ClrMappingProblem cached_problem(
+        sobel, arch, reliability::TaskAnalyzer::paper_default(),
+        core::SystemObjectives{}, sched::QosSpec{});
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "capacity " << capacity << ", threads " << threads);
+      util::set_thread_count(threads);
+      util::Rng rng_on(21);
+      const auto on = moea::run_nsga2(params, cached_problem.ops(), rng_on);
+
+      EXPECT_EQ(off.evaluations, on.evaluations);
+      ASSERT_EQ(off.population.size(), on.population.size());
+      for (std::size_t i = 0; i < off.population.size(); ++i) {
+        EXPECT_EQ(off.population[i].genome, on.population[i].genome);
+        EXPECT_EQ(off.population[i].eval.objectives,
+                  on.population[i].eval.objectives);
+        EXPECT_EQ(off.population[i].eval.violation,
+                  on.population[i].eval.violation);
+      }
+      ASSERT_EQ(off.archive.size(), on.archive.size());
+      for (std::size_t i = 0; i < off.archive.size(); ++i) {
+        EXPECT_EQ(off.archive[i].genome, on.archive[i].genome);
+        EXPECT_EQ(off.archive[i].eval.objectives,
+                  on.archive[i].eval.objectives);
+        EXPECT_EQ(off.archive[i].eval.violation, on.archive[i].eval.violation);
+      }
+      ASSERT_EQ(off.front.size(), on.front.size());
+      for (std::size_t i = 0; i < off.front.size(); ++i) {
+        EXPECT_EQ(off.population[off.front[i]].eval.objectives,
+                  on.population[on.front[i]].eval.objectives);
+      }
+    }
+    // The roomy run must actually exercise the cache, not bypass it.
+    if (capacity >= 4096) {
+      const util::CacheStats stats = cached_problem.fitness_cache_stats();
+      EXPECT_GT(stats.hits + stats.misses, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace clrearly

@@ -1,0 +1,239 @@
+// The chain-solve cache key and its contract.
+//
+// Three layers of protection against a cache that silently corrupts the
+// reliability numbers:
+//  1. Property tests on chain_cache_key — randomized parameter sets never
+//     collide (1e5-draw smoke over the 128-bit key), every individual field
+//     perturbs the key, and canonicalization maps representations that build
+//     the same chain (equal-split interval_fractions vs the empty default)
+//     to the same key.
+//  2. Golden-value regressions — hand-derived closed forms for degenerate
+//     chains (single interval, perfect detection, certain tolerance) pin
+//     avg_exec_time_us and error_prob to literal values, so a cache or
+//     refactor that returns stale/mismatched entries fails loudly.
+//  3. Differential checks — the cached analyze_clr_chain must be bit-equal
+//     to analyze_clr_chain_uncached for randomized parameters, repeated
+//     queries, and across eviction pressure at tiny capacities.
+#include "reliability/clr_chain_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/memo_cache.hpp"
+#include "util/rng.hpp"
+
+namespace clrearly::reliability {
+namespace {
+
+class ChainCacheTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::reset_cache_capacity(); }
+};
+
+ClrChainParams random_params(util::Rng& rng) {
+  ClrChainParams p;
+  p.exec_time_us = rng.uniform(1.0, 5000.0);
+  p.lambda_per_us = rng.uniform(0.0, 0.01);
+  p.hw_masking = rng.uniform();
+  p.implicit_ssw_masking = rng.uniform();
+  p.detection_coverage = rng.uniform();
+  p.tolerance_success = rng.uniform(0.0, 0.999);
+  p.asw_masking = rng.uniform();
+  p.intervals = 1 + rng.index(4);
+  p.detection_time_us = rng.uniform(0.0, 10.0);
+  p.tolerance_time_us = rng.uniform(0.0, 50.0);
+  p.checkpoint_time_us = rng.uniform(0.0, 20.0);
+  p.checkpoint_error_prob = rng.uniform(0.0, 0.05);
+  return p;
+}
+
+TEST_F(ChainCacheTest, KeyCollisionSmokeOverRandomizedConfigurations) {
+  util::Rng rng(2024);
+  std::set<std::pair<std::uint64_t, std::uint64_t>> keys;
+  for (int draw = 0; draw < 100000; ++draw) {
+    const util::Key128 k = chain_cache_key(random_params(rng));
+    EXPECT_TRUE(keys.insert({k.lo, k.hi}).second)
+        << "key collision at draw " << draw;
+  }
+}
+
+TEST_F(ChainCacheTest, EveryFieldPerturbsTheKey) {
+  util::Rng rng(7);
+  for (int draw = 0; draw < 200; ++draw) {
+    const ClrChainParams base = random_params(rng);
+    const util::Key128 k0 = chain_cache_key(base);
+    std::vector<ClrChainParams> variants;
+    for (int field = 0; field < 12; ++field) variants.push_back(base);
+    variants[0].exec_time_us *= 1.0 + 1e-12;
+    variants[1].lambda_per_us += 1e-9;
+    variants[2].hw_masking = base.hw_masking * 0.5 + 0.25;
+    variants[3].implicit_ssw_masking = base.implicit_ssw_masking * 0.5 + 0.2;
+    variants[4].detection_coverage = base.detection_coverage * 0.5 + 0.1;
+    variants[5].tolerance_success = base.tolerance_success * 0.5 + 0.05;
+    variants[6].asw_masking = base.asw_masking * 0.5 + 0.3;
+    variants[7].intervals = base.intervals + 1;
+    variants[8].detection_time_us += 0.125;
+    variants[9].tolerance_time_us += 0.125;
+    variants[10].checkpoint_time_us += 0.125;
+    variants[11].checkpoint_error_prob = base.checkpoint_error_prob / 2 + 0.01;
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      const util::Key128 kv = chain_cache_key(variants[v]);
+      EXPECT_FALSE(kv == k0) << "field " << v << " did not perturb the key";
+    }
+  }
+}
+
+TEST_F(ChainCacheTest, CanonicalizationMapsEquivalentConfigsToTheSameKey) {
+  util::Rng rng(11);
+  for (int draw = 0; draw < 200; ++draw) {
+    ClrChainParams base = random_params(rng);
+
+    // Explicit equal splits build bit-identical chains to the empty default
+    // whenever the fraction arithmetic is exact (powers of two): x * 0.5 and
+    // x / 2 are the same double for every finite x.
+    for (const std::size_t n : {std::size_t{1}, std::size_t{2},
+                                std::size_t{4}}) {
+      base.intervals = n;
+      base.interval_fractions.clear();
+      const util::Key128 implicit_key = chain_cache_key(base);
+      base.interval_fractions.assign(n, 1.0 / static_cast<double>(n));
+      const util::Key128 explicit_key = chain_cache_key(base);
+      EXPECT_TRUE(implicit_key == explicit_key)
+          << "equal split over " << n << " intervals changed the key";
+      EXPECT_EQ(analyze_clr_chain_uncached(base).avg_exec_time_us,
+                analyze_clr_chain(base).avg_exec_time_us);
+    }
+    base.interval_fractions.clear();
+
+    // -0.0 fields canonicalize onto +0.0 (arithmetically identical chains).
+    ClrChainParams zeroed = base;
+    zeroed.lambda_per_us = 0.0;
+    const util::Key128 plus = chain_cache_key(zeroed);
+    zeroed.lambda_per_us = -0.0;
+    EXPECT_TRUE(plus == chain_cache_key(zeroed));
+  }
+}
+
+// ---- Golden values -------------------------------------------------------
+//
+// All derived by hand from the Fig. 3 topology; see each case's comment.
+// Literals are pinned to 15 significant digits so a stale or mismatched
+// cache entry (or a behavioral refactor) fails this suite loudly.
+
+TEST_F(ChainCacheTest, GoldenUnprotectedSingleInterval) {
+  // No protection at all: one interval, every masking 0, no detection.
+  // P[error] = 1 - exp(-lambda * T) and the time chains absorb after one
+  // pass of T regardless of outcome.
+  ClrChainParams p;
+  p.exec_time_us = 100.0;
+  p.lambda_per_us = 0.01;  // lambda * T = 1
+  const ClrChainAnalysis a = analyze_clr_chain(p);
+  EXPECT_NEAR(a.error_prob, 0.632120558828558, 1e-12);
+  EXPECT_DOUBLE_EQ(a.avg_exec_time_us, 100.0);
+  EXPECT_DOUBLE_EQ(a.min_exec_time_us, 100.0);
+  EXPECT_NEAR(a.exec_time_stddev_us, 0.0, 1e-9);
+}
+
+TEST_F(ChainCacheTest, GoldenHardwareMaskingScalesErrorProbability) {
+  // HW masking m: an SEU (prob 1 - exp(-1)) escapes with prob (1 - m).
+  ClrChainParams p;
+  p.exec_time_us = 100.0;
+  p.lambda_per_us = 0.01;
+  p.hw_masking = 0.25;
+  const ClrChainAnalysis a = analyze_clr_chain(p);
+  EXPECT_NEAR(a.error_prob, 0.75 * 0.632120558828558, 1e-12);
+  EXPECT_DOUBLE_EQ(a.avg_exec_time_us, 100.0);
+}
+
+TEST_F(ChainCacheTest, GoldenCertainDetectionAndToleranceRetriesForever) {
+  // cov = 1, tolerance success = 1: every error is detected and rolled
+  // back, so absorption is always clean (error_prob = 0) and the expected
+  // time solves E = T + Tdet + (1 - pne)(Ttol + E):
+  //   E = (T + Tdet + (1 - pne) * Ttol) / pne.
+  ClrChainParams p;
+  p.exec_time_us = 100.0;
+  p.lambda_per_us = 0.01;
+  p.detection_coverage = 1.0;
+  p.tolerance_success = 1.0;
+  p.detection_time_us = 2.0;
+  p.tolerance_time_us = 5.0;
+  const double pne = std::exp(-1.0);
+  const double expected = (102.0 + (1.0 - pne) * 5.0) / pne;
+  const ClrChainAnalysis a = analyze_clr_chain(p);
+  EXPECT_NEAR(a.error_prob, 0.0, 1e-15);
+  EXPECT_NEAR(a.avg_exec_time_us, expected, 1e-9 * expected);
+  EXPECT_NEAR(a.avg_exec_time_us, 285.856155645118, 1e-6);
+  EXPECT_DOUBLE_EQ(a.min_exec_time_us, 102.0);
+}
+
+TEST_F(ChainCacheTest, GoldenFailedToleranceFallsThroughToAswMasking) {
+  // cov = 1 but tolerance never succeeds: every error pays Ttol once, then
+  // the ASW layer masks half. error_prob = (1 - pne) * (1 - m_asw) and
+  // E[T] = T + (1 - pne) * Ttol.
+  ClrChainParams p;
+  p.exec_time_us = 100.0;
+  p.lambda_per_us = 0.01;
+  p.detection_coverage = 1.0;
+  p.tolerance_success = 0.0;
+  p.tolerance_time_us = 8.0;
+  p.asw_masking = 0.5;
+  const double pne = std::exp(-1.0);
+  const ClrChainAnalysis a = analyze_clr_chain(p);
+  EXPECT_NEAR(a.error_prob, 0.5 * (1.0 - pne), 1e-12);
+  EXPECT_NEAR(a.error_prob, 0.316060279414279, 1e-12);
+  EXPECT_NEAR(a.avg_exec_time_us, 100.0 + (1.0 - pne) * 8.0, 1e-9);
+  EXPECT_NEAR(a.avg_exec_time_us, 105.056964470628, 1e-6);
+}
+
+// ---- Differential: cached vs uncached ------------------------------------
+
+TEST_F(ChainCacheTest, CachedSolvesAreBitIdenticalToUncached) {
+  util::set_cache_capacity(4096);
+  util::Rng rng(99);
+  for (int draw = 0; draw < 500; ++draw) {
+    const ClrChainParams p = random_params(rng);
+    const ClrChainAnalysis pure = analyze_clr_chain_uncached(p);
+    // First query fills the cache, second must hit; both bit-equal to pure.
+    for (int round = 0; round < 2; ++round) {
+      const ClrChainAnalysis cached = analyze_clr_chain(p);
+      EXPECT_EQ(pure.min_exec_time_us, cached.min_exec_time_us);
+      EXPECT_EQ(pure.avg_exec_time_us, cached.avg_exec_time_us);
+      EXPECT_EQ(pure.exec_time_stddev_us, cached.exec_time_stddev_us);
+      EXPECT_EQ(pure.error_prob, cached.error_prob);
+    }
+  }
+  const util::CacheStats stats = chain_cache_stats();
+  EXPECT_GE(stats.hits, 500u);
+}
+
+TEST_F(ChainCacheTest, TinyCapacityEvictionNeverCorruptsResults) {
+  util::set_cache_capacity(16);  // constant eviction pressure
+  util::Rng rng(123);
+  std::vector<ClrChainParams> params;
+  for (int draw = 0; draw < 64; ++draw) params.push_back(random_params(rng));
+  for (int round = 0; round < 3; ++round) {
+    for (const ClrChainParams& p : params) {
+      const ClrChainAnalysis pure = analyze_clr_chain_uncached(p);
+      const ClrChainAnalysis cached = analyze_clr_chain(p);
+      EXPECT_EQ(pure.avg_exec_time_us, cached.avg_exec_time_us);
+      EXPECT_EQ(pure.error_prob, cached.error_prob);
+    }
+  }
+}
+
+TEST_F(ChainCacheTest, DisabledCacheStillSolvesCorrectly) {
+  util::set_cache_capacity(0);
+  ClrChainParams p;
+  p.exec_time_us = 100.0;
+  p.lambda_per_us = 0.01;
+  const ClrChainAnalysis a = analyze_clr_chain(p);
+  EXPECT_NEAR(a.error_prob, 0.632120558828558, 1e-12);
+  EXPECT_EQ(chain_cache_stats().hits + chain_cache_stats().misses, 0u);
+}
+
+}  // namespace
+}  // namespace clrearly::reliability

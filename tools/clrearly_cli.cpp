@@ -85,6 +85,7 @@ int cmd_generate(const std::vector<std::string>& args) {
                          "generate a synthetic application model");
   parser.flag("help", "show this help");
   util::add_threads_option(parser);
+  util::add_cache_options(parser);
   parser.option("tasks", "number of tasks", "20")
       .option("types", "number of task types", "10")
       .option("seed", "generator seed", "1")
@@ -93,6 +94,7 @@ int cmd_generate(const std::vector<std::string>& args) {
   if (parser.has("threads")) {
     util::set_thread_count(parser.get_uint("threads"));
   }
+  util::apply_cache_options(parser);
   if (parser.has("help")) {
     std::printf("%s", parser.help().c_str());
     return 0;
@@ -112,6 +114,7 @@ int cmd_info(const std::vector<std::string>& args) {
   util::ArgParser parser("clrearly info", "summarize a system model");
   parser.flag("help", "show this help");
   util::add_threads_option(parser);
+  util::add_cache_options(parser);
   parser.option("app", "application spec", "sobel")
       .option("arch", "architecture spec", "default")
       .option("dot", "write the task graph as Graphviz DOT to this path", "");
@@ -119,6 +122,7 @@ int cmd_info(const std::vector<std::string>& args) {
   if (parser.has("threads")) {
     util::set_thread_count(parser.get_uint("threads"));
   }
+  util::apply_cache_options(parser);
   if (parser.has("help")) {
     std::printf("%s", parser.help().c_str());
     return 0;
@@ -165,6 +169,7 @@ int cmd_tdse(const std::vector<std::string>& args) {
   util::ArgParser parser("clrearly tdse", "task-level design-space exploration");
   parser.flag("help", "show this help");
   util::add_threads_option(parser);
+  util::add_cache_options(parser);
   parser.option("app", "application spec", "sobel")
       .option("arch", "architecture spec", "default")
       .option("objectives", "TABLE IV ladder row (1-6)", "2")
@@ -174,6 +179,7 @@ int cmd_tdse(const std::vector<std::string>& args) {
   if (parser.has("threads")) {
     util::set_thread_count(parser.get_uint("threads"));
   }
+  util::apply_cache_options(parser);
   if (parser.has("help")) {
     std::printf("%s", parser.help().c_str());
     return 0;
@@ -223,6 +229,7 @@ int cmd_dse(const std::vector<std::string>& args) {
   util::ArgParser parser("clrearly dse", "system-level CLR-aware task mapping");
   parser.flag("help", "show this help");
   util::add_threads_option(parser);
+  util::add_cache_options(parser);
   parser.option("app", "application spec", "sobel")
       .option("arch", "architecture spec", "default")
       .option("flow", "fcclr | pfclr | proposed | agnostic", "proposed")
@@ -239,6 +246,7 @@ int cmd_dse(const std::vector<std::string>& args) {
   if (parser.has("threads")) {
     util::set_thread_count(parser.get_uint("threads"));
   }
+  util::apply_cache_options(parser);
   if (parser.has("help")) {
     std::printf("%s", parser.help().c_str());
     return 0;
@@ -330,6 +338,7 @@ int cmd_simulate(const std::vector<std::string>& args) {
       "Monte Carlo schedule simulation of a DSE flow's Pareto front");
   parser.flag("help", "show this help");
   util::add_threads_option(parser);
+  util::add_cache_options(parser);
   parser.option("app", "application spec", "sobel")
       .option("arch", "architecture spec", "default")
       .option("flow", "fcclr | pfclr | proposed", "proposed")
@@ -347,6 +356,7 @@ int cmd_simulate(const std::vector<std::string>& args) {
   if (parser.has("threads")) {
     util::set_thread_count(parser.get_uint("threads"));
   }
+  util::apply_cache_options(parser);
   if (parser.has("help")) {
     std::printf("%s", parser.help().c_str());
     return 0;
@@ -444,6 +454,7 @@ int cmd_check(const std::vector<std::string>& args) {
                          "early-stage feasibility certificates (no GA)");
   parser.flag("help", "show this help");
   util::add_threads_option(parser);
+  util::add_cache_options(parser);
   parser.option("app", "application spec", "sobel")
       .option("arch", "architecture spec", "default")
       .option("env", "environmental fault-rate factor", "1")
@@ -453,6 +464,7 @@ int cmd_check(const std::vector<std::string>& args) {
   if (parser.has("threads")) {
     util::set_thread_count(parser.get_uint("threads"));
   }
+  util::apply_cache_options(parser);
   if (parser.has("help")) {
     std::printf("%s", parser.help().c_str());
     return 0;
@@ -493,11 +505,13 @@ int cmd_export(const std::vector<std::string>& args) {
                          "write the built-in models as JSON files");
   parser.flag("help", "show this help");
   util::add_threads_option(parser);
+  util::add_cache_options(parser);
   parser.option("dir", "output directory", "models");
   parser.parse(args);
   if (parser.has("threads")) {
     util::set_thread_count(parser.get_uint("threads"));
   }
+  util::apply_cache_options(parser);
   if (parser.has("help")) {
     std::printf("%s", parser.help().c_str());
     return 0;
@@ -519,6 +533,7 @@ int cmd_chain(const std::vector<std::string>& args) {
                          "Markov models");
   parser.flag("help", "show this help");
   util::add_threads_option(parser);
+  util::add_cache_options(parser);
   parser.option("exec-time", "useful execution time (us)", "1000")
       .option("lambda", "effective SEU rate (/us)", "3e-4")
       .option("hw-masking", "spatial-redundancy masking m_HW", "0")
@@ -537,6 +552,7 @@ int cmd_chain(const std::vector<std::string>& args) {
   if (parser.has("threads")) {
     util::set_thread_count(parser.get_uint("threads"));
   }
+  util::apply_cache_options(parser);
   if (parser.has("help")) {
     std::printf("%s", parser.help().c_str());
     return 0;
