@@ -1,0 +1,222 @@
+// Chain-kernel benchmark: the old eager analysis path (named-state
+// ChainBuilder construction + full fundamental-matrix materialization, what
+// every cache-miss chain solve paid before the single-solve kernel) against
+// the new path (dense workspace assembly + one adjoint solve per chain).
+// Sweeps the interval count — transient-state count t = 7n - 1 — and reports
+// per-evaluation wall time and heap-allocation counts for both paths, plus
+// the differential error between them. Emits BENCH_chain.json;
+// docs/PERFORMANCE.md ("Chain kernel") explains the fields.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "reliability/clr_chain_builder.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+
+// ---- Heap-allocation counter -----------------------------------------------
+// Bench-local global operator new/delete overrides: every heap allocation in
+// the process bumps one relaxed atomic. This is how the "allocation-free once
+// warm" claim of the workspace kernel is measured rather than asserted.
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace clrearly;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::uint64_t allocations_now() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+/// A representative task configuration; `salt` perturbs the timing inputs so
+/// consecutive evaluations are distinct chains, as in a real DSE sweep.
+reliability::ClrChainParams make_params(std::size_t intervals,
+                                        std::size_t salt) {
+  reliability::ClrChainParams p;
+  p.exec_time_us = 100.0 + static_cast<double>(salt % 17);
+  p.lambda_per_us = 1e-4;
+  p.hw_masking = 0.4;
+  p.implicit_ssw_masking = 0.3;
+  p.detection_coverage = 0.9;
+  p.tolerance_success = 0.95;
+  p.asw_masking = 0.5;
+  p.intervals = intervals;
+  p.detection_time_us = 0.5;
+  p.tolerance_time_us = 2.0;
+  p.checkpoint_time_us = 1.0;
+  p.checkpoint_error_prob = 1e-5;
+  return p;
+}
+
+/// The pre-kernel analysis: ChainBuilder construction and the formerly-eager
+/// full matrices, materialized through the now-lazy accessors. This is what
+/// one cache-miss evaluation cost before the single-solve kernel.
+reliability::ClrChainAnalysis analyze_old(
+    const reliability::ClrChainParams& params) {
+  reliability::ClrChainAnalysis out;
+  const double n = static_cast<double>(params.intervals);
+  out.min_exec_time_us = params.exec_time_us + n * params.detection_time_us +
+                         (n - 1.0) * params.checkpoint_time_us;
+  const markov::AbsorbingChain timing =
+      reliability::build_chain_reference(params, /*functional=*/false);
+  timing.fundamental();  // the old constructor always built N ...
+  out.avg_exec_time_us = timing.expected_time(0);
+  out.exec_time_stddev_us = std::sqrt(std::max(timing.time_variance(0), 0.0));
+  const markov::AbsorbingChain functional =
+      reliability::build_chain_reference(params, /*functional=*/true);
+  functional.fundamental();  // ... and B = N R for both chains.
+  functional.absorption_probabilities();
+  out.error_prob =
+      functional.absorption_probability(0, reliability::kAbsorbError);
+  return out;
+}
+
+double rel_err(double a, double b) {
+  const double scale = std::max({std::abs(a), std::abs(b), 1e-300});
+  return std::abs(a - b) / scale;
+}
+
+struct PathStats {
+  double ns_per_eval = 0.0;
+  double allocs_per_eval = 0.0;
+};
+
+/// Best-of-`reps` timing of `evals` consecutive analyses through `fn`, with
+/// the allocation count of the final (warmest) rep.
+template <typename Fn>
+PathStats measure(Fn&& fn, std::size_t intervals, std::size_t evals,
+                  int reps) {
+  PathStats stats;
+  double best = 1e300;
+  std::uint64_t allocs = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const std::uint64_t alloc_start = allocations_now();
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < evals; ++i) fn(make_params(intervals, i));
+    best = std::min(best, seconds_since(start));
+    allocs = allocations_now() - alloc_start;
+  }
+  stats.ns_per_eval = best * 1e9 / static_cast<double>(evals);
+  stats.allocs_per_eval =
+      static_cast<double>(allocs) / static_cast<double>(evals);
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("bench_chain_kernel",
+                       "Markov chain analysis: eager full-inverse path vs the "
+                       "single-solve workspace kernel (emits BENCH_chain.json)");
+  args.option("max-intervals", "largest interval count to sweep", "5")
+      .option("evals", "analyses per timed rep", "2000")
+      .option("out", "output JSON path", "BENCH_chain.json");
+  if (!util::parse_standard_args(args, argc, argv, util::LogLevel::Warn)) {
+    return 0;
+  }
+
+  std::size_t max_intervals = args.get_uint("max-intervals");
+  std::size_t evals = args.get_uint("evals");
+  int reps = 5;
+  if (core::fast_mode()) {
+    evals = std::min<std::size_t>(evals, 200);
+    reps = 2;
+  }
+  if (max_intervals == 0) max_intervals = 1;
+
+  std::printf("=== chain kernel: eager full-inverse vs single-solve, "
+              "%zu evals x %d reps ===\n",
+              evals, reps);
+
+  util::JsonArray sizes;
+  double max_err = 0.0;
+  double worst_speedup = 1e300;
+  for (std::size_t n = 1; n <= max_intervals; ++n) {
+    // Differential check first: both paths must agree on every output.
+    for (std::size_t i = 0; i < 16; ++i) {
+      const reliability::ClrChainParams p = make_params(n, i);
+      const reliability::ClrChainAnalysis a = analyze_old(p);
+      const reliability::ClrChainAnalysis b =
+          reliability::analyze_clr_chain_uncached(p);
+      max_err = std::max({max_err,
+                          rel_err(a.avg_exec_time_us, b.avg_exec_time_us),
+                          rel_err(a.exec_time_stddev_us, b.exec_time_stddev_us),
+                          rel_err(a.error_prob, b.error_prob)});
+    }
+
+    const PathStats old_path = measure(
+        [](const reliability::ClrChainParams& p) { analyze_old(p); }, n,
+        evals, reps);
+    const PathStats new_path = measure(
+        [](const reliability::ClrChainParams& p) {
+          reliability::analyze_clr_chain_uncached(p);
+        },
+        n, evals, reps);
+
+    const double speedup = old_path.ns_per_eval / new_path.ns_per_eval;
+    worst_speedup = std::min(worst_speedup, speedup);
+    const std::size_t t = 7 * n - 1;
+    std::printf("intervals %zu (t=%2zu): old %8.0f ns/eval (%5.1f allocs), "
+                "new %8.0f ns/eval (%5.2f allocs) -> %.2fx\n",
+                n, t, old_path.ns_per_eval, old_path.allocs_per_eval,
+                new_path.ns_per_eval, new_path.allocs_per_eval, speedup);
+
+    util::JsonObject row;
+    row["intervals"] = n;
+    row["transient_states"] = t;
+    row["old_ns_per_eval"] = old_path.ns_per_eval;
+    row["new_ns_per_eval"] = new_path.ns_per_eval;
+    row["speedup"] = speedup;
+    row["old_allocs_per_eval"] = old_path.allocs_per_eval;
+    row["new_allocs_per_eval"] = new_path.allocs_per_eval;
+    sizes.push_back(util::JsonValue(std::move(row)));
+  }
+
+  std::printf("max relative error old vs new: %.3g\n", max_err);
+  const bool agree = max_err <= 1e-9;
+  if (!agree) std::printf("DIVERGED: differential error above 1e-9\n");
+
+  util::JsonObject report;
+  report["benchmark"] = "chain_kernel";
+  report["evals_per_rep"] = evals;
+  report["reps"] = reps;
+  report["sizes"] = std::move(sizes);
+  report["max_rel_err"] = max_err;
+  report["worst_speedup"] = worst_speedup;
+  report["agree"] = agree;
+
+  const std::string out = args.get("out");
+  std::ofstream stream(out);
+  stream << util::json_serialize(util::JsonValue(std::move(report))) << "\n";
+  std::printf("[wrote %s]\n", out.c_str());
+  return agree ? 0 : 1;
+}

@@ -1,10 +1,10 @@
 #include "markov/chain.hpp"
 
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
 
-#include "util/linsolve.hpp"
 #include "util/rng.hpp"
 
 namespace clrearly::markov {
@@ -24,12 +24,87 @@ void check_probability_block(const util::Matrix& m, const char* what) {
   }
 }
 
+/// The O(t^2) probability scans gated by ValidationMode.
+void check_probabilities(const util::Matrix& q, const util::Matrix& r,
+                         double row_sum_tol) {
+  check_probability_block(q, "Q");
+  check_probability_block(r, "R");
+  for (std::size_t i = 0; i < q.rows(); ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < q.cols(); ++j) row_sum += q(i, j);
+    for (std::size_t k = 0; k < r.cols(); ++k) row_sum += r(i, k);
+    if (std::abs(row_sum - 1.0) > row_sum_tol) {
+      throw std::invalid_argument(
+          "AbsorbingChain: transition row does not sum to 1");
+    }
+  }
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double sum(const std::vector<double>& a) {
+  double acc = 0.0;
+  for (double x : a) acc += x;
+  return acc;
+}
+
+/// b0[k] = sum_i row0[i] * r(i, k) — row 0 of B = N R without forming B.
+void row0_absorption(const std::vector<double>& row0, const util::Matrix& r,
+                     std::vector<double>& b0) {
+  b0.assign(r.cols(), 0.0);
+  for (std::size_t i = 0; i < r.rows(); ++i) {
+    const double x = row0[i];
+    if (x == 0.0) continue;
+    for (std::size_t k = 0; k < r.cols(); ++k) b0[k] += x * r(i, k);
+  }
+}
+
+/// a = I - q, written over a's existing storage.
+void assemble_i_minus_q(const util::Matrix& q, util::Matrix& a) {
+  const std::size_t t = q.rows();
+  a.assign(t, t);
+  for (std::size_t i = 0; i < t; ++i) {
+    for (std::size_t j = 0; j < t; ++j) {
+      a(i, j) = (i == j ? 1.0 : 0.0) - q(i, j);
+    }
+  }
+}
+
+/// rhs for the second moment of time-to-absorption. With deterministic
+/// residence r_i and T_i = r_i + T_next:
+///   E[T_i^2] = r_i^2 + 2 r_i (Q t)_i + (Q s)_i
+///     =>  s = N (r.^2 + 2 r .* (Q t))   with t = N r.
+void second_moment_rhs(const std::vector<double>& residence,
+                       const std::vector<double>& qt,
+                       std::vector<double>& rhs) {
+  rhs.resize(residence.size());
+  for (std::size_t i = 0; i < residence.size(); ++i) {
+    rhs[i] = residence[i] * residence[i] + 2.0 * residence[i] * qt[i];
+  }
+}
+
 }  // namespace
+
+/// Deferred analysis state: the full fundamental matrix, absorption matrix
+/// and moment vectors, each materialized at most once, on first access.
+struct AbsorbingChain::Lazy {
+  std::once_flag n_once, b_once, t_once, m_once;
+  util::Matrix n;               // fundamental matrix N = (I - Q)^{-1}
+  util::Matrix b;               // absorption probabilities B = N R
+  std::vector<double> t;        // expected time-to-absorption per state
+  std::vector<double> m;        // E[T^2] per start state
+};
 
 AbsorbingChain::AbsorbingChain(util::Matrix q, util::Matrix r,
                                std::vector<double> residence_times,
-                               double row_sum_tol)
-    : q_(std::move(q)), r_(std::move(r)), residence_(std::move(residence_times)) {
+                               double row_sum_tol, ValidationMode validation)
+    : q_(std::move(q)), r_(std::move(r)),
+      residence_(std::move(residence_times)),
+      lazy_(std::make_unique<Lazy>()) {
   if (!q_.square()) {
     throw std::invalid_argument("AbsorbingChain: Q must be square");
   }
@@ -52,43 +127,96 @@ AbsorbingChain::AbsorbingChain(util::Matrix q, util::Matrix r,
       throw std::invalid_argument("AbsorbingChain: negative residence time");
     }
   }
-  check_probability_block(q_, "Q");
-  check_probability_block(r_, "R");
-  for (std::size_t i = 0; i < t; ++i) {
-    double row_sum = 0.0;
-    for (std::size_t j = 0; j < t; ++j) row_sum += q_(i, j);
-    for (std::size_t k = 0; k < r_.cols(); ++k) row_sum += r_(i, k);
-    if (std::abs(row_sum - 1.0) > row_sum_tol) {
-      throw std::invalid_argument(
-          "AbsorbingChain: transition row does not sum to 1");
-    }
+  if (validation == ValidationMode::kFull) {
+    check_probabilities(q_, r_, row_sum_tol);
+  } else {
+#ifndef NDEBUG
+    // Trusted callers promise pre-validated input; debug builds verify the
+    // promise once so a bad caller is caught before it ships.
+    check_probabilities(q_, r_, row_sum_tol);
+#endif
   }
 
-  // N = (I - Q)^{-1}; singular means some transient state cannot be absorbed.
+  // Factor I - Q once; singular means some transient state cannot be
+  // absorbed. One adjoint solve (I - Q)^T x = e_0 yields row 0 of the
+  // fundamental matrix, from which every row-0 metric is a dot product.
   util::Matrix i_minus_q = util::Matrix::identity(t);
   i_minus_q -= q_;
-  util::LuDecomposition lu(std::move(i_minus_q));
-  n_ = lu.inverse();
-  b_ = n_ * r_;
-  t_ = n_.apply(residence_);
+  lu_.factor(std::move(i_minus_q));
 
-  // Second moment of time-to-absorption. With deterministic residence r_i and
-  // T_i = r_i + T_next:
-  //   E[T_i^2] = r_i^2 + 2 r_i (Q t)_i + (Q s)_i  =>  s = N (r.^2 + 2 r .* Qt)
-  const std::vector<double> qt = q_.apply(t_);
-  std::vector<double> rhs(t);
-  for (std::size_t i = 0; i < t; ++i) {
-    rhs[i] = residence_[i] * residence_[i] + 2.0 * residence_[i] * qt[i];
+  std::vector<double> e0(t, 0.0);
+  e0[0] = 1.0;
+  std::vector<double> scratch;
+  lu_.solve_transposed_into(e0, row0_, scratch);
+  t0_ = dot(row0_, residence_);
+  steps0_ = sum(row0_);
+  row0_absorption(row0_, r_, b0_);
+}
+
+AbsorbingChain::AbsorbingChain(const AbsorbingChain& other)
+    : q_(other.q_), r_(other.r_), residence_(other.residence_),
+      lu_(other.lu_), row0_(other.row0_), b0_(other.b0_), t0_(other.t0_),
+      steps0_(other.steps0_), lazy_(std::make_unique<Lazy>()) {}
+
+AbsorbingChain::AbsorbingChain(AbsorbingChain&&) noexcept = default;
+AbsorbingChain& AbsorbingChain::operator=(AbsorbingChain&&) noexcept = default;
+AbsorbingChain::~AbsorbingChain() = default;
+
+AbsorbingChain& AbsorbingChain::operator=(const AbsorbingChain& other) {
+  if (this != &other) {
+    q_ = other.q_;
+    r_ = other.r_;
+    residence_ = other.residence_;
+    lu_ = other.lu_;
+    row0_ = other.row0_;
+    b0_ = other.b0_;
+    t0_ = other.t0_;
+    steps0_ = other.steps0_;
+    lazy_ = std::make_unique<Lazy>();
   }
-  second_moment_ = n_.apply(rhs);
+  return *this;
+}
+
+const util::Matrix& AbsorbingChain::fundamental() const {
+  std::call_once(lazy_->n_once, [this] {
+    lazy_->n = lu_.inverse();
+  });
+  return lazy_->n;
+}
+
+const util::Matrix& AbsorbingChain::absorption_probabilities() const {
+  std::call_once(lazy_->b_once, [this] {
+    lazy_->b = lu_.solve(r_);
+  });
+  return lazy_->b;
+}
+
+const std::vector<double>& AbsorbingChain::full_times() const {
+  std::call_once(lazy_->t_once, [this] {
+    lazy_->t = lu_.solve(residence_);
+  });
+  return lazy_->t;
+}
+
+const std::vector<double>& AbsorbingChain::second_moments() const {
+  std::call_once(lazy_->m_once, [this] {
+    const std::vector<double>& t = full_times();
+    const std::vector<double> qt = q_.apply(t);
+    std::vector<double> rhs;
+    second_moment_rhs(residence_, qt, rhs);
+    lazy_->m = lu_.solve(rhs);
+  });
+  return lazy_->m;
 }
 
 std::vector<double> AbsorbingChain::expected_visits(std::size_t start) const {
   if (start >= num_transient()) {
     throw std::out_of_range("AbsorbingChain::expected_visits");
   }
+  if (start == 0) return row0_;
+  const util::Matrix& n = fundamental();
   std::vector<double> visits(num_transient());
-  for (std::size_t j = 0; j < num_transient(); ++j) visits[j] = n_(start, j);
+  for (std::size_t j = 0; j < num_transient(); ++j) visits[j] = n(start, j);
   return visits;
 }
 
@@ -96,7 +224,8 @@ double AbsorbingChain::expected_time(std::size_t start) const {
   if (start >= num_transient()) {
     throw std::out_of_range("AbsorbingChain::expected_time");
   }
-  return t_[start];
+  if (start == 0) return t0_;
+  return full_times()[start];
 }
 
 double AbsorbingChain::expected_time(
@@ -105,9 +234,10 @@ double AbsorbingChain::expected_time(
     throw std::invalid_argument(
         "AbsorbingChain::expected_time: distribution length mismatch");
   }
+  const std::vector<double>& t = full_times();
   double acc = 0.0;
-  for (std::size_t i = 0; i < t_.size(); ++i) {
-    acc += start_distribution[i] * t_[i];
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    acc += start_distribution[i] * t[i];
   }
   return acc;
 }
@@ -116,8 +246,10 @@ double AbsorbingChain::expected_steps(std::size_t start) const {
   if (start >= num_transient()) {
     throw std::out_of_range("AbsorbingChain::expected_steps");
   }
+  if (start == 0) return steps0_;
+  const util::Matrix& n = fundamental();
   double acc = 0.0;
-  for (std::size_t j = 0; j < num_transient(); ++j) acc += n_(start, j);
+  for (std::size_t j = 0; j < num_transient(); ++j) acc += n(start, j);
   return acc;
 }
 
@@ -126,19 +258,58 @@ double AbsorbingChain::absorption_probability(std::size_t start,
   if (start >= num_transient() || absorbing >= num_absorbing()) {
     throw std::out_of_range("AbsorbingChain::absorption_probability");
   }
-  return b_(start, absorbing);
+  if (start == 0) return b0_[absorbing];
+  return absorption_probabilities()(start, absorbing);
 }
 
 double AbsorbingChain::time_variance(std::size_t start) const {
   if (start >= num_transient()) {
     throw std::out_of_range("AbsorbingChain::time_variance");
   }
-  const double m1 = t_[start];
-  return second_moment_[start] - m1 * m1;
+  const double m1 = full_times()[start];
+  return second_moments()[start] - m1 * m1;
+}
+
+ChainWorkspace& local_chain_workspace() {
+  thread_local ChainWorkspace workspace;
+  return workspace;
+}
+
+Row0Solve solve_row0(ChainWorkspace& ws, bool with_second_moment) {
+  const std::size_t t = ws.q.rows();
+  assert(ws.q.square() && ws.r.rows() == t && ws.residence.size() == t &&
+         t > 0 && ws.r.cols() > 0);
+#ifndef NDEBUG
+  // Trusted-path invariant: assemblers produce stochastic rows.
+  check_probabilities(ws.q, ws.r, 1e-9);
+#endif
+
+  assemble_i_minus_q(ws.q, ws.a);
+  ws.lu.factor(ws.a);
+
+  ws.rhs.assign(t, 0.0);
+  ws.rhs[0] = 1.0;
+  ws.lu.solve_transposed_into(ws.rhs, ws.row0, ws.scratch);
+
+  Row0Solve out;
+  out.expected_time = dot(ws.row0, ws.residence);
+  out.expected_steps = sum(ws.row0);
+  row0_absorption(ws.row0, ws.r, ws.b0);
+
+  if (with_second_moment) {
+    // E[T^2] from state 0 is e_0^T N rhs = row0 . rhs — the already-solved
+    // adjoint row replaces the second full solve of the eager path.
+    ws.lu.solve_into(ws.residence, ws.t);
+    ws.q.apply_into(ws.t, ws.qt);
+    second_moment_rhs(ws.residence, ws.qt, ws.rhs);
+    out.second_moment = dot(ws.row0, ws.rhs);
+  }
+  return out;
 }
 
 SimulationResult simulate(const AbsorbingChain& chain, std::size_t start,
-                          std::size_t trials, std::uint64_t seed) {
+                          std::size_t trials, std::uint64_t seed,
+                          std::size_t max_steps) {
   if (start >= chain.num_transient()) {
     throw std::out_of_range("simulate: bad start state");
   }
@@ -155,11 +326,14 @@ SimulationResult simulate(const AbsorbingChain& chain, std::size_t start,
   for (std::size_t trial = 0; trial < trials; ++trial) {
     std::size_t state = start;
     double time = 0.0;
-    // A generous cap guards against pathological (near-singular) chains; the
-    // constructor already rejected truly non-absorbing ones.
-    for (std::size_t step = 0; step < 10'000'000; ++step) {
+    double steps = 0.0;
+    bool absorbed = false;
+    // The step cap guards against pathological (near-singular) chains; the
+    // constructor already rejected truly non-absorbing ones. A capped walk
+    // is reported as truncated, never folded into the aggregates.
+    for (std::size_t step = 0; step < max_steps && !absorbed; ++step) {
       time += chain.residence_times()[state];
-      total_steps += 1.0;
+      steps += 1.0;
       double u = rng.uniform();
       bool moved = false;
       for (std::size_t j = 0; j < t; ++j) {
@@ -175,17 +349,27 @@ SimulationResult simulate(const AbsorbingChain& chain, std::size_t start,
         u -= chain.r()(state, k);
         if (u < 0.0 || k + 1 == chain.num_absorbing()) {
           result.absorption_frequency[k] += 1.0;
+          absorbed = true;
           break;
         }
       }
-      break;
+    }
+    if (!absorbed) {
+      ++result.truncated_trials;
+      continue;  // contributes to no aggregate
     }
     total_time += time;
+    total_steps += steps;
   }
-  result.mean_time = total_time / static_cast<double>(trials);
-  result.mean_steps = total_steps / static_cast<double>(trials);
+  const std::size_t completed = trials - result.truncated_trials;
+  if (completed == 0) {
+    throw std::runtime_error(
+        "simulate: every trial hit the step cap without absorbing");
+  }
+  result.mean_time = total_time / static_cast<double>(completed);
+  result.mean_steps = total_steps / static_cast<double>(completed);
   for (double& f : result.absorption_frequency) {
-    f /= static_cast<double>(trials);
+    f /= static_cast<double>(completed);
   }
   return result;
 }

@@ -13,28 +13,60 @@
 //   * expected visits to each transient state:      N(start, j)
 //   * expected time to absorption:                  (N r)(start), r = residence
 //   * absorption probabilities per absorbing state: B = N R
+//
+// The DSE flows only ever read *row 0* of those quantities (every chain
+// starts in its first Exec state), so the construction path factors I - Q
+// once and performs a single adjoint solve (I - Q)^T x = e_0 — x is row 0 of
+// N, and every row-0 metric is a dot product against it. The full N, B and
+// second-moment vectors are computed lazily, on first access, for the tests
+// and Monte-Carlo oracles that still want them.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
+#include "util/linsolve.hpp"
 #include "util/matrix.hpp"
 
 namespace clrearly::markov {
+
+/// How much input checking an AbsorbingChain constructor performs.
+///
+/// kFull validates every probability entry and every row sum — O(t^2) per
+/// construction, the right default for chains assembled from arbitrary
+/// input. kTrusted skips those scans (release builds only; debug builds
+/// still run them and assert) for callers that construct chains from
+/// already-validated parameters, e.g. the CLR chain builder whose
+/// ClrChainParams::validate() bounds every probability and whose topology
+/// makes rows sum to 1 by construction.
+enum class ValidationMode { kFull, kTrusted };
 
 class AbsorbingChain {
  public:
   /// Construct from the transient block Q (t x t), the absorbing block R
   /// (t x a, a >= 1) and per-transient-state residence times (length t,
-  /// all >= 0). Validates that all probabilities lie in [0, 1] and that each
-  /// row of [Q | R] sums to 1 within `row_sum_tol`; throws
-  /// std::invalid_argument otherwise. The fundamental matrix is computed
-  /// eagerly (throws std::domain_error if I - Q is singular, i.e. the chain
-  /// has a transient subset that can never reach absorption).
+  /// all >= 0). Under ValidationMode::kFull, validates that all
+  /// probabilities lie in [0, 1] and that each row of [Q | R] sums to 1
+  /// within `row_sum_tol`; throws std::invalid_argument otherwise. I - Q is
+  /// LU-factored eagerly (throws std::domain_error if it is singular, i.e.
+  /// the chain has a transient subset that can never reach absorption) and
+  /// row-0 metrics are extracted with one adjoint solve; everything else is
+  /// computed lazily.
   AbsorbingChain(util::Matrix q, util::Matrix r,
                  std::vector<double> residence_times,
-                 double row_sum_tol = 1e-9);
+                 double row_sum_tol = 1e-9,
+                 ValidationMode validation = ValidationMode::kFull);
+
+  // Copies restart with a fresh (empty) lazy state; moves transfer it.
+  // All special members are out of line — Lazy is incomplete here.
+  AbsorbingChain(const AbsorbingChain& other);
+  AbsorbingChain& operator=(const AbsorbingChain& other);
+  AbsorbingChain(AbsorbingChain&&) noexcept;
+  AbsorbingChain& operator=(AbsorbingChain&&) noexcept;
+  ~AbsorbingChain();
 
   std::size_t num_transient() const noexcept { return q_.rows(); }
   std::size_t num_absorbing() const noexcept { return r_.cols(); }
@@ -45,11 +77,13 @@ class AbsorbingChain {
     return residence_;
   }
 
-  /// Fundamental matrix N = (I - Q)^{-1}.
-  const util::Matrix& fundamental() const noexcept { return n_; }
+  /// Fundamental matrix N = (I - Q)^{-1}. Computed lazily on first call
+  /// (t column solves against the stored LU factors); thread-safe.
+  const util::Matrix& fundamental() const;
 
   /// Expected number of visits to each transient state, starting from
-  /// transient state `start` (a row of N).
+  /// transient state `start` (a row of N). Row 0 comes from the eager
+  /// adjoint solve; other rows materialize the fundamental matrix.
   std::vector<double> expected_visits(std::size_t start) const;
 
   /// Expected accumulated residence time until absorption from `start`.
@@ -64,41 +98,102 @@ class AbsorbingChain {
   double expected_steps(std::size_t start) const;
 
   /// B = N R: B(i, k) = probability of ending in absorbing state k when
-  /// starting from transient state i.
-  const util::Matrix& absorption_probabilities() const noexcept { return b_; }
+  /// starting from transient state i. Lazy (a column solves); thread-safe.
+  const util::Matrix& absorption_probabilities() const;
 
-  /// Convenience accessor into absorption_probabilities().
+  /// Probability of ending in absorbing state `absorbing` from `start`.
+  /// Row 0 is served from the eager adjoint solve; other rows materialize
+  /// absorption_probabilities().
   double absorption_probability(std::size_t start,
                                 std::size_t absorbing) const;
 
   /// Variance of the number of visits is not needed by the paper's models,
   /// but the variance of time-to-absorption is useful for validating against
-  /// Monte-Carlo simulation in tests:
-  ///   Var[T] = (2N - I) t_hat - t .* t   with t = N r, t_hat = N (r .* t)...
-  /// We expose instead the exact second-moment recursion evaluated from the
-  /// chain (see chain.cpp for the derivation).
+  /// Monte-Carlo simulation in tests. We expose the exact second-moment
+  /// recursion evaluated from the chain (see chain.cpp for the derivation);
+  /// the moment vectors are computed lazily on first call.
   double time_variance(std::size_t start) const;
 
  private:
+  struct Lazy;  // deferred full-matrix/moment state, see chain.cpp
+
+  const std::vector<double>& full_times() const;
+  const std::vector<double>& second_moments() const;
+
   util::Matrix q_;
   util::Matrix r_;
   std::vector<double> residence_;
-  util::Matrix n_;                 // fundamental matrix
-  util::Matrix b_;                 // absorption probabilities
-  std::vector<double> t_;          // expected time-to-absorption per state
-  std::vector<double> second_moment_;  // E[T^2] per start state
+  util::LuDecomposition lu_;       // factors of I - Q, solve-on-demand
+  std::vector<double> row0_;       // row 0 of N, from one adjoint solve
+  std::vector<double> b0_;         // row 0 of B = N R
+  double t0_ = 0.0;                // expected time to absorption from 0
+  double steps0_ = 0.0;            // expected steps to absorption from 0
+  std::unique_ptr<Lazy> lazy_;     // never null after construction
 };
+
+/// Reusable buffers for the allocation-free chain-analysis kernel. One
+/// workspace serves one thread; grab the calling thread's instance with
+/// local_chain_workspace(). After the first few evaluations every buffer has
+/// reached its high-water size and a cache-miss chain solve performs no heap
+/// allocation at all.
+struct ChainWorkspace {
+  // Chain under analysis — filled by an assembler (see
+  // reliability::assemble_timing_chain / assemble_functional_chain).
+  util::Matrix q;                 ///< transient block (t x t)
+  util::Matrix r;                 ///< absorbing block (t x a)
+  std::vector<double> residence;  ///< per-transient residence times
+
+  // Kernel state and outputs.
+  util::Matrix a;                 ///< I - Q, the LU factor input
+  util::LuDecomposition lu;       ///< refactored in place per solve
+  std::vector<double> row0;       ///< row 0 of N (adjoint solve result)
+  std::vector<double> b0;         ///< row 0 of B, per absorbing state
+  std::vector<double> t;          ///< expected time per state (2nd moment)
+  std::vector<double> qt;         ///< Q * t scratch
+  std::vector<double> rhs;        ///< right-hand-side scratch
+  std::vector<double> scratch;    ///< triangular-solve scratch
+};
+
+/// The calling thread's chain workspace (thread_local — each thread-pool
+/// worker owns exactly one, so parallel cache-miss evaluations never
+/// contend or share buffers).
+ChainWorkspace& local_chain_workspace();
+
+/// Row-0 chain metrics from the single-solve kernel.
+struct Row0Solve {
+  double expected_time = 0.0;    ///< E[time to absorption] from state 0
+  double expected_steps = 0.0;   ///< E[steps to absorption] from state 0
+  double second_moment = 0.0;    ///< E[T^2] from state 0 (if requested)
+};
+
+/// Solve the chain currently assembled in `ws` (q, r, residence) for its
+/// row-0 metrics: factor I - Q once, run one adjoint solve
+/// (I - Q)^T x = e_0, and reduce x against the residence vector and the
+/// columns of R (absorption probabilities land in ws.b0). When
+/// `with_second_moment` is set, one additional forward solve yields the
+/// full expected-time vector needed for E[T^2]. Throws std::domain_error
+/// when I - Q is singular (non-absorbing chain). No allocation once `ws`
+/// is warm.
+Row0Solve solve_row0(ChainWorkspace& ws, bool with_second_moment);
 
 /// Monte-Carlo roll of an absorbing chain: simulate `trials` walks from
 /// transient state `start`, returning (mean time to absorption, per-absorbing
 /// state hit frequencies). Used by tests to cross-validate the analytical
 /// results; deterministic given the seed.
+///
+/// A walk that has not absorbed after `max_steps` transitions is *truncated*:
+/// it is excluded from every aggregate (mean_time, mean_steps,
+/// absorption_frequency) and counted in truncated_trials instead, so a
+/// pathological chain skews the report visibly rather than silently. Throws
+/// std::runtime_error if every trial truncates.
 struct SimulationResult {
   double mean_time = 0.0;
   double mean_steps = 0.0;
   std::vector<double> absorption_frequency;
+  std::size_t truncated_trials = 0;  ///< walks that hit max_steps unabsorbed
 };
 SimulationResult simulate(const AbsorbingChain& chain, std::size_t start,
-                          std::size_t trials, std::uint64_t seed);
+                          std::size_t trials, std::uint64_t seed,
+                          std::size_t max_steps = 10'000'000);
 
 }  // namespace clrearly::markov

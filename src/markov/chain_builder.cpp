@@ -73,7 +73,8 @@ StateId ChainBuilder::lookup(const std::string& name) const {
   return it->second;
 }
 
-AbsorbingChain ChainBuilder::build(double row_sum_tol) const {
+AbsorbingChain ChainBuilder::build(double row_sum_tol,
+                                   ValidationMode validation) const {
   const std::size_t t = transient_names_.size();
   const std::size_t a = absorbing_names_.size();
   util::Matrix q(t, t);
@@ -87,7 +88,8 @@ AbsorbingChain ChainBuilder::build(double row_sum_tol) const {
       }
     }
   }
-  return AbsorbingChain(std::move(q), std::move(r), residence_, row_sum_tol);
+  return AbsorbingChain(std::move(q), std::move(r), residence_, row_sum_tol,
+                        validation);
 }
 
 }  // namespace clrearly::markov

@@ -52,8 +52,11 @@ class ChainBuilder {
 
   /// Validate and construct the chain. Throws std::invalid_argument if any
   /// transient row does not sum to 1 within `row_sum_tol` or the chain is not
-  /// absorbing from every transient state.
-  AbsorbingChain build(double row_sum_tol = 1e-9) const;
+  /// absorbing from every transient state. `validation` is forwarded to the
+  /// AbsorbingChain constructor; pass ValidationMode::kTrusted only when the
+  /// edges were derived from already-validated probabilities.
+  AbsorbingChain build(double row_sum_tol = 1e-9,
+                       ValidationMode validation = ValidationMode::kFull) const;
 
  private:
   struct Edge {

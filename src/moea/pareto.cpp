@@ -30,6 +30,7 @@ bool constrained_dominates(const Objectives& a, double violation_a,
 std::vector<std::size_t> pareto_front_indices(
     const std::vector<Objectives>& points) {
   std::vector<std::size_t> front;
+  front.reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
     bool is_dominated = false;
     for (std::size_t j = 0; j < points.size(); ++j) {
@@ -44,8 +45,10 @@ std::vector<std::size_t> pareto_front_indices(
 }
 
 std::vector<Objectives> pareto_filter(const std::vector<Objectives>& points) {
+  const std::vector<std::size_t> front = pareto_front_indices(points);
   std::vector<Objectives> out;
-  for (std::size_t i : pareto_front_indices(points)) out.push_back(points[i]);
+  out.reserve(front.size());
+  for (std::size_t i : front) out.push_back(points[i]);
   return out;
 }
 
@@ -68,16 +71,25 @@ std::vector<std::vector<std::size_t>> non_dominated_sort(
   std::vector<std::size_t> domination_count(n, 0);
   std::vector<std::vector<std::size_t>> fronts;
 
+  // Each unordered pair is compared once per direction (dominance is
+  // antisymmetric), halving the dom() evaluations of the naive all-pairs
+  // scan. Pushes into dominated_by[k] still arrive in ascending index
+  // order — pairs (i, k) with i < k fire before the outer loop reaches k —
+  // so the produced fronts are element-for-element identical.
   std::vector<std::size_t> current;
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      if (i == j) continue;
+    for (std::size_t j = i + 1; j < n; ++j) {
       if (dom(i, j)) {
         dominated_by[i].push_back(j);
+        ++domination_count[j];
       } else if (dom(j, i)) {
+        dominated_by[j].push_back(i);
         ++domination_count[i];
       }
     }
+  }
+  current.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
     if (domination_count[i] == 0) current.push_back(i);
   }
 

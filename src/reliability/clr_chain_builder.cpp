@@ -21,9 +21,100 @@ void check_prob(double p, const char* what) {
   }
 }
 
-/// Shared topology for both chains. `functional` selects the Fig. 3b variant
-/// with Error/noError absorbing states; otherwise everything forward-routes
-/// to the single End state (Fig. 3a).
+// Per-interval state block of the dense assemblers. Offsets mirror the
+// registration order of the ChainBuilder reference path exactly, so both
+// paths produce the same state indexing: 7 states per interval (the last
+// interval has no checkpoint, hence t = 7n - 1 transient states total).
+constexpr std::size_t kExec = 0;
+constexpr std::size_t kHw = 1;
+constexpr std::size_t kSswImpl = 2;
+constexpr std::size_t kSswDet = 3;
+constexpr std::size_t kSswTol = 4;
+constexpr std::size_t kAsw = 5;
+constexpr std::size_t kChk = 6;
+constexpr std::size_t kBlock = 7;
+
+/// Dense shared-topology assembler: writes Q, R and the residence vector
+/// directly into workspace storage by index, skipping the string-keyed
+/// ChainBuilder entirely. Mirrors build_chain_reference edge for edge; each
+/// (row, col) cell is touched by exactly one edge, so += from the zeroed
+/// matrices reproduces the builder's accumulation bit for bit.
+void assemble_chain(const ClrChainParams& p, bool functional,
+                    markov::ChainWorkspace& ws) {
+  const std::size_t n = p.intervals;
+  const std::size_t t = kBlock * n - 1;
+  ws.q.assign(t, t);
+  ws.r.assign(t, functional ? 2 : 1);
+  ws.residence.assign(t, 0.0);
+
+  const std::size_t done = functional ? kAbsorbNoError : 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t base = kBlock * i;
+    const std::size_t exec = base + kExec;
+    const std::size_t hw = base + kHw;
+    const std::size_t ssw_impl = base + kSswImpl;
+    const std::size_t ssw_det = base + kSswDet;
+    const std::size_t ssw_tol = base + kSswTol;
+    const std::size_t asw = base + kAsw;
+    const std::size_t chk = base + kChk;
+    const bool has_chk = i + 1 < n;
+
+    ws.residence[exec] = p.interval_time(i) + p.detection_time_us;
+    ws.residence[ssw_tol] = p.tolerance_time_us;
+    if (has_chk) ws.residence[chk] = p.checkpoint_time_us;
+
+    // Clean completion of interval i proceeds to the next checkpoint, or to
+    // final absorption after the last interval.
+    const auto to_next = [&](std::size_t from, double prob) {
+      if (has_chk) {
+        ws.q(from, chk) += prob;
+      } else {
+        ws.r(from, done) += prob;
+      }
+    };
+
+    const double pne = p.pne_for_interval(i);
+    to_next(exec, pne);
+    ws.q(exec, hw) += 1.0 - pne;
+
+    to_next(hw, p.hw_masking);
+    ws.q(hw, ssw_impl) += 1.0 - p.hw_masking;
+
+    to_next(ssw_impl, p.implicit_ssw_masking);
+    ws.q(ssw_impl, ssw_det) += 1.0 - p.implicit_ssw_masking;
+
+    ws.q(ssw_det, ssw_tol) += p.detection_coverage;
+    ws.q(ssw_det, asw) += 1.0 - p.detection_coverage;
+
+    // Successful tolerance rolls back to the start of the current interval;
+    // failed tolerance leaves the error for the ASW layer.
+    ws.q(ssw_tol, exec) += p.tolerance_success;
+    ws.q(ssw_tol, asw) += 1.0 - p.tolerance_success;
+
+    if (functional) {
+      to_next(asw, p.asw_masking);
+      ws.r(asw, kAbsorbError) += 1.0 - p.asw_masking;
+    } else {
+      // Timing: the result's correctness does not change when it is ready.
+      to_next(asw, 1.0);
+    }
+
+    if (has_chk) {
+      const std::size_t next_exec = kBlock * (i + 1) + kExec;
+      if (functional && p.checkpoint_error_prob > 0.0) {
+        ws.r(chk, kAbsorbError) += p.checkpoint_error_prob;
+        ws.q(chk, next_exec) += 1.0 - p.checkpoint_error_prob;
+      } else {
+        ws.q(chk, next_exec) += 1.0;
+      }
+    }
+  }
+}
+
+/// Shared topology for both chains, named-state reference path. `functional`
+/// selects the Fig. 3b variant with Error/noError absorbing states;
+/// otherwise everything forward-routes to the single End state (Fig. 3a).
 markov::AbsorbingChain build_chain(const ClrChainParams& p, bool functional) {
   p.validate();
   markov::ChainBuilder b;
@@ -161,11 +252,34 @@ double ClrChainParams::pne_per_interval() const {
 }
 
 markov::AbsorbingChain build_timing_chain(const ClrChainParams& params) {
-  return build_chain(params, /*functional=*/false);
+  params.validate();
+  markov::ChainWorkspace& ws = markov::local_chain_workspace();
+  assemble_chain(params, /*functional=*/false, ws);
+  return markov::AbsorbingChain(ws.q, ws.r, ws.residence, 1e-9,
+                                markov::ValidationMode::kTrusted);
 }
 
 markov::AbsorbingChain build_functional_chain(const ClrChainParams& params) {
-  return build_chain(params, /*functional=*/true);
+  params.validate();
+  markov::ChainWorkspace& ws = markov::local_chain_workspace();
+  assemble_chain(params, /*functional=*/true, ws);
+  return markov::AbsorbingChain(ws.q, ws.r, ws.residence, 1e-9,
+                                markov::ValidationMode::kTrusted);
+}
+
+markov::AbsorbingChain build_chain_reference(const ClrChainParams& params,
+                                             bool functional) {
+  return build_chain(params, functional);
+}
+
+void assemble_timing_chain(const ClrChainParams& params,
+                           markov::ChainWorkspace& ws) {
+  assemble_chain(params, /*functional=*/false, ws);
+}
+
+void assemble_functional_chain(const ClrChainParams& params,
+                               markov::ChainWorkspace& ws) {
+  assemble_chain(params, /*functional=*/true, ws);
 }
 
 util::Key128 chain_cache_key(const ClrChainParams& p) {
@@ -220,18 +334,32 @@ ChainCache* chain_cache() {
 }  // namespace
 
 ClrChainAnalysis analyze_clr_chain_uncached(const ClrChainParams& params) {
+  params.validate();
   ClrChainAnalysis out;
 
   const double n = static_cast<double>(params.intervals);
   out.min_exec_time_us = params.exec_time_us + n * params.detection_time_us +
                          (n - 1.0) * params.checkpoint_time_us;
 
-  const markov::AbsorbingChain timing = build_timing_chain(params);
-  out.avg_exec_time_us = timing.expected_time(0);
-  out.exec_time_stddev_us = std::sqrt(std::max(timing.time_variance(0), 0.0));
+  // Cache-miss hot path: assemble both chains into the calling thread's
+  // workspace and solve only for row 0 — one adjoint solve per chain plus
+  // one forward solve for the timing second moment, instead of full
+  // fundamental-matrix inversions. Allocation-free once the workspace is
+  // warm. A non-absorbing chain still surfaces as std::domain_error from
+  // the LU factorization, exactly like the eager path.
+  markov::ChainWorkspace& ws = markov::local_chain_workspace();
 
-  const markov::AbsorbingChain functional = build_functional_chain(params);
-  out.error_prob = functional.absorption_probability(0, kAbsorbError);
+  assemble_chain(params, /*functional=*/false, ws);
+  const markov::Row0Solve timing =
+      markov::solve_row0(ws, /*with_second_moment=*/true);
+  out.avg_exec_time_us = timing.expected_time;
+  const double variance =
+      timing.second_moment - timing.expected_time * timing.expected_time;
+  out.exec_time_stddev_us = std::sqrt(std::max(variance, 0.0));
+
+  assemble_chain(params, /*functional=*/true, ws);
+  markov::solve_row0(ws, /*with_second_moment=*/false);
+  out.error_prob = ws.b0[kAbsorbError];
   return out;
 }
 

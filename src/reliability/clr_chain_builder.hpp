@@ -64,6 +64,24 @@ markov::AbsorbingChain build_timing_chain(const ClrChainParams& params);
 /// Functional chain of Fig. 3b — absorbing states Error (0) and noError (1).
 markov::AbsorbingChain build_functional_chain(const ClrChainParams& params);
 
+/// Reference (pre-kernel) construction path: the named-state ChainBuilder
+/// assembly with full input validation. Produces matrices bit-identical to
+/// the dense assemblers below; kept for differential tests and the
+/// chain-kernel benchmark's "old path" baseline.
+markov::AbsorbingChain build_chain_reference(const ClrChainParams& params,
+                                             bool functional);
+
+/// Fill `ws.q`, `ws.r` and `ws.residence` with the Fig. 3a timing chain
+/// (resp. Fig. 3b functional chain) for `params`, reusing the workspace's
+/// storage — no allocation once `ws` is warm. The assembled matrices are
+/// bit-identical to what build_chain_reference() hands the AbsorbingChain
+/// constructor. `params` must already be validated; call
+/// markov::solve_row0(ws, ...) afterwards for the row-0 metrics.
+void assemble_timing_chain(const ClrChainParams& params,
+                           markov::ChainWorkspace& ws);
+void assemble_functional_chain(const ClrChainParams& params,
+                               markov::ChainWorkspace& ws);
+
 /// Indices of the functional chain's absorbing states.
 inline constexpr std::size_t kAbsorbError = 0;
 inline constexpr std::size_t kAbsorbNoError = 1;

@@ -11,7 +11,21 @@ namespace {
 constexpr double kSingularTol = 1e-13;
 }  // namespace
 
-LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
+LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) { factorize(); }
+
+void LuDecomposition::factor(const Matrix& a) {
+  lu_ = a;  // vector copy-assignment reuses lu_'s storage when it fits
+  perm_sign_ = 1;
+  factorize();
+}
+
+void LuDecomposition::factor(Matrix&& a) {
+  lu_ = std::move(a);
+  perm_sign_ = 1;
+  factorize();
+}
+
+void LuDecomposition::factorize() {
   if (!lu_.square()) {
     throw std::invalid_argument("LuDecomposition: matrix must be square");
   }
@@ -61,12 +75,19 @@ LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
 }
 
 std::vector<double> LuDecomposition::solve(const std::vector<double>& b) const {
+  std::vector<double> x;
+  solve_into(b, x);
+  return x;
+}
+
+void LuDecomposition::solve_into(const std::vector<double>& b,
+                                 std::vector<double>& x) const {
   const std::size_t n = dim();
   if (b.size() != n) {
     throw std::invalid_argument("LuDecomposition::solve: rhs length mismatch");
   }
   // Forward substitution with the permuted rhs (L has unit diagonal).
-  std::vector<double> x(n);
+  x.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     double acc = b[perm_[i]];
     for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
@@ -78,7 +99,43 @@ std::vector<double> LuDecomposition::solve(const std::vector<double>& b) const {
     for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
     x[ii] = acc / lu_(ii, ii);
   }
+}
+
+std::vector<double> LuDecomposition::solve_transposed(
+    const std::vector<double>& b) const {
+  std::vector<double> x;
+  std::vector<double> scratch;
+  solve_transposed_into(b, x, scratch);
   return x;
+}
+
+void LuDecomposition::solve_transposed_into(
+    const std::vector<double>& b, std::vector<double>& x,
+    std::vector<double>& scratch) const {
+  const std::size_t n = dim();
+  if (b.size() != n) {
+    throw std::invalid_argument(
+        "LuDecomposition::solve_transposed: rhs length mismatch");
+  }
+  // With P A = L U (perm_[i] = source row of factored row i):
+  //   A^T x = b  <=>  U^T L^T P x = b.
+  // Step 1, U^T y = b — U^T is lower triangular, forward substitution.
+  scratch.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(j, i) * scratch[j];
+    scratch[i] = acc / lu_(i, i);
+  }
+  // Step 2, L^T z = y — L^T is unit upper triangular, back substitution
+  // (in place over scratch).
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = scratch[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(j, ii) * scratch[j];
+    scratch[ii] = acc;
+  }
+  // Step 3, x = P^{-1} z: undo the row permutation.
+  x.resize(n);
+  for (std::size_t i = 0; i < n; ++i) x[perm_[i]] = scratch[i];
 }
 
 Matrix LuDecomposition::solve(const Matrix& b) const {
@@ -87,9 +144,10 @@ Matrix LuDecomposition::solve(const Matrix& b) const {
   }
   Matrix x(b.rows(), b.cols());
   std::vector<double> col(b.rows());
+  std::vector<double> xc;
   for (std::size_t j = 0; j < b.cols(); ++j) {
     for (std::size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
-    const std::vector<double> xc = solve(col);
+    solve_into(col, xc);
     for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = xc[i];
   }
   return x;

@@ -4,6 +4,12 @@
 // vectors and to the absorbing-transition block R. Chains stay small (a few
 // states per inter-checkpoint interval), so an O(n^3) partially-pivoted LU is
 // the right tool; no iterative machinery is warranted.
+//
+// The chain-analysis hot path factors once and then performs O(n^2) solves
+// against the stored factors — including *adjoint* (transposed) solves, which
+// extract a single row of A^{-1} without ever forming the inverse. The
+// `*_into` overloads write into caller-owned buffers so a warm workspace
+// performs no heap allocation.
 #pragma once
 
 #include <vector>
@@ -14,15 +20,43 @@ namespace clrearly::util {
 
 /// Partially pivoted LU decomposition of a square matrix.
 ///
-/// Factorization is performed once at construction; solves against multiple
-/// right-hand sides reuse it. Throws std::invalid_argument for non-square
-/// input and std::domain_error when the matrix is numerically singular.
+/// Factorization is performed once (at construction or via factor()); solves
+/// against multiple right-hand sides reuse it. Throws std::invalid_argument
+/// for non-square input and std::domain_error when the matrix is numerically
+/// singular.
 class LuDecomposition {
  public:
+  /// Empty decomposition; call factor() before any solve.
+  LuDecomposition() = default;
+
   explicit LuDecomposition(Matrix a);
+
+  /// (Re)factor `a`, reusing this object's internal storage when capacity
+  /// permits — the workspace-reuse path: no allocation once the high-water
+  /// dimension has been seen.
+  void factor(const Matrix& a);
+
+  /// (Re)factor, taking ownership of `a`'s storage.
+  void factor(Matrix&& a);
 
   /// Solve A x = b. b.size() must equal the matrix dimension.
   std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Solve A x = b into `x` (resized to dim(), capacity reused). `x` must
+  /// not alias `b`. Bit-identical to solve().
+  void solve_into(const std::vector<double>& b, std::vector<double>& x) const;
+
+  /// Solve A^T x = b — the adjoint solve. Row `i` of A^{-1} is the solution
+  /// for b = e_i, so a single adjoint solve replaces the n column solves of
+  /// inverse() when only one row is needed.
+  std::vector<double> solve_transposed(const std::vector<double>& b) const;
+
+  /// Adjoint solve into caller buffers. `scratch` holds the intermediate
+  /// triangular solutions; `x`, `scratch` and `b` must be three distinct
+  /// vectors. No allocation once both have dim() capacity.
+  void solve_transposed_into(const std::vector<double>& b,
+                             std::vector<double>& x,
+                             std::vector<double>& scratch) const;
 
   /// Solve A X = B column-by-column.
   Matrix solve(const Matrix& b) const;
@@ -36,6 +70,9 @@ class LuDecomposition {
   std::size_t dim() const noexcept { return lu_.rows(); }
 
  private:
+  /// Factor lu_ in place; shared by the constructor and factor().
+  void factorize();
+
   Matrix lu_;                  // packed L (unit diagonal, below) and U (above)
   std::vector<std::size_t> perm_;
   int perm_sign_ = 1;

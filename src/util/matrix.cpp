@@ -40,6 +40,12 @@ double Matrix::at(std::size_t r, std::size_t c) const {
   return (*this)(r, c);
 }
 
+void Matrix::assign(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
 Matrix& Matrix::operator+=(const Matrix& rhs) {
   if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
     throw std::invalid_argument("Matrix::operator+=: shape mismatch");
@@ -89,6 +95,19 @@ std::vector<double> Matrix::apply(const std::vector<double>& v) const {
     out[i] = acc;
   }
   return out;
+}
+
+void Matrix::apply_into(const std::vector<double>& v,
+                        std::vector<double>& out) const {
+  if (v.size() != cols_) {
+    throw std::invalid_argument("Matrix::apply_into: vector length mismatch");
+  }
+  out.resize(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += (*this)(i, j) * v[j];
+    out[i] = acc;
+  }
 }
 
 Matrix Matrix::transposed() const {

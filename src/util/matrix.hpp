@@ -44,6 +44,11 @@ class Matrix {
   double& at(std::size_t r, std::size_t c);
   double at(std::size_t r, std::size_t c) const;
 
+  /// Reshape to rows x cols with every element zeroed, reusing the existing
+  /// storage when capacity permits (no heap traffic once a workspace matrix
+  /// has reached its high-water size). Invalidates data() on growth only.
+  void assign(std::size_t rows, std::size_t cols);
+
   /// Contiguous row-major storage (row r starts at data()[r*cols()]).
   double* data() noexcept { return data_.data(); }
   const double* data() const noexcept { return data_.data(); }
@@ -62,6 +67,10 @@ class Matrix {
 
   /// Matrix-vector product; v.size() must equal cols().
   std::vector<double> apply(const std::vector<double>& v) const;
+
+  /// Matrix-vector product into a caller buffer (resized to rows(), reusing
+  /// its capacity). `out` must not alias `v`. Bit-identical to apply().
+  void apply_into(const std::vector<double>& v, std::vector<double>& out) const;
 
   /// Transposed copy.
   Matrix transposed() const;

@@ -1,0 +1,349 @@
+// Tests for the single-solve chain-analysis kernel: the adjoint row-0 solve
+// against the full-inverse reference, the dense CLR assemblers against the
+// named-state ChainBuilder path, lazy accessor consistency, workspace reuse
+// under concurrency (TSan coverage), validation modes, and simulate()'s
+// truncation accounting.
+#include "markov/chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "reliability/clr_chain_builder.hpp"
+#include "util/linsolve.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace clrearly::markov {
+namespace {
+
+double rel_err(double a, double b) {
+  const double scale = std::max({std::abs(a), std::abs(b), 1e-300});
+  return std::abs(a - b) / scale;
+}
+
+/// Random absorbing chain: every row keeps strictly positive mass toward
+/// every target (transient and absorbing), so absorption is guaranteed and
+/// I - Q is comfortably nonsingular.
+void fill_random_chain(std::size_t t, std::size_t a, util::Rng& rng,
+                       util::Matrix& q, util::Matrix& r,
+                       std::vector<double>& residence) {
+  q.assign(t, t);
+  r.assign(t, a);
+  residence.assign(t, 0.0);
+  std::vector<double> w(t + a);
+  for (std::size_t i = 0; i < t; ++i) {
+    double sum = 0.0;
+    for (double& x : w) {
+      x = rng.uniform(0.01, 1.0);
+      sum += x;
+    }
+    for (std::size_t j = 0; j < t; ++j) q(i, j) = w[j] / sum;
+    for (std::size_t k = 0; k < a; ++k) r(i, k) = w[t + k] / sum;
+    residence[i] = rng.uniform(0.0, 10.0);
+  }
+}
+
+/// Reference row-0 metrics through the full inverse N = (I - Q)^{-1} — the
+/// pre-kernel computation, reproduced independently of AbsorbingChain.
+struct Reference {
+  std::vector<double> row0;
+  std::vector<double> times;
+  util::Matrix n, b;
+  double t0 = 0.0, steps0 = 0.0, m0 = 0.0;
+};
+
+Reference full_inverse_reference(const util::Matrix& q, const util::Matrix& r,
+                                 const std::vector<double>& residence) {
+  const std::size_t t = q.rows();
+  util::Matrix i_minus_q = util::Matrix::identity(t);
+  i_minus_q -= q;
+  Reference ref;
+  ref.n = util::invert(i_minus_q);
+  ref.b = ref.n * r;
+  ref.times = ref.n.apply(residence);
+  ref.t0 = ref.times[0];
+  ref.row0.resize(t);
+  for (std::size_t j = 0; j < t; ++j) {
+    ref.row0[j] = ref.n(0, j);
+    ref.steps0 += ref.n(0, j);
+  }
+  const std::vector<double> qt = q.apply(ref.times);
+  std::vector<double> rhs(t);
+  for (std::size_t i = 0; i < t; ++i) {
+    rhs[i] = residence[i] * residence[i] + 2.0 * residence[i] * qt[i];
+  }
+  ref.m0 = ref.n.apply(rhs)[0];
+  return ref;
+}
+
+reliability::ClrChainParams sample_params(std::size_t intervals,
+                                          std::size_t salt) {
+  reliability::ClrChainParams p;
+  p.exec_time_us = 80.0 + static_cast<double>(salt % 13);
+  p.lambda_per_us = 2e-4;
+  p.hw_masking = 0.35;
+  p.implicit_ssw_masking = 0.25;
+  p.detection_coverage = 0.9;
+  p.tolerance_success = 0.92;
+  p.asw_masking = 0.45;
+  p.intervals = intervals;
+  p.detection_time_us = 0.4;
+  p.tolerance_time_us = 1.5;
+  p.checkpoint_time_us = 0.8;
+  p.checkpoint_error_prob = 2e-5;
+  return p;
+}
+
+class ChainKernelRandomTest : public ::testing::TestWithParam<std::size_t> {};
+
+// The kernel's single adjoint solve must reproduce the full-inverse
+// reference for every row-0 metric, to 1e-12 relative.
+TEST_P(ChainKernelRandomTest, MatchesFullInverseReference) {
+  const std::size_t t = GetParam();
+  util::Rng rng(4000 + t);
+  for (std::size_t a : {std::size_t{1}, std::size_t{2}}) {
+    ChainWorkspace ws;
+    fill_random_chain(t, a, rng, ws.q, ws.r, ws.residence);
+    const Reference ref = full_inverse_reference(ws.q, ws.r, ws.residence);
+
+    const Row0Solve solved = solve_row0(ws, /*with_second_moment=*/true);
+    EXPECT_LE(rel_err(solved.expected_time, ref.t0), 1e-12);
+    EXPECT_LE(rel_err(solved.expected_steps, ref.steps0), 1e-12);
+    EXPECT_LE(rel_err(solved.second_moment, ref.m0), 1e-12);
+    ASSERT_EQ(ws.b0.size(), a);
+    for (std::size_t k = 0; k < a; ++k) {
+      EXPECT_LE(rel_err(ws.b0[k], ref.b(0, k)), 1e-12);
+    }
+    for (std::size_t j = 0; j < t; ++j) {
+      EXPECT_LE(rel_err(ws.row0[j], ref.row0[j]), 1e-12);
+    }
+
+    // The AbsorbingChain front door (eager row-0 + lazy full state) must
+    // agree with the same reference.
+    const AbsorbingChain chain(ws.q, ws.r, ws.residence);
+    EXPECT_LE(rel_err(chain.expected_time(0), ref.t0), 1e-12);
+    EXPECT_LE(rel_err(chain.expected_steps(0), ref.steps0), 1e-12);
+    for (std::size_t k = 0; k < a; ++k) {
+      EXPECT_LE(rel_err(chain.absorption_probability(0, k), ref.b(0, k)),
+                1e-12);
+    }
+    const double var_ref = ref.m0 - ref.t0 * ref.t0;
+    EXPECT_LE(rel_err(chain.time_variance(0), var_ref),
+              1e-9);  // subtractive cancellation: looser
+    // Lazy full matrices against the reference inverse.
+    for (std::size_t i = 0; i < t; ++i) {
+      EXPECT_LE(rel_err(chain.expected_time(i), ref.times[i]), 1e-12);
+      for (std::size_t j = 0; j < t; ++j) {
+        EXPECT_LE(rel_err(chain.fundamental()(i, j), ref.n(i, j)), 1e-12);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChainKernelRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 40));
+
+// The dense assemblers must reproduce the ChainBuilder reference matrices
+// bit for bit — same state order, same edge arithmetic.
+TEST(ChainKernelTest, DenseAssemblerMatchesReferenceBitExactly) {
+  for (std::size_t intervals : {1u, 2u, 3u, 5u}) {
+    for (bool functional : {false, true}) {
+      const reliability::ClrChainParams p = sample_params(intervals, 7);
+      const AbsorbingChain ref =
+          reliability::build_chain_reference(p, functional);
+      ChainWorkspace ws;
+      if (functional) {
+        reliability::assemble_functional_chain(p, ws);
+      } else {
+        reliability::assemble_timing_chain(p, ws);
+      }
+      ASSERT_EQ(ws.q.rows(), ref.q().rows());
+      ASSERT_EQ(ws.r.cols(), ref.r().cols());
+      EXPECT_EQ(util::Matrix::max_abs_diff(ws.q, ref.q()), 0.0);
+      EXPECT_EQ(util::Matrix::max_abs_diff(ws.r, ref.r()), 0.0);
+      ASSERT_EQ(ws.residence.size(), ref.residence_times().size());
+      for (std::size_t i = 0; i < ws.residence.size(); ++i) {
+        EXPECT_EQ(ws.residence[i], ref.residence_times()[i]);
+      }
+    }
+  }
+}
+
+// build_timing_chain / build_functional_chain (trusted fast path) must agree
+// with the reference builder path through the public accessors.
+TEST(ChainKernelTest, TrustedBuildersMatchReferenceAccessors) {
+  const reliability::ClrChainParams p = sample_params(3, 2);
+  const AbsorbingChain timing = reliability::build_timing_chain(p);
+  const AbsorbingChain timing_ref =
+      reliability::build_chain_reference(p, /*functional=*/false);
+  EXPECT_LE(rel_err(timing.expected_time(0), timing_ref.expected_time(0)),
+            1e-12);
+  EXPECT_LE(rel_err(timing.time_variance(0), timing_ref.time_variance(0)),
+            1e-9);
+
+  const AbsorbingChain functional = reliability::build_functional_chain(p);
+  const AbsorbingChain functional_ref =
+      reliability::build_chain_reference(p, /*functional=*/true);
+  EXPECT_LE(
+      rel_err(functional.absorption_probability(0, reliability::kAbsorbError),
+              functional_ref.absorption_probability(
+                  0, reliability::kAbsorbError)),
+      1e-12);
+}
+
+// Workspace reuse across solves of different sizes and kinds: a smaller
+// chain after a larger one must not read stale buffer contents.
+TEST(ChainKernelTest, WorkspaceReuseAcrossSizesIsClean) {
+  ChainWorkspace ws;
+  for (std::size_t intervals : {5u, 1u, 3u, 2u, 4u, 1u}) {
+    const reliability::ClrChainParams p = sample_params(intervals, intervals);
+    reliability::assemble_timing_chain(p, ws);
+    const Row0Solve warm = solve_row0(ws, /*with_second_moment=*/true);
+
+    ChainWorkspace fresh;
+    reliability::assemble_timing_chain(p, fresh);
+    const Row0Solve cold = solve_row0(fresh, /*with_second_moment=*/true);
+
+    EXPECT_EQ(warm.expected_time, cold.expected_time);
+    EXPECT_EQ(warm.expected_steps, cold.expected_steps);
+    EXPECT_EQ(warm.second_moment, cold.second_moment);
+    ASSERT_EQ(ws.b0.size(), fresh.b0.size());
+    for (std::size_t k = 0; k < ws.b0.size(); ++k) {
+      EXPECT_EQ(ws.b0[k], fresh.b0[k]);
+    }
+  }
+}
+
+// Concurrent cache-miss analyses: each worker must land on its own
+// thread_local workspace and produce results identical to the serial path.
+// Run under TSan in CI.
+TEST(ChainKernelTest, ConcurrentWorkspacesMatchSerial) {
+  const std::size_t jobs = 64;
+  std::vector<reliability::ClrChainAnalysis> serial(jobs), parallel(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    serial[i] =
+        reliability::analyze_clr_chain_uncached(sample_params(1 + i % 5, i));
+  }
+  util::set_thread_count(4);
+  util::parallel_for(jobs, [&](std::size_t i) {
+    parallel[i] =
+        reliability::analyze_clr_chain_uncached(sample_params(1 + i % 5, i));
+  });
+  util::set_thread_count(0);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    EXPECT_EQ(serial[i].avg_exec_time_us, parallel[i].avg_exec_time_us);
+    EXPECT_EQ(serial[i].exec_time_stddev_us, parallel[i].exec_time_stddev_us);
+    EXPECT_EQ(serial[i].error_prob, parallel[i].error_prob);
+    EXPECT_EQ(serial[i].min_exec_time_us, parallel[i].min_exec_time_us);
+  }
+}
+
+TEST(ChainKernelTest, FullValidationRejectsBadRows) {
+  util::Matrix q{{0.5}};
+  util::Matrix r{{0.4}};  // row sums to 0.9
+  EXPECT_THROW(AbsorbingChain(q, r, {1.0}), std::invalid_argument);
+  EXPECT_THROW(
+      AbsorbingChain(q, r, {1.0}, 1e-9, ValidationMode::kFull),
+      std::invalid_argument);
+}
+
+TEST(ChainKernelTest, TrustedValidationSkipsRowScansInRelease) {
+#ifdef NDEBUG
+  // Trusted mode skips the O(t^2) probability scans; structural checks and
+  // the singularity check still run.
+  util::Matrix q{{0.5}};
+  util::Matrix r{{0.4}};  // row sums to 0.9 — would fail kFull
+  const AbsorbingChain chain(q, r, {1.0}, 1e-9, ValidationMode::kTrusted);
+  EXPECT_DOUBLE_EQ(chain.expected_time(0), 2.0);  // 1 / (1 - 0.5)
+#else
+  GTEST_SKIP() << "debug builds revalidate trusted input by design";
+#endif
+}
+
+TEST(ChainKernelTest, TrustedStillRejectsStructuralErrors) {
+  EXPECT_THROW(AbsorbingChain(util::Matrix(2, 3), util::Matrix(2, 1),
+                              {1.0, 1.0}, 1e-9, ValidationMode::kTrusted),
+               std::invalid_argument);
+  // Non-absorbing (I - Q singular) must throw regardless of mode.
+  util::Matrix loop{{1.0}};
+  util::Matrix none{{0.0}};
+  EXPECT_THROW(AbsorbingChain(loop, none, {1.0}, 1e-9,
+                              ValidationMode::kTrusted),
+               std::domain_error);
+}
+
+// Copies restart lazily but serve identical eager metrics; moves carry
+// everything over.
+TEST(ChainKernelTest, CopyAndMovePreserveMetrics) {
+  ChainWorkspace ws;
+  util::Rng rng(99);
+  fill_random_chain(6, 2, rng, ws.q, ws.r, ws.residence);
+  const AbsorbingChain original(ws.q, ws.r, ws.residence);
+  const double t0 = original.expected_time(0);
+  original.fundamental();  // materialize lazy state in the source
+
+  AbsorbingChain copy = original;
+  EXPECT_EQ(copy.expected_time(0), t0);
+  EXPECT_LE(rel_err(copy.fundamental()(2, 3), original.fundamental()(2, 3)),
+            1e-15);
+
+  AbsorbingChain moved = std::move(copy);
+  EXPECT_EQ(moved.expected_time(0), t0);
+
+  AbsorbingChain assigned(util::Matrix{{0.0}}, util::Matrix{{1.0}}, {1.0});
+  assigned = original;
+  EXPECT_EQ(assigned.expected_time(0), t0);
+}
+
+// ---- simulate() truncation accounting --------------------------------------
+
+TEST(SimulateTruncationTest, DeterministicTruncationAllTrialsThrows) {
+  // 0 -> 1 (always), 1 -> absorb (always): absorption needs exactly 2 steps,
+  // so max_steps = 1 truncates every trial deterministically.
+  util::Matrix q{{0.0, 1.0}, {0.0, 0.0}};
+  util::Matrix r{{0.0}, {1.0}};
+  const AbsorbingChain chain(q, r, {1.0, 1.0});
+  EXPECT_THROW(simulate(chain, 0, 100, 42, /*max_steps=*/1),
+               std::runtime_error);
+  // With max_steps = 2 every trial absorbs.
+  const SimulationResult ok = simulate(chain, 0, 100, 42, /*max_steps=*/2);
+  EXPECT_EQ(ok.truncated_trials, 0u);
+  EXPECT_DOUBLE_EQ(ok.mean_steps, 2.0);
+  EXPECT_DOUBLE_EQ(ok.mean_time, 2.0);
+  EXPECT_DOUBLE_EQ(ok.absorption_frequency[0], 1.0);
+}
+
+TEST(SimulateTruncationTest, TruncatedTrialsExcludedFromAggregates) {
+  // Self-loop with 50% absorption per step; max_steps = 1 truncates roughly
+  // half the trials. Completed trials all absorbed after exactly one step.
+  util::Matrix q{{0.5}};
+  util::Matrix r{{0.5}};
+  const AbsorbingChain chain(q, r, {3.0});
+  const SimulationResult res = simulate(chain, 0, 2000, 7, /*max_steps=*/1);
+  EXPECT_GT(res.truncated_trials, 0u);
+  EXPECT_LT(res.truncated_trials, 2000u);
+  // Aggregates are over completed trials only: every completed trial took
+  // exactly one step of residence 3, and absorbed.
+  EXPECT_DOUBLE_EQ(res.mean_steps, 1.0);
+  EXPECT_DOUBLE_EQ(res.mean_time, 3.0);
+  EXPECT_DOUBLE_EQ(res.absorption_frequency[0], 1.0);
+}
+
+TEST(SimulateTruncationTest, DefaultCapLeavesHealthyChainsUntouched) {
+  util::Matrix q{{0.3}};
+  util::Matrix r{{0.7}};
+  const AbsorbingChain chain(q, r, {2.0});
+  const SimulationResult res = simulate(chain, 0, 5000, 11);
+  EXPECT_EQ(res.truncated_trials, 0u);
+  // Frequencies over completed trials must sum to 1 exactly.
+  double total = 0.0;
+  for (double f : res.absorption_frequency) total += f;
+  EXPECT_DOUBLE_EQ(total, 1.0);
+  EXPECT_NEAR(res.mean_time, chain.expected_time(0), 0.1);
+}
+
+}  // namespace
+}  // namespace clrearly::markov

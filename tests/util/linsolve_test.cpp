@@ -75,6 +75,104 @@ TEST(LinSolveTest, MatrixRhsSolve) {
   EXPECT_NEAR(x(1, 1), 3.0, 1e-12);
 }
 
+TEST(LinSolveTest, OneByOneSystem) {
+  LuDecomposition lu(Matrix{{4.0}});
+  const auto x = lu.solve(std::vector<double>{8.0});
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+  EXPECT_DOUBLE_EQ(lu.determinant(), 4.0);
+  const auto xt = lu.solve_transposed(std::vector<double>{8.0});
+  EXPECT_DOUBLE_EQ(xt[0], 2.0);
+}
+
+TEST(LinSolveTest, OneByOneNearZeroPivotThrows) {
+  // A 1x1 "matrix" below the relative singularity threshold must be
+  // rejected, not divided through.
+  EXPECT_THROW(LuDecomposition(Matrix{{1e-14}}), std::domain_error);
+  EXPECT_THROW(LuDecomposition(Matrix{{0.0}}), std::domain_error);
+}
+
+TEST(LinSolveTest, NearSingularButAboveToleranceStaysAccurate) {
+  // Condition number ~1e8 — far from the 1e-13 relative pivot cutoff, but
+  // close enough to stress the substitution accuracy.
+  const double eps = 1e-8;
+  const Matrix a{{1.0, 1.0}, {1.0, 1.0 + eps}};
+  const auto x = solve_linear(a, {2.0, 2.0 + eps});  // exact solution (1, 1)
+  EXPECT_NEAR(x[0], 1.0, 1e-6);
+  EXPECT_NEAR(x[1], 1.0, 1e-6);
+}
+
+TEST(LinSolveTest, SolveIntoMatchesSolveBitExactly) {
+  const Matrix a{{2, 1, 0}, {1, 3, 1}, {0, 1, 4}};
+  const LuDecomposition lu(a);
+  const std::vector<double> b{5.0, 10.0, 3.0};
+  const auto x = lu.solve(b);
+  std::vector<double> x_into(17, -1.0);  // wrong size: must be resized
+  lu.solve_into(b, x_into);
+  ASSERT_EQ(x_into.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(x[i], x_into[i]);
+}
+
+TEST(LinSolveTest, TransposedSolveMatchesTransposedMatrix) {
+  const Matrix a{{0, 1, 2}, {3, 1, 0}, {1, 0, 5}};  // forces pivoting
+  const std::vector<double> b{1.0, -2.0, 4.0};
+  const auto x = LuDecomposition(a).solve_transposed(b);
+  const auto x_ref = LuDecomposition(a.transposed()).solve(b);
+  ASSERT_EQ(x.size(), x_ref.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-12);
+}
+
+TEST(LinSolveTest, TransposedSolveExtractsInverseRow) {
+  // Row i of A^{-1} is the adjoint solution for e_i — the identity the
+  // chain kernel's single-solve path rests on.
+  const Matrix a{{4, 7, 1}, {2, 6, 0}, {1, 1, 3}};
+  const LuDecomposition lu(a);
+  const Matrix inv = lu.inverse();
+  for (std::size_t row = 0; row < 3; ++row) {
+    std::vector<double> e(3, 0.0);
+    e[row] = 1.0;
+    const auto x = lu.solve_transposed(e);
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(x[j], inv(row, j), 1e-12);
+  }
+}
+
+TEST(LinSolveTest, FactorReusesDecompositionObject) {
+  LuDecomposition lu;
+  EXPECT_EQ(lu.dim(), 0u);
+  lu.factor(Matrix{{2, 0}, {0, 4}});
+  auto x = lu.solve(std::vector<double>{2.0, 8.0});
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  // Refactor with a different matrix (and a permutation): results must match
+  // a fresh decomposition, and perm_sign must have been reset.
+  const Matrix b{{0, 1}, {1, 0}};
+  lu.factor(b);
+  EXPECT_NEAR(lu.determinant(), LuDecomposition(b).determinant(), 0.0);
+  x = lu.solve(std::vector<double>{3.0, 7.0});
+  EXPECT_DOUBLE_EQ(x[0], 7.0);
+  EXPECT_DOUBLE_EQ(x[1], 3.0);
+  // Shrinking refactor: 2x2 object down to 1x1.
+  lu.factor(Matrix{{5.0}});
+  EXPECT_EQ(lu.dim(), 1u);
+  EXPECT_DOUBLE_EQ(lu.solve(std::vector<double>{10.0})[0], 2.0);
+}
+
+TEST(LinSolveTest, TransposedSolveIntoIsAllocationCompatible) {
+  const Matrix a{{2, 1}, {1, 3}};
+  const LuDecomposition lu(a);
+  const std::vector<double> b{5.0, 10.0};
+  std::vector<double> x, scratch;
+  lu.solve_transposed_into(b, x, scratch);
+  const auto x_ref = lu.solve_transposed(b);
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_EQ(x[0], x_ref[0]);
+  EXPECT_EQ(x[1], x_ref[1]);
+  // Reuse with warm buffers must give the same answer.
+  std::vector<double> x2 = x;
+  lu.solve_transposed_into(b, x2, scratch);
+  EXPECT_EQ(x2[0], x[0]);
+  EXPECT_EQ(x2[1], x[1]);
+}
+
 class LinSolveRandomTest : public ::testing::TestWithParam<std::size_t> {};
 
 // Property: A * A^{-1} == I for random diagonally dominant matrices.
@@ -116,6 +214,28 @@ TEST_P(LinSolveRandomTest, SolveMatchesInverseApply) {
   const auto ax = a.apply(x);
   for (std::size_t i = 0; i < n; ++i) {
     EXPECT_NEAR(ax[i], b[i], 1e-9);
+  }
+}
+
+// Property: the adjoint solve for e_i reproduces row i of the inverse.
+TEST_P(LinSolveRandomTest, TransposedSolveMatchesInverseRows) {
+  const std::size_t n = GetParam();
+  Rng rng(3000 + n);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+    a(i, i) += static_cast<double>(n) + 1.0;
+  }
+  const LuDecomposition lu(a);
+  const Matrix inv = lu.inverse();
+  std::vector<double> e(n, 0.0), x, scratch;
+  for (std::size_t row = 0; row < n; ++row) {
+    std::fill(e.begin(), e.end(), 0.0);
+    e[row] = 1.0;
+    lu.solve_transposed_into(e, x, scratch);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(x[j], inv(row, j), 1e-10) << "row " << row << " col " << j;
+    }
   }
 }
 
