@@ -4,6 +4,7 @@
 
 #include "core/heuristics.hpp"
 #include "util/log.hpp"
+#include "util/observability.hpp"
 
 namespace clrearly::core {
 
@@ -18,6 +19,7 @@ DseMethodology::DseMethodology(app::Application application,
 
 std::vector<TdseResult> DseMethodology::run_tdse(
     const DseOptions& options) const {
+  const util::PhaseTimer timer("dse.tdse");
   const Tdse tdse(analyzer_);
   return tdse.run_application(app_, arch_, options.tdse_objectives);
 }
@@ -49,6 +51,7 @@ DseOutcome DseMethodology::collect(const ClrMappingProblem& problem,
 }
 
 DseOutcome DseMethodology::run_fcclr(const DseOptions& options) const {
+  const util::PhaseTimer timer("dse.fcclr");
   const ClrMappingProblem problem(app_, arch_, analyzer_, options.objectives,
                                   options.spec);
   util::Rng rng(options.seed);
@@ -70,6 +73,7 @@ DseOutcome DseMethodology::run_pfclr(const DseOptions& options) const {
 
 DseOutcome DseMethodology::run_pfclr(
     const DseOptions& options, const std::vector<TdseResult>& tdse) const {
+  const util::PhaseTimer timer("dse.pfclr");
   std::vector<std::vector<TaskDesignPoint>> points;
   points.reserve(tdse.size());
   for (const TdseResult& r : tdse) points.push_back(r.pareto);
@@ -89,6 +93,7 @@ DseOutcome DseMethodology::run_proposed(const DseOptions& options) const {
 
 DseOutcome DseMethodology::run_proposed(
     const DseOptions& options, const std::vector<TdseResult>& tdse) const {
+  const util::PhaseTimer timer("dse.proposed");
   // Stage 1: pruned search.
   std::vector<std::vector<TaskDesignPoint>> points;
   points.reserve(tdse.size());
@@ -96,7 +101,12 @@ DseOutcome DseMethodology::run_proposed(
   const ClrMappingProblem pf(app_, arch_, analyzer_, options.objectives,
                              options.spec, std::move(points));
   util::Rng rng(options.seed);
-  auto pf_result = moea::run_nsga2(options.ga, pf.ops(options.ga.mutation_indpb), rng);
+  moea::Nsga2Result<MappingGenome> pf_result;
+  {
+    const util::PhaseTimer stage_timer("dse.proposed.pfclr_stage");
+    pf_result = moea::run_nsga2(options.ga,
+                                pf.ops(options.ga.mutation_indpb), rng);
+  }
 
   // Stage 2: full-configuration search seeded with stage 1's front.
   const ClrMappingProblem fc(app_, arch_, analyzer_, options.objectives,
@@ -111,7 +121,12 @@ DseOutcome DseMethodology::run_proposed(
   }
   util::log_info() << "proposed: seeding fcCLR with " << seeds.size()
                    << " pfCLR front genomes";
-  auto fc_result = moea::run_nsga2(options.ga, fc.ops(options.ga.mutation_indpb), rng, std::move(seeds));
+  moea::Nsga2Result<MappingGenome> fc_result;
+  {
+    const util::PhaseTimer stage_timer("dse.proposed.fcclr_stage");
+    fc_result = moea::run_nsga2(options.ga, fc.ops(options.ga.mutation_indpb),
+                                rng, std::move(seeds));
+  }
 
   DseOutcome outcome = collect(fc, std::move(fc_result));
   outcome.evaluations += pf_result.evaluations;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "util/csv.hpp"
+#include "util/observability.hpp"
 
 namespace clrearly::core {
 
@@ -62,6 +63,7 @@ std::string write_fronts_csv(
     const std::vector<std::pair<std::string, std::vector<moea::Objectives>>>&
         series,
     const std::vector<std::string>& objective_names) {
+  const util::PhaseTimer timer("experiment.write_fronts");
   std::filesystem::create_directories("results");
   const std::string path = "results/" + filename;
   util::CsvWriter csv(path);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace clrearly::markov {
@@ -276,6 +277,13 @@ ChainWorkspace& local_chain_workspace() {
 }
 
 Row0Solve solve_row0(ChainWorkspace& ws, bool with_second_moment) {
+  // ~2ns striped add vs a µs-scale factor+solve — negligible, and it is
+  // the ground truth for cache-effectiveness analysis (solve_row0 calls
+  // are exactly the chain-cache misses plus uncached callers).
+  static util::Counter& calls_metric =
+      util::metric_counter("chain.solve_row0_calls");
+  calls_metric.add();
+
   const std::size_t t = ws.q.rows();
   assert(ws.q.square() && ws.r.rows() == t && ws.residence.size() == t &&
          t > 0 && ws.r.cols() > 0);
@@ -361,6 +369,13 @@ SimulationResult simulate(const AbsorbingChain& chain, std::size_t start,
     total_time += time;
     total_steps += steps;
   }
+  static util::Counter& trials_metric =
+      util::metric_counter("markov.sim.trials");
+  static util::Counter& truncated_metric =
+      util::metric_counter("markov.sim.truncated");
+  trials_metric.add(trials);
+  truncated_metric.add(result.truncated_trials);
+
   const std::size_t completed = trials - result.truncated_trials;
   if (completed == 0) {
     throw std::runtime_error(

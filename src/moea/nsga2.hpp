@@ -21,8 +21,10 @@
 
 #include "moea/operators.hpp"
 #include "moea/pareto.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace clrearly::moea {
 
@@ -256,11 +258,51 @@ void evaluate_append(const Nsga2Ops<Genome>& ops, std::vector<Genome> genomes,
     if (owner[i] != i) evals[i] = evals[owner[i]];
   }
   evaluations += genomes.size();
+  {
+    // Registry lookup once per process; per batch it's two striped adds.
+    static util::Counter& evals_metric =
+        util::metric_counter("nsga2.evaluations");
+    static util::Counter& dedupe_metric =
+        util::metric_counter("nsga2.dedupe_hits");
+    evals_metric.add(genomes.size());
+    dedupe_metric.add(genomes.size() - unique.size());
+  }
   for (std::size_t i = 0; i < genomes.size(); ++i) {
     points.push_back(evals[i].objectives);
     violations.push_back(evals[i].violation);
     population.push_back({std::move(genomes[i]), std::move(evals[i])});
   }
+}
+
+/// Bounding-box volume of the feasible rank-0 points: the product over
+/// objectives of (max - min) across the front. A cheap convergence proxy
+/// for per-generation monitoring — it tracks front *extent*, not true
+/// hypervolume (no reference point, no dominated-volume accounting), but
+/// costs O(front * m) and needs no extra sorting. 0 for fronts of fewer
+/// than two points.
+inline double front_bbox_volume(const std::vector<Objectives>& points,
+                                const std::vector<std::size_t>& rank,
+                                const std::vector<double>& violations) {
+  std::size_t members = 0;
+  Objectives lo;
+  Objectives hi;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (rank[i] != 0 || violations[i] > 0.0) continue;
+    if (members == 0) {
+      lo = points[i];
+      hi = points[i];
+    } else {
+      for (std::size_t m = 0; m < points[i].size(); ++m) {
+        lo[m] = std::min(lo[m], points[i][m]);
+        hi[m] = std::max(hi[m], points[i][m]);
+      }
+    }
+    ++members;
+  }
+  if (members < 2) return 0.0;
+  double volume = 1.0;
+  for (std::size_t m = 0; m < lo.size(); ++m) volume *= hi[m] - lo[m];
+  return volume;
 }
 
 }  // namespace detail
@@ -314,8 +356,35 @@ Nsga2Result<Genome> run_nsga2(const Nsga2Params& params,
   next_points.reserve(params.population_size);
   next_violations.reserve(params.population_size);
 
+  static util::Counter& generations_metric =
+      util::metric_counter("nsga2.generations");
+  static util::Gauge& front_size_metric =
+      util::metric_gauge("nsga2.front_size");
+  static util::Gauge& hv_proxy_metric = util::metric_gauge("nsga2.hv_proxy");
+
   for (std::size_t gen = 0; gen < params.generations; ++gen) {
+    const util::TraceSpan gen_span("nsga2.generation");
+    generations_metric.add();
+
     const RankCrowding rc = rank_and_crowding(points, violations);
+
+    // Per-generation convergence telemetry from already-computed data:
+    // first-front size and the bounding-box hypervolume proxy. Pure reads —
+    // never feeds back into selection or the RNG.
+    {
+      std::size_t front_size = 0;
+      for (std::size_t r : rc.rank) front_size += (r == 0) ? 1 : 0;
+      const double hv_proxy =
+          detail::front_bbox_volume(points, rc.rank, violations);
+      front_size_metric.set(static_cast<double>(front_size));
+      hv_proxy_metric.set(hv_proxy);
+      if (util::trace_enabled()) {
+        util::trace_counter("nsga2.front_size",
+                            static_cast<double>(front_size));
+        util::trace_counter("nsga2.hv_proxy", hv_proxy);
+      }
+    }
+
     auto better = [&](std::size_t a, std::size_t b) {
       if (rc.rank[a] != rc.rank[b]) return rc.rank[a] < rc.rank[b];
       return rc.crowding[a] > rc.crowding[b];

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "markov/chain_builder.hpp"
+#include "util/metrics.hpp"
 
 namespace clrearly::reliability {
 
@@ -43,6 +44,18 @@ void assemble_chain(const ClrChainParams& p, bool functional,
                     markov::ChainWorkspace& ws) {
   const std::size_t n = p.intervals;
   const std::size_t t = kBlock * n - 1;
+  {
+    // A warm workspace (same transient count as the previous chain on this
+    // thread) means assign() below zeroes in place with no reallocation —
+    // the allocation-free property the kernel PR bought. The counter pair
+    // (assembles vs reuse) makes regressions visible in a snapshot.
+    static util::Counter& assembles_metric =
+        util::metric_counter("chain.assembles");
+    static util::Counter& reuse_metric =
+        util::metric_counter("chain.workspace_reuse");
+    assembles_metric.add();
+    if (ws.q.rows() == t && ws.q.cols() == t) reuse_metric.add();
+  }
   ws.q.assign(t, t);
   ws.r.assign(t, functional ? 2 : 1);
   ws.residence.assign(t, 0.0);

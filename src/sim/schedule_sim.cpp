@@ -8,8 +8,10 @@
 #include "sched/list_scheduler.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/task_sampler.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace clrearly::sim {
 
@@ -198,13 +200,29 @@ SimResult simulate_schedule(const app::TaskGraph& graph,
 
   std::vector<TrialOutcome> outcomes(options.trials);
   const auto t0 = std::chrono::steady_clock::now();
-  util::parallel_for(options.trials, [&](std::size_t i) {
-    outcomes[i] = run_trial(graph, interconnect, tasks, samplers, rank, zeta,
-                            num_pes, options.deadline_us, streams[i]);
-  });
+  {
+    const util::TraceSpan span("sim.trial_batch");
+    util::parallel_for(options.trials, [&](std::size_t i) {
+      outcomes[i] = run_trial(graph, interconnect, tasks, samplers, rank, zeta,
+                              num_pes, options.deadline_us, streams[i]);
+    });
+  }
   const double elapsed_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+
+  {
+    static util::Counter& runs_metric = util::metric_counter("sim.runs");
+    static util::Counter& trials_metric = util::metric_counter("sim.trials");
+    static util::Counter& misses_metric =
+        util::metric_counter("sim.deadline_misses");
+    runs_metric.add();
+    trials_metric.add(options.trials);
+    std::uint64_t miss_count = 0;
+    for (const TrialOutcome& o : outcomes) miss_count += o.deadline_miss;
+    misses_metric.add(miss_count);
+    util::observe_seconds("sim.batch_seconds", elapsed_s);
+  }
 
   // Serial aggregation in trial order — identical whatever the thread count.
   SimResult result;
@@ -242,6 +260,12 @@ SimResult simulate_schedule(const app::TaskGraph& graph,
       result.makespan_mean_us, result.makespan_stddev_us, options.trials);
   result.energy_ci_uj = util::confidence_interval_95(
       result.energy_mean_uj, result.energy_stddev_uj, options.trials);
+  // Per-trial error weights are zeta-normalized into [0, 1], so the sum is
+  // mathematically <= trials — but the serial accumulation can land an ulp
+  // above it, which wilson_interval_95 now rejects. Clamp the rounding
+  // noise, not real accounting bugs (those exceed trials by whole weights).
+  error_weight =
+      std::min(error_weight, static_cast<double>(options.trials));
   result.error_prob = error_weight * inv_n;
   result.error_ci = util::wilson_interval_95(error_weight, options.trials);
   if (options.deadline_us > 0.0) {

@@ -1,11 +1,13 @@
 #include "util/cli.hpp"
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
 #include "util/memo_cache.hpp"
+#include "util/observability.hpp"
 #include "util/thread_pool.hpp"
 
 namespace clrearly::util {
@@ -89,17 +91,24 @@ const std::string& ArgParser::get(const std::string& name) const {
   return spec->second.default_value;
 }
 
+const std::string* ArgParser::try_get(const std::string& name) const {
+  const auto value = values_.find(name);
+  if (value != values_.end()) return &value->second;
+  const auto spec = specs_.find(name);
+  if (spec == specs_.end() || spec->second.is_flag) return nullptr;
+  return &spec->second.default_value;
+}
+
 double ArgParser::get_number(const std::string& name) const {
+  // std::from_chars, not std::stod: stod honors LC_NUMERIC (under a
+  // comma-decimal locale "1.5" stops parsing at the dot), and from_chars
+  // rejects trailing garbage and leading whitespace without a second
+  // `consumed` check.
   const std::string& text = get(name);
-  std::size_t consumed = 0;
   double value = 0.0;
-  try {
-    value = std::stod(text, &consumed);
-  } catch (const std::exception&) {
-    throw std::invalid_argument("option --" + name + ": '" + text +
-                                "' is not a number");
-  }
-  if (consumed != text.size()) {
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end || text.empty()) {
     throw std::invalid_argument("option --" + name + ": '" + text +
                                 "' is not a number");
   }
@@ -170,6 +179,7 @@ bool parse_standard_args(ArgParser& parser, int argc, char** argv,
   add_threads_option(parser);
   add_log_level_option(parser, default_log_level);
   add_cache_options(parser);
+  add_observability_options(parser);
   std::vector<std::string> args;
   args.reserve(argc > 1 ? static_cast<std::size_t>(argc - 1) : 0);
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
@@ -183,6 +193,9 @@ bool parse_standard_args(ArgParser& parser, int argc, char** argv,
       // Unconditional: the declared default carries the driver's verbosity
       // choice, so no driver needs an ad-hoc set_log_level() call anymore.
       set_log_level(parse_log_level(parser.get("log-level")));
+      // After threads/cache/log level, so the manifest records the
+      // effective values.
+      apply_observability_options(parser, argc, argv);
     }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "%s\n\n%s", error.what(), parser.help().c_str());

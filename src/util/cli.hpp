@@ -37,6 +37,13 @@ class ArgParser {
   double get_number(const std::string& name) const;
   std::uint64_t get_uint(const std::string& name) const;
 
+  /// Like get(), but returns nullptr for undeclared names instead of
+  /// throwing — lets generic consumers (the run manifest) probe for
+  /// driver-specific options such as --seed.
+  const std::string* try_get(const std::string& name) const;
+
+  const std::string& program() const noexcept { return program_; }
+
   /// Arguments that were not options.
   const std::vector<std::string>& positionals() const noexcept {
     return positionals_;

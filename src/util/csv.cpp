@@ -25,9 +25,14 @@ CsvWriter& CsvWriter::field(std::string_view text) {
 }
 
 CsvWriter& CsvWriter::field(double value) {
+  // std::to_chars, not snprintf("%.17g"): printf honors LC_NUMERIC, so a
+  // comma-decimal locale would write "1,5" and corrupt the CSV column
+  // structure. to_chars is locale-independent with the same %g shape.
   char buf[64];
-  std::snprintf(buf, sizeof buf, "%.17g", value);
-  return field(std::string_view(buf));
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value,
+                                 std::chars_format::general, 17);
+  (void)ec;
+  return field(std::string_view(buf, static_cast<std::size_t>(ptr - buf)));
 }
 
 CsvWriter& CsvWriter::field(long long value) {
@@ -62,9 +67,12 @@ std::string CsvWriter::escape(std::string_view text) {
 }
 
 std::string format_compact(double value) {
+  // Locale-independent %.6g (see CsvWriter::field(double)).
   char buf[64];
-  std::snprintf(buf, sizeof buf, "%.6g", value);
-  return buf;
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value,
+                                 std::chars_format::general, 6);
+  (void)ec;
+  return std::string(buf, static_cast<std::size_t>(ptr - buf));
 }
 
 }  // namespace clrearly::util

@@ -1,6 +1,7 @@
 #include "util/json.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -107,13 +108,19 @@ void write_number(std::string& out, double d) {
   // Integers print without exponent/decimals for readability.
   if (d == std::floor(d) && std::abs(d) < 1e15) {
     char buf[32];
-    std::snprintf(buf, sizeof buf, "%.0f", d);
-    out += buf;
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, d,
+                                   std::chars_format::fixed, 0);
+    (void)ec;
+    out.append(buf, static_cast<std::size_t>(ptr - buf));
     return;
   }
+  // std::to_chars, not snprintf("%.17g"): printf honors LC_NUMERIC and a
+  // comma-decimal locale would emit "1,5" — invalid JSON.
   char buf[64];
-  std::snprintf(buf, sizeof buf, "%.17g", d);
-  out += buf;
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, d,
+                                 std::chars_format::general, 17);
+  (void)ec;
+  out.append(buf, static_cast<std::size_t>(ptr - buf));
 }
 
 void write_value(std::string& out, const JsonValue& v, int indent) {
@@ -363,10 +370,14 @@ class Parser {
       ++pos_;
     }
     if (pos_ == start) fail("expected a value");
-    const std::string token = text_.substr(start, pos_ - start);
-    char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0') {
+    // std::from_chars, not strtod: strtod honors LC_NUMERIC, so under a
+    // comma-decimal locale it would stop at the '.' of a valid JSON
+    // number and reject the document.
+    double value = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || ptr != last) {
       pos_ = start;
       fail("bad number");
     }

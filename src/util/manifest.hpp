@@ -1,0 +1,44 @@
+// Per-run manifest: the configuration a run actually executed with — the
+// program, its argv, the seed (when the driver declares a --seed option),
+// the effective thread count, the cache capacity, the build type and the
+// log level. Written alongside results ("manifest" in the --metrics-out
+// snapshot, "otherData" in the --trace-out file) so a metrics file or a
+// trace is self-describing: no cross-referencing shell history to learn
+// what produced it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace clrearly::util {
+
+class ArgParser;
+
+struct RunManifest {
+  std::string program;
+  std::vector<std::string> args;  ///< argv[1:] verbatim
+  std::string seed;          ///< --seed text when declared; "" otherwise
+  std::size_t threads = 0;   ///< effective_thread_count() at capture
+  std::size_t cache_capacity = 0;  ///< cache_capacity() at capture
+  std::string build_type;    ///< "Release" (NDEBUG) or "Debug"
+  std::string log_level;     ///< canonical name, see util/log.hpp
+
+  bool operator==(const RunManifest&) const = default;
+
+  JsonObject to_json() const;
+  /// Inverse of to_json(); throws std::runtime_error on missing/mistyped
+  /// fields (via the JsonValue accessors).
+  static RunManifest from_json(const JsonValue& value);
+};
+
+/// Capture the manifest for the current process: program/args from argv,
+/// seed probed from the parser's --seed option (if the driver declared
+/// one), the rest from the process-wide configuration — call it after
+/// parse_standard_args has applied --threads/--cache-size/--log-level.
+RunManifest capture_run_manifest(const ArgParser& parser, int argc,
+                                 char** argv);
+
+}  // namespace clrearly::util

@@ -1,7 +1,9 @@
 #include "util/memo_cache.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <optional>
 
@@ -14,6 +16,10 @@ struct Registry {
   std::uint64_t next_token = 1;
   std::map<std::uint64_t, std::pair<std::string, std::function<CacheStats()>>>
       caches;
+  // Final counters of destroyed named caches, summed per name — the
+  // lifetime_cache_stats() tail. Tokens remember their name so unregister
+  // can fold without re-threading it through the destructor.
+  std::map<std::string, CacheStats> retired;
 };
 
 Registry& registry() {
@@ -32,17 +38,24 @@ CapacityState& capacity_state() {
 }
 
 std::size_t env_capacity() {
-  const char* env = std::getenv("CLREARLY_CACHE");
-  if (env == nullptr || *env == '\0') return kDefaultCacheCapacity;
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(env, &end, 10);
-  if (end == nullptr || *end != '\0') return kDefaultCacheCapacity;
-  return static_cast<std::size_t>(value);
+  return detail::parse_cache_env(std::getenv("CLREARLY_CACHE"));
 }
 
 }  // namespace
 
 namespace detail {
+
+std::size_t parse_cache_env(const char* text) noexcept {
+  // from_chars is deliberately strict: no leading whitespace, no sign
+  // (strtoull would wrap "-1" to ULLONG_MAX instead of failing), no
+  // trailing garbage, no locale dependence.
+  if (text == nullptr || *text == '\0') return kDefaultCacheCapacity;
+  std::size_t value = 0;
+  const char* last = text + std::strlen(text);
+  const auto [ptr, ec] = std::from_chars(text, last, value);
+  if (ec != std::errc{} || ptr != last) return kDefaultCacheCapacity;
+  return value;
+}
 
 std::uint64_t register_cache(std::string name,
                              std::function<CacheStats()> stats) {
@@ -54,27 +67,47 @@ std::uint64_t register_cache(std::string name,
   return token;
 }
 
-void unregister_cache(std::uint64_t token) {
+void unregister_cache(std::uint64_t token, CacheStats final_stats) {
+  // The storage dies with the cache; only the event counters outlive it.
+  final_stats.entries = 0;
+  final_stats.capacity = 0;
   Registry& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mutex);
-  reg.caches.erase(token);
+  const auto it = reg.caches.find(token);
+  if (it == reg.caches.end()) return;
+  reg.retired[it->second.first] += final_stats;
+  reg.caches.erase(it);
 }
 
 }  // namespace detail
 
-std::vector<std::pair<std::string, CacheStats>> aggregate_cache_stats() {
+namespace {
+
+std::vector<std::pair<std::string, CacheStats>> collect_cache_stats(
+    bool include_retired) {
   // Snapshot the providers first: a stats() callback may take its cache's
   // shard locks, which must not nest inside the registry lock.
   std::vector<std::pair<std::string, std::function<CacheStats()>>> providers;
+  std::map<std::string, CacheStats> by_name;
   {
     Registry& reg = registry();
     std::lock_guard<std::mutex> lock(reg.mutex);
     providers.reserve(reg.caches.size());
     for (const auto& [token, entry] : reg.caches) providers.push_back(entry);
+    if (include_retired) by_name = reg.retired;
   }
-  std::map<std::string, CacheStats> by_name;
   for (const auto& [name, stats] : providers) by_name[name] += stats();
   return {by_name.begin(), by_name.end()};
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, CacheStats>> aggregate_cache_stats() {
+  return collect_cache_stats(/*include_retired=*/false);
+}
+
+std::vector<std::pair<std::string, CacheStats>> lifetime_cache_stats() {
+  return collect_cache_stats(/*include_retired=*/true);
 }
 
 void set_cache_capacity(std::size_t capacity) {

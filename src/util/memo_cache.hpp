@@ -143,11 +143,21 @@ struct Key128Hash {
 
 namespace detail {
 
+/// Parse a CLREARLY_CACHE-style value: nullptr, empty, negative, unparsable
+/// or trailing garbage all yield kDefaultCacheCapacity. Exposed so the
+/// rejection rules are directly testable — strtoull would otherwise wrap
+/// "-1" to ULLONG_MAX.
+std::size_t parse_cache_env(const char* text) noexcept;
+
 /// Register a named cache's stats provider with the process-wide registry;
 /// returns a token for unregister_cache. Thread-safe.
 std::uint64_t register_cache(std::string name,
                              std::function<CacheStats()> stats);
-void unregister_cache(std::uint64_t token);
+
+/// Remove the cache from the live registry and fold `final_stats` (with
+/// entries/capacity zeroed — the storage is gone) into the retained
+/// per-name totals that lifetime_cache_stats() reports. Thread-safe.
+void unregister_cache(std::uint64_t token, CacheStats final_stats);
 
 inline std::size_t next_pow2(std::size_t n) {
   std::size_t p = 1;
@@ -161,6 +171,14 @@ inline std::size_t next_pow2(std::size_t n) {
 /// ClrMappingProblems each own a "fitness" cache; reporting wants the
 /// union). Sorted by name for stable output.
 std::vector<std::pair<std::string, CacheStats>> aggregate_cache_stats();
+
+/// Like aggregate_cache_stats(), plus the final counters of every named
+/// cache already destroyed (entries/capacity count live caches only).
+/// This is what the --metrics-out exit snapshot reports: the per-problem
+/// fitness caches die mid-run and process-wide caches can be torn down
+/// before the exit hook fires, yet their hit/miss totals still belong in
+/// the run's accounting. For live caches the two functions agree.
+std::vector<std::pair<std::string, CacheStats>> lifetime_cache_stats();
 
 /// Process-wide default capacity for the DSE caches (the --cache-size /
 /// --no-cache flags). Precedence: set_cache_capacity() override, else the
@@ -199,7 +217,7 @@ class MemoCache {
   }
 
   ~MemoCache() {
-    if (!name_.empty()) detail::unregister_cache(token_);
+    if (!name_.empty()) detail::unregister_cache(token_, stats());
   }
 
   MemoCache(const MemoCache&) = delete;

@@ -1,0 +1,123 @@
+#include "util/observability.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/cli.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace clrearly::util {
+
+namespace {
+
+struct ObservabilityState {
+  std::mutex mutex;
+  std::string metrics_path;
+  RunManifest manifest;
+  bool atexit_registered = false;
+};
+
+ObservabilityState& state() {
+  static ObservabilityState* instance = new ObservabilityState();
+  return *instance;
+}
+
+void write_files_at_exit() {
+  try {
+    write_observability_files();
+  } catch (const std::exception&) {
+    // Exit path: nothing sensible to do beyond leaving the file unwritten.
+  }
+}
+
+}  // namespace
+
+ArgParser& add_observability_options(ArgParser& parser) {
+  parser.option("metrics-out",
+                "write a JSON metrics snapshot (counters, gauges, "
+                "histograms, cache stats, run manifest) to this path at "
+                "exit",
+                "");
+  return parser.option(
+      "trace-out",
+      "write Chrome trace-event JSON (load in chrome://tracing or "
+      "ui.perfetto.dev) to this path at exit",
+      "");
+}
+
+void apply_observability_options(const ArgParser& parser, int argc,
+                                 char** argv) {
+  const std::string* metrics = parser.try_get("metrics-out");
+  const std::string* trace = parser.try_get("trace-out");
+  const bool any = (metrics != nullptr && !metrics->empty()) ||
+                   (trace != nullptr && !trace->empty());
+  if (!any) return;
+  if (trace != nullptr) set_trace_path(*trace);
+  if (metrics != nullptr) set_metrics_path(*metrics);
+  set_run_manifest(capture_run_manifest(parser, argc, argv));
+}
+
+void set_metrics_path(const std::string& path) {
+  ObservabilityState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  st.metrics_path = path;
+  if (!path.empty() && !st.atexit_registered) {
+    st.atexit_registered = true;
+    std::atexit(write_files_at_exit);
+  }
+}
+
+const std::string& metrics_path() { return state().metrics_path; }
+
+void set_run_manifest(RunManifest manifest) {
+  ObservabilityState& st = state();
+  {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    st.manifest = std::move(manifest);
+  }
+  set_trace_metadata(st.manifest.to_json());
+}
+
+const RunManifest& run_manifest() { return state().manifest; }
+
+void write_observability_files() {
+  std::string path;
+  JsonObject manifest_json;
+  {
+    ObservabilityState& st = state();
+    std::lock_guard<std::mutex> lock(st.mutex);
+    path = st.metrics_path;
+    manifest_json = st.manifest.to_json();
+  }
+  if (!path.empty()) {
+    JsonObject snapshot = metrics_snapshot();
+    snapshot["manifest"] = JsonValue(std::move(manifest_json));
+    std::ofstream out(path);
+    if (!out) {
+      throw std::runtime_error("metrics: cannot open output file: " + path);
+    }
+    out << json_serialize(JsonValue(std::move(snapshot))) << '\n';
+    if (!out) {
+      throw std::runtime_error("metrics: failed writing output: " + path);
+    }
+  }
+  if (trace_enabled()) flush_trace();
+}
+
+PhaseTimer::~PhaseTimer() {
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_)
+          .count();
+  observe_seconds(std::string(name_) + "_seconds", seconds);
+  if (trace_enabled()) {
+    const double end_us = detail::trace_now_us();
+    detail::trace_record_span(name_, end_us - seconds * 1e6,
+                              seconds * 1e6);
+  }
+}
+
+}  // namespace clrearly::util

@@ -1,0 +1,70 @@
+// Glue between the CLI surface and the metrics/trace/manifest modules:
+// the --metrics-out and --trace-out flags, the process-wide output paths,
+// and the end-of-run write. parse_standard_args wires this in for every
+// driver (see util/cli.hpp); `clrearly` adds the same options to each
+// subcommand explicitly.
+//
+// Flag semantics are strictly observational: the flags decide whether
+// files get written, never what the run computes — the differential test
+// pins DSE results bit-for-bit with the flags on vs off.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "util/manifest.hpp"
+
+namespace clrearly::util {
+
+class ArgParser;
+
+/// Declare --metrics-out <path> and --trace-out <path>.
+ArgParser& add_observability_options(ArgParser& parser);
+
+/// Apply the declared options: store the output paths, capture the run
+/// manifest (call after --threads/--cache-size/--log-level have been
+/// applied so the manifest records effective values), attach it to the
+/// trace as "otherData", and register an atexit hook that writes both
+/// files on normal process exit. When neither flag was given this is a
+/// no-op — no hook, no files, counters-only mode.
+void apply_observability_options(const ArgParser& parser, int argc,
+                                 char** argv);
+
+/// Metrics snapshot destination ("" = disabled). set_metrics_path
+/// registers the exit hook on first enablement, like set_trace_path.
+void set_metrics_path(const std::string& path);
+const std::string& metrics_path();
+
+/// The manifest captured by apply_observability_options (default-
+/// constructed until then). set_run_manifest also mirrors it into the
+/// trace metadata.
+void set_run_manifest(RunManifest manifest);
+const RunManifest& run_manifest();
+
+/// Write the metrics snapshot (with the manifest under "manifest") to
+/// metrics_path() and flush the trace to trace_path(); either half is
+/// skipped when its path is unset. Called automatically at exit; callable
+/// earlier for mid-run snapshots. Throws std::runtime_error when a file
+/// cannot be written (the exit hook swallows this).
+void write_observability_files();
+
+/// RAII phase timer for coarse stages (tDSE, pfCLR, fcCLR, report
+/// writing): unlike TraceSpan it always measures — the duration lands in
+/// the `<name>_seconds` histogram (standard observe_seconds ladder) even
+/// in counters-only mode, and additionally becomes a trace span when
+/// tracing is enabled. One clock read plus a registry lookup per scope;
+/// use only at phase granularity, TraceSpan on warmer paths.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(const char* name) noexcept
+      : name_(name), start_(std::chrono::steady_clock::now()) {}
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+  ~PhaseTimer();
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace clrearly::util

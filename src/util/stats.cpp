@@ -7,7 +7,12 @@
 
 namespace clrearly::util {
 
-void RunningStats::add(double x) noexcept {
+void RunningStats::add(double x) {
+  if (std::isnan(x)) {
+    // A NaN would silently poison mean/m2 and break the min/max ordering
+    // below; fail loudly instead of producing a plausible-looking table.
+    throw std::domain_error("RunningStats::add: NaN sample");
+  }
   if (n_ == 0) {
     min_ = max_ = x;
   } else {
@@ -67,6 +72,11 @@ double median(std::vector<double> xs) { return quantile(std::move(xs), 0.5); }
 double quantile(std::vector<double> xs, double q) {
   if (xs.empty()) return 0.0;
   if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  for (double x : xs) {
+    // NaN breaks the strict-weak-ordering sort below, so its position —
+    // and every interpolated quantile — would be arbitrary.
+    if (std::isnan(x)) throw std::domain_error("quantile: NaN sample");
+  }
   std::sort(xs.begin(), xs.end());
   const double pos = q * static_cast<double>(xs.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(pos);
@@ -84,13 +94,19 @@ Interval confidence_interval_95(double mean, double stddev,
 }
 
 Interval wilson_interval_95(double successes, std::size_t n) {
-  if (successes < 0.0) {
+  if (!(successes >= 0.0)) {  // negative or NaN
     throw std::invalid_argument("wilson_interval_95: negative successes");
   }
   if (n == 0) return Interval{0.0, 1.0};
-  constexpr double kZ95 = 1.959963984540054;
   const double nn = static_cast<double>(n);
-  const double p = std::min(successes, nn) / nn;
+  if (successes > nn) {
+    // More successes than trials is an accounting bug upstream, not a
+    // proportion to clamp — rejecting it matches the negative path.
+    throw std::invalid_argument(
+        "wilson_interval_95: successes exceed trials");
+  }
+  constexpr double kZ95 = 1.959963984540054;
+  const double p = successes / nn;
   const double z2 = kZ95 * kZ95;
   const double denom = 1.0 + z2 / nn;
   const double center = p + z2 / (2.0 * nn);

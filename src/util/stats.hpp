@@ -9,7 +9,9 @@ namespace clrearly::util {
 /// Streaming mean / variance / extrema accumulator (Welford).
 class RunningStats {
  public:
-  void add(double x) noexcept;
+  /// Throws std::domain_error on a NaN sample (which would silently poison
+  /// every derived statistic).
+  void add(double x);
 
   std::size_t count() const noexcept { return n_; }
   double mean() const noexcept { return n_ ? mean_ : 0.0; }
@@ -41,6 +43,8 @@ double geometric_mean(const std::vector<double>& xs);
 double median(std::vector<double> xs);
 
 /// q-th quantile in [0,1] with linear interpolation; copies and sorts.
+/// Throws std::domain_error when the sample contains a NaN (which breaks
+/// the sort's ordering and would put the NaN at an arbitrary position).
 double quantile(std::vector<double> xs, double q);
 
 /// Percentage change from `base` to `value`: 100 * (value - base) / base.
@@ -71,8 +75,9 @@ Interval confidence_interval_95(double mean, double stddev,
 /// successes out of `n` trials. Unlike the Wald interval it never collapses
 /// to a zero-width interval at p = 0 or 1, which is exactly the regime the
 /// simulator's rare-error estimates live in. `successes` may be fractional
-/// (criticality-weighted outcomes); it is clamped into [0, n]. Returns
-/// [0, 1] for n == 0; throws std::invalid_argument for negative successes.
+/// (criticality-weighted outcomes) but must lie in [0, n]. Returns [0, 1]
+/// for n == 0; throws std::invalid_argument for negative or NaN successes
+/// and for successes > n (an accounting bug upstream, not a proportion).
 Interval wilson_interval_95(double successes, std::size_t n);
 
 }  // namespace clrearly::util

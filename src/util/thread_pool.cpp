@@ -1,15 +1,35 @@
 #include "util/thread_pool.hpp"
 
 #include <atomic>
+#include <charconv>
 #include <condition_variable>
 #include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "util/metrics.hpp"
+
 namespace clrearly::util {
+
+namespace detail {
+
+std::size_t parse_thread_env(const char* text) noexcept {
+  // from_chars is deliberately strict: no leading whitespace, no sign
+  // (strtoul would wrap "-1" to ULONG_MAX and silently ask for ~2^64
+  // threads), no trailing garbage, no locale dependence.
+  if (text == nullptr || *text == '\0') return 0;
+  std::size_t value = 0;
+  const char* last = text + std::strlen(text);
+  const auto [ptr, ec] = std::from_chars(text, last, value);
+  if (ec != std::errc{} || ptr != last) return 0;
+  return value;
+}
+
+}  // namespace detail
 
 namespace {
 
@@ -23,14 +43,8 @@ std::size_t hardware_threads() {
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
-/// CLREARLY_THREADS: unset, empty, unparsable or 0 all mean "defer".
 std::size_t env_threads() {
-  const char* text = std::getenv("CLREARLY_THREADS");
-  if (text == nullptr || *text == '\0') return 0;
-  char* end = nullptr;
-  const unsigned long value = std::strtoul(text, &end, 10);
-  if (end == text || *end != '\0') return 0;
-  return static_cast<std::size_t>(value);
+  return detail::parse_thread_env(std::getenv("CLREARLY_THREADS"));
 }
 
 }  // namespace
@@ -115,6 +129,12 @@ void ThreadPool::parallel_for(std::size_t n,
   const std::size_t participants = std::min(impl_->total, n);
   state->pending = participants;
 
+  // One registry lookup per process; per parallel_for call the metrics
+  // cost is two striped adds and a gauge store — per *index* it is zero.
+  static Counter& submitted_metric = metric_counter("pool.tasks_submitted");
+  static Counter& executed_metric = metric_counter("pool.tasks_executed");
+  static Gauge& queue_depth_metric = metric_gauge("pool.queue_depth");
+
   auto chunk = [state] {
     const bool was_inside = tls_inside_parallel;
     tls_inside_parallel = true;
@@ -129,6 +149,7 @@ void ThreadPool::parallel_for(std::size_t n,
       }
     }
     tls_inside_parallel = was_inside;
+    executed_metric.add();
     std::lock_guard<std::mutex> lock(state->done_mutex);
     if (first && !state->error) state->error = first;
     if (--state->pending == 0) state->done_cv.notify_all();
@@ -139,6 +160,8 @@ void ThreadPool::parallel_for(std::size_t n,
     for (std::size_t i = 0; i + 1 < participants; ++i) {
       impl_->queue.push_back(chunk);
     }
+    submitted_metric.add(participants - 1);
+    queue_depth_metric.set(static_cast<double>(impl_->queue.size()));
   }
   impl_->queue_cv.notify_all();
 

@@ -50,6 +50,16 @@ class ThreadPool {
   std::unique_ptr<Impl> impl_;
 };
 
+namespace detail {
+
+/// Parse a CLREARLY_THREADS-style value: nullptr, empty, unparsable,
+/// negative or trailing garbage all yield 0 ("defer to hardware"). Exposed
+/// so the rejection rules are directly testable — strtoul would otherwise
+/// happily wrap "-1" to ~2^64 threads.
+std::size_t parse_thread_env(const char* text) noexcept;
+
+}  // namespace detail
+
 /// Override the global thread count (the --threads flag). 0 = hardware
 /// concurrency. Takes effect on the next global_pool() access; call it at
 /// startup or between runs, never while parallel work is in flight.

@@ -68,6 +68,19 @@ TEST(ArgParserTest, Errors) {
   EXPECT_THROW(p.get("nonexistent"), std::invalid_argument);
 }
 
+TEST(ArgParserTest, MalformedNumbersAreRejectedNotTruncated) {
+  // std::stod used to accept "1.5abc" (silently dropping the garbage) and
+  // leading whitespace; from_chars rejects both, and the empty string.
+  ArgParser p = make_parser();
+  for (const char* bad : {"1.5abc", "3x", " 7", "", "--", "nan(", "0x10"}) {
+    p.parse({"--seed", bad});
+    EXPECT_THROW(p.get_number("seed"), std::invalid_argument)
+        << "value '" << bad << "' must be rejected";
+  }
+  p.parse({"--seed=-2.5e-3"});
+  EXPECT_DOUBLE_EQ(p.get_number("seed"), -2.5e-3);
+}
+
 TEST(ArgParserTest, DuplicateDeclarationRejected) {
   ArgParser p("t", "d");
   p.flag("x", "first");

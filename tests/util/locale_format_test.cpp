@@ -1,0 +1,113 @@
+// Regression tests for locale-dependent number formatting. The CSV and
+// JSON writers used to go through snprintf("%.17g") and the CLI through
+// std::stod, all of which honour LC_NUMERIC — under de_DE.UTF-8 a double
+// rendered as "0,5" and corrupted every results file. The formatters now
+// use std::to_chars/std::from_chars, which are locale-independent by
+// definition; these tests pin that by running the formatting under a
+// comma-decimal locale. Skipped when the system has no such locale
+// installed (CI generates de_DE.UTF-8 for one ctest shard).
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/json.hpp"
+
+namespace clrearly::util {
+namespace {
+
+/// Switch LC_ALL to a comma-decimal locale; nullptr when none exists.
+const char* set_comma_locale() {
+  for (const char* name :
+       {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8", "fr_FR.utf8"}) {
+    if (std::setlocale(LC_ALL, name) != nullptr) {
+      // Only trust locales that actually flip the decimal separator.
+      char buffer[32];
+      std::snprintf(buffer, sizeof buffer, "%.1f", 0.5);
+      if (std::strchr(buffer, ',') != nullptr) return name;
+    }
+  }
+  std::setlocale(LC_ALL, "C");
+  return nullptr;
+}
+
+class LocaleFormatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (set_comma_locale() == nullptr) {
+      GTEST_SKIP() << "no comma-decimal locale installed";
+    }
+  }
+  void TearDown() override { std::setlocale(LC_ALL, "C"); }
+};
+
+TEST_F(LocaleFormatTest, CsvDoublesUseDotDecimalPoint) {
+  const std::string path = ::testing::TempDir() + "locale_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.field("label").field(0.5).field(1234.0625).end_row();
+    csv.flush();
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "label,0.5,1234.0625");
+  EXPECT_EQ(line.find(','), 5u);  // separators only, no decimal commas
+}
+
+TEST_F(LocaleFormatTest, FormatCompactIsLocaleIndependent) {
+  EXPECT_EQ(format_compact(0.5), "0.5");
+  EXPECT_EQ(format_compact(-2.25), "-2.25");
+}
+
+TEST_F(LocaleFormatTest, JsonNumbersSerializeAndParseUnderCommaLocale) {
+  JsonObject obj;
+  obj["half"] = 0.5;
+  obj["big"] = 1e100;
+  obj["negative"] = -0.125;
+  const std::string text = json_serialize(JsonValue(obj));
+  EXPECT_EQ(text.find("0,5"), std::string::npos);
+
+  const JsonValue parsed = json_parse(text);
+  EXPECT_EQ(parsed.at("half").as_number(), 0.5);
+  EXPECT_EQ(parsed.at("big").as_number(), 1e100);
+  EXPECT_EQ(parsed.at("negative").as_number(), -0.125);
+
+  // A '.' literal must parse as a fraction, not truncate at the point the
+  // locale-aware strtod would have stopped.
+  EXPECT_EQ(json_parse("3.25").as_number(), 3.25);
+}
+
+TEST_F(LocaleFormatTest, CliNumericOptionsParseUnderCommaLocale) {
+  ArgParser parser("locale_test", "locale regression");
+  parser.option("rate", "a double option", "0.0");
+  parser.parse({"--rate", "0.75"});
+  EXPECT_EQ(parser.get_number("rate"), 0.75);
+}
+
+TEST_F(LocaleFormatTest, DoubleRoundTripSurvivesCommaLocale) {
+  // Full-precision round-trip through the CSV formatter: 17 significant
+  // digits reproduce the exact bits of an unfriendly double.
+  const double value = 0.1 + 0.2;  // 0.30000000000000004
+  const std::string path = ::testing::TempDir() + "locale_roundtrip.csv";
+  {
+    CsvWriter csv(path);
+    csv.field(value).end_row();
+    csv.flush();
+  }
+  std::ifstream in(path);
+  std::string cell;
+  ASSERT_TRUE(std::getline(in, cell));
+  EXPECT_NE(cell.find('.'), std::string::npos) << "formatted cell: " << cell;
+  // Parse back locale-independently (stod would stop at the '.' here).
+  EXPECT_EQ(json_parse(cell).as_number(), value) << "formatted cell: " << cell;
+}
+
+}  // namespace
+}  // namespace clrearly::util

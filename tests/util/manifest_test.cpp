@@ -1,0 +1,99 @@
+// The run manifest's contracts: JSON round-trip is lossless, malformed
+// JSON fails loudly instead of yielding a half-filled manifest, and
+// capture_run_manifest records the process-effective configuration (not
+// just the raw flags) plus the full argv.
+#include "util/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/memo_cache.hpp"
+#include "util/thread_pool.hpp"
+
+namespace clrearly::util {
+namespace {
+
+RunManifest sample_manifest() {
+  RunManifest m;
+  m.program = "clrearly";
+  m.args = {"dse", "--app", "sobel", "--seed", "42"};
+  m.seed = "42";
+  m.threads = 4;
+  m.cache_capacity = 65536;
+  m.build_type = "Release";
+  m.log_level = "warn";
+  return m;
+}
+
+TEST(ManifestTest, JsonRoundTripIsLossless) {
+  const RunManifest original = sample_manifest();
+  const JsonValue encoded{original.to_json()};
+  const RunManifest decoded =
+      RunManifest::from_json(json_parse(json_serialize(encoded)));
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(ManifestTest, RoundTripPreservesEmptyFields) {
+  RunManifest original;  // all defaults: empty strings, zero sizes
+  const RunManifest decoded =
+      RunManifest::from_json(JsonValue(original.to_json()));
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(ManifestTest, FromJsonRejectsMissingAndMistypedFields) {
+  JsonObject incomplete;
+  incomplete["program"] = std::string("clrearly");
+  EXPECT_THROW(RunManifest::from_json(JsonValue(incomplete)),
+               std::runtime_error);
+
+  JsonObject mistyped = sample_manifest().to_json();
+  mistyped["threads"] = std::string("four");
+  EXPECT_THROW(RunManifest::from_json(JsonValue(mistyped)),
+               std::runtime_error);
+}
+
+TEST(ManifestTest, CaptureRecordsArgvAndEffectiveConfiguration) {
+  ArgParser parser("capture_test", "manifest capture test");
+  parser.option("seed", "rng seed", "1");
+  parser.parse({"--seed", "9"});
+
+  const char* argv_text[] = {"capture_test", "--seed", "9"};
+  char* argv[3];
+  std::vector<std::string> storage(argv_text, argv_text + 3);
+  for (int i = 0; i < 3; ++i) argv[i] = storage[i].data();
+
+  set_thread_count(3);
+  set_cache_capacity(128);
+  const RunManifest m = capture_run_manifest(parser, 3, argv);
+  set_thread_count(0);
+  reset_cache_capacity();
+
+  EXPECT_EQ(m.program, "capture_test");
+  EXPECT_EQ(m.args, (std::vector<std::string>{"--seed", "9"}));
+  EXPECT_EQ(m.seed, "9");
+  EXPECT_EQ(m.threads, 3u);
+  EXPECT_EQ(m.cache_capacity, 128u);
+#ifdef NDEBUG
+  EXPECT_EQ(m.build_type, "Release");
+#else
+  EXPECT_EQ(m.build_type, "Debug");
+#endif
+  EXPECT_FALSE(m.log_level.empty());
+}
+
+TEST(ManifestTest, CaptureWithoutSeedOptionLeavesSeedEmpty) {
+  ArgParser parser("no_seed", "driver without --seed");
+  parser.parse({});
+  const RunManifest m = capture_run_manifest(parser, 0, nullptr);
+  EXPECT_EQ(m.seed, "");
+  // argv absent: the parser's program name is the fallback.
+  EXPECT_EQ(m.program, "no_seed");
+  EXPECT_TRUE(m.args.empty());
+}
+
+}  // namespace
+}  // namespace clrearly::util

@@ -200,6 +200,48 @@ TEST(MemoCacheTest, NamedCachesAggregateByNameInTheRegistry) {
   EXPECT_FALSE(count_fitness("memo_test_scope").first);
 }
 
+TEST(CacheCapacityTest, CacheEnvParsingRejectsGarbageAndNegatives) {
+  // "-1" must fall back to the default, not wrap to ULLONG_MAX entries.
+  EXPECT_EQ(detail::parse_cache_env(nullptr), kDefaultCacheCapacity);
+  EXPECT_EQ(detail::parse_cache_env(""), kDefaultCacheCapacity);
+  EXPECT_EQ(detail::parse_cache_env("-1"), kDefaultCacheCapacity);
+  EXPECT_EQ(detail::parse_cache_env("64k"), kDefaultCacheCapacity);
+  EXPECT_EQ(detail::parse_cache_env(" 64"), kDefaultCacheCapacity);
+  EXPECT_EQ(detail::parse_cache_env("0"), 0u);  // explicit disable
+  EXPECT_EQ(detail::parse_cache_env("1024"), 1024u);
+}
+
+TEST(CacheRegistryTest, LifetimeStatsRetainDestroyedCaches) {
+  auto lifetime_of = [](const char* name) {
+    CacheStats total;
+    for (const auto& [cache_name, stats] : lifetime_cache_stats()) {
+      if (cache_name == name) total = stats;
+    }
+    return total;
+  };
+  const CacheStats before = lifetime_of("memo_lifetime_scope");
+  {
+    Cache cache(64, "memo_lifetime_scope");
+    cache.insert(key_of(1), 1);
+    std::uint64_t out = 0;
+    ASSERT_TRUE(cache.lookup(key_of(1), out));   // hit
+    ASSERT_FALSE(cache.lookup(key_of(2), out));  // miss
+    // While alive, the lifetime view includes the live counters...
+    const CacheStats alive = lifetime_of("memo_lifetime_scope");
+    EXPECT_EQ(alive.hits, before.hits + 1);
+    EXPECT_EQ(alive.misses, before.misses + 1);
+    EXPECT_EQ(alive.entries, 1u);  // live storage still counted
+  }
+  // ...and after destruction the event counters survive as retained
+  // totals, with the storage gone. aggregate_cache_stats stays live-only
+  // (pinned by NamedCachesAggregateByNameInTheRegistry above).
+  const CacheStats after = lifetime_of("memo_lifetime_scope");
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.misses, before.misses + 1);
+  EXPECT_EQ(after.entries, 0u);
+  EXPECT_EQ(after.capacity, 0u);
+}
+
 TEST(CacheCapacityTest, OverrideBeatsDefaultAndResetRestoresIt) {
   const std::size_t ambient = cache_capacity();
   set_cache_capacity(123);

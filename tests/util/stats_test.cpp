@@ -159,18 +159,41 @@ TEST(WilsonIntervalTest, NeverCollapsesAtTheBoundaries) {
   EXPECT_NEAR(all.hi, 1.0, 1e-12);
 }
 
-TEST(WilsonIntervalTest, FractionalSuccessesAndClamping) {
-  // Criticality-weighted outcomes are fractional; successes above n clamp.
+TEST(WilsonIntervalTest, FractionalSuccessesAndExcessRejection) {
+  // Criticality-weighted outcomes are fractional; successes above n used to
+  // clamp silently, hiding an upstream accounting bug — now they throw.
   const Interval iv = wilson_interval_95(2.5, 100);
   EXPECT_GT(iv.lo, 0.0);
   EXPECT_LT(iv.hi, 0.1);
   EXPECT_TRUE(iv.contains(0.025));
-  EXPECT_EQ(wilson_interval_95(150.0, 100), wilson_interval_95(100.0, 100));
+  EXPECT_THROW(wilson_interval_95(150.0, 100), std::invalid_argument);
+  // Exactly n is the legitimate boundary, not an excess.
+  EXPECT_NO_THROW(wilson_interval_95(100.0, 100));
 }
 
 TEST(WilsonIntervalTest, EdgeCases) {
   EXPECT_EQ(wilson_interval_95(0.0, 0), (Interval{0.0, 1.0}));
   EXPECT_THROW(wilson_interval_95(-1.0, 100), std::invalid_argument);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(wilson_interval_95(nan, 100), std::invalid_argument);
+}
+
+TEST(RunningStatsTest, RejectsNaN) {
+  RunningStats s;
+  s.add(1.0);
+  EXPECT_THROW(s.add(std::numeric_limits<double>::quiet_NaN()),
+               std::domain_error);
+  // The accumulator is unchanged by the rejected sample.
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 1.0);
+}
+
+TEST(StatsTest, QuantileRejectsNaNSamples) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(quantile({1.0, nan, 3.0}, 0.5), std::domain_error);
+  // Without the check NaN silently poisons the sort order; the valid call
+  // still works.
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0}, 0.5), 2.0);
 }
 
 TEST(WilsonIntervalTest, CoversTrueProportionEmpirically) {

@@ -140,6 +140,20 @@ TEST(ThreadPoolTest, MoreIndicesThanThreadsAndViceVersa) {
   for (auto& hit : many) EXPECT_EQ(hit.load(), 1);
 }
 
+TEST(ThreadPoolTest, ThreadEnvParsingRejectsGarbageAndNegatives) {
+  // "-1" must defer, not wrap to ULONG_MAX worth of threads.
+  EXPECT_EQ(detail::parse_thread_env(nullptr), 0u);
+  EXPECT_EQ(detail::parse_thread_env(""), 0u);
+  EXPECT_EQ(detail::parse_thread_env("-1"), 0u);
+  EXPECT_EQ(detail::parse_thread_env("-"), 0u);
+  EXPECT_EQ(detail::parse_thread_env("4x"), 0u);
+  EXPECT_EQ(detail::parse_thread_env("x4"), 0u);
+  EXPECT_EQ(detail::parse_thread_env(" 4"), 0u);
+  EXPECT_EQ(detail::parse_thread_env("0"), 0u);
+  EXPECT_EQ(detail::parse_thread_env("4"), 4u);
+  EXPECT_EQ(detail::parse_thread_env("16"), 16u);
+}
+
 TEST(ThreadPoolTest, SetThreadCountOverridesEnvironment) {
   // set_thread_count wins over CLREARLY_THREADS; 0 falls back to hardware.
   set_thread_count(3);

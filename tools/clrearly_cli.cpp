@@ -43,6 +43,7 @@
 #include "platform/architecture.hpp"
 #include "sched/timeline.hpp"
 #include "util/cli.hpp"
+#include "util/observability.hpp"
 #include "util/thread_pool.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
@@ -51,6 +52,38 @@
 namespace {
 
 using namespace clrearly;
+
+// The full argv of the process, stashed by main() so the run manifest can
+// record the complete invocation (subcommand included), not just the
+// subcommand's argument slice.
+int g_argc = 0;
+char** g_argv = nullptr;
+
+/// Shared option prologue of every subcommand: --help, --threads, the
+/// cache options and --metrics-out/--trace-out.
+void declare_common(util::ArgParser& parser) {
+  parser.flag("help", "show this help");
+  util::add_threads_option(parser);
+  util::add_cache_options(parser);
+  util::add_observability_options(parser);
+}
+
+/// Parse and apply the common options. Returns false when --help was
+/// requested (the help text has then already been printed; return 0).
+bool apply_common(util::ArgParser& parser,
+                  const std::vector<std::string>& args) {
+  parser.parse(args);
+  if (parser.has("help")) {
+    std::printf("%s", parser.help().c_str());
+    return false;
+  }
+  if (parser.has("threads")) {
+    util::set_thread_count(parser.get_uint("threads"));
+  }
+  util::apply_cache_options(parser);
+  util::apply_observability_options(parser, g_argc, g_argv);
+  return true;
+}
 
 app::Application resolve_app(const std::string& spec) {
   if (spec == "sobel") return app::make_sobel_application();
@@ -83,22 +116,12 @@ reliability::TaskAnalyzer resolve_analyzer(double env_factor) {
 int cmd_generate(const std::vector<std::string>& args) {
   util::ArgParser parser("clrearly generate",
                          "generate a synthetic application model");
-  parser.flag("help", "show this help");
-  util::add_threads_option(parser);
-  util::add_cache_options(parser);
+  declare_common(parser);
   parser.option("tasks", "number of tasks", "20")
       .option("types", "number of task types", "10")
       .option("seed", "generator seed", "1")
       .option("out", "output JSON path", "app.json");
-  parser.parse(args);
-  if (parser.has("threads")) {
-    util::set_thread_count(parser.get_uint("threads"));
-  }
-  util::apply_cache_options(parser);
-  if (parser.has("help")) {
-    std::printf("%s", parser.help().c_str());
-    return 0;
-  }
+  if (!apply_common(parser, args)) return 0;
 
   const app::Application syn = app::make_synthetic_application(
       parser.get_uint("tasks"), parser.get_uint("types"),
@@ -112,21 +135,11 @@ int cmd_generate(const std::vector<std::string>& args) {
 
 int cmd_info(const std::vector<std::string>& args) {
   util::ArgParser parser("clrearly info", "summarize a system model");
-  parser.flag("help", "show this help");
-  util::add_threads_option(parser);
-  util::add_cache_options(parser);
+  declare_common(parser);
   parser.option("app", "application spec", "sobel")
       .option("arch", "architecture spec", "default")
       .option("dot", "write the task graph as Graphviz DOT to this path", "");
-  parser.parse(args);
-  if (parser.has("threads")) {
-    util::set_thread_count(parser.get_uint("threads"));
-  }
-  util::apply_cache_options(parser);
-  if (parser.has("help")) {
-    std::printf("%s", parser.help().c_str());
-    return 0;
-  }
+  if (!apply_common(parser, args)) return 0;
 
   const app::Application application = resolve_app(parser.get("app"));
   const platform::Architecture arch = resolve_arch(parser.get("arch"));
@@ -167,23 +180,13 @@ int cmd_info(const std::vector<std::string>& args) {
 
 int cmd_tdse(const std::vector<std::string>& args) {
   util::ArgParser parser("clrearly tdse", "task-level design-space exploration");
-  parser.flag("help", "show this help");
-  util::add_threads_option(parser);
-  util::add_cache_options(parser);
+  declare_common(parser);
   parser.option("app", "application spec", "sobel")
       .option("arch", "architecture spec", "default")
       .option("objectives", "TABLE IV ladder row (1-6)", "2")
       .option("env", "environmental fault-rate factor", "1")
       .option("csv", "write Pareto points to this CSV", "");
-  parser.parse(args);
-  if (parser.has("threads")) {
-    util::set_thread_count(parser.get_uint("threads"));
-  }
-  util::apply_cache_options(parser);
-  if (parser.has("help")) {
-    std::printf("%s", parser.help().c_str());
-    return 0;
-  }
+  if (!apply_common(parser, args)) return 0;
 
   const app::Application application = resolve_app(parser.get("app"));
   const platform::Architecture arch = resolve_arch(parser.get("arch"));
@@ -227,9 +230,7 @@ int cmd_tdse(const std::vector<std::string>& args) {
 
 int cmd_dse(const std::vector<std::string>& args) {
   util::ArgParser parser("clrearly dse", "system-level CLR-aware task mapping");
-  parser.flag("help", "show this help");
-  util::add_threads_option(parser);
-  util::add_cache_options(parser);
+  declare_common(parser);
   parser.option("app", "application spec", "sobel")
       .option("arch", "architecture spec", "default")
       .option("flow", "fcclr | pfclr | proposed | agnostic", "proposed")
@@ -242,15 +243,7 @@ int cmd_dse(const std::vector<std::string>& args) {
       .option("csv", "write the front to this CSV", "")
       .flag("report", "print per-task choices of the fastest design")
       .flag("gantt", "print the fastest design's schedule");
-  parser.parse(args);
-  if (parser.has("threads")) {
-    util::set_thread_count(parser.get_uint("threads"));
-  }
-  util::apply_cache_options(parser);
-  if (parser.has("help")) {
-    std::printf("%s", parser.help().c_str());
-    return 0;
-  }
+  if (!apply_common(parser, args)) return 0;
 
   const app::Application application = resolve_app(parser.get("app"));
   const platform::Architecture arch = resolve_arch(parser.get("arch"));
@@ -336,9 +329,7 @@ int cmd_simulate(const std::vector<std::string>& args) {
   util::ArgParser parser(
       "clrearly simulate",
       "Monte Carlo schedule simulation of a DSE flow's Pareto front");
-  parser.flag("help", "show this help");
-  util::add_threads_option(parser);
-  util::add_cache_options(parser);
+  declare_common(parser);
   parser.option("app", "application spec", "sobel")
       .option("arch", "architecture spec", "default")
       .option("flow", "fcclr | pfclr | proposed", "proposed")
@@ -352,15 +343,7 @@ int cmd_simulate(const std::vector<std::string>& args) {
       .option("deadline", "deadline in us for miss accounting (0 disables)",
               "0")
       .option("csv", "write the comparison report to this CSV", "");
-  parser.parse(args);
-  if (parser.has("threads")) {
-    util::set_thread_count(parser.get_uint("threads"));
-  }
-  util::apply_cache_options(parser);
-  if (parser.has("help")) {
-    std::printf("%s", parser.help().c_str());
-    return 0;
-  }
+  if (!apply_common(parser, args)) return 0;
 
   const app::Application application = resolve_app(parser.get("app"));
   const platform::Architecture arch = resolve_arch(parser.get("arch"));
@@ -452,23 +435,13 @@ int cmd_simulate(const std::vector<std::string>& args) {
 int cmd_check(const std::vector<std::string>& args) {
   util::ArgParser parser("clrearly check",
                          "early-stage feasibility certificates (no GA)");
-  parser.flag("help", "show this help");
-  util::add_threads_option(parser);
-  util::add_cache_options(parser);
+  declare_common(parser);
   parser.option("app", "application spec", "sobel")
       .option("arch", "architecture spec", "default")
       .option("env", "environmental fault-rate factor", "1")
       .option("min-frel", "minimum functional reliability (0 disables)", "0")
       .option("max-makespan", "makespan limit in us (0 disables)", "0");
-  parser.parse(args);
-  if (parser.has("threads")) {
-    util::set_thread_count(parser.get_uint("threads"));
-  }
-  util::apply_cache_options(parser);
-  if (parser.has("help")) {
-    std::printf("%s", parser.help().c_str());
-    return 0;
-  }
+  if (!apply_common(parser, args)) return 0;
 
   const app::Application application = resolve_app(parser.get("app"));
   const platform::Architecture arch = resolve_arch(parser.get("arch"));
@@ -503,19 +476,9 @@ int cmd_check(const std::vector<std::string>& args) {
 int cmd_export(const std::vector<std::string>& args) {
   util::ArgParser parser("clrearly export",
                          "write the built-in models as JSON files");
-  parser.flag("help", "show this help");
-  util::add_threads_option(parser);
-  util::add_cache_options(parser);
+  declare_common(parser);
   parser.option("dir", "output directory", "models");
-  parser.parse(args);
-  if (parser.has("threads")) {
-    util::set_thread_count(parser.get_uint("threads"));
-  }
-  util::apply_cache_options(parser);
-  if (parser.has("help")) {
-    std::printf("%s", parser.help().c_str());
-    return 0;
-  }
+  if (!apply_common(parser, args)) return 0;
   const std::string dir = parser.get("dir");
   std::filesystem::create_directories(dir);
   io::save_architecture(dir + "/paper_platform.json",
@@ -531,9 +494,7 @@ int cmd_chain(const std::vector<std::string>& args) {
   util::ArgParser parser("clrearly chain",
                          "evaluate one CLR configuration through the Fig. 3 "
                          "Markov models");
-  parser.flag("help", "show this help");
-  util::add_threads_option(parser);
-  util::add_cache_options(parser);
+  declare_common(parser);
   parser.option("exec-time", "useful execution time (us)", "1000")
       .option("lambda", "effective SEU rate (/us)", "3e-4")
       .option("hw-masking", "spatial-redundancy masking m_HW", "0")
@@ -548,15 +509,7 @@ int cmd_chain(const std::vector<std::string>& args) {
       .option("chk-err", "checkpoint corruption probability", "0")
       .flag("validate", "cross-check with 100k fault-injection runs")
       .flag("sweep", "also sweep 1..10 intervals for the optimal count");
-  parser.parse(args);
-  if (parser.has("threads")) {
-    util::set_thread_count(parser.get_uint("threads"));
-  }
-  util::apply_cache_options(parser);
-  if (parser.has("help")) {
-    std::printf("%s", parser.help().c_str());
-    return 0;
-  }
+  if (!apply_common(parser, args)) return 0;
 
   reliability::ClrChainParams params;
   params.exec_time_us = parser.get_number("exec-time");
@@ -614,6 +567,8 @@ void print_usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_argc = argc;
+  g_argv = argv;
   util::set_log_level(util::LogLevel::Warn);
   if (argc < 2) {
     print_usage();
