@@ -178,18 +178,26 @@ void ClrMappingProblem::build_full_config_tables() {
     const platform::PeType& pe = arch_.type(sweep.pe_type);
     const std::size_t d_n = pe.dvfs.size();
     auto& table = metrics_[sweep.type][sweep.impl][sweep.pe_type];
-    // Populate only axis-reachable entries; pinned axes always decode
-    // to index 0.
+    // Collect the axis-reachable configs (pinned axes always decode to
+    // index 0) and their table slots, then evaluate the whole sweep through
+    // the batched chain path — each worker batches its own sweep, so the
+    // thread-local batch workspaces never contend.
+    std::vector<reliability::ClrConfig> configs;
+    std::vector<std::size_t> slots;
     for (std::size_t h = 0; h < (axes_.hw ? h_n : 1); ++h) {
       for (std::size_t s = 0; s < (axes_.ssw ? s_n : 1); ++s) {
         for (std::size_t a = 0; a < (axes_.asw ? a_n : 1); ++a) {
           for (std::size_t d = 0; d < (axes_.dvfs ? d_n : 1); ++d) {
-            const reliability::ClrConfig cfg{h, s, a, d};
-            const std::size_t idx = ((h * s_n + s) * a_n + a) * d_n + d;
-            table[idx] = analyzer_.evaluate(impl, pe, cfg);
+            configs.push_back(reliability::ClrConfig{h, s, a, d});
+            slots.push_back(((h * s_n + s) * a_n + a) * d_n + d);
           }
         }
       }
+    }
+    const std::vector<reliability::TaskMetrics> evaluated =
+        analyzer_.evaluate_batch(impl, pe, configs);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      table[slots[i]] = evaluated[i];
     }
   });
 }

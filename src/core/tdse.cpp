@@ -76,7 +76,12 @@ std::vector<TaskDesignPoint> Tdse::enumerate(
   if (impls.empty()) {
     throw std::invalid_argument("Tdse::enumerate: no implementations");
   }
+  // Collect-then-batch: enumerate every (impl, pe, config) point first,
+  // then evaluate them through the batched chain path — misses from the
+  // chain cache are deduped and solved W lanes per SIMD instruction instead
+  // of one LU at a time (see analyze_clr_chain_batch).
   std::vector<TaskDesignPoint> points;
+  std::vector<reliability::TaskAnalyzer::EvalJob> jobs;
   for (std::size_t impl_index = 0; impl_index < impls.size(); ++impl_index) {
     const reliability::BaseImpl& impl = impls[impl_index];
     for (std::size_t pe_type = 0; pe_type < architecture.num_types();
@@ -90,14 +95,19 @@ std::vector<TaskDesignPoint> Tdse::enumerate(
         point.impl_index = impl_index;
         point.pe_type = pe_type;
         point.config = config;
-        point.metrics = analyzer_.evaluate(impl, pe, config);
         points.push_back(std::move(point));
+        jobs.push_back({&impl, &pe, config});
       }
     }
   }
   if (points.empty()) {
     throw std::invalid_argument(
         "Tdse::enumerate: no PE type can host any implementation");
+  }
+  const std::vector<reliability::TaskMetrics> metrics =
+      analyzer_.evaluate_jobs(jobs);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    points[i].metrics = metrics[i];
   }
   return points;
 }

@@ -276,6 +276,52 @@ ChainWorkspace& local_chain_workspace() {
   return workspace;
 }
 
+void ChainWorkspace::note_configure(std::size_t t_, std::size_t a_) {
+  // What this chain needs, in doubles: q (t*t), a (t*t), lu (t*t + perm),
+  // r (t*a), b0 (a), and six t-length vectors.
+  const std::size_t need = 3 * t_ * t_ + t_ * a_ + 6 * t_ + a_;
+  if (high_water_doubles >= kShrinkMinDoubles &&
+      need <= high_water_doubles / kShrinkDivisor) {
+    if (++small_streak >= kShrinkPatience) {
+      release();  // resets high_water_doubles and small_streak
+      static util::Counter& shrinks =
+          util::metric_counter("chain.workspace_shrinks");
+      shrinks.add(1);
+    }
+  } else {
+    small_streak = 0;
+  }
+  if (need > high_water_doubles) high_water_doubles = need;
+  static util::Gauge& hwm =
+      util::metric_gauge("chain.workspace_hwm_doubles");
+  if (static_cast<double>(high_water_doubles) > hwm.value()) {
+    hwm.set(static_cast<double>(high_water_doubles));
+  }
+}
+
+std::size_t ChainWorkspace::footprint_doubles() const noexcept {
+  return q.capacity() + r.capacity() + a.capacity() + lu.capacity_doubles() +
+         residence.capacity() + row0.capacity() + b0.capacity() +
+         t.capacity() + qt.capacity() + rhs.capacity() + scratch.capacity();
+}
+
+void ChainWorkspace::release() {
+  q.release();
+  r.release();
+  a.release();
+  lu.release();
+  // Move-assign fresh vectors — `v = {}` would keep the capacity alive.
+  residence = std::vector<double>();
+  row0 = std::vector<double>();
+  b0 = std::vector<double>();
+  t = std::vector<double>();
+  qt = std::vector<double>();
+  rhs = std::vector<double>();
+  scratch = std::vector<double>();
+  high_water_doubles = 0;
+  small_streak = 0;
+}
+
 Row0Solve solve_row0(ChainWorkspace& ws, bool with_second_moment) {
   // ~2ns striped add vs a µs-scale factor+solve — negligible, and it is
   // the ground truth for cache-effectiveness analysis (solve_row0 calls

@@ -152,6 +152,28 @@ struct ChainWorkspace {
   std::vector<double> qt;         ///< Q * t scratch
   std::vector<double> rhs;        ///< right-hand-side scratch
   std::vector<double> scratch;    ///< triangular-solve scratch
+
+  /// Shrink-policy accounting: call before assembling a chain of `t`
+  /// transient / `a` absorbing states. A workspace that served a large-t
+  /// burst otherwise holds its high-water capacity for the life of the
+  /// thread; after kShrinkPatience consecutive uses each needing at most
+  /// 1/kShrinkDivisor of the high-water footprint, all buffers are
+  /// released and the high-water restarts from the current need. Small
+  /// workspaces (< kShrinkMinDoubles) are never churned. Also maintains the
+  /// chain.workspace_hwm_doubles gauge.
+  void note_configure(std::size_t t, std::size_t a);
+
+  /// Doubles currently held across every buffer (capacity, not size).
+  std::size_t footprint_doubles() const noexcept;
+
+  /// Release all buffer capacity (the shrink action).
+  void release();
+
+  static constexpr std::size_t kShrinkPatience = 64;
+  static constexpr std::size_t kShrinkDivisor = 4;
+  static constexpr std::size_t kShrinkMinDoubles = 1 << 14;  // 128 KiB
+  std::size_t high_water_doubles = 0;  ///< max footprint need seen
+  std::size_t small_streak = 0;        ///< consecutive far-below-HWM uses
 };
 
 /// The calling thread's chain workspace (thread_local — each thread-pool

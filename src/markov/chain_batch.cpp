@@ -1,0 +1,237 @@
+#include "markov/chain_batch.hpp"
+
+#include <algorithm>
+
+#include "markov/chain_batch_kernel.hpp"
+#include "util/metrics.hpp"
+
+namespace clrearly::markov {
+
+namespace {
+
+// Update a monotonic high-water gauge. Gauge only offers set(), so this is a
+// read-max-set; a lost race can only under-report transiently and the gauge
+// converges once writers drain (same tolerance as every other gauge here).
+void raise_gauge(clrearly::util::Gauge& gauge, double value) {
+  if (value > gauge.value()) gauge.set(value);
+}
+
+}  // namespace
+
+void ChainBatch::configure(std::size_t t_, std::size_t a_,
+                           std::size_t width_) {
+  // The shrink decision looks at what this configure *needs* versus the
+  // largest need ever served, before any buffer is touched.
+  const std::size_t need =
+      (2 * t_ * t_ + t_ * a_ + 6 * t_ + a_ + 3) * width_;
+  if (high_water_doubles >= kShrinkMinDoubles &&
+      need <= high_water_doubles / kShrinkDivisor) {
+    if (++small_streak >= kShrinkPatience) {
+      release();  // resets high_water_doubles and small_streak
+      static util::Counter& shrinks =
+          util::metric_counter("chain.batch.workspace_shrinks");
+      shrinks.add(1);
+    }
+  } else {
+    small_streak = 0;
+  }
+
+  t = t_;
+  a = a_;
+  width = width_;
+  const std::size_t w = width_;
+  if (q_pattern_t == t_ && q_zero_outside_pattern && q.size() == t * t * w) {
+    // q is +0.0 everywhere off the recorded pattern, so zeroing the pattern
+    // cells restores an all-zero buffer without streaming all t*t*w doubles.
+    for (const std::uint32_t cell : q_pattern) {
+      double* lanes = q.data() + static_cast<std::size_t>(cell) * w;
+      for (std::size_t l = 0; l < w; ++l) lanes[l] = 0.0;
+    }
+  } else {
+    q.assign(t * t * w, 0.0);
+    if (q_pattern_t != t_) {
+      q_pattern.clear();
+      q_pattern_t = 0;
+    }
+  }
+  // Until an assembler re-asserts it, assume the caller may write anywhere.
+  q_zero_outside_pattern = false;
+  r.assign(t * a * w, 0.0);
+  residence.assign(t * w, 0.0);
+  lu.resize(t * t * w);
+  perm.resize(t * w);
+  row0.resize(t * w);
+  b0.resize(a * w);
+  tvec.resize(t * w);
+  qt.resize(t * w);
+  rhs.resize(t * w);
+  scratch.resize(t * w);
+  expected_time.resize(w);
+  expected_steps.resize(w);
+  second_moment.resize(w);
+  singular.assign(w, 0);
+
+  const std::size_t footprint = footprint_doubles();
+  if (footprint > high_water_doubles) high_water_doubles = footprint;
+  static util::Gauge& hwm = util::metric_gauge("chain.batch.workspace_hwm_doubles");
+  raise_gauge(hwm, static_cast<double>(high_water_doubles));
+}
+
+std::size_t ChainBatch::footprint_doubles() const noexcept {
+  // perm (size_t) and singular (u8) are folded in as double-equivalents so
+  // the gauge tracks total bytes / 8.
+  std::size_t doubles = q.capacity() + r.capacity() + residence.capacity() +
+                        lu.capacity() + row0.capacity() + b0.capacity() +
+                        tvec.capacity() + qt.capacity() + rhs.capacity() +
+                        scratch.capacity() + expected_time.capacity() +
+                        expected_steps.capacity() + second_moment.capacity();
+  doubles += perm.capacity() * sizeof(std::size_t) / sizeof(double);
+  doubles += (singular.capacity() + sizeof(double) - 1) / sizeof(double);
+  doubles += q_pattern.capacity() * sizeof(std::uint32_t) / sizeof(double);
+  return doubles;
+}
+
+void ChainBatch::release() {
+  // Move-assign fresh vectors: `v = {}` would pick the initializer_list
+  // overload, which clears but is allowed to (and does) keep capacity.
+  q = std::vector<double>();
+  r = std::vector<double>();
+  residence = std::vector<double>();
+  lu = std::vector<double>();
+  perm = std::vector<std::size_t>();
+  row0 = std::vector<double>();
+  b0 = std::vector<double>();
+  tvec = std::vector<double>();
+  qt = std::vector<double>();
+  rhs = std::vector<double>();
+  scratch = std::vector<double>();
+  expected_time = std::vector<double>();
+  expected_steps = std::vector<double>();
+  second_moment = std::vector<double>();
+  singular = std::vector<std::uint8_t>();
+  q_pattern = std::vector<std::uint32_t>();
+  q_pattern_t = 0;
+  q_zero_outside_pattern = false;
+  t = a = width = 0;
+  high_water_doubles = 0;
+  small_streak = 0;
+}
+
+ChainBatch& local_chain_batch() {
+  thread_local ChainBatch batch;
+  return batch;
+}
+
+std::size_t preferred_batch_width(util::SimdLevel level) noexcept {
+  switch (level) {
+    case util::SimdLevel::kAvx512: return 8;
+    // 8 lanes beat 4 under AVX2 too (two 4-wide ops per step, and the
+    // per-batch bookkeeping — masks, pivots, reductions — amortizes over
+    // twice the chains); measured faster at every size class t = 6..34.
+    case util::SimdLevel::kAvx2: return 8;
+    case util::SimdLevel::kScalar: return 4;
+  }
+  return 4;
+}
+
+std::size_t preferred_batch_width() noexcept {
+  return preferred_batch_width(util::active_simd_level());
+}
+
+#if defined(CLREARLY_HAVE_AVX_TUS)
+// Implemented in chain_batch_avx2.cpp (-mavx2 -mfma -ffp-contract=off).
+void batch_kernel_avx2_w4(ChainBatch& batch, bool with_second_moment);
+void batch_kernel_avx2_w8(ChainBatch& batch, bool with_second_moment);
+#endif
+#if defined(CLREARLY_HAVE_AVX512_TU)
+// Implemented in chain_batch_avx512.cpp (-mavx512f -ffp-contract=off).
+void batch_kernel_avx512_w8(ChainBatch& batch, bool with_second_moment);
+#endif
+
+void solve_row0_batch(ChainBatch& batch, bool with_second_moment) {
+  static util::Counter& solves =
+      util::metric_counter("chain.batch.kernel_solves");
+  solves.add(1);
+
+  std::fill(batch.singular.begin(), batch.singular.end(), 0);
+
+  const util::SimdLevel level = util::active_simd_level();
+  switch (batch.width) {
+    case 1:
+      kernel_detail::batch_kernel<1>(batch, with_second_moment);
+      break;
+    case 4:
+#if defined(CLREARLY_HAVE_AVX_TUS)
+      if (level >= util::SimdLevel::kAvx2) {
+        batch_kernel_avx2_w4(batch, with_second_moment);
+        break;
+      }
+#endif
+      (void)level;
+      kernel_detail::batch_kernel<4>(batch, with_second_moment);
+      break;
+    case 8:
+#if defined(CLREARLY_HAVE_AVX512_TU)
+      if (level >= util::SimdLevel::kAvx512) {
+        batch_kernel_avx512_w8(batch, with_second_moment);
+        break;
+      }
+#endif
+#if defined(CLREARLY_HAVE_AVX_TUS)
+      if (level >= util::SimdLevel::kAvx2) {
+        batch_kernel_avx2_w8(batch, with_second_moment);
+        break;
+      }
+#endif
+      kernel_detail::batch_kernel<8>(batch, with_second_moment);
+      break;
+    default:
+      // Unsupported width: solve each lane through the width-1 kernel via a
+      // staging batch. Correct for any width, never the fast path.
+      {
+        ChainBatch lane;
+        for (std::size_t l = 0; l < batch.width; ++l) {
+          lane.configure(batch.t, batch.a, 1);
+          for (std::size_t e = 0; e < batch.t * batch.t; ++e) {
+            lane.q[e] = batch.q[e * batch.width + l];
+          }
+          for (std::size_t e = 0; e < batch.t * batch.a; ++e) {
+            lane.r[e] = batch.r[e * batch.width + l];
+          }
+          for (std::size_t e = 0; e < batch.t; ++e) {
+            lane.residence[e] = batch.residence[e * batch.width + l];
+          }
+          kernel_detail::batch_kernel<1>(lane, with_second_moment);
+          batch.singular[l] = lane.singular[0];
+          batch.expected_time[l] = lane.expected_time[0];
+          batch.expected_steps[l] = lane.expected_steps[0];
+          batch.second_moment[l] = lane.second_moment[0];
+          for (std::size_t k = 0; k < batch.a; ++k) {
+            batch.b0[k * batch.width + l] = lane.b0[k];
+          }
+          for (std::size_t e = 0; e < batch.t; ++e) {
+            batch.row0[e * batch.width + l] = lane.row0[e];
+          }
+        }
+        // Lane outputs were scattered above; the zeroing below still applies.
+      }
+      break;
+  }
+
+  // A singular lane computed garbage past its failing pivot; hand the caller
+  // value-initialized outputs instead (the scalar path would have thrown).
+  for (std::size_t l = 0; l < batch.width; ++l) {
+    if (!batch.singular[l]) continue;
+    batch.expected_time[l] = 0.0;
+    batch.expected_steps[l] = 0.0;
+    batch.second_moment[l] = 0.0;
+    for (std::size_t k = 0; k < batch.a; ++k) {
+      batch.b0[k * batch.width + l] = 0.0;
+    }
+    for (std::size_t e = 0; e < batch.t; ++e) {
+      batch.row0[e * batch.width + l] = 0.0;
+    }
+  }
+}
+
+}  // namespace clrearly::markov

@@ -1,0 +1,22 @@
+// AVX2 instantiations of the batched chain kernel. This TU is compiled with
+// -mavx2 -mfma -ffp-contract=off (see src/CMakeLists.txt): the stride-1 lane
+// loops in chain_batch_kernel.hpp vectorize to 4-wide packed-double ymm ops,
+// and contraction stays off so no mul+sub fuses into an FMA the scalar path
+// would round differently. Only these uniquely named wrappers have external
+// linkage; the kernel template itself is internal to this TU.
+#include "markov/chain_batch_kernel.hpp"
+
+namespace clrearly::markov {
+
+void batch_kernel_avx2_w4(ChainBatch& batch, bool with_second_moment) {
+  kernel_detail::batch_kernel<4>(batch, with_second_moment);
+}
+
+// Width-8 batches on AVX2-only hardware: two ymm ops per statement still
+// beat the portable baseline, so AVX-512-preferred batches degrade here
+// rather than falling all the way back.
+void batch_kernel_avx2_w8(ChainBatch& batch, bool with_second_moment) {
+  kernel_detail::batch_kernel<8>(batch, with_second_moment);
+}
+
+}  // namespace clrearly::markov

@@ -1,0 +1,14 @@
+// AVX-512F instantiation of the batched chain kernel. Compiled with
+// -mavx512f -ffp-contract=off (see src/CMakeLists.txt): the 8-lane stride-1
+// loops in chain_batch_kernel.hpp vectorize to packed-double zmm ops with
+// contraction off, so results stay bit-identical to every other dispatch
+// path. Only this uniquely named wrapper has external linkage.
+#include "markov/chain_batch_kernel.hpp"
+
+namespace clrearly::markov {
+
+void batch_kernel_avx512_w8(ChainBatch& batch, bool with_second_moment) {
+  kernel_detail::batch_kernel<8>(batch, with_second_moment);
+}
+
+}  // namespace clrearly::markov

@@ -13,9 +13,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "markov/chain.hpp"
+#include "markov/chain_batch.hpp"
 #include "util/memo_cache.hpp"
 
 namespace clrearly::reliability {
@@ -118,6 +121,54 @@ ClrChainAnalysis analyze_clr_chain(const ClrChainParams& params);
 
 /// Counters of the process-wide chain-solve cache (zeros when disabled).
 util::CacheStats chain_cache_stats();
+
+/// Per-chain outcome of a batched analysis.
+enum class ChainSolveStatus : std::uint8_t {
+  kOk = 0,
+  kSingular = 1,  ///< I - Q singular (non-absorbing chain); analysis zeroed
+};
+
+/// Tuning knobs for analyze_clr_chain_batch. Defaults are the production
+/// configuration; tests and the benchmark override them to pin down one
+/// variable at a time.
+struct ChainBatchOptions {
+  /// Lanes per kernel group; 0 picks markov::preferred_batch_width() for
+  /// the active SIMD level (8 under AVX-512, else 4).
+  std::size_t group_width = 0;
+  /// Consult the chain-solve memo cache for hits and backfill solved
+  /// misses. Off for raw-kernel benchmarking.
+  bool use_cache = true;
+};
+
+/// Batched dense assembly: fill `batch` (already configure()d for
+/// `lanes.size()` lanes) with the Fig. 3a timing (resp. 3b functional)
+/// chain of each lane's parameters, lane-major. Every lane's Q / R /
+/// residence values are computed by exactly the scalar assemble_*_chain
+/// arithmetic, so a batched solve of lane l is bit-identical to a scalar
+/// solve of *lanes[l]. All lanes must share one size class (same
+/// `intervals`); pad lanes simply repeat a real ClrChainParams pointer.
+void assemble_clr_chain_batch(
+    std::span<const ClrChainParams* const> lanes, bool functional,
+    markov::ChainBatch& batch);
+
+/// Analyze many configurations at once: consult the memo cache, dedupe
+/// identical parameter sets (canonical Key128), partition the remaining
+/// misses into size classes (same transient count), solve each class in
+/// lane groups through markov::solve_row0_batch, and backfill the cache.
+/// Results are positionally parallel to `params` and bit-identical to
+/// calling analyze_clr_chain on each element — at every group width and on
+/// every SIMD dispatch path (pinned by the differential tests).
+///
+/// A non-absorbing chain (singular I - Q) throws std::domain_error exactly
+/// like the scalar path — unless `status` is non-null, in which case no
+/// throw: (*status)[i] reports per-chain outcomes and singular entries get
+/// a value-initialized ClrChainAnalysis.
+///
+/// Instrumented via util::metrics: chain.batch.requests / cache_hits /
+/// dedupe_hits / batches / lanes_filled / pad_lanes.
+std::vector<ClrChainAnalysis> analyze_clr_chain_batch(
+    std::span<const ClrChainParams> params, const ChainBatchOptions& options = {},
+    std::vector<ChainSolveStatus>* status = nullptr);
 
 /// Sweep the checkpoint count 1..max_intervals (equal splits) and return the
 /// interval count minimizing average execution time — the classic

@@ -104,15 +104,12 @@ ClrChainParams TaskAnalyzer::chain_params(const BaseImpl& impl,
   return params;
 }
 
-TaskMetrics TaskAnalyzer::evaluate(const BaseImpl& impl,
-                                   const platform::PeType& pe,
-                                   const ClrConfig& config) const {
-  const ClrChainParams params = chain_params(impl, pe, config);
+TaskMetrics TaskAnalyzer::metrics_from_analysis(
+    const BaseImpl& impl, const platform::PeType& pe, const ClrConfig& config,
+    const ClrChainAnalysis& chain) const {
   const SswMethod& ssw = space_.ssw(config);
   const HwMethod& hw = space_.hw(config);
   const AswMethod& asw = space_.asw(config);
-
-  const ClrChainAnalysis chain = analyze_clr_chain(params);
 
   // --- Power / energy / thermals.
   const double power = impl.base_power_w * pe.dvfs.power_scale(config.dvfs) *
@@ -135,6 +132,53 @@ TaskMetrics TaskAnalyzer::evaluate(const BaseImpl& impl,
   out.footprint_kb =
       impl.footprint_kb *
       (1.0 + 0.25 * static_cast<double>(ssw.intervals - 1));
+  return out;
+}
+
+TaskMetrics TaskAnalyzer::evaluate(const BaseImpl& impl,
+                                   const platform::PeType& pe,
+                                   const ClrConfig& config) const {
+  const ClrChainParams params = chain_params(impl, pe, config);
+  return metrics_from_analysis(impl, pe, config, analyze_clr_chain(params));
+}
+
+std::vector<TaskMetrics> TaskAnalyzer::evaluate_jobs(
+    std::span<const EvalJob> jobs) const {
+  // Resolve every job to its chain inputs first (this is also where all
+  // argument validation fires, before any solve), then hand the whole set
+  // to the batched analyzer: cache hits come back individually, misses get
+  // deduped, padded into size classes and solved W lanes at a time.
+  std::vector<ClrChainParams> params;
+  params.reserve(jobs.size());
+  for (const EvalJob& job : jobs) {
+    params.push_back(chain_params(*job.impl, *job.pe, job.config));
+  }
+  const std::vector<ClrChainAnalysis> chains = analyze_clr_chain_batch(params);
+
+  std::vector<TaskMetrics> out;
+  out.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    out.push_back(metrics_from_analysis(*jobs[i].impl, *jobs[i].pe,
+                                        jobs[i].config, chains[i]));
+  }
+  return out;
+}
+
+std::vector<TaskMetrics> TaskAnalyzer::evaluate_batch(
+    const BaseImpl& impl, const platform::PeType& pe,
+    std::span<const ClrConfig> configs) const {
+  std::vector<ClrChainParams> params;
+  params.reserve(configs.size());
+  for (const ClrConfig& config : configs) {
+    params.push_back(chain_params(impl, pe, config));
+  }
+  const std::vector<ClrChainAnalysis> chains = analyze_clr_chain_batch(params);
+
+  std::vector<TaskMetrics> out;
+  out.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    out.push_back(metrics_from_analysis(impl, pe, configs[i], chains[i]));
+  }
   return out;
 }
 

@@ -5,7 +5,9 @@
 // temperature, which TABLE IV's objective ladder also sweeps.
 #pragma once
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "platform/pe.hpp"
 #include "reliability/clr_chain_builder.hpp"
@@ -94,6 +96,27 @@ class TaskAnalyzer {
   TaskMetrics evaluate(const BaseImpl& impl, const platform::PeType& pe,
                        const ClrConfig& config) const;
 
+  /// One (implementation, PE type, configuration) evaluation request for
+  /// the batched paths. The pointees must outlive the evaluate_jobs call.
+  struct EvalJob {
+    const BaseImpl* impl = nullptr;
+    const platform::PeType* pe = nullptr;
+    ClrConfig config;
+  };
+
+  /// Batched evaluate(): bit-identical results to calling evaluate() on
+  /// each job in order, but every chain solve is collected and dispatched
+  /// through analyze_clr_chain_batch — cache hits are served individually,
+  /// misses are deduped, padded to size classes and solved W lanes at a
+  /// time by the SIMD kernel.
+  std::vector<TaskMetrics> evaluate_jobs(std::span<const EvalJob> jobs) const;
+
+  /// The common sweep shape — one (impl, pe) pair under many
+  /// configurations — batched the same way.
+  std::vector<TaskMetrics> evaluate_batch(const BaseImpl& impl,
+                                          const platform::PeType& pe,
+                                          std::span<const ClrConfig> configs) const;
+
   /// The fully resolved Fig. 3 chain inputs for (impl, pe, config) — exactly
   /// what evaluate() solves analytically. Exposed so simulation oracles
   /// (reliability::inject_faults, the sim/ Monte Carlo scheduler) can replay
@@ -102,6 +125,16 @@ class TaskAnalyzer {
                               const ClrConfig& config) const;
 
  private:
+  /// The non-chain half of evaluate(): power / thermal / aging / footprint
+  /// derived from (impl, pe, config) plus the already-solved chain
+  /// analysis. Shared verbatim by the scalar and batched paths so they can
+  /// only ever differ in how the chain was solved — which is bit-identical
+  /// by the kernel contract.
+  TaskMetrics metrics_from_analysis(const BaseImpl& impl,
+                                    const platform::PeType& pe,
+                                    const ClrConfig& config,
+                                    const ClrChainAnalysis& chain) const;
+
   ClrSpace space_;
   FaultEnvironment env_;
   ThermalModel thermal_;

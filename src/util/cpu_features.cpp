@@ -1,0 +1,94 @@
+#include "util/cpu_features.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/log.hpp"
+
+namespace clrearly::util {
+
+namespace {
+
+// Sentinel meaning "no forced override": outside the enum range.
+constexpr int kNoOverride = -1;
+
+std::atomic<int> g_forced_level{kNoOverride};
+
+SimdLevel clamp(SimdLevel requested, SimdLevel detected) noexcept {
+  return static_cast<int>(requested) <= static_cast<int>(detected) ? requested
+                                                                   : detected;
+}
+
+}  // namespace
+
+const char* to_string(SimdLevel level) noexcept {
+  switch (level) {
+    case SimdLevel::kAvx512: return "avx512";
+    case SimdLevel::kAvx2: return "avx2";
+    case SimdLevel::kScalar: return "scalar";
+  }
+  return "scalar";
+}
+
+bool parse_simd_level(const std::string& text, SimdLevel& out) noexcept {
+  if (text == "scalar") {
+    out = SimdLevel::kScalar;
+  } else if (text == "avx2") {
+    out = SimdLevel::kAvx2;
+  } else if (text == "avx512") {
+    out = SimdLevel::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+SimdLevel detected_simd_level() noexcept {
+#if defined(CLREARLY_HAVE_AVX_TUS) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+  // __builtin_cpu_supports reads cpuid once and caches; cheap to re-ask.
+  // AVX-512 lanes additionally need the compiler to have accepted
+  // -mavx512f for the dedicated TU (CLREARLY_HAVE_AVX512_TU).
+#if defined(CLREARLY_HAVE_AVX512_TU)
+  if (__builtin_cpu_supports("avx512f")) return SimdLevel::kAvx512;
+#endif
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kScalar;
+}
+
+namespace detail {
+
+SimdLevel parse_simd_env(const char* text) noexcept {
+  if (text == nullptr || *text == '\0') return SimdLevel::kAvx512;
+  SimdLevel parsed;
+  if (parse_simd_level(text, parsed)) return parsed;
+  if (std::string(text) != "auto") {
+    log_warn() << "CLREARLY_SIMD: unknown level '" << text
+               << "' ignored (want scalar|avx2|avx512|auto)";
+  }
+  return SimdLevel::kAvx512;  // no cap
+}
+
+}  // namespace detail
+
+SimdLevel active_simd_level() noexcept {
+  const SimdLevel detected = detected_simd_level();
+  const int forced = g_forced_level.load(std::memory_order_relaxed);
+  if (forced != kNoOverride) {
+    return clamp(static_cast<SimdLevel>(forced), detected);
+  }
+  static const SimdLevel env_cap =
+      detail::parse_simd_env(std::getenv("CLREARLY_SIMD"));
+  return clamp(env_cap, detected);
+}
+
+void force_simd_level(SimdLevel level) noexcept {
+  g_forced_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void reset_simd_level() noexcept {
+  g_forced_level.store(kNoOverride, std::memory_order_relaxed);
+}
+
+}  // namespace clrearly::util

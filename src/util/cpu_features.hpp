@@ -1,0 +1,54 @@
+// Runtime CPU-feature detection and SIMD dispatch policy for the batched
+// chain kernel.
+//
+// The batched solver ships three code paths — portable C++ (any ISA), AVX2
+// (4 doubles per vector) and AVX-512F (8 doubles per vector) — compiled into
+// separate translation units with the matching -m flags. Which one runs is a
+// *runtime* decision: default builds stay portable (no -march leakage into
+// generic TUs) and a binary built on one machine runs on another. All paths
+// produce bit-identical results per chain (see chain_batch_kernel.hpp), so
+// dispatch can only change throughput, never values.
+//
+// The CLREARLY_SIMD environment variable ("scalar" | "avx2" | "avx512" |
+// "auto", default auto) caps the level below what the CPU supports — the CI
+// hook for exercising every dispatch path on one machine. Requests above
+// hardware support fall back to the best available level.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace clrearly::util {
+
+/// SIMD tier of the batched kernel, ordered by capability.
+enum class SimdLevel { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+const char* to_string(SimdLevel level) noexcept;
+
+/// Parse "scalar" / "avx2" / "avx512"; returns false on anything else.
+bool parse_simd_level(const std::string& text, SimdLevel& out) noexcept;
+
+/// Best level this CPU (and this build) can execute. Detected once via
+/// cpuid on x86-64; always kScalar elsewhere or when the arch-specific TUs
+/// were not compiled.
+SimdLevel detected_simd_level() noexcept;
+
+/// The level the batched kernel dispatches to:
+///   min(detected_simd_level(), CLREARLY_SIMD cap, forced override).
+/// The environment variable is read once, on first call.
+SimdLevel active_simd_level() noexcept;
+
+/// Test/bench hook: pin active_simd_level() to min(level, detected).
+/// Call reset_simd_level() to return to environment-driven selection.
+/// Reconfigure between runs, not while batch solves are in flight.
+void force_simd_level(SimdLevel level) noexcept;
+void reset_simd_level() noexcept;
+
+namespace detail {
+/// Parse a CLREARLY_SIMD-style value; "auto", empty or null mean "no cap"
+/// (returns kAvx512); unknown text is ignored the same way so a typo can
+/// never change results, only a log line. Exposed for tests.
+SimdLevel parse_simd_env(const char* text) noexcept;
+}  // namespace detail
+
+}  // namespace clrearly::util

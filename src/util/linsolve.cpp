@@ -7,8 +7,9 @@
 namespace clrearly::util {
 
 namespace {
-// Relative threshold below which a pivot is treated as zero.
-constexpr double kSingularTol = 1e-13;
+// Alias for the shared threshold (see linsolve.hpp); kept so the factorize
+// body below reads as before.
+constexpr double kSingularTol = kLuSingularTol;
 }  // namespace
 
 LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) { factorize(); }

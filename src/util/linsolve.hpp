@@ -18,6 +18,11 @@
 
 namespace clrearly::util {
 
+/// Relative threshold below which an LU pivot is treated as zero. Shared
+/// with the batched chain kernel, whose per-lane singularity test must match
+/// LuDecomposition::factorize bit for bit.
+inline constexpr double kLuSingularTol = 1e-13;
+
 /// Partially pivoted LU decomposition of a square matrix.
 ///
 /// Factorization is performed once (at construction or via factor()); solves
@@ -68,6 +73,19 @@ class LuDecomposition {
   double determinant() const noexcept;
 
   std::size_t dim() const noexcept { return lu_.rows(); }
+
+  /// Doubles of factor storage currently held (capacity, for the workspace
+  /// footprint gauges).
+  std::size_t capacity_doubles() const noexcept {
+    return lu_.capacity() + perm_.capacity() * sizeof(std::size_t) / sizeof(double);
+  }
+
+  /// Drop factor storage (the shrink action); factor() again before solving.
+  void release() noexcept {
+    lu_.release();
+    perm_ = std::vector<std::size_t>();  // not `= {}`: that keeps capacity
+    perm_sign_ = 1;
+  }
 
  private:
   /// Factor lu_ in place; shared by the constructor and factor().

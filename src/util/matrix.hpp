@@ -53,6 +53,19 @@ class Matrix {
   double* data() noexcept { return data_.data(); }
   const double* data() const noexcept { return data_.data(); }
 
+  /// Doubles of backing storage currently held (>= rows()*cols()). The
+  /// workspace footprint gauges report this, not the logical size — it is
+  /// what a shrink policy actually reclaims.
+  std::size_t capacity() const noexcept { return data_.capacity(); }
+
+  /// Drop all storage and reset to 0 x 0 (the shrink action). Move-assigns
+  /// a fresh vector — `data_ = {}` would keep the capacity alive.
+  void release() noexcept {
+    data_ = std::vector<double>();
+    rows_ = 0;
+    cols_ = 0;
+  }
+
   Matrix& operator+=(const Matrix& rhs);
   Matrix& operator-=(const Matrix& rhs);
   Matrix& operator*=(double s) noexcept;
