@@ -1,0 +1,203 @@
+// Serve-mode throughput benchmark: drives DseService in process (no
+// sockets, so the numbers are queue + worker + engine, not TCP) with a
+// batch of jobs — half identical spec, half distinct seeds — and reports
+// jobs/sec, p50/p99 job latency and the cross-request cache hit-rate.
+// Emits BENCH_serve.json (validated by scripts/check_bench.py); the fields
+// are documented in docs/SERVER.md. The identical-spec jobs double as a
+// determinism check: their fronts must agree bit for bit.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "server/service.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace clrearly;
+using Clock = std::chrono::steady_clock;
+
+server::HttpRequest make_request(std::string method, std::string path,
+                                 std::string body = "") {
+  server::HttpRequest request;
+  request.method = std::move(method);
+  request.path = std::move(path);
+  request.body = std::move(body);
+  return request;
+}
+
+std::string job_body(std::size_t seed, std::size_t population,
+                     std::size_t generations) {
+  util::JsonObject ga;
+  ga["population_size"] = population;
+  ga["generations"] = generations;
+  util::JsonObject spec;
+  spec["format_version"] = 1;
+  spec["flow"] = "pfclr";
+  spec["seed"] = seed;
+  spec["ga"] = util::JsonValue(std::move(ga));
+  spec["application"] = "sobel";
+  return util::json_serialize(util::JsonValue(std::move(spec)));
+}
+
+double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("bench_serve",
+                       "DseService job throughput and cross-request cache "
+                       "sharing (emits BENCH_serve.json)");
+  args.option("jobs", "jobs to submit (half identical, half distinct seeds)",
+              "24")
+      .option("workers", "worker threads in the job queue", "4")
+      .option("pop", "GA population size per job", "24")
+      .option("gens", "GA generations per job", "6")
+      .option("out", "output JSON path", "BENCH_serve.json");
+  if (!util::parse_standard_args(args, argc, argv, util::LogLevel::Warn)) {
+    return 0;
+  }
+
+  std::size_t jobs = args.get_uint("jobs");
+  std::size_t population = args.get_uint("pop");
+  std::size_t generations = args.get_uint("gens");
+  if (core::fast_mode()) {
+    jobs = std::min<std::size_t>(jobs, 8);
+    population = std::min<std::size_t>(population, 16);
+    generations = std::min<std::size_t>(generations, 3);
+  }
+  const std::size_t workers = args.get_uint("workers");
+
+  server::ServiceOptions options;
+  options.workers = workers;
+  options.queue_depth = jobs;  // admission control is not under test here
+  server::DseService service(options);
+
+  std::printf("=== serve throughput: %zu jobs (pfclr sobel, pop %zu x %zu "
+              "generations), %zu workers ===\n",
+              jobs, population, generations, workers);
+
+  // Half the batch shares one spec (seed 1) to exercise cross-request
+  // fitness-cache sharing; the rest get distinct seeds so the workers also
+  // see genuinely new genomes.
+  const auto start = Clock::now();
+  std::vector<std::string> ids;
+  ids.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    const std::size_t seed = i < jobs / 2 ? 1 : i + 1;
+    const server::HttpResponse submitted = service.handle(
+        make_request("POST", "/v1/jobs", job_body(seed, population,
+                                                  generations)));
+    if (submitted.status != 202) {
+      std::fprintf(stderr, "submit failed (%d): %s\n", submitted.status,
+                   submitted.body.c_str());
+      return 1;
+    }
+    ids.push_back(util::json_parse(submitted.body).at("id").as_string());
+  }
+
+  // Poll the job list until every submission reaches a terminal state.
+  bool all_completed = false;
+  for (int i = 0; i < 60000 && !all_completed; ++i) {
+    const server::HttpResponse list =
+        service.handle(make_request("GET", "/v1/jobs"));
+    std::size_t done = 0;
+    for (const util::JsonValue& job :
+         util::json_parse(list.body).at("jobs").as_array()) {
+      if (job.at("state").as_string() == "done") ++done;
+    }
+    all_completed = done == jobs;
+    if (!all_completed) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  const double total_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> latencies_ms;
+  std::size_t fitness_hits = 0, fitness_misses = 0, chain_hits = 0;
+  bool identical_fronts_agree = all_completed;
+  util::JsonValue shared_front;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const server::HttpResponse response = service.handle(
+        make_request("GET", "/v1/jobs/" + ids[i] + "/result"));
+    if (response.status != 200) {
+      all_completed = false;
+      continue;
+    }
+    const util::JsonValue result = util::json_parse(response.body);
+    latencies_ms.push_back(result.at("wall_seconds").as_number() * 1e3);
+    const util::JsonValue& cache = result.at("cache");
+    fitness_hits += static_cast<std::size_t>(
+        cache.at("fitness_hits").as_number());
+    fitness_misses += static_cast<std::size_t>(
+        cache.at("fitness_misses").as_number());
+    chain_hits += static_cast<std::size_t>(
+        cache.at("chain_hits").as_number());
+    if (i < jobs / 2) {
+      if (i == 0) {
+        shared_front = result.at("front");
+      } else if (!(result.at("front") == shared_front)) {
+        identical_fronts_agree = false;
+      }
+    }
+  }
+  service.shutdown(/*cancel_pending=*/true);
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const double p50 = percentile(latencies_ms, 0.50);
+  const double p99 = percentile(latencies_ms, 0.99);
+  const double jobs_per_sec =
+      total_seconds > 0 ? static_cast<double>(jobs) / total_seconds : 0.0;
+  const std::size_t lookups = fitness_hits + fitness_misses;
+  const double hit_rate =
+      lookups > 0 ? static_cast<double>(fitness_hits) /
+                        static_cast<double>(lookups)
+                  : 0.0;
+
+  std::printf("jobs/sec: %.1f (%zu jobs in %.3f s)\n", jobs_per_sec, jobs,
+              total_seconds);
+  std::printf("job latency: p50 %.2f ms, p99 %.2f ms\n", p50, p99);
+  std::printf("fitness cache: %zu hits / %zu lookups (%.1f%%), chain hits "
+              "%zu\n",
+              fitness_hits, lookups, 100.0 * hit_rate, chain_hits);
+  std::printf("identical-spec fronts: %s\n",
+              identical_fronts_agree ? "agree" : "DIVERGED");
+
+  util::JsonObject report;
+  report["benchmark"] = "serve";
+  report["jobs"] = jobs;
+  report["workers"] = workers;
+  report["queue_depth"] = options.queue_depth;
+  report["population"] = population;
+  report["generations"] = generations;
+  report["total_seconds"] = total_seconds;
+  report["jobs_per_sec"] = jobs_per_sec;
+  report["p50_job_latency_ms"] = p50;
+  report["p99_job_latency_ms"] = p99;
+  report["cache_hit_rate"] = hit_rate;
+  report["fitness_hits"] = fitness_hits;
+  report["fitness_misses"] = fitness_misses;
+  report["chain_hits"] = chain_hits;
+  report["all_completed"] = all_completed;
+  report["identical_fronts_agree"] = identical_fronts_agree;
+
+  const std::string out = args.get("out");
+  std::ofstream stream(out);
+  stream << util::json_serialize(util::JsonValue(std::move(report))) << "\n";
+  std::printf("[wrote %s]\n", out.c_str());
+  return (all_completed && identical_fronts_agree) ? 0 : 1;
+}

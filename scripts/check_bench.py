@@ -1,9 +1,16 @@
 #!/usr/bin/env python3
-"""Validate the JSON emitted by bench_chain_kernel --json.
+"""Validate the JSON emitted by the self-describing benchmarks.
 
 Usage: check_bench.py BENCH_JSON
 
-Asserts the structural contract CI archives and the docs describe:
+Dispatches on the top-level "benchmark" id:
+
+* "chain_kernel" (bench_chain_kernel) — the structural contract below;
+* "serve" (bench_serve) — the daemon throughput report: jobs ran,
+  latency percentiles are ordered, the cache hit-rate is a rate, every
+  job completed and the identical-spec jobs produced identical fronts.
+
+For chain_kernel the contract CI archives and the docs describe:
 
 * the file parses and identifies itself as the chain_kernel benchmark;
 * the scalar-vs-scalar section ("sizes") has the memoized-kernel fields
@@ -134,6 +141,57 @@ def check_batched(report: dict) -> None:
     )
 
 
+def check_chain_kernel(report: dict) -> str:
+    for key in ("reps", "evals_per_rep", "simd_detected"):
+        if key not in report:
+            fail(f"missing top-level key '{key}'")
+    check_sizes(report)
+    check_batched(report)
+    return f"simd={report['simd_detected']}"
+
+
+def check_serve(report: dict) -> str:
+    for key in ("jobs", "workers", "queue_depth", "jobs_per_sec",
+                "p50_job_latency_ms", "p99_job_latency_ms", "cache_hit_rate",
+                "fitness_hits", "chain_hits", "all_completed",
+                "identical_fronts_agree"):
+        if key not in report:
+            fail(f"missing top-level key '{key}'")
+    if report["jobs"] <= 0:
+        fail(f"no jobs ran (jobs={report['jobs']})")
+    if report["jobs_per_sec"] <= 0:
+        fail(f"non-positive throughput (jobs_per_sec={report['jobs_per_sec']})")
+    if report["p50_job_latency_ms"] <= 0:
+        fail(f"non-positive p50 latency ({report['p50_job_latency_ms']})")
+    if report["p50_job_latency_ms"] > report["p99_job_latency_ms"]:
+        fail(
+            f"latency percentiles out of order: p50 "
+            f"{report['p50_job_latency_ms']} > p99 "
+            f"{report['p99_job_latency_ms']}"
+        )
+    if not 0 <= report["cache_hit_rate"] <= 1:
+        fail(f"cache_hit_rate out of range: {report['cache_hit_rate']}")
+    if report["all_completed"] is not True:
+        fail("not every submitted job completed (all_completed=false)")
+    if report["identical_fronts_agree"] is not True:
+        fail("identical-spec jobs produced different fronts — the serve "
+             "path broke determinism (identical_fronts_agree=false)")
+    if report["fitness_hits"] <= 0:
+        fail("no cross-request fitness-cache hits — session sharing "
+             f"regressed (fitness_hits={report['fitness_hits']})")
+    return (
+        f"{report['jobs']} jobs at {report['jobs_per_sec']:.1f}/s, "
+        f"p50 {report['p50_job_latency_ms']:.2f} ms, "
+        f"hit-rate {100 * report['cache_hit_rate']:.1f}%"
+    )
+
+
+CHECKERS = {
+    "chain_kernel": check_chain_kernel,
+    "serve": check_serve,
+}
+
+
 def main(argv: list[str]) -> None:
     if len(argv) != 2:
         print(__doc__, file=sys.stderr)
@@ -141,15 +199,11 @@ def main(argv: list[str]) -> None:
     with open(argv[1], encoding="utf-8") as handle:
         report = json.load(handle)
 
-    if report.get("benchmark") != "chain_kernel":
+    checker = CHECKERS.get(report.get("benchmark"))
+    if checker is None:
         fail(f"unexpected benchmark id {report.get('benchmark')!r}")
-    for key in ("reps", "evals_per_rep", "simd_detected"):
-        if key not in report:
-            fail(f"missing top-level key '{key}'")
-
-    check_sizes(report)
-    check_batched(report)
-    print(f"check_bench: OK — {argv[1]} (simd={report['simd_detected']})")
+    detail = checker(report)
+    print(f"check_bench: OK — {argv[1]} ({detail})")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Submit a DSE job to a running `clrearly serve` daemon and wait for it.
+
+Stdlib-only client for the v1 wire format (docs/SERVER.md). Builds a
+JobSpec from flags (or posts --spec FILE verbatim), POSTs it to
+/v1/jobs, streams per-generation progress events while polling, fetches
+the result, and optionally checks it:
+
+  --compare-csv FRONT.csv   the result front must equal the CSV written
+                            by the offline `clrearly dse --csv` run, value
+                            for value (both sides print shortest-round-trip
+                            doubles, so parsed floats compare exactly);
+  --expect-min-fitness-hits N / --expect-min-chain-hits N
+                            assert cross-request cache sharing happened.
+
+Exits non-zero if the job fails, is cancelled, or any check fails.
+
+Example (the CI smoke lane):
+  clrearly serve --port 0 --port-file /tmp/port &
+  submit_job.py --port-file /tmp/port --app sobel --flow proposed \
+      --seed 1 --pop 16 --gens 4 --compare-csv build/offline_front.csv
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def fail(message: str) -> None:
+    print(f"submit_job: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def wait_for_port(args: argparse.Namespace) -> int:
+    if args.port is not None:
+        return args.port
+    if not args.port_file:
+        fail("need --port or --port-file")
+    deadline = time.monotonic() + args.timeout
+    while time.monotonic() < deadline:
+        try:
+            with open(args.port_file, encoding="utf-8") as handle:
+                text = handle.read().strip()
+            if text:
+                return int(text)
+        except (FileNotFoundError, ValueError):
+            pass
+        time.sleep(0.05)
+    fail(f"port file {args.port_file} did not appear within {args.timeout}s")
+    return 0  # unreachable
+
+
+def request(base: str, method: str, path: str, body: dict | None = None):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(
+        base + path, data=data, method=method,
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=30) as response:
+            return response.status, json.loads(response.read() or b"{}")
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read() or b"{}")
+
+
+def build_spec(args: argparse.Namespace) -> dict:
+    if args.spec:
+        with open(args.spec, encoding="utf-8") as handle:
+            return json.load(handle)
+    spec = {
+        "format_version": 1,
+        "flow": args.flow,
+        "seed": args.seed,
+        "ga": {"population_size": args.pop, "generations": args.gens},
+        "application": args.app,
+    }
+    if args.threads is not None:
+        spec["threads"] = args.threads
+    if args.qos_max_makespan_us is not None:
+        spec["qos"] = {"max_makespan_us": args.qos_max_makespan_us}
+    return spec
+
+
+def compare_csv(result: dict, path: str) -> None:
+    """The offline CSV holds the first two objectives of every front point."""
+    with open(path, encoding="utf-8") as handle:
+        lines = [line.strip() for line in handle if line.strip()]
+    rows = [[float(cell) for cell in line.split(",")] for line in lines[1:]]
+    front = result["front"]
+    if len(rows) != len(front):
+        fail(f"front size mismatch: CSV has {len(rows)} points, "
+             f"server returned {len(front)}")
+    for i, (row, point) in enumerate(zip(rows, front)):
+        if row[0] != point[0] or row[1] != point[1]:
+            fail(f"front[{i}] differs: CSV ({row[0]}, {row[1]}) vs "
+                 f"server ({point[0]}, {point[1]}) — the serve path is "
+                 f"not bit-identical to the offline run")
+    print(f"submit_job: front matches {path} exactly ({len(rows)} points)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int)
+    parser.add_argument("--port-file", help="file the daemon wrote its port to")
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="seconds to wait for the port file / the job")
+    parser.add_argument("--spec", help="JobSpec JSON file to post verbatim")
+    parser.add_argument("--app", default="sobel")
+    parser.add_argument("--flow", default="proposed",
+                        choices=("fcclr", "pfclr", "proposed"))
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--pop", type=int, default=16)
+    parser.add_argument("--gens", type=int, default=4)
+    parser.add_argument("--threads", type=int)
+    parser.add_argument("--qos-max-makespan-us", type=float,
+                        help="adds a QoS bound (changes the model key)")
+    parser.add_argument("--out", help="write the result JSON here")
+    parser.add_argument("--compare-csv",
+                        help="offline `clrearly dse --csv` file to match")
+    parser.add_argument("--expect-min-fitness-hits", type=int)
+    parser.add_argument("--expect-min-chain-hits", type=int)
+    args = parser.parse_args()
+
+    port = wait_for_port(args)
+    base = f"http://{args.host}:{port}"
+
+    status, accepted = request(base, "POST", "/v1/jobs", build_spec(args))
+    if status != 202:
+        fail(f"submit returned {status}: {accepted}")
+    job_id = accepted["id"]
+    print(f"submit_job: {job_id} accepted "
+          f"(queue position {accepted.get('queue_position')})")
+
+    next_event = 0
+    deadline = time.monotonic() + args.timeout
+    while True:
+        status, events = request(
+            base, "GET", f"/v1/jobs/{job_id}/events?from={next_event}")
+        if status == 200:
+            for event in events.get("events", []):
+                print(f"submit_job: {event['stage']} generation "
+                      f"{event['generation']}/{event['generations']} "
+                      f"(front {event['front_size']}, "
+                      f"evals {event['evaluations']})")
+            next_event = events.get("next", next_event)
+        status, job = request(base, "GET", f"/v1/jobs/{job_id}")
+        if status != 200:
+            fail(f"status poll returned {status}: {job}")
+        state = job["state"]
+        if state in ("done", "failed", "cancelled"):
+            break
+        if time.monotonic() > deadline:
+            fail(f"{job_id} still {state} after {args.timeout}s")
+        time.sleep(0.05)
+    if state != "done":
+        fail(f"{job_id} ended {state}: {job.get('error', '')}")
+
+    status, result = request(base, "GET", f"/v1/jobs/{job_id}/result")
+    if status != 200:
+        fail(f"result fetch returned {status}: {result}")
+    cache = result["cache"]
+    print(f"submit_job: {job_id} done — {len(result['front'])} front points, "
+          f"{result['evaluations']} evaluations in "
+          f"{result['wall_seconds'] * 1e3:.1f} ms; cache "
+          f"fitness {cache['fitness_hits']}h/{cache['fitness_misses']}m, "
+          f"chain {cache['chain_hits']}h/{cache['chain_misses']}m")
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+        print(f"submit_job: wrote {args.out}")
+    if args.compare_csv:
+        compare_csv(result, args.compare_csv)
+    if args.expect_min_fitness_hits is not None:
+        if cache["fitness_hits"] < args.expect_min_fitness_hits:
+            fail(f"expected >= {args.expect_min_fitness_hits} fitness-cache "
+                 f"hits, saw {cache['fitness_hits']} — cross-request "
+                 f"session sharing regressed")
+        print(f"submit_job: fitness-cache sharing OK "
+              f"({cache['fitness_hits']} hits)")
+    if args.expect_min_chain_hits is not None:
+        if cache["chain_hits"] < args.expect_min_chain_hits:
+            fail(f"expected >= {args.expect_min_chain_hits} chain-cache "
+                 f"hits, saw {cache['chain_hits']} — the process-wide "
+                 f"chain cache is not shared across sessions")
+        print(f"submit_job: chain-cache sharing OK "
+              f"({cache['chain_hits']} hits)")
+
+
+if __name__ == "__main__":
+    main()

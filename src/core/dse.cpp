@@ -50,10 +50,28 @@ DseOutcome DseMethodology::collect(const ClrMappingProblem& problem,
   return outcome;
 }
 
+ClrMappingProblem DseMethodology::build_fcclr_problem(
+    const DseOptions& options) const {
+  return ClrMappingProblem(app_, arch_, analyzer_, options.objectives,
+                           options.spec);
+}
+
+ClrMappingProblem DseMethodology::build_pfclr_problem(
+    const DseOptions& options, const std::vector<TdseResult>& tdse) const {
+  std::vector<std::vector<TaskDesignPoint>> points;
+  points.reserve(tdse.size());
+  for (const TdseResult& r : tdse) points.push_back(r.pareto);
+  return ClrMappingProblem(app_, arch_, analyzer_, options.objectives,
+                           options.spec, std::move(points));
+}
+
 DseOutcome DseMethodology::run_fcclr(const DseOptions& options) const {
+  return run_fcclr(options, build_fcclr_problem(options));
+}
+
+DseOutcome DseMethodology::run_fcclr(const DseOptions& options,
+                                     const ClrMappingProblem& problem) const {
   const util::PhaseTimer timer("dse.fcclr");
-  const ClrMappingProblem problem(app_, arch_, analyzer_, options.objectives,
-                                  options.spec);
   util::Rng rng(options.seed);
   util::log_info() << "fcCLR: " << app_.graph.num_tasks() << " tasks, "
                    << problem.layout().gene_count() << " genes";
@@ -73,13 +91,12 @@ DseOutcome DseMethodology::run_pfclr(const DseOptions& options) const {
 
 DseOutcome DseMethodology::run_pfclr(
     const DseOptions& options, const std::vector<TdseResult>& tdse) const {
-  const util::PhaseTimer timer("dse.pfclr");
-  std::vector<std::vector<TaskDesignPoint>> points;
-  points.reserve(tdse.size());
-  for (const TdseResult& r : tdse) points.push_back(r.pareto);
+  return run_pfclr(options, build_pfclr_problem(options, tdse));
+}
 
-  const ClrMappingProblem problem(app_, arch_, analyzer_, options.objectives,
-                                  options.spec, std::move(points));
+DseOutcome DseMethodology::run_pfclr(const DseOptions& options,
+                                     const ClrMappingProblem& problem) const {
+  const util::PhaseTimer timer("dse.pfclr");
   util::Rng rng(options.seed);
   util::log_info() << "pfCLR: " << app_.graph.num_tasks() << " tasks, "
                    << problem.layout().gene_count() << " genes";
@@ -93,13 +110,15 @@ DseOutcome DseMethodology::run_proposed(const DseOptions& options) const {
 
 DseOutcome DseMethodology::run_proposed(
     const DseOptions& options, const std::vector<TdseResult>& tdse) const {
+  return run_proposed(options, build_pfclr_problem(options, tdse),
+                      build_fcclr_problem(options));
+}
+
+DseOutcome DseMethodology::run_proposed(const DseOptions& options,
+                                        const ClrMappingProblem& pf,
+                                        const ClrMappingProblem& fc) const {
   const util::PhaseTimer timer("dse.proposed");
   // Stage 1: pruned search.
-  std::vector<std::vector<TaskDesignPoint>> points;
-  points.reserve(tdse.size());
-  for (const TdseResult& r : tdse) points.push_back(r.pareto);
-  const ClrMappingProblem pf(app_, arch_, analyzer_, options.objectives,
-                             options.spec, std::move(points));
   util::Rng rng(options.seed);
   moea::Nsga2Result<MappingGenome> pf_result;
   {
@@ -109,8 +128,6 @@ DseOutcome DseMethodology::run_proposed(
   }
 
   // Stage 2: full-configuration search seeded with stage 1's front.
-  const ClrMappingProblem fc(app_, arch_, analyzer_, options.objectives,
-                             options.spec);
   std::vector<MappingGenome> seeds;
   seeds.reserve(pf_result.front.size() + 1);
   if (options.heuristic_seed) {

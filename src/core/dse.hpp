@@ -70,6 +70,30 @@ class DseMethodology {
   DseOutcome run_proposed(const DseOptions& options,
                           const std::vector<TdseResult>& tdse) const;
 
+  /// Problem-sharing variants: run a flow against caller-owned problem
+  /// instances instead of constructing fresh ones per call. The problems
+  /// must have been built over this methodology's application, architecture
+  /// and analyzer with the options' objectives and spec (build_fcclr_problem
+  /// / build_pfclr_problem produce exactly that). Because ClrMappingProblem
+  /// evaluation is a memoized pure function, a reused problem keeps its
+  /// genome-fitness cache warm across calls — the mechanism the serve
+  /// daemon's cross-request cache sharing is built on — while the search
+  /// itself follows the exact same code path as the one-shot entry points,
+  /// so results stay bit-identical run for run.
+  DseOutcome run_fcclr(const DseOptions& options,
+                       const ClrMappingProblem& fc) const;
+  DseOutcome run_pfclr(const DseOptions& options,
+                       const ClrMappingProblem& pf) const;
+  DseOutcome run_proposed(const DseOptions& options,
+                          const ClrMappingProblem& pf,
+                          const ClrMappingProblem& fc) const;
+
+  /// Construct the problems the flows above run over (the same construction
+  /// the one-shot entry points perform internally).
+  ClrMappingProblem build_fcclr_problem(const DseOptions& options) const;
+  ClrMappingProblem build_pfclr_problem(
+      const DseOptions& options, const std::vector<TdseResult>& tdse) const;
+
  private:
   static DseOutcome collect(const ClrMappingProblem& problem,
                             moea::Nsga2Result<MappingGenome> result);

@@ -4,7 +4,20 @@
 #include <stdexcept>
 #include <utility>
 
+#include "reliability/clr_config.hpp"
+#include "reliability/fault_model.hpp"
+#include "reliability/weibull.hpp"
+
 namespace clrearly::core {
+
+reliability::TaskAnalyzer make_condition_analyzer(double environment_factor) {
+  reliability::FaultEnvironment env;
+  env.dvfs_sensitivity = 1.2;
+  env.environment_factor = environment_factor;
+  return reliability::TaskAnalyzer(reliability::ClrSpace::paper_default(), env,
+                                   reliability::ThermalModel{},
+                                   reliability::ArrheniusAging{});
+}
 
 ScenarioSet::ScenarioSet(std::vector<Scenario> scenarios)
     : scenarios_(std::move(scenarios)) {

@@ -23,7 +23,17 @@ struct Scenario {
   std::string name;
   double environment_factor = 1.0;
   double weight = 1.0;
+
+  bool operator==(const Scenario&) const = default;
 };
+
+/// The task analyzer every clrearly front end (CLI subcommands, the serve
+/// daemon, spooled-job replay) builds for an operating condition: the
+/// paper-default CLR space, DVFS sensitivity 1.2 and the condition's
+/// fault-environment factor. Centralized so a job submitted over the wire
+/// is evaluated with bit-identical model parameters to the equivalent
+/// offline `clrearly dse --env <factor>` run.
+reliability::TaskAnalyzer make_condition_analyzer(double environment_factor);
 
 class ScenarioSet {
  public:

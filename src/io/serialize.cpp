@@ -1,8 +1,13 @@
 #include "io/serialize.hpp"
 
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+
+#include "app/characterizer.hpp"
+#include "app/mjpeg.hpp"
+#include "app/sobel.hpp"
 
 namespace clrearly::io {
 
@@ -198,6 +203,366 @@ void save_application(const std::string& path,
 
 app::Application load_application(const std::string& path) {
   return application_from_json(util::json_parse(read_file(path)));
+}
+
+// ------------------------------------------------------------ spec strings
+
+app::Application resolve_application(const std::string& spec) {
+  if (spec == "sobel") return app::make_sobel_application();
+  if (spec == "mjpeg") return app::make_mjpeg_application();
+  if (spec.rfind("synthetic:", 0) == 0) {
+    const std::string rest = spec.substr(10);
+    const std::size_t colon = rest.find(':');
+    const std::size_t tasks = std::stoul(rest.substr(0, colon));
+    const std::uint64_t seed =
+        colon == std::string::npos ? 1 : std::stoull(rest.substr(colon + 1));
+    return app::make_synthetic_application(tasks, 10, seed);
+  }
+  return load_application(spec);
+}
+
+platform::Architecture resolve_architecture(const std::string& spec) {
+  if (spec == "default") return platform::Architecture::paper_default();
+  return load_architecture(spec);
+}
+
+// ------------------------------------------------------------- wire format
+
+namespace {
+
+std::uint64_t as_uint64(const JsonValue& value, const char* what) {
+  const double number = value.as_number();
+  if (number < 0.0 ||
+      number != static_cast<double>(static_cast<std::uint64_t>(number))) {
+    throw std::runtime_error(std::string("serialize: ") + what +
+                             " must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(number);
+}
+
+void set_optional(JsonObject& object, const char* key,
+                  const std::optional<double>& value) {
+  if (value.has_value()) object.emplace(key, *value);
+}
+
+std::optional<double> get_optional(const JsonValue& json, const char* key) {
+  const JsonValue* value = json.find(key);
+  if (value == nullptr) return std::nullopt;
+  return value->as_number();
+}
+
+/// Reject keys outside `allowed` so a typoed field fails loud instead of
+/// silently falling back to a default.
+void reject_unknown_keys(const JsonObject& object,
+                         std::initializer_list<const char*> allowed,
+                         const char* what) {
+  for (const auto& [key, value] : object) {
+    bool known = false;
+    for (const char* name : allowed) {
+      if (key == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw std::runtime_error(std::string("serialize: unknown ") + what +
+                               " field '" + key + "'");
+    }
+  }
+}
+
+}  // namespace
+
+JsonValue to_json(const core::Scenario& scenario) {
+  return JsonValue(JsonObject{{"name", scenario.name},
+                              {"environment_factor",
+                               scenario.environment_factor},
+                              {"weight", scenario.weight}});
+}
+
+core::Scenario scenario_from_json(const JsonValue& json) {
+  reject_unknown_keys(json.as_object(),
+                      {"name", "environment_factor", "weight"}, "scenario");
+  core::Scenario scenario;
+  if (const JsonValue* name = json.find("name")) {
+    scenario.name = name->as_string();
+  }
+  scenario.environment_factor = json.number_or("environment_factor", 1.0);
+  scenario.weight = json.number_or("weight", 1.0);
+  return scenario;
+}
+
+JsonValue to_json(const core::ScenarioSet& scenarios) {
+  JsonArray list;
+  for (const core::Scenario& scenario : scenarios.scenarios()) {
+    list.push_back(to_json(scenario));
+  }
+  return JsonValue(std::move(list));
+}
+
+core::ScenarioSet scenario_set_from_json(const JsonValue& json) {
+  std::vector<core::Scenario> scenarios;
+  for (const JsonValue& entry : json.as_array()) {
+    scenarios.push_back(scenario_from_json(entry));
+  }
+  return core::ScenarioSet(std::move(scenarios));
+}
+
+JsonValue to_json(const moea::Nsga2Params& params) {
+  return JsonValue(JsonObject{
+      {"population_size", params.population_size},
+      {"generations", params.generations},
+      {"crossover_prob", params.crossover_prob},
+      {"mutation_prob", params.mutation_prob},
+      {"mutation_indpb", params.mutation_indpb},
+      {"tournament_k", params.tournament_k},
+      {"archive_size", params.archive_size}});
+}
+
+moea::Nsga2Params nsga2_params_from_json(const JsonValue& json) {
+  reject_unknown_keys(json.as_object(),
+                      {"population_size", "generations", "crossover_prob",
+                       "mutation_prob", "mutation_indpb", "tournament_k",
+                       "archive_size"},
+                      "ga");
+  moea::Nsga2Params params;
+  if (const JsonValue* v = json.find("population_size")) {
+    params.population_size = static_cast<std::size_t>(
+        as_uint64(*v, "ga.population_size"));
+  }
+  if (const JsonValue* v = json.find("generations")) {
+    params.generations = static_cast<std::size_t>(
+        as_uint64(*v, "ga.generations"));
+  }
+  params.crossover_prob = json.number_or("crossover_prob",
+                                         params.crossover_prob);
+  params.mutation_prob = json.number_or("mutation_prob", params.mutation_prob);
+  params.mutation_indpb = json.number_or("mutation_indpb",
+                                         params.mutation_indpb);
+  if (const JsonValue* v = json.find("tournament_k")) {
+    params.tournament_k = static_cast<std::size_t>(
+        as_uint64(*v, "ga.tournament_k"));
+  }
+  if (const JsonValue* v = json.find("archive_size")) {
+    params.archive_size = static_cast<std::size_t>(
+        as_uint64(*v, "ga.archive_size"));
+  }
+  params.validate();
+  return params;
+}
+
+JsonValue to_json(const core::SystemObjectives& objectives) {
+  return JsonValue(JsonObject{{"makespan", objectives.makespan},
+                              {"error_prob", objectives.error_prob},
+                              {"mttf", objectives.mttf},
+                              {"energy", objectives.energy},
+                              {"power", objectives.power},
+                              {"w_makespan", objectives.w_makespan},
+                              {"w_error_prob", objectives.w_error_prob},
+                              {"w_mttf", objectives.w_mttf},
+                              {"w_energy", objectives.w_energy},
+                              {"w_power", objectives.w_power}});
+}
+
+core::SystemObjectives system_objectives_from_json(const JsonValue& json) {
+  reject_unknown_keys(json.as_object(),
+                      {"makespan", "error_prob", "mttf", "energy", "power",
+                       "w_makespan", "w_error_prob", "w_mttf", "w_energy",
+                       "w_power"},
+                      "objectives");
+  core::SystemObjectives objectives;
+  auto flag = [&](const char* key, bool fallback) {
+    const JsonValue* value = json.find(key);
+    return value == nullptr ? fallback : value->as_bool();
+  };
+  objectives.makespan = flag("makespan", objectives.makespan);
+  objectives.error_prob = flag("error_prob", objectives.error_prob);
+  objectives.mttf = flag("mttf", objectives.mttf);
+  objectives.energy = flag("energy", objectives.energy);
+  objectives.power = flag("power", objectives.power);
+  objectives.w_makespan = json.number_or("w_makespan", objectives.w_makespan);
+  objectives.w_error_prob =
+      json.number_or("w_error_prob", objectives.w_error_prob);
+  objectives.w_mttf = json.number_or("w_mttf", objectives.w_mttf);
+  objectives.w_energy = json.number_or("w_energy", objectives.w_energy);
+  objectives.w_power = json.number_or("w_power", objectives.w_power);
+  if (objectives.count() == 0) {
+    throw std::runtime_error(
+        "serialize: objectives must enable at least one metric");
+  }
+  return objectives;
+}
+
+JsonValue to_json(const sched::QosSpec& spec) {
+  JsonObject object;
+  set_optional(object, "max_makespan_us", spec.max_makespan_us);
+  set_optional(object, "min_functional_rel", spec.min_functional_rel);
+  set_optional(object, "min_mttf_hours", spec.min_mttf_hours);
+  set_optional(object, "max_energy_uj", spec.max_energy_uj);
+  set_optional(object, "max_peak_power_w", spec.max_peak_power_w);
+  return JsonValue(std::move(object));
+}
+
+sched::QosSpec qos_spec_from_json(const JsonValue& json) {
+  reject_unknown_keys(json.as_object(),
+                      {"max_makespan_us", "min_functional_rel",
+                       "min_mttf_hours", "max_energy_uj", "max_peak_power_w"},
+                      "qos");
+  sched::QosSpec spec;
+  spec.max_makespan_us = get_optional(json, "max_makespan_us");
+  spec.min_functional_rel = get_optional(json, "min_functional_rel");
+  spec.min_mttf_hours = get_optional(json, "min_mttf_hours");
+  spec.max_energy_uj = get_optional(json, "max_energy_uj");
+  spec.max_peak_power_w = get_optional(json, "max_peak_power_w");
+  return spec;
+}
+
+JsonValue to_json(const core::TdseObjectives& objectives) {
+  return JsonValue(JsonObject{{"avg_exec_time", objectives.avg_exec_time},
+                              {"error_prob", objectives.error_prob},
+                              {"mttf", objectives.mttf},
+                              {"energy", objectives.energy},
+                              {"power", objectives.power},
+                              {"peak_temp", objectives.peak_temp}});
+}
+
+core::TdseObjectives tdse_objectives_from_json(const JsonValue& json) {
+  reject_unknown_keys(json.as_object(),
+                      {"avg_exec_time", "error_prob", "mttf", "energy",
+                       "power", "peak_temp"},
+                      "tdse_objectives");
+  core::TdseObjectives objectives;
+  auto flag = [&](const char* key, bool fallback) {
+    const JsonValue* value = json.find(key);
+    return value == nullptr ? fallback : value->as_bool();
+  };
+  objectives.avg_exec_time = flag("avg_exec_time", objectives.avg_exec_time);
+  objectives.error_prob = flag("error_prob", objectives.error_prob);
+  objectives.mttf = flag("mttf", objectives.mttf);
+  objectives.energy = flag("energy", objectives.energy);
+  objectives.power = flag("power", objectives.power);
+  objectives.peak_temp = flag("peak_temp", objectives.peak_temp);
+  if (objectives.count() == 0) {
+    throw std::runtime_error(
+        "serialize: tdse_objectives must enable at least one metric");
+  }
+  return objectives;
+}
+
+core::DseOptions JobSpec::options() const {
+  core::DseOptions options;
+  options.ga = ga;
+  options.objectives = objectives;
+  options.spec = spec;
+  options.tdse_objectives = tdse_objectives;
+  options.seed = seed;
+  options.heuristic_seed = heuristic_seed;
+  return options;
+}
+
+std::string JobSpec::model_key() const {
+  // Canonical because JsonObject keys are sorted and number formatting is
+  // shortest-round-trip to_chars: equal models always produce equal keys.
+  JsonObject model{{"application", to_json(application)},
+                   {"architecture", to_json(architecture)},
+                   {"environment_factor", scenario.environment_factor},
+                   {"objectives", to_json(objectives)},
+                   {"qos", to_json(spec)},
+                   {"tdse_objectives", to_json(tdse_objectives)}};
+  return util::json_serialize(JsonValue(std::move(model)));
+}
+
+JsonValue to_json(const JobSpec& spec) {
+  JsonObject root{{"format_version", spec.format_version},
+                  {"flow", spec.flow},
+                  {"seed", spec.seed},
+                  {"threads", spec.threads},
+                  {"heuristic_seed", spec.heuristic_seed},
+                  {"scenario", to_json(spec.scenario)},
+                  {"ga", to_json(spec.ga)},
+                  {"objectives", to_json(spec.objectives)},
+                  {"qos", to_json(spec.spec)},
+                  {"tdse_objectives", to_json(spec.tdse_objectives)},
+                  {"application", to_json(spec.application)},
+                  {"architecture", to_json(spec.architecture)}};
+  if (!spec.name.empty()) root.emplace("name", spec.name);
+  return JsonValue(std::move(root));
+}
+
+JobSpec job_spec_from_json(const JsonValue& json) {
+  reject_unknown_keys(json.as_object(),
+                      {"format_version", "name", "flow", "seed", "threads",
+                       "heuristic_seed", "scenario", "ga", "objectives",
+                       "qos", "tdse_objectives", "application",
+                       "architecture"},
+                      "job");
+  JobSpec spec;
+  spec.format_version =
+      static_cast<int>(as_uint64(json.at("format_version"), "format_version"));
+  if (spec.format_version != kWireFormatVersion) {
+    throw std::runtime_error(
+        "serialize: unsupported job format_version " +
+        std::to_string(spec.format_version) + " (this build speaks v" +
+        std::to_string(kWireFormatVersion) + ")");
+  }
+  if (const JsonValue* name = json.find("name")) {
+    spec.name = name->as_string();
+  }
+  if (const JsonValue* flow = json.find("flow")) {
+    spec.flow = flow->as_string();
+  }
+  if (spec.flow != "fcclr" && spec.flow != "pfclr" && spec.flow != "proposed") {
+    throw std::runtime_error("serialize: unknown flow '" + spec.flow +
+                             "' (expected fcclr | pfclr | proposed)");
+  }
+  if (const JsonValue* seed = json.find("seed")) {
+    spec.seed = as_uint64(*seed, "seed");
+  }
+  if (const JsonValue* threads = json.find("threads")) {
+    spec.threads = static_cast<std::size_t>(as_uint64(*threads, "threads"));
+  }
+  if (const JsonValue* heuristic = json.find("heuristic_seed")) {
+    spec.heuristic_seed = heuristic->as_bool();
+  }
+  if (const JsonValue* scenario = json.find("scenario")) {
+    spec.scenario = scenario_from_json(*scenario);
+  }
+  if (spec.scenario.environment_factor <= 0.0) {
+    throw std::runtime_error(
+        "serialize: scenario.environment_factor must be positive");
+  }
+  if (const JsonValue* ga = json.find("ga")) {
+    spec.ga = nsga2_params_from_json(*ga);
+  }
+  if (const JsonValue* objectives = json.find("objectives")) {
+    spec.objectives = system_objectives_from_json(*objectives);
+  }
+  if (const JsonValue* qos = json.find("qos")) {
+    spec.spec = qos_spec_from_json(*qos);
+  }
+  if (const JsonValue* tdse = json.find("tdse_objectives")) {
+    spec.tdse_objectives = tdse_objectives_from_json(*tdse);
+  }
+  const JsonValue& application = json.at("application");
+  spec.application = application.is_string()
+                         ? resolve_application(application.as_string())
+                         : application_from_json(application);
+  if (const JsonValue* architecture = json.find("architecture")) {
+    spec.architecture = architecture->is_string()
+                            ? resolve_architecture(architecture->as_string())
+                            : architecture_from_json(*architecture);
+  } else {
+    spec.architecture = platform::Architecture::paper_default();
+  }
+  return spec;
+}
+
+void save_job_spec(const std::string& path, const JobSpec& spec) {
+  write_file(path, util::json_serialize(to_json(spec)));
+}
+
+JobSpec load_job_spec(const std::string& path) {
+  return job_spec_from_json(util::json_parse(read_file(path)));
 }
 
 }  // namespace clrearly::io

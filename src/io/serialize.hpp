@@ -15,11 +15,20 @@
 //                   "impls": [ [ {name, target, base_exec_time_us,
 //                                 base_power_w, vulnerability,
 //                                 ssw_overhead_factor}, ... ], ... ] }
+// Versioned job wire format (format_version 1): a JobSpec bundles everything
+// a DSE run needs — flow, seed, operating condition, GA parameters,
+// objectives, QoS spec and the full application/architecture models — into
+// one JSON document, so jobs can be submitted to the serve daemon, spooled
+// to disk and replayed bit-identically later. Unknown format versions and
+// unknown top-level keys are rejected (fail loud, not silently wrong).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "app/task_graph.hpp"
+#include "core/dse.hpp"
+#include "core/scenario.hpp"
 #include "platform/architecture.hpp"
 #include "util/json.hpp"
 
@@ -41,5 +50,87 @@ platform::Architecture load_architecture(const std::string& path);
 void save_application(const std::string& path,
                       const app::Application& application);
 app::Application load_application(const std::string& path);
+
+/// Resolve the spec strings every clrearly front end accepts:
+///   application: "sobel" | "mjpeg" | "synthetic:<tasks>[:<seed>]" | a path
+///   architecture: "default" | a path
+/// (the CLI's --app/--arch values and the wire format's string shorthands).
+app::Application resolve_application(const std::string& spec);
+platform::Architecture resolve_architecture(const std::string& spec);
+
+// --------------------------------------------------------------- wire format
+
+/// Version of the job wire format. from_json rejects documents whose
+/// format_version differs — a v2 reader must be written deliberately, never
+/// improvised by ignoring fields.
+inline constexpr int kWireFormatVersion = 1;
+
+/// Operating condition <-> JSON.
+util::JsonValue to_json(const core::Scenario& scenario);
+core::Scenario scenario_from_json(const util::JsonValue& json);
+
+/// Scenario set <-> JSON (weights serialized post-normalization).
+util::JsonValue to_json(const core::ScenarioSet& scenarios);
+core::ScenarioSet scenario_set_from_json(const util::JsonValue& json);
+
+/// NSGA-II parameters <-> JSON. The on_generation observer is runtime-only
+/// state and is never serialized.
+util::JsonValue to_json(const moea::Nsga2Params& params);
+moea::Nsga2Params nsga2_params_from_json(const util::JsonValue& json);
+
+/// System-level objective selection <-> JSON.
+util::JsonValue to_json(const core::SystemObjectives& objectives);
+core::SystemObjectives system_objectives_from_json(const util::JsonValue& json);
+
+/// QoS spec <-> JSON; absent keys mean "constraint unset".
+util::JsonValue to_json(const sched::QosSpec& spec);
+sched::QosSpec qos_spec_from_json(const util::JsonValue& json);
+
+/// tDSE objective ladder <-> JSON.
+util::JsonValue to_json(const core::TdseObjectives& objectives);
+core::TdseObjectives tdse_objectives_from_json(const util::JsonValue& json);
+
+/// One self-contained DSE job: which flow to run, with which seed, under
+/// which operating condition, over which (embedded) models. The JSON form
+/// accepts either embedded model objects or the spec-string shorthands
+/// ("sobel", "default", ...); to_json always embeds the resolved models so
+/// a spooled job replays identically even if the builtins evolve.
+struct JobSpec {
+  int format_version = kWireFormatVersion;
+  std::string name;               ///< optional client label
+  std::string flow = "proposed";  ///< fcclr | pfclr | proposed
+  std::uint64_t seed = 1;
+  /// Requested worker threads, recorded into the job manifest. Results are
+  /// thread-count-invariant by construction, so the daemon may execute on
+  /// its own pool without changing a bit of the outcome.
+  std::size_t threads = 0;
+  bool heuristic_seed = false;
+  core::Scenario scenario;  ///< operating condition (environment factor)
+  moea::Nsga2Params ga;
+  core::SystemObjectives objectives;
+  sched::QosSpec spec;
+  core::TdseObjectives tdse_objectives = core::TdseObjectives::tdse_run(1);
+  app::Application application;
+  platform::Architecture architecture;
+
+  /// Translate into the options struct the DseMethodology flows consume.
+  core::DseOptions options() const;
+
+  /// Canonical serialization of the *model* half (application, architecture,
+  /// scenario environment, objectives, spec, tDSE ladder) — everything that
+  /// determines ClrMappingProblem construction and evaluation, and nothing
+  /// that doesn't (seed, GA budget, flow, label). Jobs with equal model keys
+  /// can share problem instances and their memo caches.
+  std::string model_key() const;
+};
+
+util::JsonValue to_json(const JobSpec& spec);
+/// Inverse of to_json. Throws std::runtime_error on an unknown
+/// format_version, unknown top-level keys, a bad flow tag or malformed
+/// fields (via the strict JsonValue accessors).
+JobSpec job_spec_from_json(const util::JsonValue& json);
+
+void save_job_spec(const std::string& path, const JobSpec& spec);
+JobSpec load_job_spec(const std::string& path);
 
 }  // namespace clrearly::io

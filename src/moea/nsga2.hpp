@@ -35,6 +35,25 @@ struct Evaluation {
   double violation = 0.0;
 };
 
+/// Per-generation convergence snapshot handed to Nsga2Params::on_generation.
+/// Fired once per generation from already-computed telemetry (and once more
+/// after the final generation), so observing progress costs nothing beyond
+/// the callback itself.
+struct GenerationProgress {
+  std::size_t generation = 0;   ///< completed generations so far (0 = initial)
+  std::size_t generations = 0;  ///< total planned generations
+  std::size_t evaluations = 0;  ///< cumulative fitness evaluations
+  std::size_t front_size = 0;   ///< current first-front size
+  double hv_proxy = 0.0;        ///< bounding-box hypervolume proxy
+};
+
+/// Progress observer. Must not touch the RNG or mutate search state — the
+/// hook is a pure observer, so hooked and unhooked runs are bit-identical.
+/// Throwing from the hook aborts the run (the exception propagates out of
+/// run_nsga2) — this is the sanctioned early-termination/cancellation path
+/// for long-running jobs.
+using ProgressHook = std::function<void(const GenerationProgress&)>;
+
 struct Nsga2Params {
   std::size_t population_size = 100;
   std::size_t generations = 60;
@@ -53,6 +72,10 @@ struct Nsga2Params {
   /// whole run is retained (crowding-truncated to this capacity), so the
   /// reported front cannot lose solutions the search once had.
   std::size_t archive_size = 0;
+
+  /// Optional per-generation progress observer (see GenerationProgress).
+  /// Null by default; never serialized as part of any wire format.
+  ProgressHook on_generation;
 
   void validate() const {
     if (population_size < 2) {
@@ -383,6 +406,11 @@ Nsga2Result<Genome> run_nsga2(const Nsga2Params& params,
                             static_cast<double>(front_size));
         util::trace_counter("nsga2.hv_proxy", hv_proxy);
       }
+      if (params.on_generation) {
+        params.on_generation(GenerationProgress{gen, params.generations,
+                                                result.evaluations, front_size,
+                                                hv_proxy});
+      }
     }
 
     auto better = [&](std::size_t a, std::size_t b) {
@@ -439,6 +467,16 @@ Nsga2Result<Genome> run_nsga2(const Nsga2Params& params,
 
   const auto fronts = non_dominated_sort(points, violations);
   result.front = fronts.empty() ? std::vector<std::size_t>{} : fronts.front();
+  if (params.on_generation) {
+    // Final snapshot after the last survivor selection, so observers always
+    // see generation == generations exactly once per completed run.
+    std::vector<std::size_t> rank(points.size(), 1);
+    for (std::size_t i : result.front) rank[i] = 0;
+    params.on_generation(GenerationProgress{
+        params.generations, params.generations, result.evaluations,
+        result.front.size(),
+        detail::front_bbox_volume(points, rank, violations)});
+  }
   return result;
 }
 

@@ -1,0 +1,232 @@
+#include "server/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace clrearly::server {
+
+namespace {
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Read until `needle` is seen or `limit` bytes are buffered. Returns false
+/// on EOF/error/limit before the needle.
+bool read_until(int fd, std::string& buffer, const char* needle,
+                std::size_t limit) {
+  char chunk[4096];
+  while (buffer.find(needle) == std::string::npos) {
+    if (buffer.size() >= limit) return false;
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+bool read_exact(int fd, std::string& buffer, std::size_t total) {
+  char chunk[4096];
+  while (buffer.size() < total) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::string> HttpRequest::query_param(
+    const std::string& key) const {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (pair.substr(0, eq) == key) {
+      return eq == std::string::npos ? std::string() : pair.substr(eq + 1);
+    }
+    pos = amp + 1;
+  }
+  return std::nullopt;
+}
+
+HttpResponse HttpResponse::json(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  return response;
+}
+
+const char* status_text(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::optional<HttpRequest> read_request(int fd) {
+  std::string buffer;
+  if (!read_until(fd, buffer, "\r\n\r\n", kMaxHeaderBytes)) {
+    if (buffer.size() >= kMaxHeaderBytes) {
+      write_response(fd, HttpResponse::json(
+                             431, "{\n  \"error\": \"headers too large\"\n}"));
+    }
+    return std::nullopt;
+  }
+  const std::size_t header_end = buffer.find("\r\n\r\n");
+  const std::string head = buffer.substr(0, header_end);
+  std::string body = buffer.substr(header_end + 4);
+
+  HttpRequest request;
+  // Request line: METHOD SP target SP HTTP/1.x
+  const std::size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) return std::nullopt;
+  request.method = request_line.substr(0, sp1);
+  std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t qmark = target.find('?');
+  request.path = target.substr(0, qmark);
+  if (qmark != std::string::npos) request.query = target.substr(qmark + 1);
+
+  // Header fields.
+  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string value = line.substr(colon + 1);
+      const std::size_t first = value.find_first_not_of(" \t");
+      const std::size_t last = value.find_last_not_of(" \t");
+      value = first == std::string::npos
+                  ? std::string()
+                  : value.substr(first, last - first + 1);
+      request.headers[lower(line.substr(0, colon))] = value;
+    }
+    pos = eol + 2;
+  }
+
+  std::size_t content_length = 0;
+  if (const auto it = request.headers.find("content-length");
+      it != request.headers.end()) {
+    try {
+      content_length = std::stoul(it->second);
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  if (content_length > kMaxBodyBytes) {
+    write_response(
+        fd, HttpResponse::json(413, "{\n  \"error\": \"body too large\"\n}"));
+    return std::nullopt;
+  }
+  if (!read_exact(fd, body, content_length)) return std::nullopt;
+  request.body = body.substr(0, content_length);
+  return request;
+}
+
+bool write_response(int fd, const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    status_text(response.status) +
+                    "\r\nContent-Type: " + response.content_type +
+                    "\r\nContent-Length: " + std::to_string(response.body.size()) +
+                    "\r\nConnection: close\r\n\r\n" + response.body;
+  return write_all(fd, out.data(), out.size());
+}
+
+Listener::Listener(const std::string& host, int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("server: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    throw std::runtime_error("server: bad listen address: " + host);
+  }
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    throw std::runtime_error(std::string("server: bind failed: ") +
+                             std::strerror(err));
+  }
+  if (::listen(fd_, 64) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    throw std::runtime_error(std::string("server: listen failed: ") +
+                             std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+}
+
+Listener::~Listener() { close(); }
+
+int Listener::accept_once(int timeout_ms) {
+  if (fd_ < 0) return -1;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0 || (pfd.revents & POLLIN) == 0) return -1;
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return -1;
+  // A stuck or malicious client must not wedge a handler thread forever.
+  timeval timeout{};
+  timeout.tv_sec = 30;
+  ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+  return client;
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace clrearly::server

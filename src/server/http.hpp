@@ -1,0 +1,76 @@
+// Minimal dependency-free HTTP/1.1 plumbing for the serve daemon: a blocking
+// listener plus request/response framing over POSIX sockets. Deliberately
+// small — one request per connection (Connection: close), Content-Length
+// bodies only (no chunked transfer), JSON in and JSON out. The routing layer
+// (server/service.hpp) works on the parsed structs and never touches a
+// socket, so it is unit-testable without networking.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace clrearly::server {
+
+/// One parsed request. Header names are lower-cased on parse; target is
+/// split into path and raw query string ("/v1/jobs/7/events?from=3").
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ...
+  std::string path;    ///< decoded-enough path ("/v1/jobs/7")
+  std::string query;   ///< raw query string without '?', may be empty
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// Value of a query parameter ("from" in "?from=3"), or nullopt.
+  std::optional<std::string> query_param(const std::string& key) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+
+  static HttpResponse json(int status, std::string body);
+};
+
+/// Reason phrase for the handful of status codes the service emits.
+const char* status_text(int status) noexcept;
+
+/// Parse limits — a request exceeding them is answered 413/431 and dropped.
+inline constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+inline constexpr std::size_t kMaxBodyBytes = 16 * 1024 * 1024;
+
+/// Read one request from a connected socket. Returns nullopt on EOF before
+/// any bytes, malformed framing, timeout or oversize (after best-effort
+/// writing an error response for the latter two).
+std::optional<HttpRequest> read_request(int fd);
+
+/// Serialize and write a response; returns false on a short write.
+bool write_response(int fd, const HttpResponse& response);
+
+/// Blocking TCP listener. Construction binds and listens; port 0 picks an
+/// ephemeral port (read it back via port()). accept() polls with a short
+/// timeout so callers can observe a stop flag between connections.
+class Listener {
+ public:
+  Listener(const std::string& host, int port);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  int port() const noexcept { return port_; }
+
+  /// Accept one connection, waiting at most `timeout_ms`. Returns the
+  /// connected fd (with a receive timeout already set) or -1 on timeout.
+  int accept_once(int timeout_ms);
+
+  /// Close the listening socket; subsequent accept_once calls return -1.
+  void close();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace clrearly::server

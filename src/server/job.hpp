@@ -1,0 +1,185 @@
+// Job model of the serve daemon: one JobRecord per submitted JobSpec, one
+// ModelSession per distinct model key, and the runner that executes a job
+// against its session.
+//
+// Sessions are the cross-request cache-sharing mechanism. A ModelSession
+// owns a DseMethodology plus lazily built fcCLR/pfCLR problem instances;
+// every job whose JobSpec::model_key() matches runs over the *same* problem
+// objects, so the memoized genome-fitness caches (and, at session build
+// time, the process-wide chain-solve cache) stay warm across requests.
+// Because fitness is a pure function of the genome and the flows take the
+// identical code path as the offline CLI, shared sessions change throughput,
+// never results — an HTTP job is bit-identical to `clrearly dse` with the
+// same spec and seed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/dse.hpp"
+#include "io/serialize.hpp"
+#include "util/json.hpp"
+
+namespace clrearly::server {
+
+/// Thrown out of the per-generation progress hook to abort a running GA —
+/// the sanctioned early-termination path (see moea::ProgressHook).
+struct JobCancelled : std::runtime_error {
+  JobCancelled() : std::runtime_error("job cancelled") {}
+};
+
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+const char* to_string(JobState state) noexcept;
+bool is_terminal(JobState state) noexcept;
+
+/// One per-generation progress sample (mirrors moea::GenerationProgress,
+/// plus which GA stage of a multi-stage flow produced it).
+struct ProgressEvent {
+  std::size_t sequence = 0;     ///< 0-based event index within the job
+  std::string stage;            ///< "fcclr" | "pfclr" | "tdse" | ...
+  std::size_t generation = 0;
+  std::size_t generations = 0;
+  std::size_t evaluations = 0;
+  std::size_t front_size = 0;
+  double hv_proxy = 0.0;
+};
+
+util::JsonValue to_json(const ProgressEvent& event);
+
+/// Hit/miss deltas of the two DSE memo caches over one job's execution,
+/// measured from lifetime_cache_stats(). Under concurrent jobs the deltas
+/// include the neighbours' traffic (the counters are process-wide); they are
+/// reported for observability, and the smoke tests that assert on them run
+/// jobs back-to-back where the attribution is exact.
+struct CacheDelta {
+  std::uint64_t fitness_hits = 0;
+  std::uint64_t fitness_misses = 0;
+  std::uint64_t chain_hits = 0;
+  std::uint64_t chain_misses = 0;
+};
+
+util::JsonValue to_json(const CacheDelta& delta);
+
+/// Snapshot the two cache counters' current totals (for delta computation).
+CacheDelta cache_counters_now();
+
+/// Everything a finished job reports.
+struct JobResult {
+  core::DseOutcome outcome;
+  CacheDelta cache;          ///< counter deltas over this job's execution
+  double wall_seconds = 0.0;
+};
+
+/// One submitted job. Mutable state (state machine, progress events, result,
+/// error) is guarded by an internal mutex; the spec is immutable after
+/// construction. Cancellation is cooperative: request_cancel() latches a
+/// flag that the runner's progress hook polls between generations.
+class JobRecord {
+ public:
+  JobRecord(std::string id, io::JobSpec spec);
+
+  const std::string& id() const noexcept { return id_; }
+  const io::JobSpec& spec() const noexcept { return spec_; }
+
+  JobState state() const;
+  /// Queued -> running; returns false (no-op) if the job is no longer
+  /// queued (e.g. it was cancelled while waiting).
+  bool try_start();
+  void finish(JobResult result);              ///< running -> done
+  void fail(const std::string& error);        ///< running/queued -> failed
+  void cancel();                              ///< any non-terminal -> cancelled
+
+  void request_cancel() noexcept { cancel_requested_.store(true); }
+  bool cancel_requested() const noexcept { return cancel_requested_.load(); }
+
+  void push_event(ProgressEvent event);
+  /// Events with sequence >= `from` (bounded copy).
+  std::vector<ProgressEvent> events_since(std::size_t from) const;
+  std::size_t event_count() const;
+
+  /// Status document for GET /v1/jobs/{id}: id, state, latest progress,
+  /// error (when failed), cache/wall stats (when done).
+  util::JsonValue status_json() const;
+  /// Result document for GET /v1/jobs/{id}/result; throws std::logic_error
+  /// unless the job is done.
+  util::JsonValue result_json() const;
+
+ private:
+  const std::string id_;
+  const io::JobSpec spec_;
+
+  mutable std::mutex mutex_;
+  JobState state_ = JobState::kQueued;
+  std::vector<ProgressEvent> events_;
+  std::optional<JobResult> result_;
+  std::string error_;
+  std::atomic<bool> cancel_requested_{false};
+};
+
+/// Lazily built per-model execution context shared by all jobs with the
+/// same model key. Problem construction is serialized by an internal mutex;
+/// the problems themselves are internally synchronized (their caches are
+/// thread-safe) so concurrent jobs may evaluate against one instance.
+class ModelSession {
+ public:
+  /// `spec` donates the model half (application, architecture, scenario,
+  /// objectives, QoS, tDSE ladder). Jobs routed here must share the model
+  /// key, so any of them describes the same session.
+  explicit ModelSession(const io::JobSpec& spec);
+
+  const core::DseMethodology& methodology() const noexcept {
+    return methodology_;
+  }
+
+  /// The shared problems (built on first use; pf runs tDSE once).
+  const core::ClrMappingProblem& fc_problem();
+  const core::ClrMappingProblem& pf_problem();
+
+  /// LRU bookkeeping for SessionCache.
+  std::uint64_t last_used() const noexcept { return last_used_.load(); }
+  void touch(std::uint64_t tick) noexcept { last_used_.store(tick); }
+
+ private:
+  core::DseOptions model_options_;  ///< model half only; seed/ga unused
+  core::DseMethodology methodology_;
+
+  std::mutex mutex_;
+  std::optional<core::ClrMappingProblem> fc_;
+  std::optional<core::ClrMappingProblem> pf_;
+  std::optional<std::vector<core::TdseResult>> tdse_;
+  std::atomic<std::uint64_t> last_used_{0};
+};
+
+/// Bounded model-key -> ModelSession map with LRU eviction. Sessions are
+/// handed out as shared_ptr so eviction never pulls a problem out from under
+/// a running job.
+class SessionCache {
+ public:
+  explicit SessionCache(std::size_t max_sessions);
+
+  /// Session for `spec`'s model key, creating (and possibly evicting) as
+  /// needed.
+  std::shared_ptr<ModelSession> acquire(const io::JobSpec& spec);
+
+  std::size_t size() const;
+
+ private:
+  const std::size_t max_sessions_;
+  mutable std::mutex mutex_;
+  std::uint64_t tick_ = 0;
+  std::vector<std::pair<std::string, std::shared_ptr<ModelSession>>> sessions_;
+};
+
+/// Execute `job` against `session`: flow dispatch, progress events,
+/// cooperative cancellation, cache-delta accounting, state transitions.
+/// Never throws — failures land in the record as kFailed/kCancelled.
+void run_job(JobRecord& job, ModelSession& session);
+
+}  // namespace clrearly::server

@@ -1,0 +1,118 @@
+#include "server/job_queue.hpp"
+
+#include <utility>
+
+#include "util/metrics.hpp"
+
+namespace clrearly::server {
+
+namespace {
+
+void set_depth_gauge(std::size_t depth) {
+  static util::Gauge& gauge = util::metric_gauge("server.queue_depth");
+  gauge.set(static_cast<double>(depth));
+}
+
+}  // namespace
+
+JobQueue::JobQueue(std::size_t workers, std::size_t max_depth, Runner runner)
+    : max_depth_(max_depth == 0 ? 1 : max_depth), runner_(std::move(runner)) {
+  const std::size_t count = workers == 0 ? 1 : workers;
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobQueue::~JobQueue() { shutdown(true); }
+
+std::optional<std::size_t> JobQueue::submit(std::shared_ptr<JobRecord> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ || pending_.size() >= max_depth_) {
+      static util::Counter& rejected =
+          util::metric_counter("server.jobs.rejected");
+      rejected.add();
+      return std::nullopt;
+    }
+    const std::size_t position = pending_.size();
+    pending_.push_back(job);
+    all_.push_back(job);
+    by_id_[job->id()] = std::move(job);
+    set_depth_gauge(pending_.size());
+    static util::Counter& submitted =
+        util::metric_counter("server.jobs.submitted");
+    submitted.add();
+    cv_.notify_one();
+    return position;
+  }
+}
+
+std::shared_ptr<JobRecord> JobQueue::find(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<JobRecord>> JobQueue::jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return all_;
+}
+
+bool JobQueue::cancel(const std::string& id) {
+  std::shared_ptr<JobRecord> job = find(id);
+  if (job == nullptr || is_terminal(job->state())) return false;
+  // Latch the cooperative flag first so a job dequeued concurrently stops at
+  // its first progress check; then flip still-queued jobs immediately.
+  job->request_cancel();
+  if (job->state() == JobState::kQueued) {
+    job->cancel();
+    static util::Counter& cancelled =
+        util::metric_counter("server.jobs.cancelled");
+    cancelled.add();
+  }
+  return true;
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+void JobQueue::shutdown(bool cancel_pending) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    if (cancel_pending) {
+      for (const auto& job : pending_) {
+        if (!is_terminal(job->state())) job->cancel();
+      }
+      pending_.clear();
+      set_depth_gauge(0);
+    }
+    cv_.notify_all();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void JobQueue::worker_loop() {
+  for (;;) {
+    std::shared_ptr<JobRecord> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stopping, queue drained
+      job = std::move(pending_.front());
+      pending_.pop_front();
+      set_depth_gauge(pending_.size());
+    }
+    // Cancelled-while-queued jobs are already terminal; run_job's try_start
+    // (or the stub runner) sees a non-queued state and returns.
+    runner_(*job);
+  }
+}
+
+}  // namespace clrearly::server

@@ -1,0 +1,79 @@
+// FIFO job queue with a fixed worker pool and bounded admission.
+//
+// Submission is admission-controlled: at most `max_depth` jobs may be
+// waiting; beyond that submit() refuses (the HTTP layer turns that into
+// 429 Too Many Requests) so an overloaded daemon degrades by shedding load
+// instead of growing an unbounded backlog. Workers are plain std::threads
+// (not the util::ThreadPool — they block on a condition variable between
+// jobs, and each job's GA internally fans out through the pool already).
+//
+// The runner is injected so tests can exercise queueing, admission and
+// cancellation with a stub instead of a full DSE run.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/job.hpp"
+
+namespace clrearly::server {
+
+class JobQueue {
+ public:
+  using Runner = std::function<void(JobRecord&)>;
+
+  /// Starts `workers` threads immediately. `max_depth` bounds *waiting*
+  /// jobs (running ones don't count against it).
+  JobQueue(std::size_t workers, std::size_t max_depth, Runner runner);
+  ~JobQueue();
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Enqueue; returns the 0-based queue position, or nullopt when the queue
+  /// is full or the queue is shutting down (caller decides the status code).
+  std::optional<std::size_t> submit(std::shared_ptr<JobRecord> job);
+
+  /// Look a job up by id (jobs stay addressable after completion).
+  std::shared_ptr<JobRecord> find(const std::string& id) const;
+
+  /// Snapshot of every known job, submission order.
+  std::vector<std::shared_ptr<JobRecord>> jobs() const;
+
+  /// Cancel by id. Queued jobs flip to cancelled immediately (and are
+  /// skipped by workers); running jobs get a cooperative cancel request.
+  /// False when the id is unknown or the job already reached a terminal
+  /// state.
+  bool cancel(const std::string& id);
+
+  std::size_t depth() const;  ///< currently waiting jobs
+
+  /// Stop accepting work and join the workers. Running jobs are always
+  /// drained to completion; queued jobs are cancelled when `cancel_pending`,
+  /// otherwise executed first. Idempotent.
+  void shutdown(bool cancel_pending);
+
+ private:
+  void worker_loop();
+
+  const std::size_t max_depth_;
+  const Runner runner_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::deque<std::shared_ptr<JobRecord>> pending_;
+  std::vector<std::shared_ptr<JobRecord>> all_;
+  std::map<std::string, std::shared_ptr<JobRecord>> by_id_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace clrearly::server

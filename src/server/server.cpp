@@ -1,0 +1,54 @@
+#include "server/server.hpp"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/metrics.hpp"
+
+namespace clrearly::server {
+
+HttpServer::HttpServer(DseService& service, ServerOptions options)
+    : service_(service),
+      listener_(options.host, options.port),
+      handler_threads_(options.handler_threads == 0 ? 1
+                                                    : options.handler_threads) {
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  if (!handlers_.empty()) return;
+  handlers_.reserve(handler_threads_);
+  for (std::size_t i = 0; i < handler_threads_; ++i) {
+    handlers_.emplace_back([this] { handler_loop(); });
+  }
+}
+
+void HttpServer::stop() {
+  stopping_.store(true);
+  for (std::thread& handler : handlers_) {
+    if (handler.joinable()) handler.join();
+  }
+  handlers_.clear();
+  listener_.close();
+}
+
+void HttpServer::handler_loop() {
+  // accept(2) on a shared listening fd is thread-safe; the kernel hands each
+  // connection to exactly one accepter, so the threads need no coordination
+  // beyond the stop flag (checked between short poll timeouts).
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = listener_.accept_once(/*timeout_ms=*/200);
+    if (fd < 0) continue;
+    static util::Counter& requests =
+        util::metric_counter("server.http.requests");
+    if (auto request = read_request(fd)) {
+      requests.add();
+      write_response(fd, service_.handle(*request));
+    }
+    ::close(fd);
+  }
+}
+
+}  // namespace clrearly::server

@@ -1,0 +1,52 @@
+// The socket front of the serve daemon: a Listener plus a small pool of
+// handler threads, each looping accept -> parse -> DseService::handle ->
+// respond (one request per connection). Start/stop are explicit so the CLI
+// can interleave the serving loop with signal polling and graceful drain.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/http.hpp"
+#include "server/service.hpp"
+
+namespace clrearly::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 8080;  ///< 0 picks an ephemeral port (see HttpServer::port())
+  std::size_t handler_threads = 4;
+};
+
+class HttpServer {
+ public:
+  /// Binds and listens immediately (throws on failure); call start() to
+  /// begin accepting. `service` must outlive the server.
+  HttpServer(DseService& service, ServerOptions options);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  int port() const noexcept { return listener_.port(); }
+
+  void start();
+
+  /// Stop accepting connections and join the handler threads. In-flight
+  /// requests finish (their responses are cheap — job execution happens on
+  /// the queue's workers, not here). Idempotent.
+  void stop();
+
+ private:
+  void handler_loop();
+
+  DseService& service_;
+  Listener listener_;
+  std::size_t handler_threads_;
+  std::atomic<bool> stopping_{false};
+  std::vector<std::thread> handlers_;
+};
+
+}  // namespace clrearly::server

@@ -1,0 +1,248 @@
+#include "server/service.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+
+namespace clrearly::server {
+
+namespace {
+
+std::string error_body(const std::string& message) {
+  return util::json_serialize(util::JsonValue(
+      util::JsonObject{{"error", message}}));
+}
+
+std::string body_of(const util::JsonValue& value) {
+  return util::json_serialize(value);
+}
+
+/// "/v1/jobs/job-000001/result" -> {"job-000001", "result"}; the tail is
+/// empty for "/v1/jobs/job-000001".
+struct JobPath {
+  std::string id;
+  std::string tail;
+};
+
+JobPath split_job_path(const std::string& path) {
+  constexpr const char* kPrefix = "/v1/jobs/";
+  JobPath out;
+  std::string rest = path.substr(std::string(kPrefix).size());
+  const std::size_t slash = rest.find('/');
+  out.id = rest.substr(0, slash);
+  if (slash != std::string::npos) out.tail = rest.substr(slash + 1);
+  return out;
+}
+
+}  // namespace
+
+DseService::DseService(ServiceOptions options)
+    : options_(std::move(options)),
+      sessions_(options_.max_sessions),
+      queue_(options_.workers, options_.queue_depth, [this](JobRecord& job) {
+        // Session acquisition happens on the worker, not at admission, so
+        // LRU order follows execution order and a queued-then-cancelled job
+        // never instantiates a session at all.
+        std::shared_ptr<ModelSession> session;
+        try {
+          session = sessions_.acquire(job.spec());
+        } catch (const std::exception& e) {
+          job.fail(e.what());
+          return;
+        }
+        run_job(job, *session);
+        if (job.state() == JobState::kDone) spool_result(job);
+      }) {
+  if (!options_.spool_dir.empty()) {
+    std::filesystem::create_directories(options_.spool_dir);
+  }
+}
+
+HttpResponse DseService::handle(const HttpRequest& request) {
+  try {
+    const std::string& path = request.path;
+    if (path == "/v1/healthz" && request.method == "GET") {
+      return HttpResponse::json(
+          200, body_of(util::JsonValue(util::JsonObject{{"status", "ok"}})));
+    }
+    if (path == "/v1/metrics" && request.method == "GET") return metrics();
+    if (path == "/v1/shutdown" && request.method == "POST") {
+      request_shutdown();
+      return HttpResponse::json(
+          200, body_of(util::JsonValue(
+                   util::JsonObject{{"state", "shutting_down"}})));
+    }
+    if (path == "/v1/jobs") {
+      if (request.method == "POST") return submit(request);
+      if (request.method == "GET") return list_jobs();
+      return HttpResponse::json(405, error_body("method not allowed"));
+    }
+    if (path.rfind("/v1/jobs/", 0) == 0) {
+      const JobPath job_path = split_job_path(path);
+      if (job_path.id.empty()) {
+        return HttpResponse::json(404, error_body("missing job id"));
+      }
+      if (job_path.tail.empty()) {
+        if (request.method != "GET") {
+          return HttpResponse::json(405, error_body("method not allowed"));
+        }
+        return job_status(job_path.id);
+      }
+      if (job_path.tail == "events" && request.method == "GET") {
+        return job_events(request, job_path.id);
+      }
+      if (job_path.tail == "result" && request.method == "GET") {
+        return job_result(job_path.id);
+      }
+      if (job_path.tail == "cancel" && request.method == "POST") {
+        return job_cancel(job_path.id);
+      }
+      return HttpResponse::json(404, error_body("no such endpoint"));
+    }
+    return HttpResponse::json(404, error_body("no such endpoint"));
+  } catch (const std::exception& e) {
+    return HttpResponse::json(500, error_body(e.what()));
+  }
+}
+
+HttpResponse DseService::submit(const HttpRequest& request) {
+  io::JobSpec spec;
+  try {
+    spec = io::job_spec_from_json(util::json_parse(request.body));
+  } catch (const std::exception& e) {
+    return HttpResponse::json(400, error_body(e.what()));
+  }
+  char id_buf[32];
+  std::snprintf(id_buf, sizeof id_buf, "job-%06llu",
+                static_cast<unsigned long long>(
+                    next_id_.fetch_add(1) + 1));
+  auto job = std::make_shared<JobRecord>(id_buf, std::move(spec));
+  spool_spec(*job);
+  const std::optional<std::size_t> position = queue_.submit(job);
+  if (!position.has_value()) {
+    return HttpResponse::json(
+        429, error_body("queue full (depth " +
+                        std::to_string(options_.queue_depth) +
+                        "); retry later"));
+  }
+  util::log_info() << "serve: accepted " << job->id() << " flow "
+                   << job->spec().flow << " seed " << job->spec().seed;
+  return HttpResponse::json(
+      202, body_of(util::JsonValue(util::JsonObject{
+               {"id", job->id()},
+               {"state", to_string(job->state())},
+               {"queue_position", *position}})));
+}
+
+HttpResponse DseService::job_status(const std::string& id) const {
+  const std::shared_ptr<JobRecord> job = queue_.find(id);
+  if (job == nullptr) {
+    return HttpResponse::json(404, error_body("no such job: " + id));
+  }
+  return HttpResponse::json(200, body_of(job->status_json()));
+}
+
+HttpResponse DseService::job_events(const HttpRequest& request,
+                                    const std::string& id) const {
+  const std::shared_ptr<JobRecord> job = queue_.find(id);
+  if (job == nullptr) {
+    return HttpResponse::json(404, error_body("no such job: " + id));
+  }
+  std::size_t from = 0;
+  if (const auto param = request.query_param("from")) {
+    try {
+      from = std::stoul(*param);
+    } catch (const std::exception&) {
+      return HttpResponse::json(400, error_body("bad 'from' parameter"));
+    }
+  }
+  util::JsonArray events;
+  for (const ProgressEvent& event : job->events_since(from)) {
+    events.push_back(to_json(event));
+  }
+  return HttpResponse::json(
+      200, body_of(util::JsonValue(util::JsonObject{
+               {"id", id},
+               {"state", to_string(job->state())},
+               {"events", std::move(events)},
+               {"next", job->event_count()}})));
+}
+
+HttpResponse DseService::job_result(const std::string& id) const {
+  const std::shared_ptr<JobRecord> job = queue_.find(id);
+  if (job == nullptr) {
+    return HttpResponse::json(404, error_body("no such job: " + id));
+  }
+  const JobState state = job->state();
+  if (state != JobState::kDone) {
+    return HttpResponse::json(
+        409, error_body("job " + id + " is " + to_string(state) +
+                        ", result not available"));
+  }
+  return HttpResponse::json(200, body_of(job->result_json()));
+}
+
+HttpResponse DseService::job_cancel(const std::string& id) {
+  const std::shared_ptr<JobRecord> job = queue_.find(id);
+  if (job == nullptr) {
+    return HttpResponse::json(404, error_body("no such job: " + id));
+  }
+  const bool accepted = queue_.cancel(id);
+  return HttpResponse::json(
+      200, body_of(util::JsonValue(util::JsonObject{
+               {"id", id},
+               {"cancelled", accepted},
+               {"state", to_string(job->state())}})));
+}
+
+HttpResponse DseService::list_jobs() const {
+  util::JsonArray jobs;
+  for (const auto& job : queue_.jobs()) {
+    jobs.push_back(util::JsonValue(util::JsonObject{
+        {"id", job->id()},
+        {"state", to_string(job->state())},
+        {"flow", job->spec().flow},
+        {"seed", job->spec().seed}}));
+  }
+  return HttpResponse::json(
+      200, body_of(util::JsonValue(util::JsonObject{
+               {"jobs", std::move(jobs)},
+               {"queue_depth", queue_.depth()},
+               {"sessions", sessions_.size()}})));
+}
+
+HttpResponse DseService::metrics() const {
+  return HttpResponse::json(
+      200, body_of(util::JsonValue(util::metrics_snapshot())));
+}
+
+void DseService::spool_spec(const JobRecord& job) const {
+  if (options_.spool_dir.empty()) return;
+  try {
+    io::save_job_spec(options_.spool_dir + "/" + job.id() + ".spec.json",
+                      job.spec());
+  } catch (const std::exception& e) {
+    util::log_warn() << "serve: spooling spec of " << job.id()
+                     << " failed: " << e.what();
+  }
+}
+
+void DseService::spool_result(const JobRecord& job) const {
+  if (options_.spool_dir.empty()) return;
+  const std::string path =
+      options_.spool_dir + "/" + job.id() + ".result.json";
+  try {
+    std::ofstream out(path);
+    out << util::json_serialize(job.result_json()) << '\n';
+  } catch (const std::exception& e) {
+    util::log_warn() << "serve: spooling result of " << job.id()
+                     << " failed: " << e.what();
+  }
+}
+
+}  // namespace clrearly::server

@@ -1,0 +1,75 @@
+// DSE-as-a-service routing layer: maps HTTP requests onto the job queue and
+// session cache. Pure request -> response (no sockets), so the whole API is
+// unit-testable in process; server/server.hpp puts it behind a listener.
+//
+// API (all JSON; see docs/SERVER.md for the full reference):
+//   POST /v1/jobs              submit a JobSpec        -> 202 | 400 | 429
+//   GET  /v1/jobs              list jobs
+//   GET  /v1/jobs/{id}         status + latest progress
+//   GET  /v1/jobs/{id}/events  progress events (?from=N)
+//   GET  /v1/jobs/{id}/result  Pareto front            -> 200 | 409 | 404
+//   POST /v1/jobs/{id}/cancel  cooperative cancel
+//   GET  /v1/metrics           process metrics snapshot
+//   GET  /v1/healthz           liveness probe
+//   POST /v1/shutdown          request graceful shutdown
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "server/http.hpp"
+#include "server/job.hpp"
+#include "server/job_queue.hpp"
+
+namespace clrearly::server {
+
+struct ServiceOptions {
+  std::size_t workers = 2;       ///< concurrent DSE jobs
+  std::size_t queue_depth = 16;  ///< max *waiting* jobs before 429
+  std::size_t max_sessions = 8;  ///< model sessions kept warm (LRU)
+  /// When non-empty: every accepted job's spec is written to
+  /// <spool>/<id>.spec.json on admission and its result to
+  /// <id>.result.json on completion, so any run can be replayed offline.
+  std::string spool_dir;
+};
+
+class DseService {
+ public:
+  explicit DseService(ServiceOptions options);
+
+  /// Route one request. Never throws; internal errors become 500s.
+  HttpResponse handle(const HttpRequest& request);
+
+  /// True once POST /v1/shutdown was received (the serving loop polls this).
+  bool shutdown_requested() const noexcept { return shutdown_.load(); }
+  void request_shutdown() noexcept { shutdown_.store(true); }
+
+  /// Drain/stop the queue (see JobQueue::shutdown). Idempotent.
+  void shutdown(bool cancel_pending) { queue_.shutdown(cancel_pending); }
+
+  JobQueue& queue() noexcept { return queue_; }
+  SessionCache& sessions() noexcept { return sessions_; }
+
+ private:
+  HttpResponse submit(const HttpRequest& request);
+  HttpResponse job_status(const std::string& id) const;
+  HttpResponse job_events(const HttpRequest& request,
+                          const std::string& id) const;
+  HttpResponse job_result(const std::string& id) const;
+  HttpResponse job_cancel(const std::string& id);
+  HttpResponse list_jobs() const;
+  HttpResponse metrics() const;
+
+  void spool_spec(const JobRecord& job) const;
+  void spool_result(const JobRecord& job) const;
+
+  const ServiceOptions options_;
+  SessionCache sessions_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> next_id_{0};
+  JobQueue queue_;  ///< declared last: its workers use the members above
+};
+
+}  // namespace clrearly::server

@@ -7,6 +7,7 @@
 
 #include "util/cli.hpp"
 #include "util/metrics.hpp"
+#include "util/signal_guard.hpp"
 #include "util/trace.hpp"
 
 namespace clrearly::util {
@@ -58,6 +59,9 @@ void apply_observability_options(const ArgParser& parser, int argc,
   if (trace != nullptr) set_trace_path(*trace);
   if (metrics != nullptr) set_metrics_path(*metrics);
   set_run_manifest(capture_run_manifest(parser, argc, argv));
+  // atexit covers normal exit; ^C / SIGTERM would otherwise drop the files
+  // the user explicitly asked for. Daemons re-install kNotifyOnly on top.
+  install_signal_handlers(SignalMode::kFlushAndExit);
 }
 
 void set_metrics_path(const std::string& path) {

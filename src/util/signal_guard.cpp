@@ -1,0 +1,56 @@
+#include "util/signal_guard.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <exception>
+
+#include "util/observability.hpp"
+
+namespace clrearly::util {
+
+namespace {
+
+std::atomic<int> g_signal{0};
+std::atomic<SignalMode> g_mode{SignalMode::kNotifyOnly};
+
+// Caveat, documented rather than hidden: write_observability_files() is not
+// async-signal-safe (it allocates and does buffered I/O). For the batch-CLI
+// interrupt path this is the standard pragmatic trade — the process is
+// single-purposed, about to die anyway, and the alternative is always losing
+// the metrics/trace the user explicitly asked for. Daemons must use
+// kNotifyOnly, where the handler only touches atomics.
+void handle_signal(int sig) {
+  g_signal.store(sig, std::memory_order_relaxed);
+  if (g_mode.load(std::memory_order_relaxed) == SignalMode::kNotifyOnly) {
+    return;
+  }
+  try {
+    write_observability_files();
+  } catch (...) {
+    // Best effort only; still die by the signal below.
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+void install_signal_handlers(SignalMode mode) {
+  g_mode.store(mode, std::memory_order_relaxed);
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+}
+
+bool termination_requested() noexcept {
+  return g_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int termination_signal() noexcept {
+  return g_signal.load(std::memory_order_relaxed);
+}
+
+void reset_termination_flag() noexcept {
+  g_signal.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace clrearly::util

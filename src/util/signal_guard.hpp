@@ -1,0 +1,37 @@
+// Process termination-signal guard (SIGINT/SIGTERM).
+//
+// Two cooperating modes:
+//   kFlushAndExit — batch CLI runs: flush observability files (metrics
+//     snapshot, trace) best-effort, restore the default disposition and
+//     re-raise, so `clrearly dse --metrics-out m.json` interrupted with ^C
+//     still leaves m.json behind and the shell still sees death-by-signal.
+//   kNotifyOnly — long-lived daemons (clrearly serve): just latch the signal
+//     into an atomic flag; the owner polls termination_requested() and runs
+//     its own orderly drain (finish running jobs, write spool, flush, exit).
+//
+// install_signal_handlers is idempotent and re-installable; the last call
+// wins, so a daemon started through parse_standard_args (which installs
+// kFlushAndExit when observability outputs are configured) simply installs
+// kNotifyOnly on top.
+#pragma once
+
+namespace clrearly::util {
+
+enum class SignalMode {
+  kFlushAndExit,  ///< flush observability files, then die by the signal
+  kNotifyOnly,    ///< latch the signal; caller polls termination_requested()
+};
+
+/// Install handlers for SIGINT and SIGTERM. Safe to call repeatedly.
+void install_signal_handlers(SignalMode mode);
+
+/// True once a handled termination signal has been received.
+bool termination_requested() noexcept;
+
+/// The signal number latched by the handler (0 if none yet).
+int termination_signal() noexcept;
+
+/// Clear the latch (tests; also lets a daemon treat a second ^C as "now").
+void reset_termination_flag() noexcept;
+
+}  // namespace clrearly::util

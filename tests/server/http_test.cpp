@@ -1,0 +1,167 @@
+// Socket-level tests of the HTTP front: raw request/response framing over a
+// real ephemeral-port listener, query parsing, and concurrent submissions.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/http.hpp"
+#include "server/server.hpp"
+#include "server/service.hpp"
+#include "util/json.hpp"
+
+namespace clrearly::server {
+namespace {
+
+/// One blocking HTTP exchange over a fresh connection; returns the raw
+/// response text ("" on connect failure).
+std::string http_exchange(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string get(int port, const std::string& path) {
+  return http_exchange(port, "GET " + path +
+                                 " HTTP/1.1\r\nHost: x\r\n"
+                                 "Connection: close\r\n\r\n");
+}
+
+std::string post(int port, const std::string& path, const std::string& body) {
+  return http_exchange(port, "POST " + path + " HTTP/1.1\r\nHost: x\r\n" +
+                                 "Content-Type: application/json\r\n" +
+                                 "Content-Length: " +
+                                 std::to_string(body.size()) +
+                                 "\r\nConnection: close\r\n\r\n" + body);
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+TEST(HttpTest, QueryParamParsing) {
+  HttpRequest request;
+  request.query = "from=3&limit=10&flag";
+  EXPECT_EQ(request.query_param("from"), std::optional<std::string>("3"));
+  EXPECT_EQ(request.query_param("limit"), std::optional<std::string>("10"));
+  EXPECT_EQ(request.query_param("flag"), std::optional<std::string>(""));
+  EXPECT_EQ(request.query_param("absent"), std::nullopt);
+}
+
+TEST(HttpTest, StatusTextCoversServiceCodes) {
+  EXPECT_STREQ(status_text(200), "OK");
+  EXPECT_STREQ(status_text(202), "Accepted");
+  EXPECT_STREQ(status_text(429), "Too Many Requests");
+  EXPECT_STREQ(status_text(500), "Internal Server Error");
+}
+
+TEST(HttpTest, ServerAnswersOverRealSockets) {
+  ServiceOptions service_options;
+  service_options.workers = 1;
+  DseService service(service_options);
+  ServerOptions server_options;
+  server_options.port = 0;  // ephemeral
+  HttpServer server(service, server_options);
+  ASSERT_GT(server.port(), 0);
+  server.start();
+
+  const std::string health = get(server.port(), "/v1/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(health.find("Content-Type: application/json"), std::string::npos);
+
+  EXPECT_NE(get(server.port(), "/v1/nope").find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_NE(post(server.port(), "/v1/jobs", "garbage").find("HTTP/1.1 400"),
+            std::string::npos);
+
+  // Malformed request line: connection dropped without a crash, and the
+  // server still answers afterwards.
+  EXPECT_EQ(http_exchange(server.port(), "BLORP\r\n\r\n"), "");
+  EXPECT_NE(get(server.port(), "/v1/healthz").find("200 OK"),
+            std::string::npos);
+
+  server.stop();
+  service.shutdown(true);
+}
+
+TEST(HttpTest, ConcurrentSubmissionsAllComplete) {
+  ServiceOptions service_options;
+  service_options.workers = 2;
+  service_options.queue_depth = 16;
+  DseService service(service_options);
+  ServerOptions server_options;
+  server_options.port = 0;
+  server_options.handler_threads = 4;
+  HttpServer server(service, server_options);
+  server.start();
+
+  const std::string body = R"({
+    "format_version": 1, "flow": "pfclr", "seed": 1,
+    "ga": {"population_size": 8, "generations": 2},
+    "application": "synthetic:5:1"
+  })";
+  std::vector<std::thread> clients;
+  std::vector<std::string> responses(6);
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    clients.emplace_back([&, i] {
+      responses[i] = post(server.port(), "/v1/jobs", body);
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  for (const std::string& response : responses) {
+    EXPECT_NE(response.find("HTTP/1.1 202"), std::string::npos) << response;
+  }
+
+  // All six jobs eventually reach "done" (identical specs, shared session).
+  for (int i = 0; i < 600; ++i) {
+    const std::string list = body_of(get(server.port(), "/v1/jobs"));
+    const util::JsonValue parsed = util::json_parse(list);
+    std::size_t done = 0;
+    for (const util::JsonValue& job : parsed.at("jobs").as_array()) {
+      if (job.at("state").as_string() == "done") ++done;
+    }
+    if (done == responses.size()) break;
+    ASSERT_LT(i, 599) << "jobs did not finish: " << list;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  EXPECT_NE(post(server.port(), "/v1/shutdown", "").find("200 OK"),
+            std::string::npos);
+  EXPECT_TRUE(service.shutdown_requested());
+  server.stop();
+  service.shutdown(true);
+}
+
+}  // namespace
+}  // namespace clrearly::server

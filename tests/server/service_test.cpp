@@ -1,0 +1,293 @@
+// DseService tests, driving the routing layer in process (no sockets):
+// submit -> poll -> result, bit-identical equivalence with the offline flow
+// entry points, cross-request cache sharing, spool replay, admission
+// control and the error paths.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "core/dse.hpp"
+#include "core/scenario.hpp"
+#include "io/serialize.hpp"
+#include "server/service.hpp"
+#include "util/json.hpp"
+
+namespace clrearly::server {
+namespace {
+
+HttpRequest make_request(std::string method, std::string path,
+                         std::string body = "", std::string query = "") {
+  HttpRequest request;
+  request.method = std::move(method);
+  request.path = std::move(path);
+  request.body = std::move(body);
+  request.query = std::move(query);
+  return request;
+}
+
+util::JsonValue body_json(const HttpResponse& response) {
+  return util::json_parse(response.body);
+}
+
+std::string small_job_body(const std::string& flow, int seed,
+                           int generations = 4) {
+  return std::string(R"({
+    "format_version": 1,
+    "flow": ")") +
+         flow + R"(",
+    "seed": )" +
+         std::to_string(seed) + R"(,
+    "ga": {"population_size": 16, "generations": )" +
+         std::to_string(generations) + R"(},
+    "application": "sobel"
+  })";
+}
+
+/// Submit and wait for a terminal state; returns the job id.
+std::string run_to_completion(DseService& service, const std::string& body) {
+  const HttpResponse submitted =
+      service.handle(make_request("POST", "/v1/jobs", body));
+  EXPECT_EQ(submitted.status, 202) << submitted.body;
+  const std::string id = body_json(submitted).at("id").as_string();
+  for (int i = 0; i < 600; ++i) {
+    const HttpResponse status =
+        service.handle(make_request("GET", "/v1/jobs/" + id));
+    const std::string state = body_json(status).at("state").as_string();
+    if (state == "done" || state == "failed" || state == "cancelled") {
+      EXPECT_EQ(state, "done") << status.body;
+      return id;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ADD_FAILURE() << "job " << id << " did not finish";
+  return id;
+}
+
+util::JsonValue fetch_result(DseService& service, const std::string& id) {
+  const HttpResponse response =
+      service.handle(make_request("GET", "/v1/jobs/" + id + "/result"));
+  EXPECT_EQ(response.status, 200) << response.body;
+  return body_json(response);
+}
+
+std::uint64_t cache_field(const util::JsonValue& result, const char* key) {
+  return static_cast<std::uint64_t>(result.at("cache").at(key).as_number());
+}
+
+TEST(ServiceTest, JobResultMatchesOfflineFlowBitForBit) {
+  ServiceOptions options;
+  options.workers = 1;
+  DseService service(options);
+  const std::string id =
+      run_to_completion(service, small_job_body("proposed", 1));
+  const util::JsonValue result = fetch_result(service, id);
+
+  // The same spec executed through the offline entry points (what
+  // `clrearly dse --app sobel --flow proposed --seed 1` runs).
+  const io::JobSpec spec = io::job_spec_from_json(
+      util::json_parse(small_job_body("proposed", 1)));
+  const core::DseMethodology dse(
+      spec.application, spec.architecture,
+      core::make_condition_analyzer(spec.scenario.environment_factor));
+  const core::DseOutcome offline = dse.run_proposed(spec.options());
+
+  const util::JsonArray& front = result.at("front").as_array();
+  ASSERT_EQ(front.size(), offline.front.size());
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    const util::JsonArray& point = front[i].as_array();
+    ASSERT_EQ(point.size(), offline.front[i].size());
+    for (std::size_t k = 0; k < point.size(); ++k) {
+      // Exact equality: JSON doubles are shortest-round-trip.
+      EXPECT_EQ(point[k].as_number(), offline.front[i][k])
+          << "front[" << i << "][" << k << "]";
+    }
+  }
+  EXPECT_EQ(static_cast<std::size_t>(result.at("evaluations").as_number()),
+            offline.evaluations);
+}
+
+TEST(ServiceTest, SecondIdenticalJobHitsTheFitnessCache) {
+  ServiceOptions options;
+  options.workers = 1;
+  DseService service(options);
+  const std::string first =
+      run_to_completion(service, small_job_body("pfclr", 1));
+  const std::string second =
+      run_to_completion(service, small_job_body("pfclr", 1));
+  const util::JsonValue r1 = fetch_result(service, first);
+  const util::JsonValue r2 = fetch_result(service, second);
+
+  // Identical spec + shared session: every evaluation is a cache hit.
+  EXPECT_GT(cache_field(r2, "fitness_hits"), 0u);
+  EXPECT_EQ(cache_field(r2, "fitness_misses"), 0u);
+  EXPECT_EQ(r1.at("front"), r2.at("front"));
+
+  // A different seed shares the session but explores new genomes.
+  const std::string third =
+      run_to_completion(service, small_job_body("pfclr", 2));
+  const util::JsonValue r3 = fetch_result(service, third);
+  EXPECT_GT(cache_field(r3, "fitness_misses"), 0u);
+  EXPECT_NE(r1.at("front"), r3.at("front"));
+}
+
+TEST(ServiceTest, SessionRebuildHitsTheChainCache) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.max_sessions = 1;  // force eviction on every model switch
+  DseService service(options);
+
+  const std::string cold =
+      run_to_completion(service, small_job_body("fcclr", 1));
+  (void)fetch_result(service, cold);
+
+  // A different model key (tighter QoS) evicts the sobel session...
+  const std::string other_model = R"({
+    "format_version": 1, "flow": "fcclr", "seed": 1,
+    "ga": {"population_size": 8, "generations": 2},
+    "qos": {"max_makespan_us": 100000000},
+    "application": "sobel"
+  })";
+  run_to_completion(service, other_model);
+  EXPECT_EQ(service.sessions().size(), 1u);
+
+  // ...so this job rebuilds the sobel problem from scratch. Its fitness
+  // cache is cold again, but every absorbing-chain solve of the table build
+  // hits the process-wide chain cache.
+  const std::string rebuilt =
+      run_to_completion(service, small_job_body("fcclr", 1));
+  const util::JsonValue r = fetch_result(service, rebuilt);
+  EXPECT_GT(cache_field(r, "fitness_misses"), 0u);
+  EXPECT_GT(cache_field(r, "chain_hits"), 0u);
+  EXPECT_EQ(cache_field(r, "chain_misses"), 0u);
+
+  // Same bits as the never-evicted run.
+  EXPECT_EQ(fetch_result(service, cold).at("front"), r.at("front"));
+}
+
+TEST(ServiceTest, SpooledSpecReplaysToTheSpooledResult) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.spool_dir = ::testing::TempDir() + "/service_spool";
+  DseService service(options);
+  const std::string id =
+      run_to_completion(service, small_job_body("proposed", 7));
+  const util::JsonValue result = fetch_result(service, id);
+
+  const io::JobSpec replay =
+      io::load_job_spec(options.spool_dir + "/" + id + ".spec.json");
+  const core::DseMethodology dse(
+      replay.application, replay.architecture,
+      core::make_condition_analyzer(replay.scenario.environment_factor));
+  const core::DseOutcome offline = dse.run_proposed(replay.options());
+  const util::JsonArray& front = result.at("front").as_array();
+  ASSERT_EQ(front.size(), offline.front.size());
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    const util::JsonArray& point = front[i].as_array();
+    for (std::size_t k = 0; k < point.size(); ++k) {
+      EXPECT_EQ(point[k].as_number(), offline.front[i][k]);
+    }
+  }
+}
+
+TEST(ServiceTest, ProgressEventsStreamPerGeneration) {
+  ServiceOptions options;
+  options.workers = 1;
+  DseService service(options);
+  const std::string id =
+      run_to_completion(service, small_job_body("fcclr", 1, /*generations=*/4));
+  const HttpResponse all = service.handle(
+      make_request("GET", "/v1/jobs/" + id + "/events"));
+  EXPECT_EQ(all.status, 200);
+  const util::JsonValue events = body_json(all);
+  // One event per generation plus the final-front event.
+  ASSERT_EQ(events.at("events").as_array().size(), 5u);
+  EXPECT_EQ(events.at("next").as_number(), 5.0);
+  const util::JsonValue& last = events.at("events").as_array().back();
+  EXPECT_EQ(last.at("generation").as_number(), 4.0);
+  EXPECT_EQ(last.at("stage").as_string(), "fcclr");
+  EXPECT_GT(last.at("hv_proxy").as_number(), 0.0);
+
+  const HttpResponse tail = service.handle(
+      make_request("GET", "/v1/jobs/" + id + "/events", "", "from=3"));
+  EXPECT_EQ(body_json(tail).at("events").as_array().size(), 2u);
+}
+
+TEST(ServiceTest, AdmissionControlRejectsBeyondQueueDepth) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_depth = 1;
+  DseService service(options);
+  // A deliberately long job to occupy the single worker.
+  const std::string slow = small_job_body("fcclr", 1, /*generations=*/300);
+  const HttpResponse a =
+      service.handle(make_request("POST", "/v1/jobs", slow));
+  ASSERT_EQ(a.status, 202);
+  // Wait until it leaves the queue (is running) so the next submit queues.
+  while (service.queue().depth() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const HttpResponse b =
+      service.handle(make_request("POST", "/v1/jobs", slow));
+  EXPECT_EQ(b.status, 202);
+  const HttpResponse c =
+      service.handle(make_request("POST", "/v1/jobs", slow));
+  EXPECT_EQ(c.status, 429);
+
+  // The queued job's result is not available yet.
+  const std::string queued_id = body_json(b).at("id").as_string();
+  const HttpResponse premature = service.handle(
+      make_request("GET", "/v1/jobs/" + queued_id + "/result"));
+  EXPECT_EQ(premature.status, 409);
+
+  // Cancel everything and let shutdown drain the runner.
+  const std::string running_id = body_json(a).at("id").as_string();
+  EXPECT_EQ(service
+                .handle(make_request("POST",
+                                     "/v1/jobs/" + queued_id + "/cancel"))
+                .status,
+            200);
+  EXPECT_EQ(service
+                .handle(make_request("POST",
+                                     "/v1/jobs/" + running_id + "/cancel"))
+                .status,
+            200);
+  service.shutdown(/*cancel_pending=*/true);
+  EXPECT_EQ(service.queue().find(queued_id)->state(), JobState::kCancelled);
+  EXPECT_EQ(service.queue().find(running_id)->state(), JobState::kCancelled);
+}
+
+TEST(ServiceTest, ErrorPaths) {
+  ServiceOptions options;
+  options.workers = 1;
+  DseService service(options);
+  EXPECT_EQ(service.handle(make_request("POST", "/v1/jobs", "not json")).status,
+            400);
+  EXPECT_EQ(service
+                .handle(make_request("POST", "/v1/jobs",
+                                     R"({"format_version": 9,
+                                         "application": "sobel"})"))
+                .status,
+            400);
+  EXPECT_EQ(service.handle(make_request("GET", "/v1/jobs/job-999999")).status,
+            404);
+  EXPECT_EQ(
+      service.handle(make_request("GET", "/v1/jobs/job-999999/result")).status,
+      404);
+  EXPECT_EQ(service.handle(make_request("GET", "/v1/nope")).status, 404);
+  EXPECT_EQ(service.handle(make_request("DELETE", "/v1/jobs")).status, 405);
+
+  const HttpResponse health = service.handle(make_request("GET", "/v1/healthz"));
+  EXPECT_EQ(health.status, 200);
+  const HttpResponse metrics = service.handle(make_request("GET", "/v1/metrics"));
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_TRUE(body_json(metrics).find("counters") != nullptr);
+
+  EXPECT_FALSE(service.shutdown_requested());
+  EXPECT_EQ(service.handle(make_request("POST", "/v1/shutdown")).status, 200);
+  EXPECT_TRUE(service.shutdown_requested());
+}
+
+}  // namespace
+}  // namespace clrearly::server

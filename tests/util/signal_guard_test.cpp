@@ -1,0 +1,80 @@
+// Signal-guard tests: kNotifyOnly latches without dying, and kFlushAndExit
+// writes the observability files before re-raising (death test).
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/metrics.hpp"
+#include "util/observability.hpp"
+#include "util/signal_guard.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define CLREARLY_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CLREARLY_TSAN_BUILD 1
+#endif
+#endif
+
+namespace clrearly {
+namespace {
+
+TEST(SignalGuardTest, NotifyOnlyLatchesWithoutTerminating) {
+  util::install_signal_handlers(util::SignalMode::kNotifyOnly);
+  util::reset_termination_flag();
+  EXPECT_FALSE(util::termination_requested());
+  EXPECT_EQ(util::termination_signal(), 0);
+
+  std::raise(SIGTERM);
+  EXPECT_TRUE(util::termination_requested());
+  EXPECT_EQ(util::termination_signal(), SIGTERM);
+
+  util::reset_termination_flag();
+  EXPECT_FALSE(util::termination_requested());
+  std::raise(SIGINT);
+  EXPECT_TRUE(util::termination_requested());
+  EXPECT_EQ(util::termination_signal(), SIGINT);
+  util::reset_termination_flag();
+}
+
+TEST(SignalGuardTest, ReinstallLastModeWins) {
+  util::install_signal_handlers(util::SignalMode::kFlushAndExit);
+  util::install_signal_handlers(util::SignalMode::kNotifyOnly);
+  util::reset_termination_flag();
+  std::raise(SIGTERM);  // would kill the process under kFlushAndExit
+  EXPECT_TRUE(util::termination_requested());
+  util::reset_termination_flag();
+}
+
+TEST(SignalGuardDeathTest, FlushAndExitWritesMetricsThenDiesBySignal) {
+#if defined(CLREARLY_TSAN_BUILD)
+  // The flush path allocates inside the handler (the documented
+  // async-signal-safety trade-off); TSan aborts on that instead of dying
+  // by the re-raised signal, so the death expectation cannot hold here.
+  GTEST_SKIP() << "flush-from-handler is signal-unsafe by design; "
+                  "TSan flags it";
+#endif
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path =
+      ::testing::TempDir() + "/signal_guard_metrics.json";
+  EXPECT_EXIT(
+      {
+        util::set_metrics_path(path);
+        util::metric_counter("signal_guard.test").add(7);
+        util::install_signal_handlers(util::SignalMode::kFlushAndExit);
+        std::raise(SIGTERM);
+      },
+      ::testing::KilledBySignal(SIGTERM), "");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "metrics file was not written on SIGTERM";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("signal_guard.test"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace clrearly

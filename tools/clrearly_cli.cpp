@@ -18,12 +18,14 @@
 // Application specs: "sobel", "mjpeg", "synthetic:<tasks>[:<seed>]", or a .json path
 // (io/serialize format). Architecture specs: "default" or a .json path.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "app/characterizer.hpp"
@@ -36,14 +38,18 @@
 #include "reliability/fault_injection.hpp"
 #include "core/dse.hpp"
 #include "core/experiment.hpp"
+#include "core/scenario.hpp"
 #include "core/sim_bridge.hpp"
 #include "sim/validate.hpp"
 #include "io/serialize.hpp"
 #include "moea/hypervolume.hpp"
 #include "platform/architecture.hpp"
 #include "sched/timeline.hpp"
+#include "server/server.hpp"
 #include "util/cli.hpp"
+#include "util/cpu_features.hpp"
 #include "util/observability.hpp"
+#include "util/signal_guard.hpp"
 #include "util/thread_pool.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
@@ -85,32 +91,19 @@ bool apply_common(util::ArgParser& parser,
   return true;
 }
 
+// Spec-string resolution lives in the library (io/serialize, core/scenario)
+// so the serve daemon's wire format and the CLI accept the same spellings
+// and build bit-identical models.
 app::Application resolve_app(const std::string& spec) {
-  if (spec == "sobel") return app::make_sobel_application();
-  if (spec == "mjpeg") return app::make_mjpeg_application();
-  if (spec.rfind("synthetic:", 0) == 0) {
-    const std::string rest = spec.substr(10);
-    const std::size_t colon = rest.find(':');
-    const std::size_t tasks = std::stoul(rest.substr(0, colon));
-    const std::uint64_t seed =
-        colon == std::string::npos ? 1 : std::stoull(rest.substr(colon + 1));
-    return app::make_synthetic_application(tasks, 10, seed);
-  }
-  return io::load_application(spec);
+  return io::resolve_application(spec);
 }
 
 platform::Architecture resolve_arch(const std::string& spec) {
-  if (spec == "default") return platform::Architecture::paper_default();
-  return io::load_architecture(spec);
+  return io::resolve_architecture(spec);
 }
 
 reliability::TaskAnalyzer resolve_analyzer(double env_factor) {
-  reliability::FaultEnvironment env;
-  env.dvfs_sensitivity = 1.2;
-  env.environment_factor = env_factor;
-  return reliability::TaskAnalyzer(reliability::ClrSpace::paper_default(), env,
-                                   reliability::ThermalModel{},
-                                   reliability::ArrheniusAging{});
+  return core::make_condition_analyzer(env_factor);
 }
 
 int cmd_generate(const std::vector<std::string>& args) {
@@ -548,6 +541,76 @@ int cmd_chain(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_serve(const std::vector<std::string>& args) {
+  util::ArgParser parser("clrearly serve",
+                         "run the DSE-as-a-service HTTP daemon");
+  declare_common(parser);
+  parser.option("host", "listen address", "127.0.0.1")
+      .option("port", "listen port (0 = pick an ephemeral port)", "8080")
+      .option("workers", "concurrent DSE jobs", "2")
+      .option("queue-depth", "max waiting jobs before 429", "16")
+      .option("max-sessions", "model sessions kept warm (LRU)", "8")
+      .option("spool", "spool job specs/results into this directory", "")
+      .option("port-file", "write the bound port to this file once listening",
+              "");
+  if (!apply_common(parser, args)) return 0;
+
+  server::ServiceOptions service_options;
+  service_options.workers = parser.get_uint("workers");
+  service_options.queue_depth = parser.get_uint("queue-depth");
+  service_options.max_sessions = parser.get_uint("max-sessions");
+  service_options.spool_dir = parser.get("spool");
+  server::DseService service(service_options);
+
+  server::ServerOptions server_options;
+  server_options.host = parser.get("host");
+  server_options.port = static_cast<int>(parser.get_uint("port"));
+  server::HttpServer http(service, server_options);
+
+  // A daemon drains on SIGINT/SIGTERM instead of dying mid-job; this
+  // overrides the kFlushAndExit handler the common options may have
+  // installed (the drain path below flushes via the normal exit hooks).
+  util::install_signal_handlers(util::SignalMode::kNotifyOnly);
+
+  http.start();
+  std::printf("clrearly serve: listening on %s:%d (workers %zu, queue %zu)\n",
+              server_options.host.c_str(), http.port(),
+              service_options.workers, service_options.queue_depth);
+  std::fflush(stdout);
+  if (!parser.get("port-file").empty()) {
+    std::ofstream out(parser.get("port-file"));
+    out << http.port() << '\n';
+  }
+
+  while (!service.shutdown_requested() && !util::termination_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("clrearly serve: %s received, draining\n",
+              service.shutdown_requested() ? "shutdown request" : "signal");
+  std::fflush(stdout);
+  http.stop();             // stop accepting connections
+  service.shutdown(true);  // cancel queued jobs, drain running ones
+  std::printf("clrearly serve: drained, exiting\n");
+  return 0;
+}
+
+int cmd_version(const std::vector<std::string>&) {
+#ifdef NDEBUG
+  const char* build_type = "release";
+#else
+  const char* build_type = "debug";
+#endif
+  std::printf("clrearly (CL(R)Early reference implementation)\n");
+  std::printf("  build        : %s, C++%ld\n", build_type,
+              __cplusplus / 100 % 100);
+  std::printf("  wire format  : v%d\n", io::kWireFormatVersion);
+  std::printf("  simd detected: %s\n",
+              util::to_string(util::detected_simd_level()));
+  std::printf("  simd active  : %s\n",
+              util::to_string(util::active_simd_level()));
+  return 0;
+}
+
 void print_usage() {
   std::printf(
       "clrearly — cross-layer reliability-aware early-stage DSE\n\n"
@@ -561,6 +624,8 @@ void print_usage() {
       "  chain      Markov-model calculator for one CLR configuration\n"
       "  dse        system-level DSE (fcclr | pfclr | proposed | agnostic)\n"
       "  simulate   Monte Carlo schedule simulation of a flow's front\n"
+      "  serve      DSE-as-a-service HTTP daemon (docs/SERVER.md)\n"
+      "  version    build, SIMD and wire-format versions\n"
       "\nrun 'clrearly <command> --help' for per-command options\n");
 }
 
@@ -586,6 +651,10 @@ int main(int argc, char** argv) {
     if (command == "chain") return cmd_chain(args);
     if (command == "dse") return cmd_dse(args);
     if (command == "simulate") return cmd_simulate(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "version" || command == "--version") {
+      return cmd_version(args);
+    }
     if (command == "--help" || command == "help") {
       print_usage();
       return 0;
