@@ -56,6 +56,12 @@ ClrMappingProblem DseMethodology::build_fcclr_problem(
                            options.spec);
 }
 
+ResilientProblem DseMethodology::build_resilient_problem(
+    const DseOptions& options) const {
+  return ResilientProblem(app_, arch_, analyzer_, options.resilience,
+                          options.objectives, options.spec);
+}
+
 ClrMappingProblem DseMethodology::build_pfclr_problem(
     const DseOptions& options, const std::vector<TdseResult>& tdse) const {
   std::vector<std::vector<TaskDesignPoint>> points;
@@ -83,6 +89,27 @@ DseOutcome DseMethodology::run_fcclr(const DseOptions& options,
       options.ga, problem.ops(options.ga.mutation_indpb), rng,
       std::move(seeds));
   return collect(problem, std::move(result));
+}
+
+DseOutcome DseMethodology::run_kresilient(const DseOptions& options) const {
+  return run_kresilient(options, build_resilient_problem(options));
+}
+
+DseOutcome DseMethodology::run_kresilient(
+    const DseOptions& options, const ResilientProblem& problem) const {
+  const util::PhaseTimer timer("dse.kresilient");
+  util::Rng rng(options.seed);
+  util::log_info() << "kresilient: " << app_.graph.num_tasks() << " tasks, "
+                   << problem.layout().gene_count() << " genes, k="
+                   << problem.resilience().max_failures;
+  std::vector<MappingGenome> seeds;
+  if (options.heuristic_seed) {
+    seeds.push_back(heft_clr_mapping(problem.nominal()).genome);
+  }
+  auto result = moea::run_nsga2(
+      options.ga, problem.ops(options.ga.mutation_indpb), rng,
+      std::move(seeds));
+  return collect(problem.nominal(), std::move(result));
 }
 
 DseOutcome DseMethodology::run_pfclr(const DseOptions& options) const {

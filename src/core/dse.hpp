@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/problem.hpp"
+#include "core/resilience.hpp"
 #include "core/tdse.hpp"
 
 namespace clrearly::core {
@@ -29,6 +30,11 @@ struct DseOptions {
   /// and guarantees the population starts with a good (often feasible)
   /// individual.
   bool heuristic_seed = false;
+
+  /// Permanent-fault scenario axis for run_kresilient (ignored by the other
+  /// flows): certify mappings against the loss of any `resilience.max_failures`
+  /// PEs over the mission.
+  ResilienceSpec resilience;
 };
 
 /// Result of one DSE flow: the final Pareto front (objective vectors and the
@@ -70,6 +76,14 @@ class DseMethodology {
   DseOutcome run_proposed(const DseOptions& options,
                           const std::vector<TdseResult>& tdse) const;
 
+  /// k-resilient flow: fcCLR-encoded GA whose fitness certifies every
+  /// candidate against the loss of any options.resilience.max_failures PEs
+  /// (core/resilience). Heuristic seeding uses the same HEFT + greedy
+  /// hardening design the nominal flows seed with. Returned front points are
+  /// k-resilient: feasible under the nominal spec AND under the degraded
+  /// spec for every enumerated failure set.
+  DseOutcome run_kresilient(const DseOptions& options) const;
+
   /// Problem-sharing variants: run a flow against caller-owned problem
   /// instances instead of constructing fresh ones per call. The problems
   /// must have been built over this methodology's application, architecture
@@ -87,12 +101,15 @@ class DseMethodology {
   DseOutcome run_proposed(const DseOptions& options,
                           const ClrMappingProblem& pf,
                           const ClrMappingProblem& fc) const;
+  DseOutcome run_kresilient(const DseOptions& options,
+                            const ResilientProblem& problem) const;
 
   /// Construct the problems the flows above run over (the same construction
   /// the one-shot entry points perform internally).
   ClrMappingProblem build_fcclr_problem(const DseOptions& options) const;
   ClrMappingProblem build_pfclr_problem(
       const DseOptions& options, const std::vector<TdseResult>& tdse) const;
+  ResilientProblem build_resilient_problem(const DseOptions& options) const;
 
  private:
   static DseOutcome collect(const ClrMappingProblem& problem,

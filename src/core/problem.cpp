@@ -422,6 +422,105 @@ double ClrMappingProblem::log10_design_space_size() const {
   return log_size;
 }
 
+std::optional<MappingGenome> ClrMappingProblem::repair_for_failures(
+    const MappingGenome& genome, const std::vector<char>& failed) const {
+  layout_->validate(genome);
+  if (failed.size() != arch_.num_pes()) {
+    throw std::invalid_argument(
+        "repair_for_failures: failure mask size must equal the PE count");
+  }
+
+  const std::size_t n = app_.graph.num_tasks();
+  MappingGenome out = genome;
+
+  // Committed load per surviving PE: the expected execution time of every
+  // task that keeps its placement. The greedy below extends these
+  // finish-time estimates the same way heft_clr_mapping's EFT loop does.
+  std::vector<double> load(arch_.num_pes(), 0.0);
+  std::vector<char> displaced(n, 0);
+  for (std::size_t t = 0; t < n; ++t) {
+    const ResolvedTask resolved = decode_task(genome, t);
+    if (failed[resolved.pe]) {
+      displaced[t] = 1;
+    } else {
+      load[resolved.pe] += resolved.metrics.avg_exec_time_us;
+    }
+  }
+
+  for (std::size_t task : genome.order) {
+    if (!displaced[task]) continue;
+    const std::size_t type = app_.graph.task(task).type;
+    bool found = false;
+    double best_finish = 0.0;
+    std::size_t best_pe = 0;
+
+    if (mode_ == Mode::kFullConfig) {
+      const auto& impls = app_.impls[type];
+      const std::size_t impl =
+          layout_->gene(genome, task, kFieldImpl) % impls.size();
+      const auto& compatible = pes_by_class_[class_index(impls[impl].target)];
+      std::size_t best_sel = 0;
+      for (std::size_t sel = 0; sel < compatible.size(); ++sel) {
+        const std::size_t pe = compatible[sel];
+        if (failed[pe]) continue;
+        // Stage the selector and decode: the metrics-table index depends on
+        // the candidate PE type's DVFS cardinality, so decode_task is the
+        // one source of truth for the candidate's execution time.
+        layout_->set_gene(out, task, kFieldPeSel, sel);
+        const ResolvedTask candidate = decode_task(out, task);
+        const double finish = load[pe] + candidate.metrics.avg_exec_time_us;
+        if (!found || finish < best_finish) {
+          found = true;
+          best_finish = finish;
+          best_pe = pe;
+          best_sel = sel;
+        }
+      }
+      if (!found) return std::nullopt;
+      // Selector = position in the class-compatible list, which decode_task
+      // reads modulo compatible.size() — always in range because the PeSel
+      // cardinality is the full PE count.
+      layout_->set_gene(out, task, kFieldPeSel, best_sel);
+    } else {
+      const auto& pts = points_[type];
+      const std::size_t chosen =
+          layout_->gene(genome, task, kFieldPoint) % pts.size();
+      std::size_t best_point = 0;
+      std::size_t best_sel = 0;
+      auto try_point = [&](std::size_t pt_idx) {
+        const auto& instances = pes_by_type_[pts[pt_idx].pe_type];
+        for (std::size_t sel = 0; sel < instances.size(); ++sel) {
+          const std::size_t pe = instances[sel];
+          if (failed[pe]) continue;
+          const double finish =
+              load[pe] + pts[pt_idx].metrics.avg_exec_time_us;
+          if (!found || finish < best_finish) {
+            found = true;
+            best_finish = finish;
+            best_pe = pe;
+            best_point = pt_idx;
+            best_sel = sel;
+          }
+        }
+      };
+      // Prefer keeping the chosen Pareto point (same implementation + CLR
+      // configuration, another instance of the same PE type); fall back to
+      // the other points only when its type lost every instance.
+      try_point(chosen);
+      if (!found) {
+        for (std::size_t p = 0; p < pts.size(); ++p) {
+          if (p != chosen) try_point(p);
+        }
+      }
+      if (!found) return std::nullopt;
+      layout_->set_gene(out, task, kFieldPoint, best_point);
+      layout_->set_gene(out, task, kFieldPeSel, best_sel);
+    }
+    load[best_pe] = best_finish;
+  }
+  return out;
+}
+
 MappingGenome ClrMappingProblem::translate_to(
     const ClrMappingProblem& fc, const MappingGenome& genome) const {
   if (mode_ != Mode::kParetoFiltered ||

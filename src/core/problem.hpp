@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "app/task_graph.hpp"
@@ -160,6 +161,22 @@ class ClrMappingProblem {
   /// outlive the returned ops. `mutation_indpb` is the per-task mutation
   /// probability (paper: 0.05).
   moea::Nsga2Ops<MappingGenome> ops(double mutation_indpb = 0.05) const;
+
+  /// Degraded-mode repair (the permanent-fault scenario axis): rewrite the
+  /// PE-choice genes of every task whose decoded PE is marked failed so the
+  /// mapping runs entirely on surviving PEs. Displaced tasks are reassigned
+  /// greedily by earliest estimated finish time over the surviving
+  /// candidates — the heft_clr_mapping assignment rule restricted to the
+  /// degraded machine — visited in the genome's schedule-priority order;
+  /// tasks already on surviving PEs keep their genes bit for bit. fcCLR
+  /// repair keeps each displaced task's implementation and CLR
+  /// configuration; pfCLR repair prefers a surviving instance of the chosen
+  /// Pareto point's PE type and considers other Pareto points only when that
+  /// type has no survivors. Deterministic (ties break on the lowest PE id).
+  /// `failed` needs one entry per PE (nonzero = failed). Returns
+  /// std::nullopt when some displaced task has no surviving host.
+  std::optional<MappingGenome> repair_for_failures(
+      const MappingGenome& genome, const std::vector<char>& failed) const;
 
   /// Translate a genome of this (pfCLR) problem into an equivalent genome of
   /// the fcCLR problem `fc` over the same application and architecture —

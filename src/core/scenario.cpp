@@ -19,6 +19,89 @@ reliability::TaskAnalyzer make_condition_analyzer(double environment_factor) {
                                    reliability::ArrheniusAging{});
 }
 
+void ResilienceSpec::validate(std::size_t num_pes) const {
+  if (num_pes == 0) {
+    throw std::invalid_argument("ResilienceSpec: architecture has no PEs");
+  }
+  if (max_failures >= num_pes) {
+    throw std::invalid_argument(
+        "ResilienceSpec: max_failures must be smaller than the PE count");
+  }
+  if (!(mission_hours > 0.0)) {
+    throw std::invalid_argument("ResilienceSpec: mission_hours must be "
+                                "positive");
+  }
+  if (spare_penalty_weight < 0.0) {
+    throw std::invalid_argument(
+        "ResilienceSpec: spare_penalty_weight must be non-negative");
+  }
+  std::vector<char> seen(num_pes, 0);
+  for (std::size_t pe : spare_pes) {
+    if (pe >= num_pes) {
+      throw std::invalid_argument("ResilienceSpec: spare PE id out of range");
+    }
+    if (seen[pe]) {
+      throw std::invalid_argument("ResilienceSpec: duplicate spare PE id");
+    }
+    seen[pe] = 1;
+  }
+}
+
+std::vector<double> pe_failure_probabilities(
+    const platform::Architecture& architecture, double mission_hours) {
+  if (!(mission_hours > 0.0)) {
+    throw std::invalid_argument(
+        "pe_failure_probabilities: mission_hours must be positive");
+  }
+  std::vector<double> q;
+  q.reserve(architecture.num_pes());
+  for (const platform::Pe& pe : architecture.pes()) {
+    const platform::PeType& type = architecture.type_of(pe.id);
+    q.push_back(reliability::Weibull(type.weibull_eta_base_hours,
+                                     type.weibull_beta)
+                    .cdf(mission_hours));
+  }
+  return q;
+}
+
+std::vector<std::vector<char>> enumerate_failure_sets(
+    std::size_t num_pes, std::size_t max_failures) {
+  std::vector<std::vector<char>> sets;
+  // Size-ordered combinations: for each count the index vector starts at
+  // (0, 1, ..., count-1) and advances odometer-style, which is exactly
+  // lexicographic order over the failed PE ids.
+  for (std::size_t count = 1;
+       count <= max_failures && count <= num_pes; ++count) {
+    std::vector<std::size_t> combo(count);
+    for (std::size_t i = 0; i < count; ++i) combo[i] = i;
+    while (true) {
+      std::vector<char> mask(num_pes, 0);
+      for (std::size_t pe : combo) mask[pe] = 1;
+      sets.push_back(std::move(mask));
+      // Advance: bump the rightmost index that still has headroom.
+      std::size_t i = count;
+      while (i > 0 && combo[i - 1] == num_pes - count + (i - 1)) --i;
+      if (i == 0) break;
+      ++combo[i - 1];
+      for (std::size_t j = i; j < count; ++j) combo[j] = combo[j - 1] + 1;
+    }
+  }
+  return sets;
+}
+
+double failure_set_probability(const std::vector<double>& q,
+                               const std::vector<char>& failed) {
+  if (q.size() != failed.size()) {
+    throw std::invalid_argument(
+        "failure_set_probability: mask and probability sizes differ");
+  }
+  double p = 1.0;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    p *= failed[i] ? q[i] : 1.0 - q[i];
+  }
+  return p;
+}
+
 ScenarioSet::ScenarioSet(std::vector<Scenario> scenarios)
     : scenarios_(std::move(scenarios)) {
   if (scenarios_.empty()) {

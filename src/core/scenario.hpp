@@ -54,6 +54,60 @@ class ScenarioSet {
   std::vector<Scenario> scenarios_;
 };
 
+// ----------------------------------------------- permanent-fault scenarios
+
+/// Permanent-fault scenario (ROADMAP item 3, following Aliee et al.): which
+/// PEs may be lost over the mission and what the degraded mapping must still
+/// deliver. Each PE's lifetime follows the Weibull(eta_base, beta) law of
+/// its type (beta = 1 is the exponential special case); the scenario asks
+/// that a mapping survive the loss of ANY subset of at most `max_failures`
+/// PEs — the k-resilience objective ResilientProblem optimizes.
+struct ResilienceSpec {
+  /// k: number of simultaneous permanent PE failures to certify against.
+  /// 0 degenerates to the nominal problem (no failure sets).
+  std::size_t max_failures = 1;
+
+  /// Mission time over which the per-PE loss probabilities are evaluated.
+  double mission_hours = 20000.0;
+
+  /// Optional dedicated spares: PEs the nominal mapping should keep idle so
+  /// they are free to absorb remapped work after a failure. A soft
+  /// constraint — every task nominally placed on a spare adds
+  /// `spare_penalty_weight` to the violation.
+  std::vector<std::size_t> spare_pes;
+  double spare_penalty_weight = 1.0;
+
+  /// QoS every repaired (degraded-mode) mapping must satisfy. Typically
+  /// looser than the nominal spec; an empty spec only requires
+  /// repairability.
+  sched::QosSpec degraded_spec;
+
+  /// Throws std::invalid_argument unless max_failures < num_pes,
+  /// mission_hours > 0, the penalty weight is non-negative and spare_pes
+  /// holds distinct valid PE ids.
+  void validate(std::size_t num_pes) const;
+
+  bool operator==(const ResilienceSpec&) const = default;
+};
+
+/// P[PE p fails within mission_hours] for every PE instance, from its
+/// type's Weibull wear-out law (weibull_eta_base_hours, weibull_beta).
+std::vector<double> pe_failure_probabilities(
+    const platform::Architecture& architecture, double mission_hours);
+
+/// Every failure mask (one char per PE, nonzero = failed) with 1..k failed
+/// PEs, in deterministic order: by failure count, then lexicographically by
+/// the failed PE ids. Empty for k = 0.
+std::vector<std::vector<char>> enumerate_failure_sets(
+    std::size_t num_pes, std::size_t max_failures);
+
+/// Exact-set probability of `failed` under independent per-PE loss
+/// probabilities `q`: prod_{failed} q_p * prod_{survivors} (1 - q_p).
+double failure_set_probability(const std::vector<double>& q,
+                               const std::vector<char>& failed);
+
+// ----------------------------------------------- operating-condition axis
+
 enum class ScenarioAggregation {
   kWeighted,   ///< mission-profile expectation of each objective
   kWorstCase,  ///< componentwise worst objective across scenarios

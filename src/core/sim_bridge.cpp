@@ -39,4 +39,43 @@ sim::SimResult simulate_design_point(const ClrMappingProblem& problem,
                                 point.priority_order, options);
 }
 
+ResilientSimPoint make_resilient_sim_point(const ResilientProblem& problem,
+                                           const MappingGenome& genome) {
+  const ClrMappingProblem& nominal = problem.nominal();
+  const std::size_t num_pes = nominal.architecture().num_pes();
+
+  ResilientSimPoint point;
+  point.failure_probabilities = problem.failure_probabilities();
+
+  const SimDesignPoint healthy = make_sim_design_point(nominal, genome);
+  point.variants.push_back({healthy.tasks, healthy.priority_order});
+  point.variant_failures.emplace_back(num_pes, 0);
+
+  for (const ResilientProblem::DegradedMode& mode :
+       problem.degraded_modes(genome)) {
+    if (!mode.repairable) {
+      point.unrepairable_sets.push_back(mode.failed);
+      continue;
+    }
+    const SimDesignPoint degraded =
+        make_sim_design_point(nominal, mode.mapping);
+    point.variants.push_back({degraded.tasks, degraded.priority_order});
+    point.variant_failures.push_back(mode.failed);
+  }
+  return point;
+}
+
+sim::FailureSimResult simulate_resilient_design_point(
+    const ResilientProblem& problem, const MappingGenome& genome,
+    std::size_t trials, std::uint64_t seed) {
+  const ResilientSimPoint point = make_resilient_sim_point(problem, genome);
+  sim::FailureSimOptions options;
+  options.trials = trials;
+  options.seed = seed;
+  options.pe_failure_prob = point.failure_probabilities;
+  return sim::simulate_with_failures(
+      problem.nominal().application().graph, problem.nominal().architecture(),
+      point.variants, point.variant_failures, options);
+}
+
 }  // namespace clrearly::core

@@ -14,6 +14,7 @@
 
 #include "core/encoding.hpp"
 #include "core/problem.hpp"
+#include "core/resilience.hpp"
 #include "sim/schedule_sim.hpp"
 
 namespace clrearly::core {
@@ -38,5 +39,31 @@ SimDesignPoint make_sim_design_point(const ClrMappingProblem& problem,
 sim::SimResult simulate_design_point(const ClrMappingProblem& problem,
                                      const MappingGenome& genome,
                                      const sim::SimOptions& options);
+
+/// A k-resilient design point in fault-injection form: the nominal mapping
+/// plus every repairable degraded mode as an executable sim variant, ready
+/// for sim::simulate_with_failures.
+struct ResilientSimPoint {
+  /// variants[0] is the nominal mapping; variants[i > 0] the repaired
+  /// mapping for variant_failures[i].
+  std::vector<sim::SimVariant> variants;
+  std::vector<std::vector<char>> variant_failures;
+  /// Per-PE mission loss probabilities (the problem's Weibull CDF values).
+  std::vector<double> failure_probabilities;
+  /// Enumerated failure sets no repair exists for — drawn trials landing on
+  /// one of these count as unavailable.
+  std::vector<std::vector<char>> unrepairable_sets;
+};
+
+/// Expand `genome` and all its degraded modes into fault-injection inputs.
+/// Throws like ClrMappingProblem::decode on malformed genomes.
+ResilientSimPoint make_resilient_sim_point(const ResilientProblem& problem,
+                                           const MappingGenome& genome);
+
+/// Convenience: bridge + inject in one call, wiring the problem's own
+/// failure probabilities into the options.
+sim::FailureSimResult simulate_resilient_design_point(
+    const ResilientProblem& problem, const MappingGenome& genome,
+    std::size_t trials, std::uint64_t seed);
 
 }  // namespace clrearly::core

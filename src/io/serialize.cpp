@@ -417,6 +417,44 @@ sched::QosSpec qos_spec_from_json(const JsonValue& json) {
   return spec;
 }
 
+JsonValue to_json(const core::ResilienceSpec& resilience) {
+  JsonArray spares;
+  spares.reserve(resilience.spare_pes.size());
+  for (std::size_t pe : resilience.spare_pes) spares.emplace_back(pe);
+  return JsonValue(
+      JsonObject{{"max_failures", resilience.max_failures},
+                 {"mission_hours", resilience.mission_hours},
+                 {"spare_pes", std::move(spares)},
+                 {"spare_penalty_weight", resilience.spare_penalty_weight},
+                 {"degraded_qos", to_json(resilience.degraded_spec)}});
+}
+
+core::ResilienceSpec resilience_spec_from_json(const JsonValue& json) {
+  reject_unknown_keys(json.as_object(),
+                      {"max_failures", "mission_hours", "spare_pes",
+                       "spare_penalty_weight", "degraded_qos"},
+                      "resilience");
+  core::ResilienceSpec resilience;
+  if (const JsonValue* k = json.find("max_failures")) {
+    resilience.max_failures =
+        static_cast<std::size_t>(as_uint64(*k, "max_failures"));
+  }
+  resilience.mission_hours =
+      json.number_or("mission_hours", resilience.mission_hours);
+  if (const JsonValue* spares = json.find("spare_pes")) {
+    for (const JsonValue& pe : spares->as_array()) {
+      resilience.spare_pes.push_back(
+          static_cast<std::size_t>(as_uint64(pe, "spare_pes")));
+    }
+  }
+  resilience.spare_penalty_weight = json.number_or(
+      "spare_penalty_weight", resilience.spare_penalty_weight);
+  if (const JsonValue* degraded = json.find("degraded_qos")) {
+    resilience.degraded_spec = qos_spec_from_json(*degraded);
+  }
+  return resilience;
+}
+
 JsonValue to_json(const core::TdseObjectives& objectives) {
   return JsonValue(JsonObject{{"avg_exec_time", objectives.avg_exec_time},
                               {"error_prob", objectives.error_prob},
@@ -457,6 +495,7 @@ core::DseOptions JobSpec::options() const {
   options.tdse_objectives = tdse_objectives;
   options.seed = seed;
   options.heuristic_seed = heuristic_seed;
+  options.resilience = resilience;
   return options;
 }
 
@@ -468,6 +507,7 @@ std::string JobSpec::model_key() const {
                    {"environment_factor", scenario.environment_factor},
                    {"objectives", to_json(objectives)},
                    {"qos", to_json(spec)},
+                   {"resilience", to_json(resilience)},
                    {"tdse_objectives", to_json(tdse_objectives)}};
   return util::json_serialize(JsonValue(std::move(model)));
 }
@@ -482,6 +522,7 @@ JsonValue to_json(const JobSpec& spec) {
                   {"ga", to_json(spec.ga)},
                   {"objectives", to_json(spec.objectives)},
                   {"qos", to_json(spec.spec)},
+                  {"resilience", to_json(spec.resilience)},
                   {"tdse_objectives", to_json(spec.tdse_objectives)},
                   {"application", to_json(spec.application)},
                   {"architecture", to_json(spec.architecture)}};
@@ -493,7 +534,7 @@ JobSpec job_spec_from_json(const JsonValue& json) {
   reject_unknown_keys(json.as_object(),
                       {"format_version", "name", "flow", "seed", "threads",
                        "heuristic_seed", "scenario", "ga", "objectives",
-                       "qos", "tdse_objectives", "application",
+                       "qos", "resilience", "tdse_objectives", "application",
                        "architecture"},
                       "job");
   JobSpec spec;
@@ -511,9 +552,11 @@ JobSpec job_spec_from_json(const JsonValue& json) {
   if (const JsonValue* flow = json.find("flow")) {
     spec.flow = flow->as_string();
   }
-  if (spec.flow != "fcclr" && spec.flow != "pfclr" && spec.flow != "proposed") {
-    throw std::runtime_error("serialize: unknown flow '" + spec.flow +
-                             "' (expected fcclr | pfclr | proposed)");
+  if (spec.flow != "fcclr" && spec.flow != "pfclr" &&
+      spec.flow != "proposed" && spec.flow != "kresilient") {
+    throw std::runtime_error(
+        "serialize: unknown flow '" + spec.flow +
+        "' (expected fcclr | pfclr | proposed | kresilient)");
   }
   if (const JsonValue* seed = json.find("seed")) {
     spec.seed = as_uint64(*seed, "seed");
@@ -540,6 +583,9 @@ JobSpec job_spec_from_json(const JsonValue& json) {
   if (const JsonValue* qos = json.find("qos")) {
     spec.spec = qos_spec_from_json(*qos);
   }
+  if (const JsonValue* resilience = json.find("resilience")) {
+    spec.resilience = resilience_spec_from_json(*resilience);
+  }
   if (const JsonValue* tdse = json.find("tdse_objectives")) {
     spec.tdse_objectives = tdse_objectives_from_json(*tdse);
   }
@@ -553,6 +599,15 @@ JobSpec job_spec_from_json(const JsonValue& json) {
                             : architecture_from_json(*architecture);
   } else {
     spec.architecture = platform::Architecture::paper_default();
+  }
+  // Resilience can only be checked once the architecture is known (the spare
+  // ids and failure budget are relative to its PE count). Rethrow as
+  // runtime_error to keep from_json's error contract uniform.
+  try {
+    spec.resilience.validate(spec.architecture.num_pes());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("serialize: resilience: ") +
+                             e.what());
   }
   return spec;
 }

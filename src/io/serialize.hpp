@@ -86,6 +86,11 @@ core::SystemObjectives system_objectives_from_json(const util::JsonValue& json);
 util::JsonValue to_json(const sched::QosSpec& spec);
 sched::QosSpec qos_spec_from_json(const util::JsonValue& json);
 
+/// Permanent-fault resilience axis <-> JSON (the kresilient flow's
+/// parameters: tolerated failures, mission time, spares, degraded spec).
+util::JsonValue to_json(const core::ResilienceSpec& resilience);
+core::ResilienceSpec resilience_spec_from_json(const util::JsonValue& json);
+
 /// tDSE objective ladder <-> JSON.
 util::JsonValue to_json(const core::TdseObjectives& objectives);
 core::TdseObjectives tdse_objectives_from_json(const util::JsonValue& json);
@@ -98,7 +103,7 @@ core::TdseObjectives tdse_objectives_from_json(const util::JsonValue& json);
 struct JobSpec {
   int format_version = kWireFormatVersion;
   std::string name;               ///< optional client label
-  std::string flow = "proposed";  ///< fcclr | pfclr | proposed
+  std::string flow = "proposed";  ///< fcclr | pfclr | proposed | kresilient
   std::uint64_t seed = 1;
   /// Requested worker threads, recorded into the job manifest. Results are
   /// thread-count-invariant by construction, so the daemon may execute on
@@ -110,6 +115,10 @@ struct JobSpec {
   core::SystemObjectives objectives;
   sched::QosSpec spec;
   core::TdseObjectives tdse_objectives = core::TdseObjectives::tdse_run(1);
+  /// Permanent-fault axis; consulted by the kresilient flow only, but always
+  /// serialized (and part of the model key) so resilient and nominal jobs
+  /// never alias each other's problem caches.
+  core::ResilienceSpec resilience;
   app::Application application;
   platform::Architecture architecture;
 

@@ -56,6 +56,8 @@ struct QosSpec {
   double violation(const QosMetrics& m) const;
 
   bool feasible(const QosMetrics& m) const { return violation(m) == 0.0; }
+
+  bool operator==(const QosSpec&) const = default;
 };
 
 /// One fully resolved task decision: where the task runs and what its

@@ -178,6 +178,7 @@ core::DseOptions model_half(const io::JobSpec& spec) {
   options.objectives = spec.objectives;
   options.spec = spec.spec;
   options.tdse_objectives = spec.tdse_objectives;
+  options.resilience = spec.resilience;
   return options;
 }
 
@@ -195,6 +196,14 @@ const core::ClrMappingProblem& ModelSession::fc_problem() {
     fc_.emplace(methodology_.build_fcclr_problem(model_options_));
   }
   return *fc_;
+}
+
+const core::ResilientProblem& ModelSession::resilient_problem() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!resilient_.has_value()) {
+    resilient_.emplace(methodology_.build_resilient_problem(model_options_));
+  }
+  return *resilient_;
 }
 
 const core::ClrMappingProblem& ModelSession::pf_problem() {
@@ -276,6 +285,8 @@ void run_job(JobRecord& job, ModelSession& session) {
       outcome = methodology.run_fcclr(options, session.fc_problem());
     } else if (job.spec().flow == "pfclr") {
       outcome = methodology.run_pfclr(options, session.pf_problem());
+    } else if (job.spec().flow == "kresilient") {
+      outcome = methodology.run_kresilient(options, session.resilient_problem());
     } else {
       // Build order fixed (pf before fc) so cache warm-up is deterministic.
       const core::ClrMappingProblem& pf = session.pf_problem();

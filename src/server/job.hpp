@@ -141,6 +141,9 @@ class ModelSession {
   /// The shared problems (built on first use; pf runs tDSE once).
   const core::ClrMappingProblem& fc_problem();
   const core::ClrMappingProblem& pf_problem();
+  /// k-resilient problem for the kresilient flow. The resilience spec is
+  /// part of the model key, so every job routed here asks for the same one.
+  const core::ResilientProblem& resilient_problem();
 
   /// LRU bookkeeping for SessionCache.
   std::uint64_t last_used() const noexcept { return last_used_.load(); }
@@ -153,6 +156,7 @@ class ModelSession {
   std::mutex mutex_;
   std::optional<core::ClrMappingProblem> fc_;
   std::optional<core::ClrMappingProblem> pf_;
+  std::optional<core::ResilientProblem> resilient_;
   std::optional<std::vector<core::TdseResult>> tdse_;
   std::atomic<std::uint64_t> last_used_{0};
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <map>
 #include <stdexcept>
 
 #include "sched/list_scheduler.hpp"
@@ -271,6 +272,253 @@ SimResult simulate_schedule(const app::TaskGraph& graph,
   if (options.deadline_us > 0.0) {
     result.deadline_miss_rate = misses * inv_n;
     result.deadline_miss_ci = util::wilson_interval_95(misses, options.trials);
+  }
+  result.trials_per_sec =
+      elapsed_s > 0.0 ? static_cast<double>(options.trials) / elapsed_s : 0.0;
+  return result;
+}
+
+// ------------------------------------------- permanent-fault injection
+
+namespace {
+
+/// Slot written by one failure-injection trial. `variant` is the index of
+/// the executed variant; meaningless when !available.
+struct FailureTrialOutcome {
+  bool available = false;
+  std::size_t variant = 0;
+  TrialOutcome out;
+};
+
+}  // namespace
+
+bool failure_sim_results_identical(const FailureSimResult& a,
+                                   const FailureSimResult& b) noexcept {
+  return a.trials == b.trials &&                          //
+         a.available_trials == b.available_trials &&      //
+         a.availability == b.availability &&              //
+         a.availability_ci == b.availability_ci &&        //
+         a.makespan_mean_us == b.makespan_mean_us &&      //
+         a.makespan_stddev_us == b.makespan_stddev_us &&  //
+         a.makespan_ci_us == b.makespan_ci_us &&          //
+         a.error_prob == b.error_prob &&                  //
+         a.error_ci == b.error_ci &&                      //
+         a.energy_mean_uj == b.energy_mean_uj &&          //
+         a.energy_stddev_uj == b.energy_stddev_uj &&      //
+         a.energy_ci_uj == b.energy_ci_uj &&              //
+         a.variant_trials == b.variant_trials;
+}
+
+FailureSimResult simulate_with_failures(
+    const app::TaskGraph& graph, const platform::Architecture& architecture,
+    const std::vector<SimVariant>& variants,
+    const std::vector<std::vector<char>>& variant_failures,
+    const FailureSimOptions& options) {
+  const std::size_t n = graph.num_tasks();
+  const std::size_t num_pes = architecture.num_pes();
+  if (variants.empty()) {
+    throw std::invalid_argument("simulate_with_failures: no variants");
+  }
+  if (variant_failures.size() != variants.size()) {
+    throw std::invalid_argument(
+        "simulate_with_failures: variant/failure-mask count mismatch");
+  }
+  if (options.trials == 0) {
+    throw std::invalid_argument(
+        "simulate_with_failures: trials must be positive");
+  }
+  if (options.pe_failure_prob.size() != num_pes) {
+    throw std::invalid_argument(
+        "simulate_with_failures: PE failure probability count mismatch");
+  }
+  for (double q : options.pe_failure_prob) {
+    if (!(q >= 0.0 && q <= 1.0)) {
+      throw std::invalid_argument(
+          "simulate_with_failures: PE failure probability outside [0, 1]");
+    }
+  }
+
+  // Per-variant validation + precompute (rank vector, samplers), mirroring
+  // simulate_schedule; plus the mask table the trial loop dispatches on.
+  std::map<std::vector<char>, std::size_t> variant_of_mask;
+  std::vector<std::vector<std::size_t>> ranks(variants.size());
+  std::vector<std::vector<TaskSampler>> samplers(variants.size());
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    const SimVariant& variant = variants[v];
+    const std::vector<char>& mask = variant_failures[v];
+    if (mask.size() != num_pes) {
+      throw std::invalid_argument(
+          "simulate_with_failures: failure mask size mismatch");
+    }
+    if (v == 0 &&
+        std::any_of(mask.begin(), mask.end(), [](char f) { return f != 0; })) {
+      throw std::invalid_argument(
+          "simulate_with_failures: variant 0 must carry the no-failure mask");
+    }
+    if (!variant_of_mask.emplace(mask, v).second) {
+      throw std::invalid_argument(
+          "simulate_with_failures: duplicate failure mask");
+    }
+    if (variant.tasks.size() != n) {
+      throw std::invalid_argument(
+          "simulate_with_failures: variant task count mismatch");
+    }
+    if (variant.priority_order.size() != n) {
+      throw std::invalid_argument(
+          "simulate_with_failures: variant priority order size mismatch");
+    }
+    ranks[v].assign(n, n);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      const std::size_t task = variant.priority_order[pos];
+      if (task >= n || ranks[v][task] != n) {
+        throw std::invalid_argument(
+            "simulate_with_failures: variant priority order is not a "
+            "permutation of task ids");
+      }
+      ranks[v][task] = pos;
+    }
+    samplers[v].reserve(n);
+    for (const SimTask& task : variant.tasks) {
+      if (task.pe >= num_pes) {
+        throw std::invalid_argument(
+            "simulate_with_failures: PE index out of range");
+      }
+      if (mask[task.pe]) {
+        throw std::invalid_argument(
+            "simulate_with_failures: variant maps a task onto a PE its own "
+            "failure mask kills");
+      }
+      samplers[v].emplace_back(task.chain);  // validates the chain parameters
+    }
+  }
+  {
+    // Kahn pass (once — the graph is shared by every variant).
+    std::vector<std::size_t> pending(n);
+    std::vector<std::size_t> frontier;
+    for (std::size_t t = 0; t < n; ++t) {
+      pending[t] = graph.predecessors(t).size();
+      if (pending[t] == 0) frontier.push_back(t);
+    }
+    std::size_t visited = 0;
+    while (!frontier.empty()) {
+      const std::size_t t = frontier.back();
+      frontier.pop_back();
+      ++visited;
+      for (std::size_t succ : graph.successors(t)) {
+        if (--pending[succ] == 0) frontier.push_back(succ);
+      }
+    }
+    if (visited != n) {
+      throw std::invalid_argument(
+          "simulate_with_failures: task graph contains a cycle");
+    }
+  }
+
+  const std::vector<double> zeta = graph.normalized_criticality();
+  const platform::Interconnect& interconnect = architecture.interconnect();
+
+  // One child stream per trial, split off serially (the simulate_schedule
+  // contract). Inside each stream the draw order is fixed: first one uniform
+  // per PE in PE-id order (the mission survival draws), then — only if the
+  // drawn failure set is covered — the executed variant's task trials.
+  util::Rng root(options.seed);
+  std::vector<util::Rng> streams;
+  streams.reserve(options.trials);
+  for (std::size_t i = 0; i < options.trials; ++i) {
+    streams.push_back(root.split());
+  }
+
+  std::vector<FailureTrialOutcome> outcomes(options.trials);
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    const util::TraceSpan span("sim.failure_trial_batch");
+    util::parallel_for(options.trials, [&](std::size_t i) {
+      util::Rng& rng = streams[i];
+      std::vector<char> mask(num_pes, 0);
+      for (std::size_t p = 0; p < num_pes; ++p) {
+        mask[p] = rng.uniform() < options.pe_failure_prob[p] ? 1 : 0;
+      }
+      const auto it = variant_of_mask.find(mask);
+      if (it == variant_of_mask.end()) return;  // unavailable: nothing runs
+      const std::size_t v = it->second;
+      outcomes[i].available = true;
+      outcomes[i].variant = v;
+      outcomes[i].out =
+          run_trial(graph, interconnect, variants[v].tasks, samplers[v],
+                    ranks[v], zeta, num_pes, /*deadline_us=*/0.0, rng);
+    });
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  {
+    static util::Counter& runs_metric =
+        util::metric_counter("sim.failure_runs");
+    static util::Counter& trials_metric =
+        util::metric_counter("sim.failure_trials");
+    static util::Counter& lost_metric =
+        util::metric_counter("sim.unavailable_trials");
+    runs_metric.add();
+    trials_metric.add(options.trials);
+    std::uint64_t lost = 0;
+    for (const FailureTrialOutcome& o : outcomes) lost += !o.available;
+    lost_metric.add(lost);
+    util::observe_seconds("sim.failure_batch_seconds", elapsed_s);
+  }
+
+  // Serial aggregation in trial order — identical whatever the thread count.
+  FailureSimResult result;
+  result.trials = options.trials;
+  result.variant_trials.assign(variants.size(), 0);
+  for (const FailureTrialOutcome& o : outcomes) {
+    if (!o.available) continue;
+    ++result.available_trials;
+    ++result.variant_trials[o.variant];
+  }
+  result.availability = static_cast<double>(result.available_trials) /
+                        static_cast<double>(options.trials);
+  result.availability_ci = util::wilson_interval_95(
+      static_cast<double>(result.available_trials), options.trials);
+
+  if (result.available_trials > 0) {
+    const double inv_a = 1.0 / static_cast<double>(result.available_trials);
+    double error_weight = 0.0;
+    for (const FailureTrialOutcome& o : outcomes) {
+      if (!o.available) continue;
+      result.makespan_mean_us += o.out.makespan_us * inv_a;
+      result.energy_mean_uj += o.out.energy_uj * inv_a;
+      error_weight += o.out.error_weight;
+    }
+    if (result.available_trials > 1) {
+      double makespan_m2 = 0.0;
+      double energy_m2 = 0.0;
+      for (const FailureTrialOutcome& o : outcomes) {
+        if (!o.available) continue;
+        const double dm = o.out.makespan_us - result.makespan_mean_us;
+        const double de = o.out.energy_uj - result.energy_mean_uj;
+        makespan_m2 += dm * dm;
+        energy_m2 += de * de;
+      }
+      const double inv_a1 =
+          1.0 / static_cast<double>(result.available_trials - 1);
+      result.makespan_stddev_us = std::sqrt(makespan_m2 * inv_a1);
+      result.energy_stddev_uj = std::sqrt(energy_m2 * inv_a1);
+    }
+    result.makespan_ci_us =
+        util::confidence_interval_95(result.makespan_mean_us,
+                                     result.makespan_stddev_us,
+                                     result.available_trials);
+    result.energy_ci_uj = util::confidence_interval_95(
+        result.energy_mean_uj, result.energy_stddev_uj,
+        result.available_trials);
+    // Same ulp clamp as simulate_schedule: zeta-normalized weights sum to at
+    // most the trial count mathematically, but not always in floating point.
+    error_weight = std::min(
+        error_weight, static_cast<double>(result.available_trials));
+    result.error_prob = error_weight * inv_a;
+    result.error_ci =
+        util::wilson_interval_95(error_weight, result.available_trials);
   }
   result.trials_per_sec =
       elapsed_s > 0.0 ? static_cast<double>(options.trials) / elapsed_s : 0.0;

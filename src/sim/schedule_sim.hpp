@@ -105,4 +105,78 @@ SimResult simulate_schedule(const app::TaskGraph& graph,
                             const std::vector<std::size_t>& priority_order,
                             const SimOptions& options);
 
+// ------------------------------------------- permanent-fault injection
+
+/// One executable configuration of the application: the nominal mapping or
+/// a degraded-mode fallback (a repaired mapping for one failed-PE subset).
+struct SimVariant {
+  std::vector<SimTask> tasks;
+  std::vector<std::size_t> priority_order;
+};
+
+struct FailureSimOptions {
+  std::size_t trials = 10000;
+  std::uint64_t seed = 1;
+  /// Mission loss probability per PE (size must equal the PE count) — the
+  /// core::pe_failure_probabilities() Weibull CDF values.
+  std::vector<double> pe_failure_prob;
+};
+
+/// Monte Carlo estimates of a k-resilient design under permanent PE loss.
+/// Makespan/error/energy statistics are conditional on availability (the
+/// trial drew no failure, or a failure set some fallback variant covers).
+struct FailureSimResult {
+  std::size_t trials = 0;
+  std::size_t available_trials = 0;
+
+  double availability = 0.0;
+  util::Interval availability_ci;  ///< Wilson 95%
+
+  double makespan_mean_us = 0.0;
+  double makespan_stddev_us = 0.0;
+  util::Interval makespan_ci_us;  ///< normal-approximation CI of the mean
+
+  /// Criticality-weighted error probability, conditional on availability
+  /// (same estimator as SimResult::error_prob over the available trials).
+  double error_prob = 0.0;
+  util::Interval error_ci;  ///< Wilson 95% on the weighted successes
+
+  double energy_mean_uj = 0.0;
+  double energy_stddev_uj = 0.0;
+  util::Interval energy_ci_uj;
+
+  /// Trials executed per variant (index 0 = nominal), aligned with the
+  /// `variants` argument. Sums to available_trials.
+  std::vector<std::size_t> variant_trials;
+
+  /// Wall-clock throughput; NOT deterministic, excluded from
+  /// failure_sim_results_identical().
+  double trials_per_sec = 0.0;
+};
+
+/// Bitwise equality of every statistical field (the thread-count
+/// determinism contract; trials_per_sec excluded).
+bool failure_sim_results_identical(const FailureSimResult& a,
+                                   const FailureSimResult& b) noexcept;
+
+/// Simulate `options.trials` missions with permanent PE failures injected.
+///
+/// Each trial first draws every PE's survival (one uniform per PE, in PE-id
+/// order — a fixed draw prefix per trial stream, so results stay
+/// bit-identical at any thread count), then executes the variant covering
+/// the drawn failure set: variants[i] handles the failure mask
+/// variant_failures[i], variants[0] the no-failure mask. A drawn set no
+/// variant covers (more than k losses, or an unrepairable subset) counts
+/// the trial unavailable and runs nothing.
+///
+/// Throws std::invalid_argument on malformed inputs: size mismatches, a
+/// non-zero variant_failures[0], duplicate masks, probabilities outside
+/// [0, 1], or a variant that maps a task onto a PE its own failure mask
+/// kills.
+FailureSimResult simulate_with_failures(
+    const app::TaskGraph& graph, const platform::Architecture& architecture,
+    const std::vector<SimVariant>& variants,
+    const std::vector<std::vector<char>>& variant_failures,
+    const FailureSimOptions& options);
+
 }  // namespace clrearly::sim

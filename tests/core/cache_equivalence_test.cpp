@@ -60,10 +60,8 @@ using FlowFn = core::DseOutcome (core::DseMethodology::*)(
 /// Run one flow cache-off, then cache-on at a roomy and a tiny (eviction
 /// pressure) capacity, across serial and 4-thread pools; all runs must be
 /// bit-identical to the cache-off baseline.
-void check_flow(const core::DseMethodology& dse, FlowFn flow,
-                std::uint64_t seed) {
-  const core::DseOptions options = small_options(seed);
-
+void check_flow_with_options(const core::DseMethodology& dse, FlowFn flow,
+                             const core::DseOptions& options) {
   util::set_cache_capacity(0);
   util::set_thread_count(1);
   const core::DseOutcome baseline = (dse.*flow)(options);
@@ -79,6 +77,11 @@ void check_flow(const core::DseMethodology& dse, FlowFn flow,
       expect_identical(baseline, cached);
     }
   }
+}
+
+void check_flow(const core::DseMethodology& dse, FlowFn flow,
+                std::uint64_t seed) {
+  check_flow_with_options(dse, flow, small_options(seed));
 }
 
 TEST_F(CacheEquivalenceTest, FcClrFlowOnSobel) {
@@ -100,6 +103,18 @@ TEST_F(CacheEquivalenceTest, ProposedFlowOnSobel) {
                                  platform::Architecture::paper_default(),
                                  reliability::TaskAnalyzer::paper_default());
   check_flow(dse, &core::DseMethodology::run_proposed, 13);
+}
+
+TEST_F(CacheEquivalenceTest, KResilientFlowOnSobel) {
+  // The k-resilient evaluation adds its own memoized layer (the
+  // ResilientProblem fitness cache) on top of the nominal problem's; both
+  // must stay invisible to results under eviction pressure and threading.
+  const core::DseMethodology dse(app::make_sobel_application(),
+                                 platform::Architecture::paper_default(),
+                                 reliability::TaskAnalyzer::paper_default());
+  core::DseOptions options = small_options(17);
+  options.resilience.max_failures = 1;
+  check_flow_with_options(dse, &core::DseMethodology::run_kresilient, options);
 }
 
 TEST_F(CacheEquivalenceTest, AllFlowsOnRandomizedSyntheticApplications) {

@@ -84,6 +84,44 @@ TEST_F(DeterminismTest, ProposedFlowIsThreadCountInvariant) {
   expect_identical(serial, parallel);
 }
 
+TEST_F(DeterminismTest, KResilientFlowIsThreadCountInvariant) {
+  // The permanent-fault flow wraps fcCLR evaluation in the k-resilience
+  // certification (repair + degraded scoring per failure set) — all pure
+  // functions of the genome, so the guarantee must carry over unchanged.
+  const core::DseMethodology dse = methodology();
+  core::DseOptions o = options();
+  o.resilience.max_failures = 1;
+  util::set_thread_count(1);
+  const core::DseOutcome serial = dse.run_kresilient(o);
+  util::set_thread_count(4);
+  const core::DseOutcome parallel = dse.run_kresilient(o);
+  ASSERT_FALSE(serial.front.empty());
+  expect_identical(serial, parallel);
+}
+
+TEST_F(DeterminismTest, FailureInjectionIsThreadCountInvariant) {
+  // Permanent-fault Monte Carlo: PE-loss draws are a fixed prefix of each
+  // trial's split stream, so injection runs are bit-identical at any thread
+  // count just like the plain simulator.
+  const core::DseMethodology dse = methodology();
+  core::DseOptions o = options();
+  o.resilience.max_failures = 1;
+  util::set_thread_count(1);
+  const core::DseOutcome outcome = dse.run_kresilient(o);
+  ASSERT_FALSE(outcome.front_genomes.empty());
+  const core::ResilientProblem problem = dse.build_resilient_problem(o);
+  const core::MappingGenome& genome = outcome.front_genomes.front();
+
+  const sim::FailureSimResult serial =
+      core::simulate_resilient_design_point(problem, genome, 4000, 7);
+  util::set_thread_count(4);
+  const sim::FailureSimResult parallel =
+      core::simulate_resilient_design_point(problem, genome, 4000, 7);
+
+  EXPECT_TRUE(sim::failure_sim_results_identical(serial, parallel));
+  EXPECT_GT(serial.available_trials, 0u);
+}
+
 TEST_F(DeterminismTest, TdseResultsAreThreadCountInvariant) {
   const core::DseMethodology dse = methodology();
   util::set_thread_count(1);

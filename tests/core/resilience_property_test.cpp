@@ -1,0 +1,113 @@
+// Property-based tests of the permanent-fault axis over randomly generated
+// platform/task-graph instances: a small seeded fuzzer draws TGFF-style
+// synthetic applications and checks the structural invariants the
+// k-resilience machinery promises on every instance —
+//   1. a k-resilient front is contained in the (k-1)-resilient feasible set
+//      (violation is monotone in the failure budget),
+//   2. degraded-mode repair never maps a task onto a failed PE,
+//   3. reported front points are mutually non-dominated.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "app/characterizer.hpp"
+#include "core/dse.hpp"
+#include "moea/pareto.hpp"
+#include "platform/architecture.hpp"
+#include "util/log.hpp"
+
+namespace clrearly {
+namespace {
+
+struct Instance {
+  std::size_t tasks;
+  std::uint64_t app_seed;
+  std::uint64_t ga_seed;
+};
+
+// Small but varied: graph sizes and characterization seeds both move.
+const Instance kInstances[] = {
+    {6, 501, 31}, {9, 502, 32}, {12, 503, 33}, {15, 504, 34}};
+
+class ResiliencePropertyTest : public ::testing::TestWithParam<Instance> {
+ protected:
+  static void SetUpTestSuite() { util::set_log_level(util::LogLevel::Warn); }
+
+  static core::DseMethodology methodology(const Instance& instance) {
+    return core::DseMethodology(
+        app::make_synthetic_application(instance.tasks, 8, instance.app_seed),
+        platform::Architecture::paper_default(),
+        reliability::TaskAnalyzer::paper_default());
+  }
+
+  static core::DseOptions options(const Instance& instance,
+                                  std::size_t max_failures) {
+    core::DseOptions o;
+    o.ga.population_size = 16;
+    o.ga.generations = 6;
+    o.seed = instance.ga_seed;
+    o.resilience.max_failures = max_failures;
+    return o;
+  }
+};
+
+TEST_P(ResiliencePropertyTest, KResilientFrontIsKMinusOneFeasible) {
+  const Instance& instance = GetParam();
+  const core::DseMethodology dse = methodology(instance);
+  const core::DseOutcome outcome = dse.run_kresilient(options(instance, 1));
+  ASSERT_FALSE(outcome.front_genomes.empty());
+
+  // Every k=1 front point must be feasible under the k=0 problem (nominal
+  // spec only) — the containment direction of the monotonicity argument.
+  const core::ResilientProblem weaker =
+      dse.build_resilient_problem(options(instance, 0));
+  const core::ResilientProblem certified =
+      dse.build_resilient_problem(options(instance, 1));
+  for (const core::MappingGenome& genome : outcome.front_genomes) {
+    EXPECT_EQ(certified.evaluate(genome).violation, 0.0);
+    EXPECT_EQ(weaker.evaluate(genome).violation, 0.0);
+  }
+}
+
+TEST_P(ResiliencePropertyTest, RepairNeverUsesAFailedPe) {
+  const Instance& instance = GetParam();
+  const core::DseMethodology dse = methodology(instance);
+  const core::ResilientProblem problem =
+      dse.build_resilient_problem(options(instance, 2));
+
+  util::Rng rng(instance.ga_seed);
+  for (int trial = 0; trial < 20; ++trial) {
+    const core::MappingGenome genome = problem.layout().random(rng);
+    for (const auto& mode : problem.degraded_modes(genome)) {
+      if (!mode.repairable) continue;
+      for (const auto& task : problem.nominal().resolve(mode.mapping)) {
+        EXPECT_FALSE(mode.failed[task.pe]);
+      }
+    }
+  }
+}
+
+TEST_P(ResiliencePropertyTest, FrontPointsAreMutuallyNonDominated) {
+  const Instance& instance = GetParam();
+  const core::DseMethodology dse = methodology(instance);
+  const core::DseOutcome outcome = dse.run_kresilient(options(instance, 1));
+  ASSERT_FALSE(outcome.front.empty());
+  for (std::size_t i = 0; i < outcome.front.size(); ++i) {
+    for (std::size_t j = 0; j < outcome.front.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(moea::dominates(outcome.front[i], outcome.front[j]))
+          << "point " << i << " dominates point " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SyntheticInstances, ResiliencePropertyTest,
+                         ::testing::ValuesIn(kInstances),
+                         [](const ::testing::TestParamInfo<Instance>& info) {
+                           return "Tasks" + std::to_string(info.param.tasks);
+                         });
+
+}  // namespace
+}  // namespace clrearly

@@ -1,0 +1,371 @@
+// Unit tests of the permanent-fault scenario axis: PE failure
+// probabilities, failure-set enumeration, degraded-mode repair, and the
+// ResilientProblem fitness/analytic-prediction semantics.
+#include "core/resilience.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "app/sobel.hpp"
+#include "core/tdse.hpp"
+#include "platform/architecture.hpp"
+#include "reliability/weibull.hpp"
+
+namespace clrearly::core {
+namespace {
+
+class ResilienceFixture : public ::testing::Test {
+ protected:
+  app::Application sobel_ = app::make_sobel_application();
+  platform::Architecture arch_ = platform::Architecture::paper_default();
+  reliability::TaskAnalyzer analyzer_ =
+      reliability::TaskAnalyzer::paper_default();
+
+  ClrMappingProblem full_problem() const {
+    return ClrMappingProblem(sobel_, arch_, analyzer_, SystemObjectives{},
+                             sched::QosSpec{});
+  }
+
+  ResilientProblem resilient_problem(ResilienceSpec spec) const {
+    return ResilientProblem(sobel_, arch_, analyzer_, std::move(spec),
+                            SystemObjectives{}, sched::QosSpec{});
+  }
+};
+
+// --- ResilienceSpec::validate ----------------------------------------------
+
+TEST_F(ResilienceFixture, ValidateAcceptsDefaultOnPaperArchitecture) {
+  EXPECT_NO_THROW(ResilienceSpec{}.validate(arch_.num_pes()));
+}
+
+TEST_F(ResilienceFixture, ValidateRejectsMalformedSpecs) {
+  ResilienceSpec spec;
+  spec.max_failures = arch_.num_pes();  // must stay below the PE count
+  EXPECT_THROW(spec.validate(arch_.num_pes()), std::invalid_argument);
+
+  spec = ResilienceSpec{};
+  spec.mission_hours = 0.0;
+  EXPECT_THROW(spec.validate(arch_.num_pes()), std::invalid_argument);
+
+  spec = ResilienceSpec{};
+  spec.spare_penalty_weight = -1.0;
+  EXPECT_THROW(spec.validate(arch_.num_pes()), std::invalid_argument);
+
+  spec = ResilienceSpec{};
+  spec.spare_pes = {arch_.num_pes()};  // out of range
+  EXPECT_THROW(spec.validate(arch_.num_pes()), std::invalid_argument);
+
+  spec = ResilienceSpec{};
+  spec.spare_pes = {1, 1};  // duplicate
+  EXPECT_THROW(spec.validate(arch_.num_pes()), std::invalid_argument);
+
+  EXPECT_THROW(ResilienceSpec{}.validate(0), std::invalid_argument);
+}
+
+// --- failure probabilities --------------------------------------------------
+
+TEST_F(ResilienceFixture, FailureProbabilitiesAreTheWeibullMissionCdf) {
+  const double mission_hours = 20000.0;
+  const std::vector<double> q = pe_failure_probabilities(arch_, mission_hours);
+  ASSERT_EQ(q.size(), arch_.num_pes());
+  for (std::size_t pe = 0; pe < q.size(); ++pe) {
+    const platform::PeType& type = arch_.type_of(pe);
+    const reliability::Weibull weibull(type.weibull_eta_base_hours,
+                                       type.weibull_beta);
+    EXPECT_EQ(q[pe], weibull.cdf(mission_hours)) << "PE " << pe;
+    EXPECT_GT(q[pe], 0.0);
+    EXPECT_LT(q[pe], 1.0);
+  }
+}
+
+TEST_F(ResilienceFixture, FailureProbabilitiesGrowWithMissionTime) {
+  const std::vector<double> early = pe_failure_probabilities(arch_, 1000.0);
+  const std::vector<double> late = pe_failure_probabilities(arch_, 50000.0);
+  for (std::size_t pe = 0; pe < early.size(); ++pe) {
+    EXPECT_LT(early[pe], late[pe]) << "PE " << pe;
+  }
+  EXPECT_THROW(pe_failure_probabilities(arch_, 0.0), std::invalid_argument);
+}
+
+// --- failure-set enumeration ------------------------------------------------
+
+TEST(FailureSetTest, EnumerationIsCountThenLexicographic) {
+  const auto sets = enumerate_failure_sets(4, 2);
+  // C(4,1) + C(4,2) = 4 + 6.
+  ASSERT_EQ(sets.size(), 10u);
+  const std::vector<std::vector<char>> expected = {
+      {1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1},
+      {1, 1, 0, 0}, {1, 0, 1, 0}, {1, 0, 0, 1},
+      {0, 1, 1, 0}, {0, 1, 0, 1}, {0, 0, 1, 1}};
+  EXPECT_EQ(sets, expected);
+}
+
+TEST(FailureSetTest, ZeroBudgetEnumeratesNothing) {
+  EXPECT_TRUE(enumerate_failure_sets(4, 0).empty());
+}
+
+TEST(FailureSetTest, ExactSetProbabilitiesSumToOne) {
+  const std::vector<double> q = {0.1, 0.25, 0.03};
+  double total = 0.0;
+  for (unsigned bits = 0; bits < 8; ++bits) {
+    std::vector<char> mask(3, 0);
+    for (std::size_t i = 0; i < 3; ++i) mask[i] = (bits >> i) & 1u;
+    total += failure_set_probability(q, mask);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(failure_set_probability(q, {1, 0, 0}), 0.1 * 0.75 * 0.97,
+              1e-15);
+  EXPECT_THROW(failure_set_probability(q, {1, 0}), std::invalid_argument);
+}
+
+// --- degraded-mode repair ---------------------------------------------------
+
+TEST_F(ResilienceFixture, RepairNeverMapsToAFailedPe) {
+  const ClrMappingProblem problem = full_problem();
+  util::Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const MappingGenome genome = problem.layout().random(rng);
+    for (std::size_t failed_pe = 0; failed_pe < arch_.num_pes(); ++failed_pe) {
+      std::vector<char> failed(arch_.num_pes(), 0);
+      failed[failed_pe] = 1;
+      const auto repaired = problem.repair_for_failures(genome, failed);
+      if (!repaired.has_value()) continue;  // unrepairable is allowed
+      EXPECT_NO_THROW(problem.layout().validate(*repaired));
+      for (const auto& task : problem.resolve(*repaired)) {
+        EXPECT_NE(task.pe, failed_pe);
+      }
+    }
+  }
+}
+
+TEST_F(ResilienceFixture, RepairLeavesUnaffectedTasksUntouched) {
+  const ClrMappingProblem problem = full_problem();
+  util::Rng rng(12);
+  for (int trial = 0; trial < 50; ++trial) {
+    const MappingGenome genome = problem.layout().random(rng);
+    const auto before = problem.resolve(genome);
+    for (std::size_t failed_pe = 0; failed_pe < arch_.num_pes(); ++failed_pe) {
+      std::vector<char> failed(arch_.num_pes(), 0);
+      failed[failed_pe] = 1;
+      const auto repaired = problem.repair_for_failures(genome, failed);
+      if (!repaired.has_value()) continue;
+      const auto after = problem.resolve(*repaired);
+      ASSERT_EQ(after.size(), before.size());
+      for (std::size_t t = 0; t < before.size(); ++t) {
+        if (before[t].pe == failed_pe) continue;  // the displaced task
+        EXPECT_EQ(after[t].pe, before[t].pe) << "task " << t;
+        EXPECT_EQ(after[t].impl_index, before[t].impl_index) << "task " << t;
+      }
+    }
+  }
+}
+
+TEST_F(ResilienceFixture, RepairIsUnrepairableWhenAWholeClassDies) {
+  // Kill every reconfigurable-region PE: any genome with a task whose chosen
+  // implementation targets the fabric has nowhere to put it (fcCLR repair
+  // keeps the implementation choice).
+  const ClrMappingProblem problem = full_problem();
+  std::vector<char> fabric_down(arch_.num_pes(), 0);
+  std::size_t fabric_pes = 0;
+  for (std::size_t pe = 0; pe < arch_.num_pes(); ++pe) {
+    if (arch_.type_of(pe).pe_class == platform::PeClass::kReconfigurableRegion) {
+      fabric_down[pe] = 1;
+      ++fabric_pes;
+    }
+  }
+  ASSERT_GT(fabric_pes, 0u);
+
+  util::Rng rng(13);
+  bool saw_unrepairable = false;
+  bool saw_repairable = false;
+  for (int trial = 0; trial < 100; ++trial) {
+    const MappingGenome genome = problem.layout().random(rng);
+    bool uses_fabric = false;
+    for (const auto& task : problem.resolve(genome)) {
+      if (fabric_down[task.pe]) uses_fabric = true;
+    }
+    const auto repaired = problem.repair_for_failures(genome, fabric_down);
+    if (uses_fabric) {
+      // A displaced fabric task may or may not have a processor-class
+      // implementation; when repair succeeds it must avoid the fabric.
+      if (!repaired.has_value()) {
+        saw_unrepairable = true;
+        continue;
+      }
+    }
+    if (repaired.has_value()) {
+      saw_repairable = true;
+      for (const auto& task : problem.resolve(*repaired)) {
+        EXPECT_FALSE(fabric_down[task.pe]);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_unrepairable);
+  EXPECT_TRUE(saw_repairable);
+}
+
+TEST_F(ResilienceFixture, RepairRejectsWrongMaskSize) {
+  const ClrMappingProblem problem = full_problem();
+  util::Rng rng(14);
+  const MappingGenome genome = problem.layout().random(rng);
+  EXPECT_THROW(problem.repair_for_failures(genome, std::vector<char>(2, 0)),
+               std::invalid_argument);
+}
+
+TEST_F(ResilienceFixture, ParetoModeRepairAvoidsFailedPes) {
+  const Tdse tdse(analyzer_);
+  const auto results =
+      tdse.run_application(sobel_, arch_, TdseObjectives::tdse_run(1));
+  std::vector<std::vector<TaskDesignPoint>> points;
+  for (const auto& r : results) points.push_back(r.pareto);
+  const ClrMappingProblem pf(sobel_, arch_, analyzer_, SystemObjectives{},
+                             sched::QosSpec{}, std::move(points));
+  ASSERT_EQ(pf.mode(), ClrMappingProblem::Mode::kParetoFiltered);
+
+  util::Rng rng(15);
+  for (int trial = 0; trial < 50; ++trial) {
+    const MappingGenome genome = pf.layout().random(rng);
+    for (std::size_t failed_pe = 0; failed_pe < arch_.num_pes(); ++failed_pe) {
+      std::vector<char> failed(arch_.num_pes(), 0);
+      failed[failed_pe] = 1;
+      const auto repaired = pf.repair_for_failures(genome, failed);
+      if (!repaired.has_value()) continue;
+      EXPECT_NO_THROW(pf.layout().validate(*repaired));
+      for (const auto& task : pf.resolve(*repaired)) {
+        EXPECT_NE(task.pe, failed_pe);
+      }
+    }
+  }
+}
+
+// --- ResilientProblem fitness ----------------------------------------------
+
+TEST_F(ResilienceFixture, DegradedModesAlignWithFailureSets) {
+  ResilienceSpec spec;
+  spec.max_failures = 2;
+  const ResilientProblem problem = resilient_problem(spec);
+  // C(6,1) + C(6,2) on the six-PE paper platform.
+  EXPECT_EQ(problem.failure_sets().size(), 6u + 15u);
+
+  util::Rng rng(16);
+  const MappingGenome genome = problem.layout().random(rng);
+  const auto modes = problem.degraded_modes(genome);
+  ASSERT_EQ(modes.size(), problem.failure_sets().size());
+  const std::vector<double>& q = problem.failure_probabilities();
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    EXPECT_EQ(modes[i].failed, problem.failure_sets()[i]);
+    EXPECT_EQ(modes[i].probability,
+              failure_set_probability(q, modes[i].failed));
+    if (modes[i].repairable) {
+      EXPECT_GT(modes[i].qos.makespan_us, 0.0);
+      for (const auto& task : problem.nominal().resolve(modes[i].mapping)) {
+        EXPECT_FALSE(modes[i].failed[task.pe]);
+      }
+    }
+  }
+}
+
+TEST_F(ResilienceFixture, ViolationIsMonotoneInTheFailureBudget) {
+  // The k-resilient violation is nominal + spares + max over failure sets of
+  // size <= k; a larger k maximizes over a superset, so violations can only
+  // grow. This is the invariant behind "k-front is (k-1)-feasible".
+  ResilienceSpec k0;
+  k0.max_failures = 0;
+  ResilienceSpec k1;
+  k1.max_failures = 1;
+  ResilienceSpec k2;
+  k2.max_failures = 2;
+  // A degraded constraint that actually bites, so violations are non-zero.
+  for (ResilienceSpec* spec : {&k0, &k1, &k2}) {
+    spec->degraded_spec.max_makespan_us = 400.0;
+  }
+  const ResilientProblem p0 = resilient_problem(k0);
+  const ResilientProblem p1 = resilient_problem(k1);
+  const ResilientProblem p2 = resilient_problem(k2);
+
+  util::Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    const MappingGenome genome = p0.layout().random(rng);
+    const double v0 = p0.evaluate(genome).violation;
+    const double v1 = p1.evaluate(genome).violation;
+    const double v2 = p2.evaluate(genome).violation;
+    EXPECT_LE(v0, v1);
+    EXPECT_LE(v1, v2);
+  }
+}
+
+TEST_F(ResilienceFixture, NominalObjectivesAreUnchangedByTheResilienceAxis) {
+  const ClrMappingProblem nominal = full_problem();
+  const ResilientProblem resilient = resilient_problem(ResilienceSpec{});
+  util::Rng rng(18);
+  for (int trial = 0; trial < 20; ++trial) {
+    const MappingGenome genome = nominal.layout().random(rng);
+    EXPECT_EQ(resilient.evaluate(genome).objectives,
+              nominal.evaluate(genome).objectives);
+  }
+}
+
+TEST_F(ResilienceFixture, SparePenaltyChargesTasksPlacedOnSpares) {
+  ResilienceSpec with_spare;
+  with_spare.spare_pes = {0};
+  with_spare.spare_penalty_weight = 3.5;
+  const ResilientProblem spared = resilient_problem(with_spare);
+  const ResilientProblem unspared = resilient_problem(ResilienceSpec{});
+
+  util::Rng rng(19);
+  bool charged = false;
+  for (int trial = 0; trial < 30; ++trial) {
+    const MappingGenome genome = spared.layout().random(rng);
+    std::size_t on_spare = 0;
+    for (const auto& task : spared.nominal().resolve(genome)) {
+      on_spare += task.pe == 0;
+    }
+    const double delta = spared.evaluate(genome).violation -
+                         unspared.evaluate(genome).violation;
+    EXPECT_NEAR(delta, 3.5 * static_cast<double>(on_spare), 1e-9);
+    charged = charged || on_spare > 0;
+  }
+  EXPECT_TRUE(charged);  // the sample must actually exercise the penalty
+}
+
+TEST_F(ResilienceFixture, AnalyticPredictionMatchesHandComputedMixture) {
+  const ResilientProblem problem = resilient_problem(ResilienceSpec{});
+  util::Rng rng(20);
+  const MappingGenome genome = problem.layout().random(rng);
+
+  double p_nominal = 1.0;
+  for (double q : problem.failure_probabilities()) p_nominal *= 1.0 - q;
+  const sched::QosMetrics nominal_qos = problem.nominal().qos(genome);
+  double availability = p_nominal;
+  double makespan_acc = p_nominal * nominal_qos.makespan_us;
+  for (const auto& mode : problem.degraded_modes(genome)) {
+    if (!mode.repairable) continue;
+    availability += mode.probability;
+    makespan_acc += mode.probability * mode.qos.makespan_us;
+  }
+
+  const auto pred = problem.analytic_prediction(genome);
+  EXPECT_NEAR(pred.availability, availability, 1e-12);
+  ASSERT_GT(availability, 0.0);
+  EXPECT_NEAR(pred.expected_makespan_us, makespan_acc / availability, 1e-9);
+  EXPECT_GE(pred.worst_makespan_us, nominal_qos.makespan_us);
+  EXPECT_LT(pred.availability, 1.0);  // the all-failed outcome is never covered
+  EXPECT_GT(pred.availability, 0.9);  // mission loss rates are small
+}
+
+TEST_F(ResilienceFixture, EvaluateIsAPureFunctionOfTheGenome) {
+  const ResilientProblem problem = resilient_problem(ResilienceSpec{});
+  util::Rng rng(21);
+  const MappingGenome genome = problem.layout().random(rng);
+  const auto a = problem.evaluate(genome);
+  const auto b = problem.evaluate(genome);
+  EXPECT_EQ(a.objectives, b.objectives);
+  EXPECT_EQ(a.violation, b.violation);
+}
+
+}  // namespace
+}  // namespace clrearly::core

@@ -139,6 +139,101 @@ TEST(WireFormatTest, RejectsBadFlowAndMalformedFields) {
                std::runtime_error);
 }
 
+TEST(WireFormatTest, ResilienceSpecRoundTripsThroughJson) {
+  io::JobSpec spec = small_spec();
+  spec.flow = "kresilient";
+  spec.resilience.max_failures = 2;
+  spec.resilience.mission_hours = 8760.0;
+  spec.resilience.spare_pes = {1, 3};
+  spec.resilience.spare_penalty_weight = 2.5;
+  spec.resilience.degraded_spec.max_makespan_us = 5000.0;
+  spec.resilience.degraded_spec.max_energy_uj = 2e8;
+
+  const io::JobSpec back =
+      io::job_spec_from_json(util::json_parse(canon(spec)));
+  EXPECT_EQ(canon(spec), canon(back));
+  EXPECT_EQ(back.flow, "kresilient");
+  EXPECT_EQ(back.resilience.max_failures, 2u);
+  EXPECT_DOUBLE_EQ(back.resilience.mission_hours, 8760.0);
+  ASSERT_EQ(back.resilience.spare_pes.size(), 2u);
+  EXPECT_EQ(back.resilience.spare_pes[0], 1u);
+  EXPECT_EQ(back.resilience.spare_pes[1], 3u);
+  EXPECT_DOUBLE_EQ(back.resilience.spare_penalty_weight, 2.5);
+  ASSERT_TRUE(back.resilience.degraded_spec.max_makespan_us.has_value());
+  EXPECT_DOUBLE_EQ(*back.resilience.degraded_spec.max_makespan_us, 5000.0);
+  ASSERT_TRUE(back.resilience.degraded_spec.max_energy_uj.has_value());
+  EXPECT_DOUBLE_EQ(*back.resilience.degraded_spec.max_energy_uj, 2e8);
+  EXPECT_FALSE(back.resilience.degraded_spec.min_functional_rel.has_value());
+  EXPECT_EQ(back.resilience, spec.resilience);
+}
+
+TEST(WireFormatTest, ResilienceAbsentKeepsDefaults) {
+  const io::JobSpec spec = io::job_spec_from_json(util::json_parse(R"({
+    "format_version": 1,
+    "application": "sobel"
+  })"));
+  EXPECT_EQ(spec.resilience, core::ResilienceSpec{});
+  EXPECT_EQ(spec.resilience.max_failures, 1u);
+  EXPECT_DOUBLE_EQ(spec.resilience.mission_hours, 20000.0);
+  EXPECT_TRUE(spec.resilience.spare_pes.empty());
+}
+
+TEST(WireFormatTest, AcceptsKResilientFlow) {
+  const io::JobSpec spec = io::job_spec_from_json(util::json_parse(R"({
+    "format_version": 1,
+    "application": "sobel",
+    "flow": "kresilient",
+    "resilience": {"max_failures": 1, "mission_hours": 10000}
+  })"));
+  EXPECT_EQ(spec.flow, "kresilient");
+  EXPECT_EQ(spec.resilience.max_failures, 1u);
+  EXPECT_DOUBLE_EQ(spec.resilience.mission_hours, 10000.0);
+}
+
+TEST(WireFormatTest, RejectsMalformedResilience) {
+  // Unknown sub-keys inside "resilience" are rejected just like top-level.
+  EXPECT_THROW(io::job_spec_from_json(util::json_parse(R"({
+                 "format_version": 1, "application": "sobel",
+                 "resilience": {"max_failure": 1}
+               })")),
+               std::runtime_error);
+  // Semantic validation runs against the resolved architecture: a failure
+  // budget that equals the PE count can never leave a surviving mapping.
+  EXPECT_THROW(io::job_spec_from_json(util::json_parse(R"({
+                 "format_version": 1, "application": "sobel",
+                 "resilience": {"max_failures": 99}
+               })")),
+               std::runtime_error);
+  EXPECT_THROW(io::job_spec_from_json(util::json_parse(R"({
+                 "format_version": 1, "application": "sobel",
+                 "resilience": {"mission_hours": -5}
+               })")),
+               std::runtime_error);
+  EXPECT_THROW(io::job_spec_from_json(util::json_parse(R"({
+                 "format_version": 1, "application": "sobel",
+                 "resilience": {"spare_pes": [99]}
+               })")),
+               std::runtime_error);
+  EXPECT_THROW(io::job_spec_from_json(util::json_parse(R"({
+                 "format_version": 1, "application": "sobel",
+                 "resilience": {"max_failures": -1}
+               })")),
+               std::runtime_error);
+}
+
+TEST(WireFormatTest, ModelKeySeesResilienceChanges) {
+  const io::JobSpec a = small_spec();
+  io::JobSpec b = a;
+  b.resilience.max_failures = 2;
+  EXPECT_NE(a.model_key(), b.model_key());
+  io::JobSpec c = a;
+  c.resilience.mission_hours = 1000.0;
+  EXPECT_NE(a.model_key(), c.model_key());
+  io::JobSpec d = a;
+  d.resilience.degraded_spec.max_makespan_us = 123.0;
+  EXPECT_NE(a.model_key(), d.model_key());
+}
+
 TEST(WireFormatTest, ModelKeyIgnoresSearchHalfAndSeesModelHalf) {
   const io::JobSpec a = small_spec();
   io::JobSpec b = a;

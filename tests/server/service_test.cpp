@@ -13,6 +13,7 @@
 #include "io/serialize.hpp"
 #include "server/service.hpp"
 #include "util/json.hpp"
+#include "util/memo_cache.hpp"
 
 namespace clrearly::server {
 namespace {
@@ -108,6 +109,51 @@ TEST(ServiceTest, JobResultMatchesOfflineFlowBitForBit) {
             offline.evaluations);
 }
 
+TEST(ServiceTest, KResilientJobMatchesOfflineFlowBitForBit) {
+  const std::string body = R"({
+    "format_version": 1,
+    "flow": "kresilient",
+    "seed": 3,
+    "ga": {"population_size": 16, "generations": 4},
+    "resilience": {"max_failures": 1, "mission_hours": 15000},
+    "application": "sobel"
+  })";
+  ServiceOptions options;
+  options.workers = 1;
+  DseService service(options);
+  const std::string id = run_to_completion(service, body);
+  const util::JsonValue result = fetch_result(service, id);
+
+  // The same spec through the offline entry points (what
+  // `clrearly dse --app sobel --flow kresilient --k 1 ...` runs).
+  const io::JobSpec spec = io::job_spec_from_json(util::json_parse(body));
+  const core::DseMethodology dse(
+      spec.application, spec.architecture,
+      core::make_condition_analyzer(spec.scenario.environment_factor));
+  const core::DseOutcome offline = dse.run_kresilient(spec.options());
+
+  const util::JsonArray& front = result.at("front").as_array();
+  ASSERT_FALSE(front.empty());
+  ASSERT_EQ(front.size(), offline.front.size());
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    const util::JsonArray& point = front[i].as_array();
+    ASSERT_EQ(point.size(), offline.front[i].size());
+    for (std::size_t k = 0; k < point.size(); ++k) {
+      EXPECT_EQ(point[k].as_number(), offline.front[i][k])
+          << "front[" << i << "][" << k << "]";
+    }
+  }
+  EXPECT_EQ(static_cast<std::size_t>(result.at("evaluations").as_number()),
+            offline.evaluations);
+
+  // A second identical submission reuses the session's resilient problem
+  // and answers every evaluation from its fitness cache.
+  const std::string again = run_to_completion(service, body);
+  const util::JsonValue r2 = fetch_result(service, again);
+  EXPECT_GT(cache_field(r2, "fitness_hits"), 0u);
+  EXPECT_EQ(r2.at("front"), result.at("front"));
+}
+
 TEST(ServiceTest, SecondIdenticalJobHitsTheFitnessCache) {
   ServiceOptions options;
   options.workers = 1;
@@ -133,6 +179,11 @@ TEST(ServiceTest, SecondIdenticalJobHitsTheFitnessCache) {
 }
 
 TEST(ServiceTest, SessionRebuildHitsTheChainCache) {
+  // The assertions below are about cache *reuse*; with the process-wide
+  // caches disabled (CLREARLY_CACHE=0) there is nothing to reuse.
+  if (util::cache_capacity() == 0) {
+    GTEST_SKIP() << "caches disabled";
+  }
   ServiceOptions options;
   options.workers = 1;
   options.max_sessions = 1;  // force eviction on every model switch

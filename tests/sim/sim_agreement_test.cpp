@@ -13,13 +13,17 @@
 #include <optional>
 #include <vector>
 
+#include "app/sobel.hpp"
 #include "app/task_graph.hpp"
+#include "core/dse.hpp"
+#include "core/sim_bridge.hpp"
 #include "platform/architecture.hpp"
 #include "platform/interconnect.hpp"
 #include "reliability/clr_chain_builder.hpp"
 #include "sched/qos.hpp"
 #include "sim/schedule_sim.hpp"
 #include "sim/validate.hpp"
+#include "util/thread_pool.hpp"
 
 namespace clrearly::sim {
 namespace {
@@ -186,6 +190,262 @@ TEST_F(SimAgreementTest, CompareDesignPointAgreesOnBothCriteria) {
   EXPECT_TRUE(row.error_agrees);
   EXPECT_TRUE(row.agrees());
   EXPECT_LE(std::abs(row.makespan_delta_us), row.makespan_tolerance_us);
+}
+
+// ------------------------------------------- permanent-fault injection
+
+/// Degraded chain3 variant with every task forced onto `pe` (the repaired
+/// mapping after the other PE is lost). Same chain params and powers, so the
+/// analytic QoS of the variant is exact on the chain structure too.
+Scenario make_degraded_scenario(std::size_t pe) {
+  Scenario s = make_chain_scenario();
+  for (std::size_t i = 0; i < s.tasks.size(); ++i) {
+    s.tasks[i].pe = pe;
+    s.decisions[i].pe = pe;
+  }
+  return s;
+}
+
+/// Chain fixture under permanent PE loss with deliberately large loss
+/// probabilities (q0=0.3, q1=0.2): both single-failure sets are covered by a
+/// degraded variant, only the double failure is mission loss, so
+///   availability = 1 - q0*q1 = 0.94
+/// and every conditional statistic is the exact probability mixture of the
+/// three per-variant analytic QosMetrics — all chain-exact.
+class PermanentFaultAgreementTest : public ::testing::Test {
+ protected:
+  static constexpr double kQ0 = 0.3;
+  static constexpr double kQ1 = 0.2;
+
+  static void SetUpTestSuite() {
+    nominal_ = new Scenario(make_chain_scenario());
+    pe0_down_ = new Scenario(make_degraded_scenario(1));
+    pe1_down_ = new Scenario(make_degraded_scenario(0));
+
+    const std::vector<SimVariant> variants = {
+        {nominal_->tasks, nominal_->order},
+        {pe0_down_->tasks, pe0_down_->order},
+        {pe1_down_->tasks, pe1_down_->order}};
+    const std::vector<std::vector<char>> failures = {{0, 0}, {1, 0}, {0, 1}};
+
+    FailureSimOptions options;
+    options.trials = 20000;
+    options.seed = 5;
+    options.pe_failure_prob = {kQ0, kQ1};
+    result_.emplace(simulate_with_failures(nominal_->application.graph,
+                                           nominal_->arch, variants, failures,
+                                           options));
+
+    // The exact conditional mixture the estimates must cover.
+    const double weights[3] = {(1.0 - kQ0) * (1.0 - kQ1), kQ0 * (1.0 - kQ1),
+                               (1.0 - kQ0) * kQ1};
+    availability_ = weights[0] + weights[1] + weights[2];
+    const Scenario* scenarios[3] = {nominal_, pe0_down_, pe1_down_};
+    expected_makespan_us_ = expected_error_ = expected_energy_uj_ = 0.0;
+    for (int v = 0; v < 3; ++v) {
+      const sched::QosMetrics qos =
+          sched::estimate_qos(scenarios[v]->application, scenarios[v]->arch,
+                              scenarios[v]->decisions, scenarios[v]->order);
+      expected_makespan_us_ += weights[v] * qos.makespan_us;
+      expected_error_ += weights[v] * qos.error_prob;
+      expected_energy_uj_ += weights[v] * qos.energy_uj;
+    }
+    expected_makespan_us_ /= availability_;
+    expected_error_ /= availability_;
+    expected_energy_uj_ /= availability_;
+  }
+  static void TearDownTestSuite() {
+    delete nominal_;
+    delete pe0_down_;
+    delete pe1_down_;
+    nominal_ = pe0_down_ = pe1_down_ = nullptr;
+    result_.reset();
+  }
+
+  static Scenario* nominal_;
+  static Scenario* pe0_down_;
+  static Scenario* pe1_down_;
+  static std::optional<FailureSimResult> result_;
+  static double availability_;
+  static double expected_makespan_us_;
+  static double expected_error_;
+  static double expected_energy_uj_;
+};
+
+Scenario* PermanentFaultAgreementTest::nominal_ = nullptr;
+Scenario* PermanentFaultAgreementTest::pe0_down_ = nullptr;
+Scenario* PermanentFaultAgreementTest::pe1_down_ = nullptr;
+std::optional<FailureSimResult> PermanentFaultAgreementTest::result_;
+double PermanentFaultAgreementTest::availability_ = 0.0;
+double PermanentFaultAgreementTest::expected_makespan_us_ = 0.0;
+double PermanentFaultAgreementTest::expected_error_ = 0.0;
+double PermanentFaultAgreementTest::expected_energy_uj_ = 0.0;
+
+TEST_F(PermanentFaultAgreementTest, AvailabilityWithinWilsonInterval) {
+  EXPECT_DOUBLE_EQ(availability_, 1.0 - kQ0 * kQ1);
+  EXPECT_TRUE(result_->availability_ci.contains(availability_))
+      << "analytic " << availability_ << " vs Wilson ["
+      << result_->availability_ci.lo << ", " << result_->availability_ci.hi
+      << "]";
+}
+
+TEST_F(PermanentFaultAgreementTest, ConditionalMakespanWithinInterval) {
+  EXPECT_TRUE(result_->makespan_ci_us.contains(expected_makespan_us_))
+      << "analytic " << expected_makespan_us_ << " vs CI ["
+      << result_->makespan_ci_us.lo << ", " << result_->makespan_ci_us.hi
+      << "]";
+}
+
+TEST_F(PermanentFaultAgreementTest, ConditionalErrorWithinWilsonInterval) {
+  EXPECT_TRUE(result_->error_ci.contains(expected_error_))
+      << "analytic " << expected_error_ << " vs Wilson ["
+      << result_->error_ci.lo << ", " << result_->error_ci.hi << "]";
+}
+
+TEST_F(PermanentFaultAgreementTest, ConditionalEnergyWithinInterval) {
+  EXPECT_TRUE(result_->energy_ci_uj.contains(expected_energy_uj_))
+      << "analytic " << expected_energy_uj_ << " vs CI ["
+      << result_->energy_ci_uj.lo << ", " << result_->energy_ci_uj.hi << "]";
+}
+
+TEST_F(PermanentFaultAgreementTest, VariantTrialCountsAreConsistent) {
+  ASSERT_EQ(result_->variant_trials.size(), 3u);
+  std::size_t sum = 0;
+  for (std::size_t n : result_->variant_trials) sum += n;
+  EXPECT_EQ(sum, result_->available_trials);
+  EXPECT_EQ(result_->trials, 20000u);
+  // With q as large as 0.2-0.3 every variant must actually execute.
+  for (std::size_t n : result_->variant_trials) EXPECT_GT(n, 0u);
+}
+
+TEST_F(PermanentFaultAgreementTest, UncoveredFailureSetsCountAsUnavailable) {
+  // Drop the PE0-failure fallback: only {} and {PE1} remain covered, so
+  // availability falls to (1-q0) = 0.7 exactly.
+  const std::vector<SimVariant> variants = {{nominal_->tasks, nominal_->order},
+                                            {pe1_down_->tasks,
+                                             pe1_down_->order}};
+  const std::vector<std::vector<char>> failures = {{0, 0}, {0, 1}};
+  FailureSimOptions options;
+  options.trials = 20000;
+  options.seed = 5;
+  options.pe_failure_prob = {kQ0, kQ1};
+  const FailureSimResult partial = simulate_with_failures(
+      nominal_->application.graph, nominal_->arch, variants, failures,
+      options);
+  EXPECT_TRUE(partial.availability_ci.contains(1.0 - kQ0));
+  EXPECT_LT(partial.availability, result_->availability);
+}
+
+TEST_F(PermanentFaultAgreementTest, InjectionIsBitIdenticalAcrossThreadCounts) {
+  const std::vector<SimVariant> variants = {
+      {nominal_->tasks, nominal_->order},
+      {pe0_down_->tasks, pe0_down_->order},
+      {pe1_down_->tasks, pe1_down_->order}};
+  const std::vector<std::vector<char>> failures = {{0, 0}, {1, 0}, {0, 1}};
+  FailureSimOptions options;
+  options.trials = 5000;
+  options.seed = 17;
+  options.pe_failure_prob = {kQ0, kQ1};
+
+  util::set_thread_count(1);
+  const FailureSimResult serial = simulate_with_failures(
+      nominal_->application.graph, nominal_->arch, variants, failures,
+      options);
+  util::set_thread_count(4);
+  const FailureSimResult parallel = simulate_with_failures(
+      nominal_->application.graph, nominal_->arch, variants, failures,
+      options);
+  util::set_thread_count(0);
+
+  EXPECT_TRUE(failure_sim_results_identical(serial, parallel));
+}
+
+TEST_F(PermanentFaultAgreementTest, RejectsMalformedInjectionInputs) {
+  const std::vector<SimVariant> variants = {{nominal_->tasks, nominal_->order}};
+  FailureSimOptions options;
+  options.trials = 100;
+  options.pe_failure_prob = {kQ0, kQ1};
+
+  // Variant 0 must carry the all-healthy mask.
+  EXPECT_THROW(simulate_with_failures(nominal_->application.graph,
+                                      nominal_->arch, variants, {{1, 0}},
+                                      options),
+               std::invalid_argument);
+  // Mask size must match the PE count.
+  EXPECT_THROW(simulate_with_failures(nominal_->application.graph,
+                                      nominal_->arch, variants, {{0, 0, 0}},
+                                      options),
+               std::invalid_argument);
+  // Duplicate masks.
+  const std::vector<SimVariant> dup = {{nominal_->tasks, nominal_->order},
+                                       {nominal_->tasks, nominal_->order}};
+  EXPECT_THROW(simulate_with_failures(nominal_->application.graph,
+                                      nominal_->arch, dup, {{0, 0}, {0, 0}},
+                                      options),
+               std::invalid_argument);
+  // A variant must not run tasks on a PE its own mask kills.
+  const std::vector<SimVariant> bad = {{nominal_->tasks, nominal_->order},
+                                       {nominal_->tasks, nominal_->order}};
+  EXPECT_THROW(simulate_with_failures(nominal_->application.graph,
+                                      nominal_->arch, bad, {{0, 0}, {0, 1}},
+                                      options),
+               std::invalid_argument);
+  // Probabilities outside [0, 1].
+  options.pe_failure_prob = {1.5, 0.0};
+  EXPECT_THROW(simulate_with_failures(nominal_->application.graph,
+                                      nominal_->arch, variants, {{0, 0}},
+                                      options),
+               std::invalid_argument);
+}
+
+// The end-to-end acceptance criterion of the resilience axis: run the
+// k-resilient DSE on the paper's Sobel system, then fault-inject EVERY
+// point of the k=1 front at 10k trials and require the Monte Carlo Wilson
+// intervals to cover the analytic degraded-mode prediction. Availability
+// and the criticality-weighted error probability are exactly what the
+// injection estimates (per-trial indicator proportions / expectations), so
+// agreement here certifies the whole chain: failure enumeration, repair,
+// degraded QoS scoring, mixture arithmetic, and the injector itself.
+TEST(KResilientOracleTest, FrontAgreesWithAnalyticPredictionAtTenThousandTrials) {
+  core::DseOptions options;
+  options.ga.population_size = 16;
+  options.ga.generations = 6;
+  options.seed = 9;
+  options.resilience.max_failures = 1;
+
+  const core::DseMethodology dse(app::make_sobel_application(),
+                                 platform::Architecture::paper_default(),
+                                 reliability::TaskAnalyzer::paper_default());
+  const core::DseOutcome outcome = dse.run_kresilient(options);
+  ASSERT_FALSE(outcome.front_genomes.empty());
+  const core::ResilientProblem problem = dse.build_resilient_problem(options);
+
+  for (std::size_t i = 0; i < outcome.front_genomes.size(); ++i) {
+    const core::MappingGenome& genome = outcome.front_genomes[i];
+    const core::ResilientProblem::AnalyticPrediction pred =
+        problem.analytic_prediction(genome);
+    const FailureSimResult injected =
+        core::simulate_resilient_design_point(problem, genome, 10000, 23);
+    SCOPED_TRACE(::testing::Message() << "front point " << i);
+
+    EXPECT_TRUE(injected.availability_ci.contains(pred.availability))
+        << "analytic availability " << pred.availability << " vs Wilson ["
+        << injected.availability_ci.lo << ", " << injected.availability_ci.hi
+        << "]";
+    EXPECT_TRUE(injected.error_ci.contains(pred.expected_error_prob))
+        << "analytic error " << pred.expected_error_prob << " vs Wilson ["
+        << injected.error_ci.lo << ", " << injected.error_ci.hi << "]";
+    // A k=1-resilient point covers every single-PE loss, so availability is
+    // exactly P(at most one PE fails) — strictly above the all-survive
+    // probability and strictly below certainty.
+    double all_survive = 1.0;
+    for (const double q : problem.failure_probabilities()) {
+      all_survive *= 1.0 - q;
+    }
+    EXPECT_GT(pred.availability, all_survive);
+    EXPECT_LT(pred.availability, 1.0);
+    EXPECT_GT(injected.available_trials, 9000u);
+  }
 }
 
 }  // namespace

@@ -13,7 +13,8 @@
 //                [--env 20] [--pop 100] [--gens 60] [--csv front.csv]
 //                [--report] [--gantt]
 //       System-level DSE with any of the paper's flows
-//       (fcclr | pfclr | proposed | agnostic).
+//       (fcclr | pfclr | proposed | agnostic), or the permanent-fault
+//       k-resilient flow (kresilient, with --k / --mission-hours).
 //
 // Application specs: "sobel", "mjpeg", "synthetic:<tasks>[:<seed>]", or a .json path
 // (io/serialize format). Architecture specs: "default" or a .json path.
@@ -226,13 +227,17 @@ int cmd_dse(const std::vector<std::string>& args) {
   declare_common(parser);
   parser.option("app", "application spec", "sobel")
       .option("arch", "architecture spec", "default")
-      .option("flow", "fcclr | pfclr | proposed | agnostic", "proposed")
+      .option("flow", "fcclr | pfclr | proposed | agnostic | kresilient",
+              "proposed")
       .option("pop", "GA population size", "100")
       .option("gens", "GA generations", "60")
       .option("seed", "GA seed", "1")
       .option("env", "environmental fault-rate factor", "1")
       .option("min-frel", "minimum functional reliability (0 disables)", "0")
       .option("max-makespan", "makespan limit in us (0 disables)", "0")
+      .option("k", "kresilient: tolerated PE failures", "1")
+      .option("mission-hours", "kresilient: mission time for the Weibull "
+              "failure probabilities", "20000")
       .option("csv", "write the front to this CSV", "")
       .flag("report", "print per-task choices of the fastest design")
       .flag("gantt", "print the fastest design's schedule");
@@ -267,6 +272,11 @@ int cmd_dse(const std::vector<std::string>& args) {
     const core::AgnosticOutcome agnostic = core::run_agnostic(dse, options);
     outcome.front = agnostic.combined_front;
     outcome.evaluations = agnostic.evaluations;
+  } else if (flow == "kresilient") {
+    options.resilience.max_failures = parser.get_uint("k");
+    options.resilience.mission_hours = parser.get_number("mission-hours");
+    options.resilience.degraded_spec = options.spec;
+    outcome = dse.run_kresilient(options);
   } else {
     std::fprintf(stderr, "unknown flow '%s'\n", flow.c_str());
     return 2;
@@ -622,7 +632,8 @@ void print_usage() {
       "  check      feasibility certificates for a QoS spec (no GA)\n"
       "  export     dump the built-in models as editable JSON\n"
       "  chain      Markov-model calculator for one CLR configuration\n"
-      "  dse        system-level DSE (fcclr | pfclr | proposed | agnostic)\n"
+      "  dse        system-level DSE (fcclr | pfclr | proposed | agnostic |\n"
+      "             kresilient)\n"
       "  simulate   Monte Carlo schedule simulation of a flow's front\n"
       "  serve      DSE-as-a-service HTTP daemon (docs/SERVER.md)\n"
       "  version    build, SIMD and wire-format versions\n"
