@@ -39,6 +39,11 @@ import sys
 # 3x on quiet AVX2 hardware, but CI runners share cores and throttle.
 SOFT_SPEEDUP_WARN = 2.0
 
+# Warn (don't fail) below this island-model time-to-quality speedup — the
+# target is 2x on the 1000-task graph, but the search is seed-sensitive and
+# single-core runners cannot overlap the islands.
+SCALE_SOFT_SPEEDUP_WARN = 2.0
+
 BATCHED_FIELDS = (
     "intervals",
     "transient_states",
@@ -239,10 +244,91 @@ def check_resilience(report: dict) -> str:
     )
 
 
+def check_scale_run(entry: dict, label: str) -> None:
+    for key in ("wall_seconds", "evaluations", "hypervolume", "curve"):
+        if key not in entry:
+            fail(f"{label} run missing '{key}': {entry}")
+    if entry["wall_seconds"] <= 0:
+        fail(f"{label} run has non-positive wall_seconds: {entry}")
+    if entry["evaluations"] <= 0:
+        fail(f"{label} run has non-positive evaluations: {entry}")
+    curve = entry["curve"]
+    if not isinstance(curve, list) or not curve:
+        fail(f"{label} run has missing/empty 'curve'")
+    last_evals = -1
+    for point in curve:
+        for key in ("evaluations", "wall_seconds", "front_size",
+                    "hypervolume"):
+            if key not in point:
+                fail(f"{label} curve point missing '{key}': {point}")
+        if point["evaluations"] < last_evals:
+            fail(f"{label} curve evaluations not monotone: {curve}")
+        last_evals = point["evaluations"]
+    if curve[-1]["evaluations"] != entry["evaluations"]:
+        fail(
+            f"{label} curve ends at {curve[-1]['evaluations']} evaluations "
+            f"but the run reports {entry['evaluations']}"
+        )
+
+
+def check_scale(report: dict) -> str:
+    for key in ("flow", "population", "generations", "islands",
+                "migration_interval", "migration_size", "seed", "fast_mode",
+                "islands1_bit_identical", "speedup_wall_to_single_hv",
+                "hv_ratio", "sizes"):
+        if key not in report:
+            fail(f"missing top-level key '{key}'")
+    if report["islands1_bit_identical"] is not True:
+        fail("--islands 1 diverged from the plain run_nsga2 path "
+             "(islands1_bit_identical=false)")
+    sizes = report["sizes"]
+    if not isinstance(sizes, list) or not sizes:
+        fail("'sizes' missing or empty")
+    for entry in sizes:
+        for key in ("tasks", "single", "islands", "equal_budget",
+                    "wall_ratio_equal_budget", "hv_ratio",
+                    "time_to_single_hv_seconds", "evaluations_to_single_hv",
+                    "speedup_wall_to_single_hv"):
+            if key not in entry:
+                fail(f"sizes entry missing '{key}': {list(entry)}")
+        if entry["equal_budget"] is not True:
+            fail(
+                f"{entry['tasks']}-task comparison ran unequal evaluation "
+                f"budgets — the island layer re-evaluated migrants"
+            )
+        check_scale_run(entry["single"], f"{entry['tasks']}-task single")
+        check_scale_run(entry["islands"], f"{entry['tasks']}-task islands")
+        if entry["single"]["evaluations"] != entry["islands"]["evaluations"]:
+            fail(f"{entry['tasks']}-task runs report different budgets")
+
+    # Convergence quality is a soft gate: the headline targets come from a
+    # quiet dedicated box; shared CI runners are noisy and the search is
+    # seed-sensitive. Structural violations above are the hard contract.
+    speedup = report["speedup_wall_to_single_hv"]
+    hv_ratio = report["hv_ratio"]
+    if speedup < SCALE_SOFT_SPEEDUP_WARN:
+        warn(
+            f"islands matched the single-population hypervolume at "
+            f"{speedup:.2f}x wall-clock speedup, below the "
+            f"{SCALE_SOFT_SPEEDUP_WARN}x soft gate — seed-sensitive, "
+            f"investigate if persistent"
+        )
+    if hv_ratio < 1.0:
+        warn(
+            f"final island front hypervolume is {hv_ratio:.3f}x the "
+            f"single-population run (soft gate at 1.0)"
+        )
+    return (
+        f"{len(sizes)} sizes, {report['islands']} islands, "
+        f"speedup-to-single-hv {speedup:.2f}x, hv ratio {hv_ratio:.3f}"
+    )
+
+
 CHECKERS = {
     "chain_kernel": check_chain_kernel,
     "serve": check_serve,
     "resilience": check_resilience,
+    "scale": check_scale,
 }
 
 

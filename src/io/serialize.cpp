@@ -455,6 +455,37 @@ core::ResilienceSpec resilience_spec_from_json(const JsonValue& json) {
   return resilience;
 }
 
+JsonValue to_json(const moea::IslandParams& island) {
+  return JsonValue(
+      JsonObject{{"count", island.islands},
+                 {"migration_interval", island.migration_interval},
+                 {"migration_size", island.migration_size}});
+}
+
+moea::IslandParams island_params_from_json(const JsonValue& json) {
+  reject_unknown_keys(json.as_object(),
+                      {"count", "migration_interval", "migration_size"},
+                      "islands");
+  moea::IslandParams island;
+  if (const JsonValue* count = json.find("count")) {
+    island.islands = static_cast<std::size_t>(as_uint64(*count, "count"));
+  }
+  if (const JsonValue* interval = json.find("migration_interval")) {
+    island.migration_interval =
+        static_cast<std::size_t>(as_uint64(*interval, "migration_interval"));
+  }
+  if (const JsonValue* size = json.find("migration_size")) {
+    island.migration_size =
+        static_cast<std::size_t>(as_uint64(*size, "migration_size"));
+  }
+  try {
+    island.validate();
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("serialize: islands: ") + e.what());
+  }
+  return island;
+}
+
 JsonValue to_json(const core::TdseObjectives& objectives) {
   return JsonValue(JsonObject{{"avg_exec_time", objectives.avg_exec_time},
                               {"error_prob", objectives.error_prob},
@@ -496,6 +527,7 @@ core::DseOptions JobSpec::options() const {
   options.seed = seed;
   options.heuristic_seed = heuristic_seed;
   options.resilience = resilience;
+  options.island = island;
   return options;
 }
 
@@ -506,6 +538,7 @@ std::string JobSpec::model_key() const {
                    {"architecture", to_json(architecture)},
                    {"environment_factor", scenario.environment_factor},
                    {"objectives", to_json(objectives)},
+                   {"islands", to_json(island)},
                    {"qos", to_json(spec)},
                    {"resilience", to_json(resilience)},
                    {"tdse_objectives", to_json(tdse_objectives)}};
@@ -521,6 +554,7 @@ JsonValue to_json(const JobSpec& spec) {
                   {"scenario", to_json(spec.scenario)},
                   {"ga", to_json(spec.ga)},
                   {"objectives", to_json(spec.objectives)},
+                  {"islands", to_json(spec.island)},
                   {"qos", to_json(spec.spec)},
                   {"resilience", to_json(spec.resilience)},
                   {"tdse_objectives", to_json(spec.tdse_objectives)},
@@ -534,8 +568,8 @@ JobSpec job_spec_from_json(const JsonValue& json) {
   reject_unknown_keys(json.as_object(),
                       {"format_version", "name", "flow", "seed", "threads",
                        "heuristic_seed", "scenario", "ga", "objectives",
-                       "qos", "resilience", "tdse_objectives", "application",
-                       "architecture"},
+                       "islands", "qos", "resilience", "tdse_objectives",
+                       "application", "architecture"},
                       "job");
   JobSpec spec;
   spec.format_version =
@@ -579,6 +613,9 @@ JobSpec job_spec_from_json(const JsonValue& json) {
   }
   if (const JsonValue* objectives = json.find("objectives")) {
     spec.objectives = system_objectives_from_json(*objectives);
+  }
+  if (const JsonValue* islands = json.find("islands")) {
+    spec.island = island_params_from_json(*islands);
   }
   if (const JsonValue* qos = json.find("qos")) {
     spec.spec = qos_spec_from_json(*qos);

@@ -1,0 +1,32 @@
+#include "moea/island.hpp"
+
+#include "util/cli.hpp"
+
+namespace clrearly::moea {
+
+void IslandParams::validate() const {
+  if (islands == 0) {
+    throw std::invalid_argument("IslandParams: islands must be >= 1");
+  }
+  if (migration_interval == 0) {
+    throw std::invalid_argument(
+        "IslandParams: migration_interval must be >= 1");
+  }
+}
+
+IslandParams island_params_from_args(const util::ArgParser& parser) {
+  IslandParams params;
+  if (parser.try_get("islands")) {
+    params.islands = parser.get_uint("islands");
+  }
+  if (parser.try_get("migration-interval")) {
+    params.migration_interval = parser.get_uint("migration-interval");
+  }
+  if (parser.try_get("migration-size")) {
+    params.migration_size = parser.get_uint("migration-size");
+  }
+  params.validate();
+  return params;
+}
+
+}  // namespace clrearly::moea

@@ -45,6 +45,12 @@ struct GenerationProgress {
   std::size_t evaluations = 0;  ///< cumulative fitness evaluations
   std::size_t front_size = 0;   ///< current first-front size
   double hv_proxy = 0.0;        ///< bounding-box hypervolume proxy
+  /// Objective vectors of the *feasible* members of the current first front
+  /// (so it can be one shorter than front_size while the search is still
+  /// infeasible). Non-owning and valid only for the duration of the
+  /// callback — observers that need the snapshot later (bench_scale's
+  /// hypervolume-vs-evaluations curves) must copy it.
+  const std::vector<Objectives>* front_points = nullptr;
 };
 
 /// Progress observer. Must not touch the RNG or mutate search state — the
@@ -330,66 +336,98 @@ inline double front_bbox_volume(const std::vector<Objectives>& points,
 
 }  // namespace detail
 
-/// Run NSGA-II. `seeds` pre-loads the initial population (truncated to the
-/// population size; the remainder is filled by ops.create) — this implements
-/// the paper's directed seeding of fcCLR with pfCLR's front.
+/// Steppable NSGA-II: one engine = one population evolving generation by
+/// generation. run_nsga2 below is a thin wrapper (construct, advance to the
+/// end, finish) and stays bit-identical to the historical one-shot loop; the
+/// island model (moea/island.hpp) drives several engines side by side and
+/// exchanges individuals between generations through emigrants()/immigrate().
 ///
 /// Every generation is two phases: a serial *variation* phase (selection,
 /// crossover, mutation — the only RNG consumers, drawn in the exact order
 /// the historical serial loop used) followed by a parallel *evaluation*
 /// phase over the whole offspring batch. Fronts, archives and evaluation
 /// counts are therefore bit-identical across thread counts.
+///
+/// `seeds` pre-loads the initial population (truncated to the population
+/// size; the remainder is filled by ops.create) — this implements the
+/// paper's directed seeding of fcCLR with pfCLR's front.
+///
+/// The engine holds references to `ops` and `rng`; both must outlive it.
 template <typename Genome>
-Nsga2Result<Genome> run_nsga2(const Nsga2Params& params,
-                              const Nsga2Ops<Genome>& ops, util::Rng& rng,
-                              std::vector<Genome> seeds = {}) {
-  params.validate();
-  if (!ops.create || !ops.crossover || !ops.mutate || !ops.evaluate) {
-    throw std::invalid_argument("run_nsga2: all ops callbacks are required");
+class Nsga2Engine {
+ public:
+  Nsga2Engine(const Nsga2Params& params, const Nsga2Ops<Genome>& ops,
+              util::Rng& rng, std::vector<Genome> seeds = {})
+      : params_(params), ops_(ops), rng_(rng) {
+    params_.validate();
+    if (!ops.create || !ops.crossover || !ops.mutate || !ops.evaluate) {
+      throw std::invalid_argument("run_nsga2: all ops callbacks are required");
+    }
+
+    result_.population.reserve(params_.population_size * 2);
+    // Objective / violation arrays are kept in lock-step with the population
+    // (evaluation results only ever get appended or selected, never
+    // changed), so nothing is rebuilt from scratch between phases.
+    points_.reserve(params_.population_size * 2);
+    violations_.reserve(params_.population_size * 2);
+
+    std::vector<Genome> batch;
+    batch.reserve(params_.population_size);
+    for (std::size_t i = 0; i < params_.population_size; ++i) {
+      batch.push_back((i < seeds.size()) ? std::move(seeds[i])
+                                         : ops_.create(rng_));
+    }
+    detail::evaluate_append(ops_, std::move(batch), result_.population,
+                            points_, violations_, result_.evaluations);
+    if (params_.archive_size > 0) {
+      detail::update_archive(result_.archive, result_.population,
+                             params_.archive_size);
+    }
+
+    next_.reserve(params_.population_size);
+    next_points_.reserve(params_.population_size);
+    next_violations_.reserve(params_.population_size);
   }
 
-  Nsga2Result<Genome> result;
-  auto& population = result.population;
-  population.reserve(params.population_size * 2);
+  std::size_t generation() const noexcept { return generation_; }
+  bool done() const noexcept { return generation_ >= params_.generations; }
+  std::size_t evaluations() const noexcept { return result_.evaluations; }
 
-  // Objective / violation arrays are kept in lock-step with `population`
-  // (evaluation results only ever get appended or selected, never changed),
-  // so nothing is rebuilt from scratch between phases.
-  std::vector<Objectives> points;
-  std::vector<double> violations;
-  points.reserve(params.population_size * 2);
-  violations.reserve(params.population_size * 2);
-
-  std::vector<Genome> batch;
-  batch.reserve(params.population_size);
-  for (std::size_t i = 0; i < params.population_size; ++i) {
-    batch.push_back((i < seeds.size()) ? std::move(seeds[i]) : ops.create(rng));
-  }
-  detail::evaluate_append(ops, std::move(batch), population, points,
-                          violations, result.evaluations);
-  if (params.archive_size > 0) {
-    detail::update_archive(result.archive, population, params.archive_size);
+  /// Optional objective-space search bias (the island model's cone
+  /// separation, docs/SCALING.md): a non-negative penalty, a pure function
+  /// of the objective vector, added to each member's constraint violation
+  /// when ranking parents and selecting survivors. Members outside this
+  /// engine's assigned region lose under constrained dominance, so search
+  /// effort concentrates inside the region. The *true* violation still
+  /// decides emigrants, archives and the final front — the bias redirects
+  /// effort, it never fabricates or hides (in)feasibility in anything the
+  /// engine reports. Null (the default, and the only mode run_nsga2 uses)
+  /// keeps ranking bit-identical to the historical path.
+  void set_region_bias(std::function<double(const Objectives&)> bias) {
+    region_bias_ = std::move(bias);
   }
 
-  // Scratch buffers for survivor selection, reused across generations.
-  std::vector<EvaluatedGenome<Genome>> next;
-  std::vector<Objectives> next_points;
-  std::vector<double> next_violations;
-  next.reserve(params.population_size);
-  next_points.reserve(params.population_size);
-  next_violations.reserve(params.population_size);
+  const std::vector<EvaluatedGenome<Genome>>& population() const noexcept {
+    return result_.population;
+  }
+  const std::vector<Objectives>& points() const noexcept { return points_; }
+  const std::vector<double>& violations() const noexcept {
+    return violations_;
+  }
 
-  static util::Counter& generations_metric =
-      util::metric_counter("nsga2.generations");
-  static util::Gauge& front_size_metric =
-      util::metric_gauge("nsga2.front_size");
-  static util::Gauge& hv_proxy_metric = util::metric_gauge("nsga2.hv_proxy");
+  /// Evolve one generation: rank, telemetry/hook, serial variation,
+  /// parallel evaluation, (mu + lambda) survivor selection, archive update.
+  void advance() {
+    if (done()) {
+      throw std::logic_error("Nsga2Engine::advance: already finished");
+    }
+    auto& population = result_.population;
+    const std::size_t gen = generation_;
 
-  for (std::size_t gen = 0; gen < params.generations; ++gen) {
     const util::TraceSpan gen_span("nsga2.generation");
-    generations_metric.add();
+    generations_metric().add();
 
-    const RankCrowding rc = rank_and_crowding(points, violations);
+    const RankCrowding rc = rank_and_crowding(points_, selection_violations());
 
     // Per-generation convergence telemetry from already-computed data:
     // first-front size and the bounding-box hypervolume proxy. Pure reads —
@@ -398,18 +436,25 @@ Nsga2Result<Genome> run_nsga2(const Nsga2Params& params,
       std::size_t front_size = 0;
       for (std::size_t r : rc.rank) front_size += (r == 0) ? 1 : 0;
       const double hv_proxy =
-          detail::front_bbox_volume(points, rc.rank, violations);
-      front_size_metric.set(static_cast<double>(front_size));
-      hv_proxy_metric.set(hv_proxy);
+          detail::front_bbox_volume(points_, rc.rank, violations_);
+      front_size_metric().set(static_cast<double>(front_size));
+      hv_proxy_metric().set(hv_proxy);
       if (util::trace_enabled()) {
         util::trace_counter("nsga2.front_size",
                             static_cast<double>(front_size));
         util::trace_counter("nsga2.hv_proxy", hv_proxy);
       }
-      if (params.on_generation) {
-        params.on_generation(GenerationProgress{gen, params.generations,
-                                                result.evaluations, front_size,
-                                                hv_proxy});
+      if (params_.on_generation) {
+        std::vector<Objectives> snapshot;
+        for (std::size_t i = 0; i < points_.size(); ++i) {
+          if (rc.rank[i] == 0 && violations_[i] == 0.0) {
+            snapshot.push_back(points_[i]);
+          }
+        }
+        params_.on_generation(GenerationProgress{gen, params_.generations,
+                                                 result_.evaluations,
+                                                 front_size, hv_proxy,
+                                                 &snapshot});
       }
     }
 
@@ -419,65 +464,184 @@ Nsga2Result<Genome> run_nsga2(const Nsga2Params& params,
     };
 
     // Variation phase (lambda = mu), serial and RNG-ordered.
-    batch = std::vector<Genome>();
-    batch.reserve(params.population_size);
-    while (batch.size() < params.population_size) {
-      const std::size_t pa = tournament_select(params.population_size,
-                                               params.tournament_k, rng, better);
-      const std::size_t pb = tournament_select(params.population_size,
-                                               params.tournament_k, rng, better);
+    std::vector<Genome> batch;
+    batch.reserve(params_.population_size);
+    while (batch.size() < params_.population_size) {
+      const std::size_t pa = tournament_select(
+          params_.population_size, params_.tournament_k, rng_, better);
+      const std::size_t pb = tournament_select(
+          params_.population_size, params_.tournament_k, rng_, better);
       Genome ca = population[pa].genome;
       Genome cb = population[pb].genome;
-      if (rng.bernoulli(params.crossover_prob)) {
-        auto [xa, xb] = ops.crossover(ca, cb, rng);
+      if (rng_.bernoulli(params_.crossover_prob)) {
+        auto [xa, xb] = ops_.crossover(ca, cb, rng_);
         ca = std::move(xa);
         cb = std::move(xb);
       }
-      if (rng.bernoulli(params.mutation_prob)) ops.mutate(ca, rng);
-      if (rng.bernoulli(params.mutation_prob)) ops.mutate(cb, rng);
+      if (rng_.bernoulli(params_.mutation_prob)) ops_.mutate(ca, rng_);
+      if (rng_.bernoulli(params_.mutation_prob)) ops_.mutate(cb, rng_);
 
       batch.push_back(std::move(ca));
-      if (batch.size() < params.population_size) {
+      if (batch.size() < params_.population_size) {
         batch.push_back(std::move(cb));
       }
     }
 
     // Evaluation phase over the whole batch, then (mu + lambda) elitist
     // survival over the combined arrays.
-    detail::evaluate_append(ops, std::move(batch), population, points,
-                            violations, result.evaluations);
-    const std::vector<std::size_t> keep =
-        survivor_selection(points, violations, params.population_size);
-    next.clear();
-    next_points.clear();
-    next_violations.clear();
+    detail::evaluate_append(ops_, std::move(batch), population, points_,
+                            violations_, result_.evaluations);
+    select_survivors();
+
+    if (params_.archive_size > 0) {
+      detail::update_archive(result_.archive, population,
+                             params_.archive_size);
+    }
+    ++generation_;
+  }
+
+  /// Copies of (up to) `count` members of the current first feasible front:
+  /// the front is ordered lexicographically by objective vector (population
+  /// index breaks exact ties) and then sampled at an even stride, so the
+  /// emigrants span the whole front instead of clustering in its
+  /// lexicographic corner — repeated migrations would otherwise export the
+  /// same few individuals every epoch and homogenize the ring. Fully
+  /// deterministic regardless of how the population happens to be ordered.
+  /// The migration payload of the island model's ring topology.
+  std::vector<EvaluatedGenome<Genome>> emigrants(std::size_t count) const {
+    const auto fronts = non_dominated_sort(points_, violations_);
+    std::vector<std::size_t> first =
+        fronts.empty() ? std::vector<std::size_t>{} : fronts.front();
+    std::sort(first.begin(), first.end(), [&](std::size_t a, std::size_t b) {
+      if (points_[a] != points_[b]) return points_[a] < points_[b];
+      return a < b;
+    });
+    std::vector<EvaluatedGenome<Genome>> out;
+    if (count == 0 || first.empty()) return out;
+    const std::size_t take = std::min(count, first.size());
+    out.reserve(take);
+    for (std::size_t k = 0; k < take; ++k) {
+      // k-th of `take` evenly spaced picks over the sorted front (always
+      // includes index 0; covers the far end as take approaches the front
+      // size).
+      out.push_back(result_.population[first[k * first.size() / take]]);
+    }
+    return out;
+  }
+
+  /// Merge already-evaluated immigrants into the population and survivor-
+  /// select back down to the population size. Immigrants were evaluated by
+  /// their home island, so the evaluation count is NOT incremented — island
+  /// runs spend exactly the same evaluation budget as a single-population
+  /// run of equal size. Feasible immigrants also enter the archive.
+  void immigrate(std::vector<EvaluatedGenome<Genome>> immigrants) {
+    if (immigrants.empty()) return;
+    if (params_.archive_size > 0) {
+      detail::update_archive(result_.archive, immigrants,
+                             params_.archive_size);
+    }
+    for (auto& member : immigrants) {
+      points_.push_back(member.eval.objectives);
+      violations_.push_back(member.eval.violation);
+      result_.population.push_back(std::move(member));
+    }
+    select_survivors();
+  }
+
+  /// Final front extraction + the final progress snapshot. Call exactly once,
+  /// after the last advance()/immigrate(); the engine is consumed.
+  Nsga2Result<Genome> finish() {
+    const auto fronts = non_dominated_sort(points_, violations_);
+    result_.front =
+        fronts.empty() ? std::vector<std::size_t>{} : fronts.front();
+    if (params_.on_generation) {
+      // Final snapshot after the last survivor selection, so observers
+      // always see generation == generations exactly once per completed run.
+      std::vector<std::size_t> rank(points_.size(), 1);
+      for (std::size_t i : result_.front) rank[i] = 0;
+      std::vector<Objectives> snapshot;
+      for (std::size_t i : result_.front) {
+        if (violations_[i] == 0.0) snapshot.push_back(points_[i]);
+      }
+      params_.on_generation(GenerationProgress{
+          params_.generations, params_.generations, result_.evaluations,
+          result_.front.size(),
+          detail::front_bbox_volume(points_, rank, violations_), &snapshot});
+    }
+    return std::move(result_);
+  }
+
+ private:
+  // Process-wide metric handles; function-local statics so every engine
+  // instantiation shares one registry entry.
+  static util::Counter& generations_metric() {
+    static util::Counter& metric = util::metric_counter("nsga2.generations");
+    return metric;
+  }
+  static util::Gauge& front_size_metric() {
+    static util::Gauge& metric = util::metric_gauge("nsga2.front_size");
+    return metric;
+  }
+  static util::Gauge& hv_proxy_metric() {
+    static util::Gauge& metric = util::metric_gauge("nsga2.hv_proxy");
+    return metric;
+  }
+
+  void select_survivors() {
+    auto& population = result_.population;
+    const std::vector<std::size_t> keep = survivor_selection(
+        points_, selection_violations(), params_.population_size);
+    next_.clear();
+    next_points_.clear();
+    next_violations_.clear();
     for (std::size_t i : keep) {
-      next.push_back(std::move(population[i]));
-      next_points.push_back(std::move(points[i]));
-      next_violations.push_back(violations[i]);
+      next_.push_back(std::move(population[i]));
+      next_points_.push_back(std::move(points_[i]));
+      next_violations_.push_back(violations_[i]);
     }
-    population.swap(next);
-    points.swap(next_points);
-    violations.swap(next_violations);
-
-    if (params.archive_size > 0) {
-      detail::update_archive(result.archive, population, params.archive_size);
-    }
+    population.swap(next_);
+    points_.swap(next_points_);
+    violations_.swap(next_violations_);
   }
 
-  const auto fronts = non_dominated_sort(points, violations);
-  result.front = fronts.empty() ? std::vector<std::size_t>{} : fronts.front();
-  if (params.on_generation) {
-    // Final snapshot after the last survivor selection, so observers always
-    // see generation == generations exactly once per completed run.
-    std::vector<std::size_t> rank(points.size(), 1);
-    for (std::size_t i : result.front) rank[i] = 0;
-    params.on_generation(GenerationProgress{
-        params.generations, params.generations, result.evaluations,
-        result.front.size(),
-        detail::front_bbox_volume(points, rank, violations)});
+  /// Selection-time violations: the true violations with the region bias
+  /// (when set) added per member. Returns violations_ itself when unbiased,
+  /// so the historical path pays nothing.
+  const std::vector<double>& selection_violations() {
+    if (!region_bias_) return violations_;
+    biased_violations_.resize(violations_.size());
+    for (std::size_t i = 0; i < violations_.size(); ++i) {
+      biased_violations_[i] = violations_[i] + region_bias_(points_[i]);
+    }
+    return biased_violations_;
   }
-  return result;
+
+  Nsga2Params params_;
+  const Nsga2Ops<Genome>& ops_;
+  util::Rng& rng_;
+  std::size_t generation_ = 0;
+  std::function<double(const Objectives&)> region_bias_;
+
+  Nsga2Result<Genome> result_;
+  std::vector<Objectives> points_;
+  std::vector<double> violations_;
+  std::vector<double> biased_violations_;  ///< scratch for selection_violations
+
+  // Scratch buffers for survivor selection, reused across generations.
+  std::vector<EvaluatedGenome<Genome>> next_;
+  std::vector<Objectives> next_points_;
+  std::vector<double> next_violations_;
+};
+
+/// Run NSGA-II start to finish over a single population. See Nsga2Engine
+/// for the phase structure and the determinism contract.
+template <typename Genome>
+Nsga2Result<Genome> run_nsga2(const Nsga2Params& params,
+                              const Nsga2Ops<Genome>& ops, util::Rng& rng,
+                              std::vector<Genome> seeds = {}) {
+  Nsga2Engine<Genome> engine(params, ops, rng, std::move(seeds));
+  while (!engine.done()) engine.advance();
+  return engine.finish();
 }
 
 }  // namespace clrearly::moea

@@ -6,11 +6,15 @@
 // application (the models/sobel.json system model).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
+#include "app/mjpeg.hpp"
 #include "app/sobel.hpp"
 #include "core/dse.hpp"
+#include "core/heuristics.hpp"
+#include "moea/island.hpp"
 #include "core/sim_bridge.hpp"
 #include "platform/architecture.hpp"
 #include "sim/schedule_sim.hpp"
@@ -175,6 +179,75 @@ TEST_F(DeterminismTest, ScheduleSimulatorIsThreadCountInvariant) {
 
   EXPECT_TRUE(sim::sim_results_identical(serial, parallel));
   EXPECT_GT(serial.makespan_mean_us, 0.0);
+}
+
+TEST_F(DeterminismTest, IslandFlowIsThreadCountInvariant) {
+  // The island-model layer carries the same contract as every flow above:
+  // per-island split streams, serial migration and merge, so the sharded
+  // fcCLR run is bit-identical at any worker count.
+  const core::DseMethodology dse = methodology();
+  core::DseOptions o = options();
+  o.island.islands = 3;
+  o.island.migration_interval = 3;
+  o.island.migration_size = 2;
+  util::set_thread_count(1);
+  const core::DseOutcome serial = dse.run_fcclr(o);
+  util::set_thread_count(4);
+  const core::DseOutcome parallel = dse.run_fcclr(o);
+  ASSERT_FALSE(serial.front.empty());
+  expect_identical(serial, parallel);
+}
+
+TEST_F(DeterminismTest, IslandFlowIsRepeatableAcrossRuns) {
+  const core::DseMethodology dse = methodology();
+  core::DseOptions o = options();
+  o.island.islands = 4;
+  o.island.migration_interval = 2;
+  o.island.migration_size = 1;
+  const core::DseOutcome first = dse.run_fcclr(o);
+  const core::DseOutcome second = dse.run_fcclr(o);
+  ASSERT_FALSE(first.front.empty());
+  expect_identical(first, second);
+}
+
+TEST_F(DeterminismTest, Islands1MatchesHandRolledNsga2) {
+  // --islands 1 through the DSE entry point must reproduce the pre-island
+  // single-population flow bit for bit: same heuristic seeding, same RNG
+  // stream, same front. Pinned on both paper applications.
+  for (const app::Application& application :
+       {app::make_sobel_application(), app::make_mjpeg_application()}) {
+    const core::DseMethodology dse(application,
+                                   platform::Architecture::paper_default(),
+                                   reliability::TaskAnalyzer::paper_default());
+    core::DseOptions o = options();  // island.islands defaults to 1
+    o.heuristic_seed = true;  // run_fcclr only seeds with HEFT when asked to
+    const core::ClrMappingProblem problem = dse.build_fcclr_problem(o);
+
+    util::Rng rng(o.seed);
+    std::vector<core::MappingGenome> seeds{core::heft_clr_mapping(problem).genome};
+    const auto direct = moea::run_nsga2(
+        o.ga, problem.ops(o.ga.mutation_indpb), rng, std::move(seeds));
+
+    // Mirror DseMethodology::collect: feasible front members, each distinct
+    // objective vector reported once, in front order.
+    std::vector<moea::Objectives> expected_front;
+    std::vector<core::MappingGenome> expected_genomes;
+    for (std::size_t i : direct.front) {
+      if (direct.population[i].eval.violation > 0.0) continue;
+      const moea::Objectives& obj = direct.population[i].eval.objectives;
+      if (std::find(expected_front.begin(), expected_front.end(), obj) !=
+          expected_front.end()) {
+        continue;
+      }
+      expected_front.push_back(obj);
+      expected_genomes.push_back(direct.population[i].genome);
+    }
+
+    const core::DseOutcome via_dse = dse.run_fcclr(o, problem);
+    EXPECT_EQ(via_dse.evaluations, direct.evaluations);
+    EXPECT_EQ(via_dse.front, expected_front);
+    EXPECT_EQ(via_dse.front_genomes, expected_genomes);
+  }
 }
 
 TEST_F(DeterminismTest, ArchiveIsThreadCountInvariant) {

@@ -221,6 +221,63 @@ TEST(WireFormatTest, RejectsMalformedResilience) {
                std::runtime_error);
 }
 
+TEST(WireFormatTest, IslandsRoundTripThroughJson) {
+  io::JobSpec spec = small_spec();
+  spec.island.islands = 4;
+  spec.island.migration_interval = 7;
+  spec.island.migration_size = 9;
+  const io::JobSpec back =
+      io::job_spec_from_json(util::json_parse(canon(spec)));
+  EXPECT_EQ(canon(spec), canon(back));
+  EXPECT_EQ(back.island.islands, 4u);
+  EXPECT_EQ(back.island.migration_interval, 7u);
+  EXPECT_EQ(back.island.migration_size, 9u);
+  EXPECT_EQ(back.island, spec.island);
+}
+
+TEST(WireFormatTest, IslandsAbsentKeepsSinglePopulationDefaults) {
+  const io::JobSpec spec = io::job_spec_from_json(util::json_parse(R"({
+    "format_version": 1,
+    "application": "sobel"
+  })"));
+  EXPECT_EQ(spec.island, moea::IslandParams{});
+  EXPECT_EQ(spec.island.islands, 1u);
+}
+
+TEST(WireFormatTest, RejectsMalformedIslands) {
+  // Unknown sub-keys inside "islands" are rejected just like top-level.
+  EXPECT_THROW(io::job_spec_from_json(util::json_parse(R"({
+                 "format_version": 1, "application": "sobel",
+                 "islands": {"cout": 2}
+               })")),
+               std::runtime_error);
+  EXPECT_THROW(io::job_spec_from_json(util::json_parse(R"({
+                 "format_version": 1, "application": "sobel",
+                 "islands": {"count": 0}
+               })")),
+               std::runtime_error);
+  EXPECT_THROW(io::job_spec_from_json(util::json_parse(R"({
+                 "format_version": 1, "application": "sobel",
+                 "islands": {"count": 2, "migration_interval": 0}
+               })")),
+               std::runtime_error);
+}
+
+TEST(WireFormatTest, ModelKeySeesIslandChanges) {
+  // Island sharding changes which search ran, and ModelSession mirrors the
+  // spec's island half (server/job.cpp), so the key must see it.
+  const io::JobSpec a = small_spec();
+  io::JobSpec b = a;
+  b.island.islands = 4;
+  EXPECT_NE(a.model_key(), b.model_key());
+  io::JobSpec c = a;
+  c.island.migration_interval = 3;
+  EXPECT_NE(a.model_key(), c.model_key());
+  io::JobSpec d = a;
+  d.island.migration_size = 12;
+  EXPECT_NE(a.model_key(), d.model_key());
+}
+
 TEST(WireFormatTest, ModelKeySeesResilienceChanges) {
   const io::JobSpec a = small_spec();
   io::JobSpec b = a;

@@ -109,6 +109,47 @@ TEST(ServiceTest, JobResultMatchesOfflineFlowBitForBit) {
             offline.evaluations);
 }
 
+TEST(ServiceTest, IslandJobMatchesOfflineFlowBitForBit) {
+  // A sharded fcCLR job served through the queue must be bit-identical to
+  // the same spec through the offline entry points (what `clrearly dse
+  // --app sobel --flow fcclr --islands 3 ...` runs) — the island layer
+  // keeps the determinism contract across the wire.
+  const std::string body = R"({
+    "format_version": 1,
+    "flow": "fcclr",
+    "seed": 5,
+    "ga": {"population_size": 18, "generations": 6},
+    "islands": {"count": 3, "migration_interval": 2, "migration_size": 2},
+    "application": "sobel"
+  })";
+  ServiceOptions options;
+  options.workers = 1;
+  DseService service(options);
+  const std::string id = run_to_completion(service, body);
+  const util::JsonValue result = fetch_result(service, id);
+
+  const io::JobSpec spec = io::job_spec_from_json(util::json_parse(body));
+  EXPECT_EQ(spec.island.islands, 3u);
+  const core::DseMethodology dse(
+      spec.application, spec.architecture,
+      core::make_condition_analyzer(spec.scenario.environment_factor));
+  const core::DseOutcome offline = dse.run_fcclr(spec.options());
+
+  const util::JsonArray& front = result.at("front").as_array();
+  ASSERT_FALSE(front.empty());
+  ASSERT_EQ(front.size(), offline.front.size());
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    const util::JsonArray& point = front[i].as_array();
+    ASSERT_EQ(point.size(), offline.front[i].size());
+    for (std::size_t k = 0; k < point.size(); ++k) {
+      EXPECT_EQ(point[k].as_number(), offline.front[i][k])
+          << "front[" << i << "][" << k << "]";
+    }
+  }
+  EXPECT_EQ(static_cast<std::size_t>(result.at("evaluations").as_number()),
+            offline.evaluations);
+}
+
 TEST(ServiceTest, KResilientJobMatchesOfflineFlowBitForBit) {
   const std::string body = R"({
     "format_version": 1,
