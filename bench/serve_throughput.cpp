@@ -2,9 +2,18 @@
 // sockets, so the numbers are queue + worker + engine, not TCP) with a
 // batch of jobs — half identical spec, half distinct seeds — and reports
 // jobs/sec, p50/p99 job latency and the cross-request cache hit-rate.
-// Emits BENCH_serve.json (validated by scripts/check_bench.py); the fields
-// are documented in docs/SERVER.md. The identical-spec jobs double as a
-// determinism check: their fronts must agree bit for bit.
+// A second, real-socket section measures the HTTP front end itself:
+// lightweight GETs over one persistent keep-alive connection versus a
+// fresh connection per request, reporting both modes' p50/p99 and the
+// keep-alive speedup. Emits BENCH_serve.json (validated by
+// scripts/check_bench.py); the fields are documented in docs/SERVER.md.
+// The identical-spec jobs double as a determinism check: their fronts must
+// agree bit for bit.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -14,6 +23,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "server/server.hpp"
 #include "server/service.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -55,6 +65,65 @@ double percentile(std::vector<double> sorted, double q) {
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
+int connect_to(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read one Content-Length-framed response from a keep-alive connection;
+/// `buffer` carries leftover bytes between calls.
+bool read_one_response(int fd, std::string& buffer) {
+  char chunk[4096];
+  std::size_t header_end;
+  while ((header_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  const std::size_t marker = buffer.find("Content-Length: ");
+  if (marker == std::string::npos || marker > header_end) return false;
+  const std::size_t length = std::stoul(buffer.substr(marker + 16));
+  const std::size_t total = header_end + 4 + length;
+  while (buffer.size() < total) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  buffer.erase(0, total);
+  return true;
+}
+
+/// One lightweight request/response round trip; appends its latency (ms).
+bool timed_round_trip(int fd, const std::string& request, std::string& buffer,
+                      std::vector<double>& latencies_ms) {
+  const auto start = Clock::now();
+  if (!send_all(fd, request)) return false;
+  if (!read_one_response(fd, buffer)) return false;
+  latencies_ms.push_back(
+      std::chrono::duration<double>(Clock::now() - start).count() * 1e3);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -66,6 +135,9 @@ int main(int argc, char** argv) {
       .option("workers", "worker threads in the job queue", "4")
       .option("pop", "GA population size per job", "24")
       .option("gens", "GA generations per job", "6")
+      .option("http-requests",
+              "lightweight GETs for the keep-alive vs per-connection section",
+              "300")
       .option("out", "output JSON path", "BENCH_serve.json");
   if (!util::parse_standard_args(args, argc, argv, util::LogLevel::Warn)) {
     return 0;
@@ -157,6 +229,69 @@ int main(int argc, char** argv) {
   }
   service.shutdown(/*cancel_pending=*/true);
 
+  // --- HTTP front-end section: keep-alive vs per-connection ----------------
+  // Lightweight GETs isolate connection-handling cost from job execution;
+  // the same number of requests is pushed through one persistent connection
+  // and through a fresh connection per request.
+  std::size_t http_requests = args.get_uint("http-requests");
+  if (core::fast_mode()) {
+    http_requests = std::min<std::size_t>(http_requests, 100);
+  }
+  const std::string healthz_keepalive =
+      "GET /v1/healthz HTTP/1.1\r\nHost: bench\r\nConnection: keep-alive"
+      "\r\n\r\n";
+  const std::string healthz_close =
+      "GET /v1/healthz HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n";
+
+  double keepalive_rps = 0.0, per_connection_rps = 0.0;
+  std::vector<double> keepalive_ms, per_connection_ms;
+  bool http_ok = true;
+  {
+    server::ServerOptions http_options;
+    http_options.port = 0;  // ephemeral
+    http_options.handler_threads = 2;
+    http_options.max_requests_per_connection = http_requests + 1;
+    server::HttpServer http(service, http_options);
+    http.start();
+
+    {  // one persistent connection for the whole run
+      const auto start_ka = Clock::now();
+      const int fd = connect_to(http.port());
+      std::string buffer;
+      for (std::size_t i = 0; http_ok && i < http_requests; ++i) {
+        http_ok = fd >= 0 && timed_round_trip(fd, healthz_keepalive, buffer,
+                                              keepalive_ms);
+      }
+      if (fd >= 0) ::close(fd);
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - start_ka).count();
+      keepalive_rps = seconds > 0
+                          ? static_cast<double>(http_requests) / seconds
+                          : 0.0;
+    }
+
+    {  // a fresh connection per request
+      const auto start_pc = Clock::now();
+      for (std::size_t i = 0; http_ok && i < http_requests; ++i) {
+        const int fd = connect_to(http.port());
+        std::string buffer;
+        http_ok = fd >= 0 && timed_round_trip(fd, healthz_close, buffer,
+                                              per_connection_ms);
+        if (fd >= 0) ::close(fd);
+      }
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - start_pc).count();
+      per_connection_rps = seconds > 0
+                               ? static_cast<double>(http_requests) / seconds
+                               : 0.0;
+    }
+    http.stop();
+  }
+  const double keepalive_speedup =
+      per_connection_rps > 0 ? keepalive_rps / per_connection_rps : 0.0;
+  std::sort(keepalive_ms.begin(), keepalive_ms.end());
+  std::sort(per_connection_ms.begin(), per_connection_ms.end());
+
   std::sort(latencies_ms.begin(), latencies_ms.end());
   const double p50 = percentile(latencies_ms, 0.50);
   const double p99 = percentile(latencies_ms, 0.99);
@@ -176,6 +311,13 @@ int main(int argc, char** argv) {
               fitness_hits, lookups, 100.0 * hit_rate, chain_hits);
   std::printf("identical-spec fronts: %s\n",
               identical_fronts_agree ? "agree" : "DIVERGED");
+  std::printf("http keep-alive: %.0f req/s (p50 %.3f ms, p99 %.3f ms)\n",
+              keepalive_rps, percentile(keepalive_ms, 0.50),
+              percentile(keepalive_ms, 0.99));
+  std::printf("http per-connection: %.0f req/s (p50 %.3f ms, p99 %.3f ms), "
+              "keep-alive speedup %.2fx\n",
+              per_connection_rps, percentile(per_connection_ms, 0.50),
+              percentile(per_connection_ms, 0.99), keepalive_speedup);
 
   util::JsonObject report;
   report["benchmark"] = "serve";
@@ -194,10 +336,21 @@ int main(int argc, char** argv) {
   report["chain_hits"] = chain_hits;
   report["all_completed"] = all_completed;
   report["identical_fronts_agree"] = identical_fronts_agree;
+  util::JsonObject keepalive;
+  keepalive["requests"] = http_requests;
+  keepalive["http_ok"] = http_ok;
+  keepalive["keepalive_rps"] = keepalive_rps;
+  keepalive["per_connection_rps"] = per_connection_rps;
+  keepalive["keepalive_p50_ms"] = percentile(keepalive_ms, 0.50);
+  keepalive["keepalive_p99_ms"] = percentile(keepalive_ms, 0.99);
+  keepalive["per_connection_p50_ms"] = percentile(per_connection_ms, 0.50);
+  keepalive["per_connection_p99_ms"] = percentile(per_connection_ms, 0.99);
+  keepalive["speedup"] = keepalive_speedup;
+  report["keepalive"] = util::JsonValue(std::move(keepalive));
 
   const std::string out = args.get("out");
   std::ofstream stream(out);
   stream << util::json_serialize(util::JsonValue(std::move(report))) << "\n";
   std::printf("[wrote %s]\n", out.c_str());
-  return (all_completed && identical_fronts_agree) ? 0 : 1;
+  return (all_completed && identical_fronts_agree && http_ok) ? 0 : 1;
 }

@@ -188,10 +188,36 @@ def check_serve(report: dict) -> str:
     if report["fitness_hits"] <= 0:
         fail("no cross-request fitness-cache hits — session sharing "
              f"regressed (fitness_hits={report['fitness_hits']})")
+
+    if "keepalive" not in report:
+        fail("missing 'keepalive' section (HTTP front-end benchmark)")
+    ka = report["keepalive"]
+    for key in ("requests", "http_ok", "keepalive_rps", "per_connection_rps",
+                "keepalive_p50_ms", "keepalive_p99_ms",
+                "per_connection_p50_ms", "per_connection_p99_ms", "speedup"):
+        if key not in ka:
+            fail(f"missing keepalive key '{key}'")
+    if ka["http_ok"] is not True:
+        fail("HTTP keep-alive section hit a socket failure (http_ok=false)")
+    if ka["keepalive_rps"] <= 0 or ka["per_connection_rps"] <= 0:
+        fail("non-positive HTTP throughput "
+             f"(keepalive {ka['keepalive_rps']}, "
+             f"per-connection {ka['per_connection_rps']})")
+    for prefix in ("keepalive", "per_connection"):
+        if ka[f"{prefix}_p50_ms"] > ka[f"{prefix}_p99_ms"]:
+            fail(f"{prefix} latency percentiles out of order")
+    # Soft gate: shared CI runners are too noisy for a hard perf assertion,
+    # but a persistent connection should comfortably beat a fresh TCP
+    # handshake per request.
+    if ka["speedup"] < 1.3:
+        warn(f"keep-alive speedup {ka['speedup']:.2f}x below the expected "
+             "1.3x over one-connection-per-request")
+
     return (
         f"{report['jobs']} jobs at {report['jobs_per_sec']:.1f}/s, "
         f"p50 {report['p50_job_latency_ms']:.2f} ms, "
-        f"hit-rate {100 * report['cache_hit_rate']:.1f}%"
+        f"hit-rate {100 * report['cache_hit_rate']:.1f}%, "
+        f"keep-alive {ka['speedup']:.2f}x"
     )
 
 

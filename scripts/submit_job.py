@@ -13,6 +13,13 @@ the result, and optionally checks it:
   --expect-min-fitness-hits N / --expect-min-chain-hits N
                             assert cross-request cache sharing happened.
 
+429 rejections (queue full or over the per-client quota) are retried with
+capped exponential backoff seeded from the server's Retry-After header.
+--sse streams progress over Server-Sent Events instead of cursor polling;
+--submit-only / --wait-job ID split submission from waiting (the CI
+restart-replay smoke submits, SIGKILLs the daemon, restarts it on the same
+spool, and waits for the journal-replayed job by id).
+
 Exits non-zero if the job fails, is cancelled, or any check fails.
 
 Example (the CI smoke lane):
@@ -22,11 +29,14 @@ Example (the CI smoke lane):
 """
 
 import argparse
+import http.client
 import json
 import sys
 import time
 import urllib.error
 import urllib.request
+
+RETRY_AFTER_CAP = 5.0  # seconds: never honor a Retry-After beyond this
 
 
 def fail(message: str) -> None:
@@ -53,16 +63,90 @@ def wait_for_port(args: argparse.Namespace) -> int:
     return 0  # unreachable
 
 
-def request(base: str, method: str, path: str, body: dict | None = None):
+def request(base: str, method: str, path: str, body: dict | None = None,
+            headers: dict | None = None):
     data = json.dumps(body).encode() if body is not None else None
     req = urllib.request.Request(
         base + path, data=data, method=method,
-        headers={"Content-Type": "application/json"})
+        headers={"Content-Type": "application/json", **(headers or {})})
     try:
         with urllib.request.urlopen(req, timeout=30) as response:
-            return response.status, json.loads(response.read() or b"{}")
+            return (response.status, json.loads(response.read() or b"{}"),
+                    dict(response.headers))
     except urllib.error.HTTPError as error:
-        return error.code, json.loads(error.read() or b"{}")
+        return error.code, json.loads(error.read() or b"{}"), dict(error.headers)
+
+
+def submit_with_backoff(base: str, spec: dict, headers: dict,
+                        timeout: float) -> dict:
+    """POST the spec, honoring 429 Retry-After with capped exponential
+    backoff: the wait starts from the server's Retry-After hint and doubles
+    per consecutive rejection, never exceeding RETRY_AFTER_CAP seconds."""
+    deadline = time.monotonic() + timeout
+    attempt = 0
+    while True:
+        status, accepted, response_headers = request(
+            base, "POST", "/v1/jobs", spec, headers)
+        if status == 202:
+            return accepted
+        if status != 429:
+            fail(f"submit returned {status}: {accepted}")
+        try:
+            retry_after = float(response_headers.get("Retry-After", 1))
+        except ValueError:
+            retry_after = 1.0
+        delay = min(retry_after * (2 ** attempt), RETRY_AFTER_CAP)
+        attempt += 1
+        if time.monotonic() + delay > deadline:
+            fail(f"daemon still rejecting (429) after {timeout}s: {accepted}")
+        print(f"submit_job: 429 (Retry-After {retry_after:g}s), "
+              f"backing off {delay:.2f}s")
+        time.sleep(delay)
+
+
+def stream_sse(host: str, port: int, job_id: str, deadline: float) -> bool:
+    """Stream progress over SSE; returns True once the terminal `state`
+    frame arrived, False if the stream ended early (caller falls back to
+    polling)."""
+    conn = http.client.HTTPConnection(host, port,
+                                      timeout=max(1.0, deadline - time.monotonic()))
+    try:
+        conn.request("GET", f"/v1/jobs/{job_id}/events?from=0",
+                     headers={"Accept": "text/event-stream"})
+        response = conn.getresponse()
+        if response.status != 200:
+            print(f"submit_job: SSE unavailable ({response.status}), "
+                  f"falling back to polling")
+            return False
+        event, data = "", ""
+        while time.monotonic() < deadline:
+            raw = response.readline()
+            if not raw:
+                return False  # server drained before the job finished
+            line = raw.decode().rstrip("\n").rstrip("\r")
+            if line.startswith(":"):
+                continue  # heartbeat comment
+            if line.startswith("event:"):
+                event = line[6:].strip()
+            elif line.startswith("data:"):
+                data = line[5:].strip()
+            elif not line and data:
+                payload = json.loads(data)
+                if event == "state":
+                    print(f"submit_job: SSE stream closed, job "
+                          f"{payload.get('state')}")
+                    return True
+                print(f"submit_job: [sse] {payload['stage']} generation "
+                      f"{payload['generation']}/{payload['generations']} "
+                      f"(front {payload['front_size']}, "
+                      f"evals {payload['evaluations']})")
+                event, data = "", ""
+        return False
+    except (OSError, http.client.HTTPException) as error:
+        print(f"submit_job: SSE stream error ({error}), falling back")
+        return False
+    finally:
+        conn.close()
 
 
 def build_spec(args: argparse.Namespace) -> dict:
@@ -137,31 +221,59 @@ def main() -> None:
                         help="offline `clrearly dse --csv` file to match")
     parser.add_argument("--expect-min-fitness-hits", type=int)
     parser.add_argument("--expect-min-chain-hits", type=int)
+    parser.add_argument("--client-key",
+                        help="X-Client-Key admission-quota bucket")
+    parser.add_argument("--priority", choices=("high", "normal"),
+                        help="X-Priority scheduling level")
+    parser.add_argument("--sse", action="store_true",
+                        help="stream progress over Server-Sent Events "
+                        "instead of cursor polling")
+    parser.add_argument("--submit-only", action="store_true",
+                        help="submit and print the job id without waiting "
+                        "(restart-replay testing)")
+    parser.add_argument("--wait-job",
+                        help="skip submission; wait for this existing job id "
+                        "(e.g. one replayed from the journal)")
     args = parser.parse_args()
 
     port = wait_for_port(args)
     base = f"http://{args.host}:{port}"
 
-    status, accepted = request(base, "POST", "/v1/jobs", build_spec(args))
-    if status != 202:
-        fail(f"submit returned {status}: {accepted}")
-    job_id = accepted["id"]
-    print(f"submit_job: {job_id} accepted "
-          f"(queue position {accepted.get('queue_position')})")
+    if args.wait_job:
+        job_id = args.wait_job
+    else:
+        headers = {}
+        if args.client_key:
+            headers["X-Client-Key"] = args.client_key
+        if args.priority:
+            headers["X-Priority"] = args.priority
+        accepted = submit_with_backoff(base, build_spec(args), headers,
+                                       args.timeout)
+        job_id = accepted["id"]
+        print(f"submit_job: {job_id} accepted "
+              f"(queue position {accepted.get('queue_position')})")
+        if args.submit_only:
+            print(f"submit_job: submitted {job_id}")
+            return
 
-    next_event = 0
     deadline = time.monotonic() + args.timeout
+    if args.sse:
+        stream_sse(args.host, port, job_id, deadline)
+        # The terminal state (and result) is always re-read via the plain
+        # API: the SSE path streams progress, it is not the source of truth.
+    next_event = 0
     while True:
-        status, events = request(
-            base, "GET", f"/v1/jobs/{job_id}/events?from={next_event}")
-        if status == 200:
-            for event in events.get("events", []):
-                print(f"submit_job: {event['stage']} generation "
-                      f"{event['generation']}/{event['generations']} "
-                      f"(front {event['front_size']}, "
-                      f"evals {event['evaluations']})")
-            next_event = events.get("next", next_event)
-        status, job = request(base, "GET", f"/v1/jobs/{job_id}")
+        if not args.sse:
+            status, events, _ = request(
+                base, "GET", f"/v1/jobs/{job_id}/events?from={next_event}")
+            if status == 200:
+                for event in events.get("events", []):
+                    print(f"submit_job: {event['stage']} generation "
+                          f"{event['generation']}/{event['generations']} "
+                          f"(front {event['front_size']}, "
+                          f"evals {event['evaluations']})")
+                next_event = events.get("next", next_event)
+        status, job = request(base, "GET", f"/v1/jobs/{job_id}")[:2]
         if status != 200:
             fail(f"status poll returned {status}: {job}")
         state = job["state"]
@@ -173,7 +285,7 @@ def main() -> None:
     if state != "done":
         fail(f"{job_id} ended {state}: {job.get('error', '')}")
 
-    status, result = request(base, "GET", f"/v1/jobs/{job_id}/result")
+    status, result, _ = request(base, "GET", f"/v1/jobs/{job_id}/result")
     if status != 200:
         fail(f"result fetch returned {status}: {result}")
     cache = result["cache"]

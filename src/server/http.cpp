@@ -7,8 +7,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <cstring>
 #include <stdexcept>
 
@@ -21,36 +23,50 @@ std::string lower(std::string s) {
   return s;
 }
 
-/// Read until `needle` is seen or `limit` bytes are buffered. Returns false
-/// on EOF/error/limit before the needle.
-bool read_until(int fd, std::string& buffer, const char* needle,
-                std::size_t limit) {
-  char chunk[4096];
-  while (buffer.find(needle) == std::string::npos) {
-    if (buffer.size() >= limit) return false;
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n <= 0) return false;
-    buffer.append(chunk, static_cast<std::size_t>(n));
-  }
-  return true;
-}
-
-bool read_exact(int fd, std::string& buffer, std::size_t total) {
-  char chunk[4096];
-  while (buffer.size() < total) {
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n <= 0) return false;
-    buffer.append(chunk, static_cast<std::size_t>(n));
-  }
-  return true;
-}
-
 bool write_all(int fd, const char* data, std::size_t size) {
   std::size_t written = 0;
   while (written < size) {
     const ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
     if (n <= 0) return false;
     written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Parse the head (request line + header fields) of `buffer[0, header_end)`
+/// into `request`; false on a malformed request line.
+bool parse_head(const std::string& head, HttpRequest& request) {
+  const std::size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) return false;
+  request.method = request_line.substr(0, sp1);
+  std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  request.version = request_line.substr(sp2 + 1);
+  const std::size_t qmark = target.find('?');
+  request.path = target.substr(0, qmark);
+  if (qmark != std::string::npos) request.query = target.substr(qmark + 1);
+
+  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string value = line.substr(colon + 1);
+      const std::size_t first = value.find_first_not_of(" \t");
+      const std::size_t last = value.find_last_not_of(" \t");
+      value = first == std::string::npos
+                  ? std::string()
+                  : value.substr(first, last - first + 1);
+      request.headers[lower(line.substr(0, colon))] = value;
+    }
+    pos = eol + 2;
   }
   return true;
 }
@@ -73,11 +89,31 @@ std::optional<std::string> HttpRequest::query_param(
   return std::nullopt;
 }
 
+const std::string* HttpRequest::header(const std::string& lower_name) const {
+  const auto it = headers.find(lower_name);
+  return it == headers.end() ? nullptr : &it->second;
+}
+
+bool HttpRequest::keep_alive() const {
+  const std::string* connection = header("connection");
+  if (connection != nullptr) {
+    const std::string value = lower(*connection);
+    if (value.find("close") != std::string::npos) return false;
+    if (value.find("keep-alive") != std::string::npos) return true;
+  }
+  return version != "HTTP/1.0";  // HTTP/1.1 is persistent by default
+}
+
 HttpResponse HttpResponse::json(int status, std::string body) {
   HttpResponse response;
   response.status = status;
   response.body = std::move(body);
   return response;
+}
+
+HttpResponse& HttpResponse::with_header(std::string name, std::string value) {
+  headers.emplace_back(std::move(name), std::move(value));
+  return *this;
 }
 
 const char* status_text(int status) noexcept {
@@ -97,81 +133,110 @@ const char* status_text(int status) noexcept {
   }
 }
 
-std::optional<HttpRequest> read_request(int fd) {
-  std::string buffer;
-  if (!read_until(fd, buffer, "\r\n\r\n", kMaxHeaderBytes)) {
-    if (buffer.size() >= kMaxHeaderBytes) {
-      write_response(fd, HttpResponse::json(
-                             431, "{\n  \"error\": \"headers too large\"\n}"));
-    }
-    return std::nullopt;
-  }
-  const std::size_t header_end = buffer.find("\r\n\r\n");
-  const std::string head = buffer.substr(0, header_end);
-  std::string body = buffer.substr(header_end + 4);
+bool RequestReader::fill() {
+  char chunk[4096];
+  const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+  if (n <= 0) return false;
+  buffer_.append(chunk, static_cast<std::size_t>(n));
+  return true;
+}
 
-  HttpRequest request;
-  // Request line: METHOD SP target SP HTTP/1.x
-  const std::size_t line_end = head.find("\r\n");
-  const std::string request_line =
-      line_end == std::string::npos ? head : head.substr(0, line_end);
-  const std::size_t sp1 = request_line.find(' ');
-  const std::size_t sp2 =
-      sp1 == std::string::npos ? std::string::npos
-                               : request_line.find(' ', sp1 + 1);
-  if (sp1 == std::string::npos || sp2 == std::string::npos) return std::nullopt;
-  request.method = request_line.substr(0, sp1);
-  std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
-  const std::size_t qmark = target.find('?');
-  request.path = target.substr(0, qmark);
-  if (qmark != std::string::npos) request.query = target.substr(qmark + 1);
-
-  // Header fields.
-  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
-  while (pos < head.size()) {
-    std::size_t eol = head.find("\r\n", pos);
-    if (eol == std::string::npos) eol = head.size();
-    const std::string line = head.substr(pos, eol - pos);
-    const std::size_t colon = line.find(':');
-    if (colon != std::string::npos) {
-      std::string value = line.substr(colon + 1);
-      const std::size_t first = value.find_first_not_of(" \t");
-      const std::size_t last = value.find_last_not_of(" \t");
-      value = first == std::string::npos
-                  ? std::string()
-                  : value.substr(first, last - first + 1);
-      request.headers[lower(line.substr(0, colon))] = value;
+std::optional<HttpRequest> RequestReader::next(int idle_timeout_ms) {
+  // Wait for the request to start (pipelined bytes may already be buffered).
+  // Poll in short slices so a stopping server is noticed promptly.
+  if (buffer_.empty()) {
+    int waited = 0;
+    for (;;) {
+      if (stop_ != nullptr && stop_->load(std::memory_order_relaxed)) {
+        return std::nullopt;
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      const int slice = std::min(200, idle_timeout_ms - waited);
+      if (slice <= 0) return std::nullopt;  // idle timeout
+      const int ready = ::poll(&pfd, 1, slice);
+      if (ready < 0) return std::nullopt;
+      if (ready > 0) break;
+      waited += slice;
     }
-    pos = eol + 2;
   }
 
-  std::size_t content_length = 0;
-  if (const auto it = request.headers.find("content-length");
-      it != request.headers.end()) {
-    try {
-      content_length = std::stoul(it->second);
-    } catch (const std::exception&) {
+  // Head: read until the blank line, however recv fragments it.
+  std::size_t header_end;
+  while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    if (buffer_.size() >= kMaxHeaderBytes) {
+      write_response(fd_, HttpResponse::json(
+                              431, "{\n  \"error\": \"headers too large\"\n}"));
       return std::nullopt;
     }
+    if (!fill()) return std::nullopt;
+  }
+
+  HttpRequest request;
+  if (!parse_head(buffer_.substr(0, header_end), request)) return std::nullopt;
+
+  std::size_t content_length = 0;
+  if (const std::string* declared = request.header("content-length")) {
+    const char* begin = declared->data();
+    const char* end = begin + declared->size();
+    const auto [ptr, ec] = std::from_chars(begin, end, content_length);
+    if (ec != std::errc() || ptr != end) return std::nullopt;
   }
   if (content_length > kMaxBodyBytes) {
     write_response(
-        fd, HttpResponse::json(413, "{\n  \"error\": \"body too large\"\n}"));
+        fd_, HttpResponse::json(413, "{\n  \"error\": \"body too large\"\n}"));
     return std::nullopt;
   }
-  if (!read_exact(fd, body, content_length)) return std::nullopt;
-  request.body = body.substr(0, content_length);
+
+  // Body: loop until every declared byte has arrived — a slow writer may
+  // deliver the body long after the head, in arbitrarily small pieces.
+  const std::size_t body_start = header_end + 4;
+  while (buffer_.size() - body_start < content_length) {
+    if (!fill()) return std::nullopt;
+  }
+  request.body = buffer_.substr(body_start, content_length);
+  // Keep any pipelined bytes beyond this request for the next call.
+  buffer_.erase(0, body_start + content_length);
   return request;
 }
 
-bool write_response(int fd, const HttpResponse& response) {
+std::optional<HttpRequest> read_request(int fd) {
+  RequestReader reader(fd);
+  return reader.next(/*idle_timeout_ms=*/kKeepAliveIdleMs);
+}
+
+bool write_response(int fd, const HttpResponse& response, bool keep_alive) {
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
                     status_text(response.status) +
                     "\r\nContent-Type: " + response.content_type +
-                    "\r\nContent-Length: " + std::to_string(response.body.size()) +
-                    "\r\nConnection: close\r\n\r\n" + response.body;
+                    "\r\nContent-Length: " + std::to_string(response.body.size());
+  for (const auto& [name, value] : response.headers) {
+    out += "\r\n" + name + ": " + value;
+  }
+  out += std::string("\r\nConnection: ") + (keep_alive ? "keep-alive" : "close") +
+         "\r\n\r\n" + response.body;
   return write_all(fd, out.data(), out.size());
 }
+
+bool write_stream_headers(int fd, const std::string& content_type) {
+  const std::string out =
+      "HTTP/1.1 200 OK\r\nContent-Type: " + content_type +
+      "\r\nCache-Control: no-store\r\nTransfer-Encoding: chunked\r\n"
+      "Connection: close\r\n\r\n";
+  return write_all(fd, out.data(), out.size());
+}
+
+bool write_chunk(int fd, const std::string& data) {
+  if (data.empty()) return true;  // an empty chunk would terminate the stream
+  char size_line[32];
+  const int n = std::snprintf(size_line, sizeof size_line, "%zx\r\n",
+                              data.size());
+  std::string out(size_line, static_cast<std::size_t>(n));
+  out += data;
+  out += "\r\n";
+  return write_all(fd, out.data(), out.size());
+}
+
+bool write_last_chunk(int fd) { return write_all(fd, "0\r\n\r\n", 5); }
 
 Listener::Listener(const std::string& host, int port) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);

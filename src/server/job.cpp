@@ -25,6 +25,25 @@ bool is_terminal(JobState state) noexcept {
          state == JobState::kCancelled;
 }
 
+JobState job_state_from_string(const std::string& name) {
+  if (name == "queued") return JobState::kQueued;
+  if (name == "running") return JobState::kRunning;
+  if (name == "done") return JobState::kDone;
+  if (name == "failed") return JobState::kFailed;
+  if (name == "cancelled") return JobState::kCancelled;
+  throw std::invalid_argument("unknown job state: " + name);
+}
+
+const char* to_string(JobPriority priority) noexcept {
+  return priority == JobPriority::kHigh ? "high" : "normal";
+}
+
+JobPriority priority_from_string(const std::string& name) {
+  if (name == "high") return JobPriority::kHigh;
+  if (name == "normal") return JobPriority::kNormal;
+  throw std::invalid_argument("unknown job priority: " + name);
+}
+
 util::JsonValue to_json(const ProgressEvent& event) {
   return util::JsonValue(util::JsonObject{
       {"sequence", event.sequence},
@@ -60,8 +79,8 @@ CacheDelta cache_counters_now() {
 
 // ------------------------------------------------------------------ record
 
-JobRecord::JobRecord(std::string id, io::JobSpec spec)
-    : id_(std::move(id)), spec_(std::move(spec)) {}
+JobRecord::JobRecord(std::string id, io::JobSpec spec, JobPriority priority)
+    : id_(std::move(id)), spec_(std::move(spec)), priority_(priority) {}
 
 JobState JobRecord::state() const {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -120,6 +139,7 @@ util::JsonValue JobRecord::status_json() const {
                           {"state", to_string(state_)},
                           {"flow", spec_.flow},
                           {"seed", spec_.seed},
+                          {"priority", to_string(priority_)},
                           {"events", events_.size()}};
   if (!spec_.name.empty()) status.emplace("name", spec_.name);
   if (!events_.empty()) status.emplace("progress", to_json(events_.back()));
@@ -223,27 +243,36 @@ const core::ClrMappingProblem& ModelSession::pf_problem() {
 SessionCache::SessionCache(std::size_t max_sessions)
     : max_sessions_(max_sessions == 0 ? 1 : max_sessions) {}
 
-std::shared_ptr<ModelSession> SessionCache::acquire(const io::JobSpec& spec) {
+SessionCache::Lease SessionCache::acquire(const io::JobSpec& spec) {
   const std::string key = spec.model_key();
   std::lock_guard<std::mutex> lock(mutex_);
   ++tick_;
   for (auto& [session_key, session] : sessions_) {
     if (session_key == key) {
       session->touch(tick_);
+      session->pin();
       static util::Counter& hits =
           util::metric_counter("server.sessions.hits");
       hits.add();
-      return session;
+      return Lease(session);
     }
   }
-  if (sessions_.size() >= max_sessions_) {
-    std::size_t oldest = 0;
-    for (std::size_t i = 1; i < sessions_.size(); ++i) {
-      if (sessions_[i].second->last_used() <
-          sessions_[oldest].second->last_used()) {
+  // Evict LRU sessions down to the bound — but only unpinned ones: a
+  // session some job still runs against must stay addressable so same-key
+  // jobs keep hitting its fitness cache. When every session is pinned the
+  // pool grows past max_sessions_ transiently and shrinks on later
+  // acquires.
+  while (sessions_.size() >= max_sessions_) {
+    std::size_t oldest = sessions_.size();
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+      if (sessions_[i].second->pins() > 0) continue;
+      if (oldest == sessions_.size() ||
+          sessions_[i].second->last_used() <
+              sessions_[oldest].second->last_used()) {
         oldest = i;
       }
     }
+    if (oldest == sessions_.size()) break;  // all pinned: grow instead
     sessions_.erase(sessions_.begin() + static_cast<std::ptrdiff_t>(oldest));
     static util::Counter& evictions =
         util::metric_counter("server.sessions.evictions");
@@ -251,10 +280,11 @@ std::shared_ptr<ModelSession> SessionCache::acquire(const io::JobSpec& spec) {
   }
   auto session = std::make_shared<ModelSession>(spec);
   session->touch(tick_);
+  session->pin();
   sessions_.emplace_back(key, session);
   static util::Counter& misses = util::metric_counter("server.sessions.misses");
   misses.add();
-  return session;
+  return Lease(session);
 }
 
 std::size_t SessionCache::size() const {

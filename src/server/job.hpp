@@ -38,6 +38,16 @@ enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
 
 const char* to_string(JobState state) noexcept;
 bool is_terminal(JobState state) noexcept;
+/// Inverse of to_string; throws std::invalid_argument on an unknown tag
+/// (the journal replayer wants loud failures, not silent defaults).
+JobState job_state_from_string(const std::string& name);
+
+/// Two-level scheduling class, chosen per request via the X-Priority
+/// header: high-priority jobs always dequeue before normal ones.
+enum class JobPriority { kHigh, kNormal };
+
+const char* to_string(JobPriority priority) noexcept;
+JobPriority priority_from_string(const std::string& name);
 
 /// One per-generation progress sample (mirrors moea::GenerationProgress,
 /// plus which GA stage of a multi-stage flow produced it).
@@ -83,10 +93,12 @@ struct JobResult {
 /// flag that the runner's progress hook polls between generations.
 class JobRecord {
  public:
-  JobRecord(std::string id, io::JobSpec spec);
+  JobRecord(std::string id, io::JobSpec spec,
+            JobPriority priority = JobPriority::kNormal);
 
   const std::string& id() const noexcept { return id_; }
   const io::JobSpec& spec() const noexcept { return spec_; }
+  JobPriority priority() const noexcept { return priority_; }
 
   JobState state() const;
   /// Queued -> running; returns false (no-op) if the job is no longer
@@ -114,6 +126,7 @@ class JobRecord {
  private:
   const std::string id_;
   const io::JobSpec spec_;
+  const JobPriority priority_;
 
   mutable std::mutex mutex_;
   JobState state_ = JobState::kQueued;
@@ -149,6 +162,14 @@ class ModelSession {
   std::uint64_t last_used() const noexcept { return last_used_.load(); }
   void touch(std::uint64_t tick) noexcept { last_used_.store(tick); }
 
+  /// Pin refcount: a session with active jobs must never be evicted from
+  /// the SessionCache index — a same-key job submitted meanwhile would
+  /// otherwise rebuild a second session and lose the shared fitness cache
+  /// (and the per-job cache-delta assertions built on it).
+  void pin() noexcept { pins_.fetch_add(1, std::memory_order_relaxed); }
+  void unpin() noexcept { pins_.fetch_sub(1, std::memory_order_relaxed); }
+  int pins() const noexcept { return pins_.load(std::memory_order_relaxed); }
+
  private:
   core::DseOptions model_options_;  ///< model half only; seed/ga unused
   core::DseMethodology methodology_;
@@ -159,18 +180,51 @@ class ModelSession {
   std::optional<core::ResilientProblem> resilient_;
   std::optional<std::vector<core::TdseResult>> tdse_;
   std::atomic<std::uint64_t> last_used_{0};
+  std::atomic<int> pins_{0};
 };
 
 /// Bounded model-key -> ModelSession map with LRU eviction. Sessions are
-/// handed out as shared_ptr so eviction never pulls a problem out from under
-/// a running job.
+/// handed out as pinned leases: while any job holds a lease, the session
+/// stays in the index (eviction considers only unpinned sessions, growing
+/// past max_sessions transiently when every session is busy), so a running
+/// job's session is never rebuilt mid-run and same-key jobs keep sharing
+/// one fitness cache.
 class SessionCache {
  public:
+  /// RAII pin on a session. Movable; releases the pin on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    explicit Lease(std::shared_ptr<ModelSession> session)
+        : session_(std::move(session)) {}
+    Lease(Lease&& other) noexcept : session_(std::move(other.session_)) {}
+    Lease& operator=(Lease&& other) noexcept {
+      release();
+      session_ = std::move(other.session_);
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    ModelSession* get() const noexcept { return session_.get(); }
+    ModelSession& operator*() const noexcept { return *session_; }
+    ModelSession* operator->() const noexcept { return session_.get(); }
+    explicit operator bool() const noexcept { return session_ != nullptr; }
+
+   private:
+    void release() noexcept {
+      if (session_ != nullptr) session_->unpin();
+      session_.reset();
+    }
+    std::shared_ptr<ModelSession> session_;
+  };
+
   explicit SessionCache(std::size_t max_sessions);
 
-  /// Session for `spec`'s model key, creating (and possibly evicting) as
-  /// needed.
-  std::shared_ptr<ModelSession> acquire(const io::JobSpec& spec);
+  /// Pinned session for `spec`'s model key, creating (and possibly evicting
+  /// an *unpinned* LRU session) as needed.
+  Lease acquire(const io::JobSpec& spec);
 
   std::size_t size() const;
 

@@ -1,5 +1,6 @@
 #include "server/job_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/metrics.hpp"
@@ -26,20 +27,26 @@ JobQueue::JobQueue(std::size_t workers, std::size_t max_depth, Runner runner)
 
 JobQueue::~JobQueue() { shutdown(true); }
 
-std::optional<std::size_t> JobQueue::submit(std::shared_ptr<JobRecord> job) {
+std::optional<std::size_t> JobQueue::submit(std::shared_ptr<JobRecord> job,
+                                            bool force) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_ || pending_.size() >= max_depth_) {
+    if (stopping_ || (!force && waiting_locked() >= max_depth_)) {
       static util::Counter& rejected =
           util::metric_counter("server.jobs.rejected");
       rejected.add();
       return std::nullopt;
     }
-    const std::size_t position = pending_.size();
-    pending_.push_back(job);
+    const JobPriority priority = job->priority();
+    // Dequeue position across both levels: a high-priority job jumps the
+    // whole normal deque; a normal job waits behind everything.
+    const std::size_t position = priority == JobPriority::kHigh
+                                     ? high_.size()
+                                     : waiting_locked();
+    deque_for(priority).push_back(job);
     all_.push_back(job);
     by_id_[job->id()] = std::move(job);
-    set_depth_gauge(pending_.size());
+    set_depth_gauge(waiting_locked());
     static util::Counter& submitted =
         util::metric_counter("server.jobs.submitted");
     submitted.add();
@@ -60,23 +67,41 @@ std::vector<std::shared_ptr<JobRecord>> JobQueue::jobs() const {
 }
 
 bool JobQueue::cancel(const std::string& id) {
-  std::shared_ptr<JobRecord> job = find(id);
-  if (job == nullptr || is_terminal(job->state())) return false;
-  // Latch the cooperative flag first so a job dequeued concurrently stops at
-  // its first progress check; then flip still-queued jobs immediately.
-  job->request_cancel();
-  if (job->state() == JobState::kQueued) {
-    job->cancel();
-    static util::Counter& cancelled =
-        util::metric_counter("server.jobs.cancelled");
-    cancelled.add();
+  std::shared_ptr<JobRecord> job;
+  bool was_waiting = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = by_id_.find(id);
+    if (it == by_id_.end()) return false;
+    job = it->second;
+    if (is_terminal(job->state())) return false;
+    // Remove from the waiting deque and cancel under the same lock the
+    // workers pop under: either this thread takes the job (immediate
+    // cancel, never runs) or a worker already has it (cooperative only) —
+    // no window where both believe they own it.
+    for (auto* level : {&high_, &normal_}) {
+      const auto pos = std::find(level->begin(), level->end(), job);
+      if (pos != level->end()) {
+        level->erase(pos);
+        was_waiting = true;
+        break;
+      }
+    }
+    job->request_cancel();
+    if (was_waiting) {
+      job->cancel();
+      set_depth_gauge(waiting_locked());
+      static util::Counter& cancelled =
+          util::metric_counter("server.jobs.cancelled");
+      cancelled.add();
+    }
   }
   return true;
 }
 
 std::size_t JobQueue::depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return pending_.size();
+  return waiting_locked();
 }
 
 void JobQueue::shutdown(bool cancel_pending) {
@@ -84,10 +109,12 @@ void JobQueue::shutdown(bool cancel_pending) {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
     if (cancel_pending) {
-      for (const auto& job : pending_) {
-        if (!is_terminal(job->state())) job->cancel();
+      for (auto* level : {&high_, &normal_}) {
+        for (const auto& job : *level) {
+          if (!is_terminal(job->state())) job->cancel();
+        }
+        level->clear();
       }
-      pending_.clear();
       set_depth_gauge(0);
     }
     cv_.notify_all();
@@ -103,14 +130,16 @@ void JobQueue::worker_loop() {
     std::shared_ptr<JobRecord> job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
-      if (pending_.empty()) return;  // stopping, queue drained
-      job = std::move(pending_.front());
-      pending_.pop_front();
-      set_depth_gauge(pending_.size());
+      cv_.wait(lock, [this] { return stopping_ || waiting_locked() > 0; });
+      if (waiting_locked() == 0) return;  // stopping, queue drained
+      auto& level = high_.empty() ? normal_ : high_;
+      job = std::move(level.front());
+      level.pop_front();
+      set_depth_gauge(waiting_locked());
     }
-    // Cancelled-while-queued jobs are already terminal; run_job's try_start
-    // (or the stub runner) sees a non-queued state and returns.
+    // Cancelled-while-queued jobs never reach here (cancel() removes them
+    // from the deque); a cooperative cancel latched after the pop is
+    // honoured by the runner's progress hook.
     runner_(*job);
   }
 }

@@ -1,11 +1,20 @@
-// FIFO job queue with a fixed worker pool and bounded admission.
+// Two-level priority job queue with a fixed worker pool and bounded
+// admission.
 //
 // Submission is admission-controlled: at most `max_depth` jobs may be
 // waiting; beyond that submit() refuses (the HTTP layer turns that into
 // 429 Too Many Requests) so an overloaded daemon degrades by shedding load
-// instead of growing an unbounded backlog. Workers are plain std::threads
-// (not the util::ThreadPool — they block on a condition variable between
-// jobs, and each job's GA internally fans out through the pool already).
+// instead of growing an unbounded backlog. Jobs carry a JobPriority; workers
+// always drain the high-priority deque before the normal one, and within a
+// level strictly FIFO. Workers are plain std::threads (not the
+// util::ThreadPool — they block on a condition variable between jobs, and
+// each job's GA internally fans out through the pool already).
+//
+// Cancellation is race-free: the waiting deques are searched and the queued
+// job flipped to cancelled under the same mutex the workers pop under, so a
+// cancel can never report "cancelled while queued" for a job a worker is
+// about to (or already did) start. Jobs already popped get the cooperative
+// cancel request only.
 //
 // The runner is injected so tests can exercise queueing, admission and
 // cancellation with a stub instead of a full DSE run.
@@ -38,9 +47,13 @@ class JobQueue {
   JobQueue(const JobQueue&) = delete;
   JobQueue& operator=(const JobQueue&) = delete;
 
-  /// Enqueue; returns the 0-based queue position, or nullopt when the queue
-  /// is full or the queue is shutting down (caller decides the status code).
-  std::optional<std::size_t> submit(std::shared_ptr<JobRecord> job);
+  /// Enqueue into the deque matching `job->priority()`; returns the 0-based
+  /// dequeue position across both levels, or nullopt when the queue is full
+  /// or shutting down (caller decides the status code). `force` bypasses
+  /// the depth bound — journal replay must re-admit every interrupted job
+  /// even when there are more of them than a live client could submit.
+  std::optional<std::size_t> submit(std::shared_ptr<JobRecord> job,
+                                    bool force = false);
 
   /// Look a job up by id (jobs stay addressable after completion).
   std::shared_ptr<JobRecord> find(const std::string& id) const;
@@ -48,13 +61,14 @@ class JobQueue {
   /// Snapshot of every known job, submission order.
   std::vector<std::shared_ptr<JobRecord>> jobs() const;
 
-  /// Cancel by id. Queued jobs flip to cancelled immediately (and are
-  /// skipped by workers); running jobs get a cooperative cancel request.
-  /// False when the id is unknown or the job already reached a terminal
-  /// state.
+  /// Cancel by id. Still-waiting jobs are removed from their deque and flip
+  /// to cancelled immediately — atomically with respect to worker pops, so
+  /// the reported state is truthful. Running jobs get a cooperative cancel
+  /// request. False when the id is unknown or the job already reached a
+  /// terminal state.
   bool cancel(const std::string& id);
 
-  std::size_t depth() const;  ///< currently waiting jobs
+  std::size_t depth() const;  ///< currently waiting jobs (both levels)
 
   /// Stop accepting work and join the workers. Running jobs are always
   /// drained to completion; queued jobs are cancelled when `cancel_pending`,
@@ -63,6 +77,12 @@ class JobQueue {
 
  private:
   void worker_loop();
+  std::size_t waiting_locked() const {
+    return high_.size() + normal_.size();
+  }
+  std::deque<std::shared_ptr<JobRecord>>& deque_for(JobPriority priority) {
+    return priority == JobPriority::kHigh ? high_ : normal_;
+  }
 
   const std::size_t max_depth_;
   const Runner runner_;
@@ -70,7 +90,8 @@ class JobQueue {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
-  std::deque<std::shared_ptr<JobRecord>> pending_;
+  std::deque<std::shared_ptr<JobRecord>> high_;
+  std::deque<std::shared_ptr<JobRecord>> normal_;
   std::vector<std::shared_ptr<JobRecord>> all_;
   std::map<std::string, std::shared_ptr<JobRecord>> by_id_;
   std::vector<std::thread> workers_;

@@ -174,6 +174,111 @@ TEST(JobQueueTest, ShutdownCancelPendingDropsQueueButDrainsRunning) {
   EXPECT_FALSE(queue.submit(make_job("late")).has_value());
 }
 
+TEST(JobQueueTest, HighPriorityJobsDequeueFirst) {
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::mutex order_mutex;
+  std::vector<std::string> ran;
+  JobQueue queue(/*workers=*/1, /*max_depth=*/8, [&](JobRecord& job) {
+    if (!job.try_start()) return;
+    {
+      std::unique_lock<std::mutex> lock(gate_mutex);
+      gate_cv.wait(lock, [&] { return gate_open; });
+    }
+    {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      ran.push_back(job.id());
+    }
+    job.finish(JobResult{});
+  });
+  // Occupy the worker, then interleave priorities while everything waits.
+  ASSERT_TRUE(queue.submit(make_job("running")).has_value());
+  while (queue.depth() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(queue.submit(make_job("n1")).has_value());
+  auto urgent = std::make_shared<JobRecord>("h1", tiny_spec(),
+                                            JobPriority::kHigh);
+  // A high-priority job jumps the whole normal backlog: position 0.
+  EXPECT_EQ(queue.submit(urgent), std::optional<std::size_t>(0));
+  EXPECT_EQ(queue.submit(make_job("n2")), std::optional<std::size_t>(2));
+  EXPECT_EQ(queue.depth(), 3u);
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+    gate_cv.notify_all();
+  }
+  queue.shutdown(/*cancel_pending=*/false);
+  EXPECT_EQ(ran,
+            (std::vector<std::string>{"running", "h1", "n1", "n2"}));
+}
+
+TEST(JobQueueTest, ForcedSubmitBypassesTheDepthBound) {
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  JobQueue queue(/*workers=*/1, /*max_depth=*/1, [&](JobRecord& job) {
+    if (!job.try_start()) return;
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return gate_open; });
+    job.finish(JobResult{});
+  });
+  ASSERT_TRUE(queue.submit(make_job("running")).has_value());
+  while (queue.depth() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(queue.submit(make_job("q1")).has_value());
+  EXPECT_FALSE(queue.submit(make_job("refused")).has_value());
+  // Journal replay re-admits past the bound: acked work is never shed.
+  EXPECT_TRUE(queue.submit(make_job("replayed"), /*force=*/true).has_value());
+  EXPECT_EQ(queue.depth(), 2u);
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+    gate_cv.notify_all();
+  }
+  queue.shutdown(/*cancel_pending=*/false);
+  EXPECT_EQ(queue.find("replayed")->state(), JobState::kDone);
+}
+
+TEST(JobQueueTest, CancelNeverReportsCancelledForACompletedJob) {
+  // Race the canceller against the worker on a queue that pops as fast as
+  // it can: whatever interleaving happens, a job that reports kCancelled
+  // must never have run to completion, and a job that ran must report
+  // kDone. Before cancel() was closed under the queue mutex, the
+  // lookup-then-flip window allowed a job to be reported cancelled while
+  // the worker ran it to done (or the done state to win and the cancel to
+  // be acked anyway with completed=true).
+  std::atomic<int> completed{0};
+  JobQueue queue(/*workers=*/2, /*max_depth=*/256, [&](JobRecord& job) {
+    if (!job.try_start()) return;
+    ++completed;
+    job.finish(JobResult{});
+  });
+  std::vector<std::shared_ptr<JobRecord>> jobs;
+  for (int i = 0; i < 200; ++i) {
+    auto job = make_job("race-" + std::to_string(i));
+    if (queue.submit(job).has_value()) {
+      jobs.push_back(std::move(job));
+      // Cancel from this thread while workers pop concurrently.
+      queue.cancel(jobs.back()->id());
+    }
+  }
+  queue.shutdown(/*cancel_pending=*/false);
+  int cancelled = 0, done = 0;
+  for (const auto& job : jobs) {
+    const JobState state = job->state();
+    ASSERT_TRUE(state == JobState::kCancelled || state == JobState::kDone)
+        << job->id() << " ended " << to_string(state);
+    (state == JobState::kCancelled ? cancelled : done) += 1;
+  }
+  // The invariant under test: every completed execution reports kDone, so
+  // the cancelled + done split exactly accounts for the executed count.
+  EXPECT_EQ(done, completed.load());
+  EXPECT_EQ(cancelled + done, static_cast<int>(jobs.size()));
+}
+
 TEST(JobQueueTest, RecordStateMachineRejectsBadTransitions) {
   auto job = make_job("sm");
   EXPECT_EQ(job->state(), JobState::kQueued);

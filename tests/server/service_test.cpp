@@ -350,6 +350,173 @@ TEST(ServiceTest, AdmissionControlRejectsBeyondQueueDepth) {
   EXPECT_EQ(service.queue().find(running_id)->state(), JobState::kCancelled);
 }
 
+const std::string* find_header(const HttpResponse& response,
+                               const std::string& name) {
+  for (const auto& [header, value] : response.headers) {
+    if (header == name) return &value;
+  }
+  return nullptr;
+}
+
+TEST(ServiceTest, QueueFull429CarriesRetryAfter) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_depth = 1;
+  DseService service(options);
+  const std::string slow = small_job_body("fcclr", 1, /*generations=*/300);
+  ASSERT_EQ(service.handle(make_request("POST", "/v1/jobs", slow)).status,
+            202);
+  while (service.queue().depth() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(service.handle(make_request("POST", "/v1/jobs", slow)).status,
+            202);
+  const HttpResponse rejected =
+      service.handle(make_request("POST", "/v1/jobs", slow));
+  ASSERT_EQ(rejected.status, 429);
+  const std::string* retry_after = find_header(rejected, "Retry-After");
+  ASSERT_NE(retry_after, nullptr) << "429 without Retry-After";
+  EXPECT_GE(std::stoi(*retry_after), 1);
+  service.shutdown(/*cancel_pending=*/true);
+}
+
+TEST(ServiceTest, QuotaRejectsOverRateClientPerKey) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_depth = 16;
+  options.quota_rate = 0.001;  // effectively no refill during the test
+  options.quota_burst = 2;
+  DseService service(options);
+
+  HttpRequest alice = make_request("POST", "/v1/jobs",
+                                   small_job_body("fcclr", 1, 300));
+  alice.headers["x-client-key"] = "alice";
+  EXPECT_EQ(service.handle(alice).status, 202);
+  EXPECT_EQ(service.handle(alice).status, 202);  // burst exhausted
+  const HttpResponse rejected = service.handle(alice);
+  ASSERT_EQ(rejected.status, 429) << rejected.body;
+  const std::string* retry_after = find_header(rejected, "Retry-After");
+  ASSERT_NE(retry_after, nullptr);
+  EXPECT_GE(std::stoi(*retry_after), 1);
+
+  // Quotas are per client key: bob's bucket is untouched by alice's burst.
+  HttpRequest bob = alice;
+  bob.headers["x-client-key"] = "bob";
+  EXPECT_EQ(service.handle(bob).status, 202);
+
+  // An invalid X-Priority is a client error, not a crash.
+  HttpRequest bad = bob;
+  bad.headers["x-priority"] = "urgent";
+  EXPECT_EQ(service.handle(bad).status, 400);
+
+  service.shutdown(/*cancel_pending=*/true);
+}
+
+TEST(ServiceTest, SessionLeasePinsAgainstEviction) {
+  const io::JobSpec sobel = io::job_spec_from_json(
+      util::json_parse(small_job_body("fcclr", 1)));
+  const io::JobSpec qos_variant = io::job_spec_from_json(util::json_parse(R"({
+    "format_version": 1, "flow": "fcclr", "seed": 1,
+    "ga": {"population_size": 8, "generations": 2},
+    "qos": {"max_makespan_us": 100000000},
+    "application": "sobel"
+  })"));
+  const io::JobSpec third = io::job_spec_from_json(util::json_parse(R"({
+    "format_version": 1, "flow": "fcclr", "seed": 1,
+    "ga": {"population_size": 8, "generations": 2},
+    "application": "synthetic:5:1"
+  })"));
+  ASSERT_NE(sobel.model_key(), qos_variant.model_key());
+  ASSERT_NE(sobel.model_key(), third.model_key());
+
+  SessionCache cache(/*max_sessions=*/1);
+  SessionCache::Lease lease = cache.acquire(sobel);
+  ASSERT_TRUE(lease);
+  EXPECT_EQ(lease->pins(), 1);
+
+  {
+    // Re-acquiring the same model key while pinned shares the session (and
+    // its fitness cache) instead of rebuilding it.
+    SessionCache::Lease again = cache.acquire(sobel);
+    EXPECT_EQ(again.get(), lease.get());
+    EXPECT_EQ(lease->pins(), 2);
+  }
+  EXPECT_EQ(lease->pins(), 1);  // inner lease released its pin
+
+  // A different model key with the cache bound at 1: the pinned session
+  // must NOT be evicted out from under its running job — the cache grows
+  // past the bound instead.
+  SessionCache::Lease other = cache.acquire(qos_variant);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Release the first lease; with an unpinned LRU victim available, the
+  // next distinct key evicts it and the cache shrinks back to the bound.
+  lease = SessionCache::Lease();
+  SessionCache::Lease replacement = cache.acquire(third);
+  EXPECT_EQ(cache.size(), 2u);  // sobel evicted, `other` still pinned
+
+  // The still-pinned session survived the eviction pass (size stayed at 2,
+  // so the victim must have been the unpinned sobel session).
+  SessionCache::Lease other_again = cache.acquire(qos_variant);
+  EXPECT_EQ(other_again.get(), other.get());
+}
+
+TEST(ServiceTest, SseSinkStreamsProgressAndFinalState) {
+  ServiceOptions options;
+  options.workers = 1;
+  DseService service(options);
+  const std::string id =
+      run_to_completion(service, small_job_body("fcclr", 1, /*generations=*/4));
+
+  HttpRequest request =
+      make_request("GET", "/v1/jobs/" + id + "/events", "", "from=0");
+  request.headers["accept"] = "text/event-stream";
+  ASSERT_TRUE(DseService::wants_sse(request));
+  std::vector<std::string> frames;
+  const auto sink = [&frames](const std::string& frame) {
+    frames.push_back(frame);
+    return true;
+  };
+  EXPECT_EQ(service.stream_events_sse(request, sink), std::nullopt);
+  // 5 progress frames (4 generations + final front) plus the state frame.
+  ASSERT_EQ(frames.size(), 6u);
+  EXPECT_NE(frames[0].find("id: 0"), std::string::npos) << frames[0];
+  EXPECT_NE(frames[0].find("event: progress"), std::string::npos);
+  EXPECT_NE(frames[4].find("id: 4"), std::string::npos);
+  EXPECT_NE(frames.back().find("event: state"), std::string::npos);
+  EXPECT_NE(frames.back().find("\"state\": \"done\""), std::string::npos);
+
+  // The id lines are resume cursors: from=3 replays only the tail.
+  HttpRequest resume =
+      make_request("GET", "/v1/jobs/" + id + "/events", "", "from=3");
+  resume.headers["accept"] = "text/event-stream";
+  frames.clear();
+  EXPECT_EQ(service.stream_events_sse(resume, sink), std::nullopt);
+  EXPECT_EQ(frames.size(), 3u);  // events 3, 4 + state
+  EXPECT_NE(frames[0].find("id: 3"), std::string::npos);
+
+  // Last-Event-ID (the SSE reconnect header) resumes after the given id.
+  HttpRequest reconnect = make_request("GET", "/v1/jobs/" + id + "/events");
+  reconnect.headers["accept"] = "text/event-stream";
+  reconnect.headers["last-event-id"] = "2";
+  frames.clear();
+  EXPECT_EQ(service.stream_events_sse(reconnect, sink), std::nullopt);
+  EXPECT_EQ(frames.size(), 3u);
+
+  // A dead client stops the stream without error.
+  frames.clear();
+  const auto dead = [](const std::string&) { return false; };
+  EXPECT_EQ(service.stream_events_sse(request, dead), std::nullopt);
+
+  // Non-streamable requests return a plain response before any frame.
+  HttpRequest missing = make_request("GET", "/v1/jobs/job-999999/events");
+  missing.headers["accept"] = "text/event-stream";
+  const auto error = service.stream_events_sse(missing, sink);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->status, 404);
+  EXPECT_TRUE(frames.empty());
+}
+
 TEST(ServiceTest, ErrorPaths) {
   ServiceOptions options;
   options.workers = 1;

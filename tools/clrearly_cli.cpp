@@ -566,7 +566,16 @@ int cmd_serve(const std::vector<std::string>& args) {
       .option("max-sessions", "model sessions kept warm (LRU)", "8")
       .option("spool", "spool job specs/results into this directory", "")
       .option("port-file", "write the bound port to this file once listening",
-              "");
+              "")
+      .option("journal-compact-bytes",
+              "journal size that triggers compaction (0 = never)", "1048576")
+      .option("quota-rate",
+              "per-client submissions/second before 429 (0 = no quotas)", "0")
+      .option("quota-burst", "per-client submission burst allowance", "8")
+      .option("keepalive-requests",
+              "max requests served per keep-alive connection", "100")
+      .option("idle-timeout-ms",
+              "keep-alive idle timeout between requests", "5000");
   if (!apply_common(parser, args)) return 0;
 
   server::ServiceOptions service_options;
@@ -574,11 +583,19 @@ int cmd_serve(const std::vector<std::string>& args) {
   service_options.queue_depth = parser.get_uint("queue-depth");
   service_options.max_sessions = parser.get_uint("max-sessions");
   service_options.spool_dir = parser.get("spool");
+  service_options.journal_compact_bytes =
+      parser.get_uint("journal-compact-bytes");
+  service_options.quota_rate = parser.get_number("quota-rate");
+  service_options.quota_burst = parser.get_number("quota-burst");
   server::DseService service(service_options);
 
   server::ServerOptions server_options;
   server_options.host = parser.get("host");
   server_options.port = static_cast<int>(parser.get_uint("port"));
+  server_options.max_requests_per_connection =
+      parser.get_uint("keepalive-requests");
+  server_options.idle_timeout_ms =
+      static_cast<int>(parser.get_uint("idle-timeout-ms"));
   server::HttpServer http(service, server_options);
 
   // A daemon drains on SIGINT/SIGTERM instead of dying mid-job; this
